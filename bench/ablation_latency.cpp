@@ -1,0 +1,41 @@
+// Ablation: within-deadline delivery-latency distribution per scheme.
+//
+// Not a paper figure (the paper reports timely-throughput only), but a
+// natural question for the real-time setting: among packets that DO meet
+// the deadline, how early do they arrive? The centralized genie serves
+// back-to-back from the interval start; DP pays a few 9 us backoff slots;
+// FCSMA/DCF pay random backoff plus collision retries.
+#include <cstdlib>
+#include <iostream>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "stats/latency.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300;
+
+  std::cout << "\n=== Ablation: delivery-latency distribution (video, alpha*=0.55) ===\n";
+  std::cout << "latency = delivery instant minus interval start; deadline = 20 ms\n\n";
+
+  TablePrinter table{{"scheme", "deliveries", "p50", "p90", "p99", "max", "mean"}};
+  for (const auto& factory : {expfw::ldf_factory(), expfw::dbdp_factory(),
+                              expfw::fcsma_factory(), expfw::dcf_factory()}) {
+    net::Network net{expfw::video_symmetric(0.55, 0.9, 1017), factory};
+    sim::Tracer tracer{1u << 22};
+    net.attach_tracer(&tracer);
+    net.run(intervals);
+    const auto lat = stats::delivery_latencies(tracer, Duration::milliseconds(20));
+    table.add_row({net.scheme().name(),
+                   TablePrinter::num(static_cast<std::int64_t>(lat.count())),
+                   lat.quantile(0.5).to_string(), lat.quantile(0.9).to_string(),
+                   lat.quantile(0.99).to_string(), lat.max().to_string(),
+                   lat.mean().to_string()});
+  }
+  table.print(std::cout);
+  std::cout << "\nall latencies bounded by the 20 ms deadline by construction;\n"
+               "the tails show the cost of contention.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Robustness ablations beyond the paper's base model:
+//  (1) bursty Gilbert-Elliott losses with matching long-run mean — the
+//      protocols only know the mean p_n, so this probes sensitivity to the
+//      i.i.d.-loss assumption;
+//  (2) cross-link correlated video bursts (common-shock traffic) — the
+//      model (Section II-B) allows intra-interval correlation; this probes
+//      how much headroom correlated demand peaks consume.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "expfw/report.hpp"
+#include "expfw/runner.hpp"
+#include "expfw/scenarios.hpp"
+#include "phy/channel_model.hpp"
+#include "traffic/joint_arrivals.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+
+  // --- (1) bursty losses -----------------------------------------------------
+  std::cout << "\n=== Ablation: Gilbert-Elliott bursty losses (mean-matched p = 0.7) ===\n";
+  // Bad-state dwell controls burstiness; all variants share mean 0.7.
+  // mean = (1-pi_b)*p_g + pi_b*p_b with pi_b = g2b/(g2b+b2g).
+  struct GeVariant {
+    std::string name;
+    phy::GilbertElliottParams ge;
+  };
+  std::vector<GeVariant> ge_variants;
+  {
+    // pi_b = 1/3: 0.95*(2/3) + 0.2*(1/3) = 0.7 Fast flips.
+    ge_variants.push_back({"fast flips", {0.95, 0.2, 0.2, 0.4}});
+    // Same stationary split, 10x slower chain => much burstier.
+    ge_variants.push_back({"slow flips", {0.95, 0.2, 0.02, 0.04}});
+    ge_variants.push_back({"very slow flips", {0.95, 0.2, 0.005, 0.01}});
+  }
+  const auto grid = std::vector<double>{0.40, 0.50, 0.60};
+  const auto metric = expfw::total_deficiency_metric();
+
+  std::vector<expfw::SweepResult> ge_results;
+  ge_results.push_back(expfw::run_sweep(
+      "iid (paper)", expfw::dbdp_factory(),
+      [](double a) { return expfw::video_symmetric(a, 0.9, 1014); }, grid, intervals, metric,
+      {"deficiency"}));
+  for (const auto& v : ge_variants) {
+    const double mean = v.ge.mean_success();
+    auto config_at = [v, mean](double a) {
+      auto cfg = expfw::video_symmetric(a, 0.9, 1014);
+      for (auto& p : cfg.success_prob) p = mean;
+      cfg.channel_factory = [v] {
+        return std::make_unique<phy::GilbertElliottChannel>(
+            std::vector<phy::GilbertElliottParams>(20, v.ge));
+      };
+      return cfg;
+    };
+    ge_results.push_back(expfw::run_sweep("DB-DP GE " + v.name, expfw::dbdp_factory(),
+                                          config_at, grid, intervals, metric,
+                                          {"deficiency"}));
+  }
+  expfw::print_sweep_table(std::cout, "alpha*", ge_results);
+
+  // --- (2) correlated bursts --------------------------------------------------
+  std::cout << "\n=== Ablation: cross-link correlated bursts (common shock) ===\n";
+  std::vector<expfw::SweepResult> shock_results;
+  for (double shock_frac : {0.0, 0.25, 0.5, 1.0}) {
+    auto config_at = [shock_frac](double a) {
+      auto cfg = expfw::video_symmetric(a, 0.9, 1015);
+      cfg.arrivals.clear();
+      cfg.joint_arrivals = std::make_unique<traffic::CommonShockBurstyArrivals>(
+          20, a, shock_frac * a);
+      return cfg;
+    };
+    char name[48];
+    std::snprintf(name, sizeof name, "DB-DP shock=%.0f%%", 100 * shock_frac);
+    shock_results.push_back(expfw::run_sweep(name, expfw::dbdp_factory(), config_at, grid,
+                                             intervals, metric, {"deficiency"}));
+  }
+  expfw::print_sweep_table(std::cout, "alpha*", shock_results);
+  std::cout << "\ncorrelated peaks cost capacity for EVERY policy (demand exceeding 60\n"
+               "slots in a shock interval is dropped); the point is DB-DP degrades\n"
+               "gracefully rather than destabilizing.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Fig. 5: convergence of the timely-throughput of the link that
+// starts at the LOWEST priority, under DB-DP vs LDF, at alpha* = 0.55 and
+// 93% delivery ratio. Paper shape: both converge to the requirement
+// q = 3.5 * 0.55 * 0.93 ~ 1.79 within a comparable number of intervals
+// (DB-DP within the same order as LDF; no starvation).
+#include <cstdlib>
+#include <iostream>
+
+#include "expfw/report.hpp"
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "stats/time_series.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+  constexpr LinkId kWatched = 19;  // lowest initial priority (identity start)
+  const double q = 3.5 * 0.55 * 0.93;
+
+  expfw::print_figure_banner(
+      std::cout, "Fig. 5",
+      "cumulative timely-throughput of the initially-lowest-priority link, "
+      "alpha* = 0.55, rho = 0.93",
+      "both schemes converge to q ~ 1.79; DB-DP convergence comparable to LDF");
+
+  auto run_series = [&](const mac::SchemeFactory& factory) {
+    net::Network net{expfw::video_symmetric(0.55, 0.93, 1005), factory};
+    stats::TimeSeries series;
+    net.add_observer([&](IntervalIndex, const std::vector<int>&,
+                         const std::vector<int>& delivered) {
+      series.push(static_cast<double>(delivered[kWatched]));
+    });
+    net.run(intervals);
+    return series;
+  };
+
+  const auto ldf = run_series(expfw::ldf_factory());
+  const auto dbdp = run_series(expfw::dbdp_factory());
+  // Remark 6 extension: multiple swap pairs accelerate exactly this metric.
+  const auto dbdp4 = run_series(expfw::dbdp_multipair_factory(4));
+  const auto ldf_mean = ldf.cumulative_mean();
+  const auto dbdp_mean = dbdp.cumulative_mean();
+  const auto dbdp4_mean = dbdp4.cumulative_mean();
+
+  TablePrinter table{{"interval", "LDF", "DB-DP", "DB-DP(x4 pairs)", "target q"}};
+  for (std::size_t k = 50; k <= ldf_mean.size(); k = k < 500 ? k + 50 : k + 500) {
+    table.add_row({TablePrinter::num(static_cast<std::int64_t>(k)),
+                   TablePrinter::num(ldf_mean[k - 1]), TablePrinter::num(dbdp_mean[k - 1]),
+                   TablePrinter::num(dbdp4_mean[k - 1]), TablePrinter::num(q)});
+  }
+  table.print(std::cout);
+
+  auto report = [&](const char* name, const stats::TimeSeries& series, double tol) {
+    const auto conv = stats::convergence_interval(series, q, tol);
+    std::cout << "  " << name << ": "
+              << (conv ? std::to_string(*conv) + " intervals" : "not settled");
+  };
+  std::cout << "\nconvergence to within 5% of q:";
+  report("LDF", ldf, 0.05);
+  report("DB-DP", dbdp, 0.05);
+  report("DB-DP(x4)", dbdp4, 0.05);
+  std::cout << "\nconvergence to within 1% of q:";
+  report("LDF", ldf, 0.01);
+  report("DB-DP", dbdp, 0.01);
+  report("DB-DP(x4)", dbdp4, 0.01);
+  std::cout << "\n";
+  return 0;
+}

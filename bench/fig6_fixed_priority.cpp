@@ -1,0 +1,39 @@
+// Regenerates Fig. 6: average timely-throughput per link under a FIXED
+// priority ordering (reordering disabled), alpha* = 0.6. Paper shape:
+// timely-throughput decreases with priority index but remains strictly
+// positive even for the lowest-priority link (index 20) — the priority
+// structure prevents complete starvation.
+#include <cstdlib>
+#include <iostream>
+
+#include "expfw/report.hpp"
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+
+  expfw::print_figure_banner(
+      std::cout, "Fig. 6",
+      "average timely-throughput per link under a fixed priority ordering, alpha* = 0.6",
+      "decreasing in priority index; lowest-priority link still nonzero");
+
+  net::Network net{expfw::video_symmetric(0.6, 0.9, 1006),
+                   expfw::dp_static_priority_factory()};
+  net.run(intervals);
+
+  TablePrinter table{{"priority index", "avg timely-throughput", "arrival rate"}};
+  for (LinkId n = 0; n < 20; ++n) {
+    // Identity initial permutation: link n holds priority n+1 forever.
+    table.add_row({TablePrinter::num(static_cast<std::int64_t>(n + 1)),
+                   TablePrinter::num(net.stats().timely_throughput(n)),
+                   TablePrinter::num(3.5 * 0.6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nlowest-priority link throughput: " << net.stats().timely_throughput(19)
+            << " (nonzero = no starvation)\n";
+  return 0;
+}

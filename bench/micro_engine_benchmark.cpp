@@ -1,0 +1,74 @@
+// Microbenchmarks (google-benchmark): raw engine and protocol throughput —
+// how many simulated events/intervals per wall-clock second the substrate
+// sustains. Not a paper figure; guards against performance regressions in
+// the simulator that would make the figure benches impractically slow.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "analysis/priority_evaluator.hpp"
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace {
+
+using namespace rtmac;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_in(Duration::microseconds(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_DbdpVideoInterval(benchmark::State& state) {
+  net::Network net{expfw::video_symmetric(0.55, 0.9, 1), expfw::dbdp_factory()};
+  for (auto _ : state) {
+    net.run(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("simulated 20ms intervals (20 links)");
+}
+BENCHMARK(BM_DbdpVideoInterval);
+
+void BM_LdfVideoInterval(benchmark::State& state) {
+  net::Network net{expfw::video_symmetric(0.55, 0.9, 1), expfw::ldf_factory()};
+  for (auto _ : state) {
+    net.run(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LdfVideoInterval);
+
+void BM_FcsmaVideoInterval(benchmark::State& state) {
+  net::Network net{expfw::video_symmetric(0.55, 0.9, 1), expfw::fcsma_factory()};
+  for (auto _ : state) {
+    net.run(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FcsmaVideoInterval);
+
+void BM_PriorityEvaluatorExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  analysis::PriorityEvaluator eval{ProbabilityVector(n, 0.7), 60};
+  std::vector<LinkId> order(n);
+  std::iota(order.begin(), order.end(), LinkId{0});
+  const std::vector<std::vector<double>> pmfs(
+      n, traffic::UniformBurstyArrivals{0.55}.pmf());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(order, pmfs));
+  }
+}
+BENCHMARK(BM_PriorityEvaluatorExact)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+// main() provided by benchmark::benchmark_main (see bench/CMakeLists.txt).

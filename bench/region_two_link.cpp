@@ -1,0 +1,69 @@
+// Theory validation: the exact two-link feasible region vs the empirical
+// boundaries of LDF and DB-DP.
+//
+// The exact frontier comes from the priority-ordering outcomes (Lemma 1 +
+// Lemma 3: the region is the downward closure of their convex hull); the
+// empirical boundary is probed by bisection along rays. Feasibility
+// optimality (Theorem 1) predicts all three coincide.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/region.hpp"
+#include "expfw/scenarios.hpp"
+#include "net/network_config.hpp"
+#include "traffic/arrival_process.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2500;
+
+  std::cout << "\n=== Theory: exact two-link region vs empirical boundaries ===\n";
+  std::cout << "2 links, p = (0.6, 0.9), 1 packet/interval each, 4 tx slots\n\n";
+
+  const ProbabilityVector p{0.6, 0.9};
+  const int slots = 4;
+  const auto region = analysis::two_link_region(p, {{0.0, 1.0}, {0.0, 1.0}}, slots);
+  std::cout << "exact frontier extremes: link0-first (" << region.link0_first.q0 << ", "
+            << region.link0_first.q1 << "), link1-first (" << region.link1_first.q0 << ", "
+            << region.link1_first.q1 << ")\n\n";
+
+  // Probe along rays q = s * (w, 1-w): lambda = 1, rho_n = s * dir_n.
+  TablePrinter table{{"ray (w, 1-w)", "exact boundary s*", "LDF empirical", "DB-DP empirical"}};
+  for (double w : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    const analysis::RegionPoint dir{w, 1.0 - w};
+    const double exact = region.boundary_scale(dir);
+
+    const auto config_for = [&](double s) {
+      net::NetworkConfig cfg;
+      cfg.interval_length = Duration::microseconds(520);  // 4 x 120us airtime
+      cfg.phy = phy::PhyParams::control_80211a();
+      cfg.seed = 29;
+      for (int n = 0; n < 2; ++n) {
+        cfg.success_prob.push_back(p[static_cast<std::size_t>(n)]);
+        cfg.arrivals.push_back(std::make_unique<traffic::ConstantArrivals>(1));
+        cfg.requirements.lambda.push_back(1.0);
+      }
+      cfg.requirements.rho = {std::min(1.0, s * dir.q0), std::min(1.0, s * dir.q1)};
+      return cfg;
+    };
+    analysis::ProbeParams params;
+    params.intervals = intervals;
+    params.bisection_steps = 9;
+    params.deficiency_threshold = 0.01;
+    params.lo = 0.1;
+    params.hi = 1.0 / std::max(dir.q0, dir.q1);  // rho caps at 1
+    const double ldf = analysis::max_supported_load(config_for, expfw::ldf_factory(), params);
+    const double dbdp = analysis::max_supported_load(config_for, expfw::dbdp_factory(), params);
+
+    char ray[32];
+    std::snprintf(ray, sizeof ray, "(%.2f, %.2f)", dir.q0, dir.q1);
+    table.add_row({ray, TablePrinter::num(std::min(exact, 1.0 / std::max(dir.q0, dir.q1))),
+                   TablePrinter::num(ldf), TablePrinter::num(dbdp)});
+  }
+  table.print(std::cout);
+  std::cout << "\nfeasibility optimality: the three columns should agree to within\n"
+               "the probe resolution (rho saturates at 1, capping shallow rays).\n";
+  return 0;
+}

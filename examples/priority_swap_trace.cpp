@@ -1,0 +1,50 @@
+// Traces the paper's Example 2 / Fig. 2: a 4-link network with perfect
+// channels and one packet per interval, showing how two candidate links
+// exchange priorities purely through backoff timers and carrier sensing.
+// Prints the per-interval candidate pair, coin tosses (inferred from the
+// evolution), and the resulting priority vector.
+//
+//   $ ./priority_swap_trace [intervals]
+#include <cstdlib>
+#include <iostream>
+
+#include "expfw/scenarios.hpp"
+#include "mac/dp_link_mac.hpp"
+#include "net/network.hpp"
+#include "traffic/arrival_process.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 25;
+
+  std::cout << "DP protocol priority-exchange trace (paper Example 2 / Fig. 2)\n";
+  std::cout << "4 links, p = 1, one packet per interval, mu = 0.5 everywhere\n\n";
+
+  auto cfg = net::symmetric_network(4, Duration::milliseconds(20),
+                                    phy::PhyParams::video_80211a(), 1.0,
+                                    traffic::ConstantArrivals{1}, 0.9, 20240706);
+  net::Network net{std::move(cfg), expfw::dp_fixed_mu_factory({0.5, 0.5, 0.5, 0.5})};
+  auto* dp = dynamic_cast<mac::DpScheme*>(&net.scheme());
+
+  const mac::SharedSeed seed{mix64(20240706, 0x5EEDC0DE)};  // matches DpScheme internals
+
+  TablePrinter table{{"interval k", "candidate pair C(k)", "sigma before", "sigma after",
+                      "swapped?"}};
+  core::Permutation before = dp->priorities();
+  for (IntervalIndex k = 0; k < intervals; ++k) {
+    const auto c = seed.candidate(k, 4);
+    net.run(1);
+    const core::Permutation after = dp->priorities();
+    table.add_row({TablePrinter::num(static_cast<std::int64_t>(k)),
+                   "(" + std::to_string(c) + "," + std::to_string(c + 1) + ")",
+                   before.to_string(), after.to_string(),
+                   after == before ? "no" : "YES"});
+    before = after;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery change is an adjacent transposition at the candidate pair;\n"
+               "zero collisions occurred: " << net.medium().counters().collisions << "\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small real-time wireless network, run the
+// decentralized DB-DP protocol against the centralized LDF genie, and print
+// the headline metric (total timely-throughput deficiency, Definition 1).
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: PhyParams -> NetworkConfig ->
+// scheme factory -> Network -> stats.
+#include <iostream>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "traffic/arrival_process.hpp"
+
+int main() {
+  using namespace rtmac;
+
+  // 1. A network of 8 fully-interfering links. Each link delivers 1500 B
+  //    video packets (330 us airtime incl. ACK) under a 20 ms per-packet
+  //    deadline, succeeds with probability 0.7 per clean transmission, and
+  //    must achieve a 90% on-time delivery ratio.
+  auto config = net::symmetric_network(
+      /*num_links=*/8,
+      /*interval_length=*/Duration::milliseconds(20), phy::PhyParams::video_80211a(),
+      /*p=*/0.7, traffic::UniformBurstyArrivals{/*alpha=*/0.5},
+      /*rho=*/0.9, /*seed=*/2024);
+
+  std::cout << "rtmac quickstart: 8 links, 20 ms deadline, p = 0.7, rho = 0.9\n";
+  std::cout << "workload utilization (necessary bound): "
+            << core::workload_utilization(config.requirements.q(), config.success_prob,
+                                          config.phy.transmissions_per_interval(
+                                              config.interval_length))
+            << " (must be < 1 to be feasible)\n\n";
+
+  // 2. Run the decentralized protocol for 2000 deadline intervals (40 s of
+  //    virtual air time).
+  net::Network dbdp{config.clone(), expfw::dbdp_factory()};
+  dbdp.run(2000);
+
+  // 3. Compare against the centralized feasibility-optimal genie.
+  net::Network ldf{config.clone(), expfw::ldf_factory()};
+  ldf.run(2000);
+
+  std::cout << "after 2000 intervals:\n";
+  std::cout << "  DB-DP total deficiency: " << dbdp.total_deficiency()
+            << "   (collisions: " << dbdp.medium().counters().collisions << ")\n";
+  std::cout << "  LDF   total deficiency: " << ldf.total_deficiency() << "\n\n";
+
+  std::cout << "per-link timely-throughput under DB-DP (target q = "
+            << config.requirements.q()[0] << "):\n";
+  for (LinkId n = 0; n < config.num_links(); ++n) {
+    std::cout << "  link " << n << ": " << dbdp.stats().timely_throughput(n) << "\n";
+  }
+
+  std::cout << "\nThe decentralized protocol fulfills the requirement without any\n"
+               "controller, control packets, or collisions — only carrier sensing\n"
+               "and priority-indexed backoff.\n";
+  return 0;
+}

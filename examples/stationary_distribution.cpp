@@ -1,0 +1,55 @@
+// Demonstrates the theory API: builds the exact priority Markov chain for a
+// 4-link network with fixed coin biases, prints the analytic stationary law
+// (eq. 10) next to the numeric fixed point, and shows how the DB-DP law
+// (eq. 15) concentrates on the ELDF ordering as debts grow.
+#include <iostream>
+
+#include "analysis/priority_chain.hpp"
+#include "core/influence.hpp"
+#include "core/mu.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rtmac;
+
+  std::cout << "Exact stationary analysis of the DP priority chain\n\n";
+
+  const std::vector<double> mu{0.2, 0.4, 0.6, 0.8};
+  const analysis::PriorityChain chain{mu};
+  const auto analytic = chain.stationary_analytic();
+  const auto numeric = chain.stationary_numeric();
+
+  std::cout << "fixed coin biases mu = {0.2, 0.4, 0.6, 0.8} (link 3 climbs hardest)\n";
+  TablePrinter table{{"sigma (link->priority)", "pi* analytic", "pi* numeric"}};
+  // Show the five most likely states.
+  std::vector<std::size_t> idx(chain.num_states());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return analytic[a] > analytic[b]; });
+  for (std::size_t i = 0; i < 5; ++i) {
+    table.add_row({chain.states()[idx[i]].to_string(),
+                   TablePrinter::num(analytic[idx[i]], 5),
+                   TablePrinter::num(numeric[idx[i]], 5)});
+  }
+  table.print(std::cout);
+  std::cout << "most likely state gives link 3 priority 1, link 0 priority 4\n";
+  std::cout << "detailed-balance residual: " << chain.detailed_balance_residual(analytic)
+            << "\n\n";
+
+  std::cout << "DB-DP law (eq. 15) as debts scale up — concentration on ELDF ordering:\n";
+  const core::DebtMu formula{core::Influence::identity(), 10.0};
+  const ProbabilityVector p{1.0, 1.0, 1.0, 1.0};
+  TablePrinter table2{{"debt scale", "P(sigma = ELDF ordering)"}};
+  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const std::vector<double> debts{4.0 * scale, 3.0 * scale, 2.0 * scale, 1.0 * scale};
+    const auto pi = analysis::dbdp_stationary_law(formula, debts, p);
+    // ELDF ordering = identity (debts sorted descending by link id).
+    table2.add_row({TablePrinter::num(scale, 1),
+                    TablePrinter::num(pi[core::Permutation::identity(4).rank()], 6)});
+  }
+  table2.print(std::cout);
+  std::cout << "\nas ||d|| grows the chain behaves like the centralized ELDF schedule —\n"
+               "the mechanism behind Proposition 4 / Theorem 1.\n";
+  return 0;
+}

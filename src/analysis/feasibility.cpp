@@ -1,0 +1,30 @@
+#include "analysis/feasibility.hpp"
+
+#include "net/network.hpp"
+
+namespace rtmac::analysis {
+
+bool achieves(net::NetworkConfig config, const mac::SchemeFactory& scheme,
+              IntervalIndex intervals, double deficiency_threshold) {
+  net::Network network{std::move(config), scheme};
+  network.run(intervals);
+  return network.total_deficiency() < deficiency_threshold;
+}
+
+double max_supported_load(const ConfigForLoad& config_for_load,
+                          const mac::SchemeFactory& scheme, const ProbeParams& params) {
+  double lo = params.lo;
+  double hi = params.hi;
+  for (int step = 0; step < params.bisection_steps; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    if (achieves(config_for_load(mid), scheme, params.intervals,
+                 params.deficiency_threshold)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rtmac::analysis

@@ -1,0 +1,43 @@
+// Feasibility probing: locating the boundary of the feasible region Q.
+//
+// The exact region (Definition 4) is a polytope that is expensive to write
+// down for general arrivals, so experiments locate its boundary empirically:
+// a requirement vector is declared achievable by a scheme when the total
+// timely-throughput deficiency after a burn-in run falls below a threshold.
+// Bisection over a scalar load knob then finds each scheme's supported load
+// — the "knee" positions compared across Figs. 3/7/9.
+//
+// A quick analytic necessary condition (sum q_n / p_n <= slots) is provided
+// by core::workload_utilization and used to bracket the search.
+#pragma once
+
+#include <functional>
+
+#include "mac/link_mac.hpp"
+#include "net/network_config.hpp"
+
+namespace rtmac::analysis {
+
+/// Builds the network for a given value of the load knob (e.g. alpha*).
+using ConfigForLoad = std::function<net::NetworkConfig(double)>;
+
+/// Parameters for the empirical feasibility probe.
+struct ProbeParams {
+  IntervalIndex intervals = 2000;    ///< simulated intervals per probe point
+  double deficiency_threshold = 0.02;  ///< "fulfilled" when total deficiency below this
+  int bisection_steps = 12;
+  double lo = 0.0;                   ///< load known achievable
+  double hi = 1.0;                   ///< load known (or suspected) unachievable
+};
+
+/// True iff `scheme` fulfills the requirements of `config` empirically.
+[[nodiscard]] bool achieves(net::NetworkConfig config, const mac::SchemeFactory& scheme,
+                            IntervalIndex intervals, double deficiency_threshold);
+
+/// Largest load in [lo, hi] the scheme supports, by bisection. The returned
+/// value is accurate to (hi - lo) / 2^bisection_steps.
+[[nodiscard]] double max_supported_load(const ConfigForLoad& config_for_load,
+                                        const mac::SchemeFactory& scheme,
+                                        const ProbeParams& params);
+
+}  // namespace rtmac::analysis

@@ -1,0 +1,92 @@
+#include "analysis/interval_mdp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtmac::analysis {
+
+IntervalMdp::IntervalMdp(ProbabilityVector success_prob, std::vector<double> weights,
+                         int slots)
+    : p_{std::move(success_prob)}, w_{std::move(weights)}, slots_{slots} {
+  assert(p_.size() == w_.size());
+  assert(!p_.empty());
+  assert(slots >= 0);
+  for (double p : p_) {
+    assert(p > 0.0 && p <= 1.0);
+    (void)p;
+  }
+}
+
+double IntervalMdp::value(const std::vector<int>& caps, std::vector<int>& buffers,
+                          int slots_left, std::vector<double>& memo,
+                          const std::vector<std::uint64_t>& strides) const {
+  if (slots_left == 0) return 0.0;
+  // Dense memo index: mixed-radix buffer encoding x horizon.
+  std::uint64_t idx = static_cast<std::uint64_t>(slots_left);
+  for (std::size_t n = 0; n < buffers.size(); ++n) {
+    idx += strides[n] * static_cast<std::uint64_t>(buffers[n]);
+  }
+  if (memo[idx] >= 0.0) return memo[idx];
+
+  double best = 0.0;  // idling is always available (and optimal only when empty)
+  for (std::size_t n = 0; n < buffers.size(); ++n) {
+    if (buffers[n] == 0) continue;
+    --buffers[n];
+    const double on_success = w_[n] + value(caps, buffers, slots_left - 1, memo, strides);
+    ++buffers[n];
+    const double on_failure = value(caps, buffers, slots_left - 1, memo, strides);
+    const double q = p_[n] * on_success + (1.0 - p_[n]) * on_failure;
+    if (q > best) best = q;
+  }
+  memo[idx] = best;
+  return best;
+}
+
+double IntervalMdp::optimal_value(const std::vector<int>& initial_buffers) const {
+  assert(initial_buffers.size() == p_.size());
+  std::vector<int> caps = initial_buffers;
+  std::vector<std::uint64_t> strides(p_.size());
+  std::uint64_t stride = static_cast<std::uint64_t>(slots_) + 1;
+  for (std::size_t n = 0; n < p_.size(); ++n) {
+    assert(initial_buffers[n] >= 0);
+    strides[n] = stride;
+    stride *= static_cast<std::uint64_t>(caps[n]) + 1;
+  }
+  std::vector<double> memo(stride, -1.0);
+  std::vector<int> buffers = initial_buffers;
+  return value(caps, buffers, slots_, memo, strides);
+}
+
+int IntervalMdp::optimal_action(const std::vector<int>& buffers, int slots_left) const {
+  assert(buffers.size() == p_.size());
+  assert(slots_left >= 0 && slots_left <= slots_);
+  if (slots_left == 0) return -1;
+
+  std::vector<int> caps = buffers;
+  std::vector<std::uint64_t> strides(p_.size());
+  std::uint64_t stride = static_cast<std::uint64_t>(slots_) + 1;
+  for (std::size_t n = 0; n < p_.size(); ++n) {
+    strides[n] = stride;
+    stride *= static_cast<std::uint64_t>(caps[n]) + 1;
+  }
+  std::vector<double> memo(stride, -1.0);
+  std::vector<int> state = buffers;
+
+  int best_action = -1;
+  double best = 0.0;
+  for (std::size_t n = 0; n < state.size(); ++n) {
+    if (state[n] == 0) continue;
+    --state[n];
+    const double on_success = w_[n] + value(caps, state, slots_left - 1, memo, strides);
+    ++state[n];
+    const double on_failure = value(caps, state, slots_left - 1, memo, strides);
+    const double q = p_[n] * on_success + (1.0 - p_[n]) * on_failure;
+    if (q > best + 1e-15) {
+      best = q;
+      best_action = static_cast<int>(n);
+    }
+  }
+  return best_action;
+}
+
+}  // namespace rtmac::analysis

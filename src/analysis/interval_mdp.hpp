@@ -1,0 +1,50 @@
+// Exact optimal control of one deadline interval (the Lemma 2/3 benchmark).
+//
+// Within one interval the scheduling problem is a finite-horizon MDP:
+// state = (remaining transmission slots, per-link buffer contents), action =
+// which link transmits next (or idle), reward w_n per successful delivery on
+// link n. Lemma 3 asserts that the ELDF priority ordering — a NON-adaptive
+// policy fixed at the interval start — already attains
+//     max over ALL history-dependent policies of E[sum_n w_n S_n].
+// This module computes that adaptive optimum exactly by backward induction,
+// so the claim can be checked numerically (tests + theory bench) instead of
+// taken on faith. It also exposes the optimal action, letting examples show
+// WHY greedy-by-w*p is optimal (the argmax never changes as buffers drain).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtmac::analysis {
+
+/// Finite-horizon MDP for one interval with fixed buffer contents.
+class IntervalMdp {
+ public:
+  /// `weights[n]` is the per-delivery reward w_n = f(d_n^+); `slots` the
+  /// number of transmission opportunities T.
+  IntervalMdp(ProbabilityVector success_prob, std::vector<double> weights, int slots);
+
+  /// max_pi E[sum w_n S_n] over all adaptive policies, starting from
+  /// `initial_buffers` packets per link. Exact (backward induction).
+  [[nodiscard]] double optimal_value(const std::vector<int>& initial_buffers) const;
+
+  /// The optimal first action from the given state: the link to transmit
+  /// (or -1 to idle, possible only when all buffers are empty).
+  /// `slots_left` defaults to the full horizon.
+  [[nodiscard]] int optimal_action(const std::vector<int>& buffers, int slots_left) const;
+
+  [[nodiscard]] int slots() const { return slots_; }
+
+ private:
+  [[nodiscard]] double value(const std::vector<int>& caps, std::vector<int>& buffers,
+                             int slots_left, std::vector<double>& memo,
+                             const std::vector<std::uint64_t>& strides) const;
+
+  ProbabilityVector p_;
+  std::vector<double> w_;
+  int slots_;
+};
+
+}  // namespace rtmac::analysis

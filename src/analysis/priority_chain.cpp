@@ -1,0 +1,191 @@
+#include "analysis/priority_chain.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace rtmac::analysis {
+
+PriorityChain::PriorityChain(std::vector<double> mu, double transmit_prob)
+    : mu_{std::move(mu)}, transmit_prob_{transmit_prob} {
+  assert(mu_.size() >= 2 && mu_.size() <= 7 && "exact chain intended for small N");
+  for (double m : mu_) {
+    assert(m > 0.0 && m < 1.0);
+    (void)m;
+  }
+  assert(transmit_prob_ > 0.0 && transmit_prob_ <= 1.0);
+
+  const std::size_t n = mu_.size();
+  states_ = core::Permutation::all(n);
+  const std::size_t s = states_.size();
+  matrix_.assign(s, std::vector<double>(s, 0.0));
+
+  // Eq. (9): from sigma, for each candidate pair priority m in {1..N-1},
+  // the link i at priority m moves down and the link j at priority m+1
+  // moves up with probability (1-mu_i) mu_j / (N-1) * P{R_i+R_j >= 1}.
+  for (std::size_t a = 0; a < s; ++a) {
+    const core::Permutation& sigma = states_[a];
+    double off_diagonal = 0.0;
+    for (PriorityIndex m = 1; m < n; ++m) {
+      const LinkId i = sigma.link_with_priority(m);
+      const LinkId j = sigma.link_with_priority(m + 1);
+      core::Permutation target = sigma;
+      target.swap_adjacent_priorities(m);
+      const double prob = (1.0 - mu_[i]) * mu_[j] /
+                          static_cast<double>(n - 1) * transmit_prob_;
+      matrix_[a][target.rank()] += prob;
+      off_diagonal += prob;
+    }
+    matrix_[a][a] += 1.0 - off_diagonal;
+  }
+}
+
+std::vector<double> PriorityChain::stationary_analytic() const {
+  const std::size_t n = mu_.size();
+  std::vector<double> pi(states_.size());
+  for (std::size_t a = 0; a < states_.size(); ++a) {
+    double log_w = 0.0;
+    for (LinkId link = 0; link < n; ++link) {
+      const double g = static_cast<double>(n - states_[a].priority_of(link));  // eq. (12)
+      log_w += g * std::log(mu_[link] / (1.0 - mu_[link]));
+    }
+    pi[a] = std::exp(log_w);
+  }
+  normalize(pi);
+  return pi;
+}
+
+std::vector<double> PriorityChain::stationary_numeric(int iterations, double tol) const {
+  const std::size_t s = states_.size();
+  std::vector<double> pi(s, 1.0 / static_cast<double>(s));
+  std::vector<double> next(s);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t a = 0; a < s; ++a) {
+      const double pa = pi[a];
+      if (pa == 0.0) continue;
+      for (std::size_t b = 0; b < s; ++b) {
+        if (matrix_[a][b] != 0.0) next[b] += pa * matrix_[a][b];
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t a = 0; a < s; ++a) delta = std::max(delta, std::abs(next[a] - pi[a]));
+    pi.swap(next);
+    if (delta < tol) break;
+  }
+  return pi;
+}
+
+double PriorityChain::detailed_balance_residual(const std::vector<double>& pi) const {
+  assert(pi.size() == states_.size());
+  double residual = 0.0;
+  for (std::size_t a = 0; a < states_.size(); ++a) {
+    for (std::size_t b = 0; b < states_.size(); ++b) {
+      residual = std::max(residual, std::abs(pi[a] * matrix_[a][b] - pi[b] * matrix_[b][a]));
+    }
+  }
+  return residual;
+}
+
+double PriorityChain::tv_from_start(const core::Permutation& start, int steps) const {
+  assert(start.size() == mu_.size());
+  const std::size_t s = states_.size();
+  std::vector<double> dist(s, 0.0);
+  dist[start.rank()] = 1.0;
+  std::vector<double> next(s);
+  for (int it = 0; it < steps; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t a = 0; a < s; ++a) {
+      const double pa = dist[a];
+      if (pa == 0.0) continue;
+      for (std::size_t b = 0; b < s; ++b) {
+        if (matrix_[a][b] != 0.0) next[b] += pa * matrix_[a][b];
+      }
+    }
+    dist.swap(next);
+  }
+  const std::vector<double> pi = stationary_analytic();
+  return total_variation(dist, pi);
+}
+
+double PriorityChain::second_eigenvalue_modulus(int iterations) const {
+  const std::size_t s = states_.size();
+  const std::vector<double> pi = stationary_analytic();
+
+  // Reversibility makes S = D^{1/2} X D^{-1/2} symmetric with the same
+  // spectrum as X and top eigenvector v1[i] = sqrt(pi[i]).
+  std::vector<double> sqrt_pi(s);
+  for (std::size_t i = 0; i < s; ++i) sqrt_pi[i] = std::sqrt(pi[i]);
+
+  auto apply_s = [&](const std::vector<double>& v, std::vector<double>& out) {
+    for (std::size_t i = 0; i < s; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < s; ++j) {
+        if (matrix_[i][j] != 0.0) acc += sqrt_pi[i] * matrix_[i][j] / sqrt_pi[j] * v[j];
+      }
+      out[i] = acc;
+    }
+  };
+  auto deflate_and_normalize = [&](std::vector<double>& v) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < s; ++i) dot += v[i] * sqrt_pi[i];
+    for (std::size_t i = 0; i < s; ++i) v[i] -= dot * sqrt_pi[i];
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& x : v) x /= norm;
+    }
+    return norm;
+  };
+
+  // Deterministic non-degenerate start vector.
+  std::vector<double> v(s);
+  for (std::size_t i = 0; i < s; ++i) v[i] = 1.0 + 0.37 * static_cast<double>(i % 7);
+  deflate_and_normalize(v);
+  std::vector<double> next(s);
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    apply_s(v, next);
+    v.swap(next);
+    const double norm = deflate_and_normalize(v);
+    if (it > 10 && std::abs(norm - lambda) < 1e-13) {
+      lambda = norm;
+      break;
+    }
+    lambda = norm;
+  }
+  return lambda;
+}
+
+double PriorityChain::mixing_time_bound(double eps) const {
+  const auto pi = stationary_analytic();
+  double pi_min = 1.0;
+  for (double p : pi) pi_min = std::min(pi_min, p);
+  const double slem = second_eigenvalue_modulus();
+  const double gap = 1.0 - slem;
+  assert(gap > 0.0);
+  return std::log(1.0 / (eps * pi_min)) / gap;
+}
+
+std::vector<double> dbdp_stationary_law(const core::DebtMu& formula,
+                                        const std::vector<double>& debts,
+                                        const ProbabilityVector& p) {
+  assert(debts.size() == p.size());
+  const std::size_t n = debts.size();
+  const auto states = core::Permutation::all(n);
+  std::vector<double> pi(states.size());
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    double exponent = 0.0;
+    for (LinkId link = 0; link < n; ++link) {
+      const double g = static_cast<double>(n - states[a].priority_of(link));
+      exponent += g * formula.weight(debts[link], p[link]);  // f(d^+) p
+    }
+    pi[a] = std::exp(exponent);
+  }
+  normalize(pi);
+  return pi;
+}
+
+}  // namespace rtmac::analysis

@@ -1,0 +1,72 @@
+#include "analysis/region.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rtmac::analysis {
+
+namespace {
+
+/// Largest s >= 0 with s*q on or below the segment a--b extended by its
+/// axis-aligned downward closure. Helper for both public methods.
+double scale_to_boundary(const RegionPoint& a, const RegionPoint& b, const RegionPoint& q) {
+  assert(q.q0 >= 0.0 && q.q1 >= 0.0);
+  assert(q.q0 > 0.0 || q.q1 > 0.0);
+  // The region is { (x,y) >= 0 : exists t in [0,1] with x <= a0 + t(b0-a0),
+  // y <= a1 + t(b1-a1) }. Ray r(s) = s*q exits through either the segment
+  // or one of the two rectangle edges at the extreme points.
+  // Candidate 1: cap by the best single-ordering rectangle corners.
+  double best = 0.0;
+  for (const RegionPoint& corner : {a, b}) {
+    double s = std::numeric_limits<double>::infinity();
+    if (q.q0 > 0.0) s = std::min(s, corner.q0 / q.q0);
+    if (q.q1 > 0.0) s = std::min(s, corner.q1 / q.q1);
+    best = std::max(best, s);
+  }
+  // Candidate 2: intersection with the open segment (time-sharing mixes).
+  // Solve s*q = a + t(b - a) for (s, t), keep t in [0,1], s > 0.
+  const double d0 = b.q0 - a.q0;
+  const double d1 = b.q1 - a.q1;
+  const double det = q.q0 * (-d1) - q.q1 * (-d0);
+  if (std::abs(det) > 1e-15) {
+    const double s = (a.q0 * (-d1) + a.q1 * d0) / det;
+    double t;
+    if (std::abs(d0) > std::abs(d1)) {
+      t = (s * q.q0 - a.q0) / d0;
+    } else if (std::abs(d1) > 0.0) {
+      t = (s * q.q1 - a.q1) / d1;
+    } else {
+      t = 0.0;  // degenerate segment
+    }
+    if (s > 0.0 && t >= -1e-12 && t <= 1.0 + 1e-12) best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool TwoLinkRegion::contains(const RegionPoint& q, double tol) const {
+  if (q.q0 <= tol && q.q1 <= tol) return true;
+  return scale_to_boundary(link0_first, link1_first, q) >= 1.0 - tol;
+}
+
+double TwoLinkRegion::boundary_scale(const RegionPoint& q) const {
+  return scale_to_boundary(link0_first, link1_first, q);
+}
+
+TwoLinkRegion two_link_region(const ProbabilityVector& p,
+                              const std::vector<std::vector<double>>& arrival_pmfs,
+                              int slots) {
+  assert(p.size() == 2 && arrival_pmfs.size() == 2);
+  PriorityEvaluator eval{p, slots};
+  const auto first = eval.evaluate({0, 1}, arrival_pmfs);
+  const auto second = eval.evaluate({1, 0}, arrival_pmfs);
+  return TwoLinkRegion{
+      RegionPoint{first.expected_deliveries[0], first.expected_deliveries[1]},
+      RegionPoint{second.expected_deliveries[0], second.expected_deliveries[1]},
+  };
+}
+
+}  // namespace rtmac::analysis

@@ -1,0 +1,49 @@
+// The timely-throughput feasible region (Definition 4) for two links.
+//
+// For a fully-interfering network the achievable per-interval delivery
+// vectors are exactly the downward closure of the convex hull of the
+// priority-ordering outcomes {E[S | ordering]} (Lemma 1 + Lemma 3: optimal
+// policies are priority policies, and stationary randomization time-shares
+// between orderings). With two links that hull is a single segment between
+// the "link 0 first" and "link 1 first" outcomes, so the exact frontier and
+// a membership test are closed-form given the exact evaluator.
+//
+// Used by bench/region_two_link to overlay the EXACT region boundary with
+// the empirically probed boundaries of LDF and DB-DP: feasibility
+// optimality means all three coincide (up to finite-horizon fuzz).
+#pragma once
+
+#include <vector>
+
+#include "analysis/priority_evaluator.hpp"
+#include "core/types.hpp"
+
+namespace rtmac::analysis {
+
+/// A point (q_0, q_1) in timely-throughput space.
+struct RegionPoint {
+  double q0 = 0.0;
+  double q1 = 0.0;
+};
+
+/// Exact two-link frontier: the two extreme outcomes (each link prioritized)
+/// whose connecting segment, plus its downward closure, is the region.
+struct TwoLinkRegion {
+  RegionPoint link0_first;  ///< E[S] when link 0 has priority
+  RegionPoint link1_first;  ///< E[S] when link 1 has priority
+
+  /// True iff q is inside the region (on or below the frontier segment and
+  /// the axis-aligned extensions).
+  [[nodiscard]] bool contains(const RegionPoint& q, double tol = 1e-9) const;
+
+  /// Largest s such that s*q stays inside the region (q != origin).
+  [[nodiscard]] double boundary_scale(const RegionPoint& q) const;
+};
+
+/// Computes the exact region for two links with independent per-interval
+/// arrival pmfs and `slots` transmission opportunities.
+[[nodiscard]] TwoLinkRegion two_link_region(const ProbabilityVector& p,
+                                            const std::vector<std::vector<double>>& arrival_pmfs,
+                                            int slots);
+
+}  // namespace rtmac::analysis

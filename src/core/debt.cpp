@@ -1,0 +1,43 @@
+#include "core/debt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rtmac::core {
+
+DebtTracker::DebtTracker(RateVector q) : q_{std::move(q)}, d_(q_.size(), 0.0) {
+  assert(!q_.empty());
+  for (double qn : q_) {
+    assert(qn >= 0.0 && "requirements are nonnegative");
+    (void)qn;
+  }
+}
+
+void DebtTracker::on_interval_end(const std::vector<int>& delivered) {
+  assert(delivered.size() == d_.size());
+  for (std::size_t n = 0; n < d_.size(); ++n) {
+    assert(delivered[n] >= 0);
+    d_[n] += q_[n] - static_cast<double>(delivered[n]);
+  }
+  ++k_;
+}
+
+std::vector<double> DebtTracker::debts_plus() const {
+  std::vector<double> out(d_.size());
+  for (std::size_t n = 0; n < d_.size(); ++n) out[n] = d_[n] > 0.0 ? d_[n] : 0.0;
+  return out;
+}
+
+double DebtTracker::linf() const {
+  double m = 0.0;
+  for (double x : d_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void DebtTracker::reset() {
+  std::fill(d_.begin(), d_.end(), 0.0);
+  k_ = 0;
+}
+
+}  // namespace rtmac::core

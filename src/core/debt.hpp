@@ -1,0 +1,52 @@
+// Delivery debt — the virtual queue driving both ELDF and DB-DP.
+//
+// The paper's eq. (1): d_n(k+1) = d_n(k) - S_n(k) + q_n with d_n(0) = 0,
+// equivalently d_n(k) = k*q_n - sum_{j<k} S_n(j). Debt measures how far a
+// link's empirical timely-throughput lags its requirement; policies weight
+// links by f(d^+) where (.)^+ is the positive part.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtmac::core {
+
+/// Tracks the delivery-debt vector d(k) across intervals.
+class DebtTracker {
+ public:
+  /// `q[n]` is link n's required timely-throughput (packets per interval).
+  explicit DebtTracker(RateVector q);
+
+  /// Applies eq. (1) once: advances from interval k to k+1 given the number
+  /// of on-time deliveries S(k). Precondition: delivered.size() == size().
+  void on_interval_end(const std::vector<int>& delivered);
+
+  /// Current debt of link n (may be negative when ahead of requirement).
+  [[nodiscard]] double debt(LinkId n) const { return d_[n]; }
+  /// Positive part d_n^+ used by all debt-weighted policies.
+  [[nodiscard]] double debt_plus(LinkId n) const { return d_[n] > 0.0 ? d_[n] : 0.0; }
+
+  [[nodiscard]] const std::vector<double>& debts() const { return d_; }
+  [[nodiscard]] std::vector<double> debts_plus() const;
+
+  [[nodiscard]] double requirement(LinkId n) const { return q_[n]; }
+  [[nodiscard]] const RateVector& requirements() const { return q_; }
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] IntervalIndex intervals_elapsed() const { return k_; }
+
+  /// L-infinity norm ||d(k)||_inf (the Lyapunov-drift trigger in Lemma 2).
+  [[nodiscard]] double linf() const;
+
+  /// Resets to d(0) = 0.
+  void reset();
+
+ private:
+  RateVector q_;
+  std::vector<double> d_;
+  IntervalIndex k_ = 0;
+};
+
+}  // namespace rtmac::core

@@ -1,0 +1,64 @@
+#include "core/influence.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rtmac::core {
+
+Influence Influence::identity() {
+  return Influence{"identity", [](double x) { return x; }};
+}
+
+Influence Influence::power(double m) {
+  assert(m >= 0.0);
+  char name[32];
+  std::snprintf(name, sizeof name, "x^%g", m);
+  return Influence{name, [m](double x) { return std::pow(x, m); }};
+}
+
+Influence Influence::log(double base) {
+  assert(base > 1.0);
+  char name[32];
+  std::snprintf(name, sizeof name, "log_%g(1+x)", base);
+  const double inv_ln_base = 1.0 / std::log(base);
+  return Influence{name, [inv_ln_base](double x) { return std::log1p(x) * inv_ln_base; }};
+}
+
+Influence Influence::paper_log(double scale) {
+  assert(scale > 0.0);
+  char name[48];
+  std::snprintf(name, sizeof name, "ln(max{1,%g(x+1)})", scale);
+  return Influence{name, [scale](double x) {
+                     const double arg = scale * (x + 1.0);
+                     return arg > 1.0 ? std::log(arg) : 0.0;
+                   }};
+}
+
+InfluenceAxiomReport check_influence_axioms(const Influence& f, double x_max, double c,
+                                            double eps) {
+  InfluenceAxiomReport report;
+  double prev = f(0.0);
+  if (prev < 0.0) report.nonnegative = false;
+  // Geometric grid from 1e-3 to x_max.
+  for (double x = 1e-3; x <= x_max; x *= 1.25) {
+    const double v = f(x);
+    if (v < 0.0) report.nonnegative = false;
+    if (v + 1e-12 < prev) report.nondecreasing = false;
+    prev = v;
+    // Shift-insensitivity checked on the top decade of the grid.
+    if (x >= x_max / 10.0) {
+      const double base = f(x);
+      if (base > 0.0) {
+        const double ratio = f(x + c) / base;
+        if (std::abs(ratio - 1.0) > eps) report.shift_insensitive = false;
+      }
+    }
+  }
+  // Divergence proxy: the function must keep growing past its value at the
+  // grid midpoint by a nontrivial margin.
+  report.diverges = f(x_max) > f(std::sqrt(x_max)) + 1e-9;
+  return report;
+}
+
+}  // namespace rtmac::core

@@ -1,0 +1,61 @@
+// Debt influence functions (the paper's Definition 6).
+//
+// A debt influence function f: R>=0 -> R>=0 is nondecreasing, continuous,
+// diverges at infinity, and is "asymptotically shift-insensitive":
+// f(x+c)/f(x) -> 1 for every finite c. Powers x^m and logarithms qualify;
+// exponentials do not. ELDF sorts links by f(d^+) * p; DB-DP feeds f(d^+) * p
+// into the Glauber-style coin bias of eq. (14).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace rtmac::core {
+
+/// Value type wrapping one debt influence function with a display name.
+class Influence {
+ public:
+  using Fn = std::function<double(double)>;
+
+  Influence(std::string name, Fn fn) : name_{std::move(name)}, fn_{std::move(fn)} {}
+
+  /// f(x) = x — recovers plain LDF when used with ELDF.
+  [[nodiscard]] static Influence identity();
+  /// f(x) = x^m, m >= 0.
+  [[nodiscard]] static Influence power(double m);
+  /// f(x) = log_base(1 + x), base > 1 (shifted so f(0) = 0 stays in range).
+  [[nodiscard]] static Influence log(double base);
+  /// The paper's simulation choice: f(x) = ln(max{1, scale*(x+1)}) with
+  /// scale = 100 (Section VI).
+  [[nodiscard]] static Influence paper_log(double scale = 100.0);
+
+  [[nodiscard]] double operator()(double x) const { return fn_(x); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// Diagnostic report from checking Definition 6 on a sample grid.
+struct InfluenceAxiomReport {
+  bool nondecreasing = true;      ///< f(x) <= f(y) for sampled x <= y
+  bool nonnegative = true;        ///< f(x) >= 0 on the grid
+  bool diverges = true;           ///< f(x_hi) exceeds any fixed bound proxy
+  bool shift_insensitive = true;  ///< |f(x+c)/f(x) - 1| <= eps for large x
+  [[nodiscard]] bool all() const {
+    return nondecreasing && nonnegative && diverges && shift_insensitive;
+  }
+};
+
+/// Empirically checks the Definition-6 axioms on a geometric grid reaching
+/// `x_max`, with shift constant `c` and ratio tolerance `eps` applied at the
+/// top decade of the grid. Used by tests; a pass is strong evidence, not a
+/// proof.
+[[nodiscard]] InfluenceAxiomReport check_influence_axioms(const Influence& f,
+                                                          double x_max = 1e9,
+                                                          double c = 10.0,
+                                                          double eps = 1e-3);
+
+}  // namespace rtmac::core

@@ -1,0 +1,27 @@
+#include "core/mu.hpp"
+
+#include <cassert>
+
+namespace rtmac::core {
+
+DebtMu::DebtMu(Influence influence, double r) : f_{std::move(influence)}, r_{r} {
+  assert(r > 0.0);
+}
+
+double DebtMu::weight(double debt, double p) const {
+  const double d_plus = debt > 0.0 ? debt : 0.0;
+  return f_(d_plus) * p;
+}
+
+double DebtMu::mu(double debt, double p) const {
+  // exp(w)/(R+exp(w)) computed as 1/(1 + R*exp(-w)) to stay finite for
+  // arbitrarily large debts.
+  const double w = weight(debt, p);
+  return 1.0 / (1.0 + r_ * std::exp(-w));
+}
+
+double DebtMu::odds(double debt, double p) const {
+  return std::exp(weight(debt, p)) / r_;
+}
+
+}  // namespace rtmac::core

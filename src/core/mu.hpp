@@ -1,0 +1,43 @@
+// The Glauber-style coin bias of DB-DP (the paper's eq. 14).
+//
+//   mu_n(k) = exp(f(d_n^+(k)) p_n) / (R + exp(f(d_n^+(k)) p_n))
+//
+// mu_n is the probability that link n "tends to move up" in the randomized
+// reordering step; it increases with debt, so lagging links climb the
+// priority ladder. R > 0 is a damping constant (paper uses R = 10). The
+// log-odds identity mu/(1-mu) = exp(f(d^+)p)/R is what makes the stationary
+// law of the priority chain concentrate on ELDF-like orderings (eq. 15).
+#pragma once
+
+#include <cmath>
+
+#include "core/influence.hpp"
+
+namespace rtmac::core {
+
+/// Computes eq. (14) coin biases from (debt, reliability) pairs.
+class DebtMu {
+ public:
+  /// Precondition: r > 0.
+  DebtMu(Influence influence, double r);
+
+  /// mu for one link given its current debt d_n(k) and reliability p_n.
+  [[nodiscard]] double mu(double debt, double p) const;
+
+  /// Odds mu/(1-mu) = exp(f(d^+)p)/R; exposed because the stationary law
+  /// (eq. 10) is a product of these odds raised to g(sigma_n).
+  [[nodiscard]] double odds(double debt, double p) const;
+
+  /// The ELDF sort key f(d^+) * p from eq. (4); shared here so centralized
+  /// and decentralized policies provably weight links identically.
+  [[nodiscard]] double weight(double debt, double p) const;
+
+  [[nodiscard]] const Influence& influence() const { return f_; }
+  [[nodiscard]] double r() const { return r_; }
+
+ private:
+  Influence f_;
+  double r_;
+};
+
+}  // namespace rtmac::core

@@ -1,0 +1,156 @@
+#include "core/permutation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "util/math.hpp"
+
+namespace rtmac::core {
+
+Permutation Permutation::identity(std::size_t n) {
+  std::vector<PriorityIndex> sigma(n);
+  for (std::size_t i = 0; i < n; ++i) sigma[i] = static_cast<PriorityIndex>(i + 1);
+  return Permutation{std::move(sigma)};
+}
+
+Permutation Permutation::from_priorities(std::vector<PriorityIndex> sigma) {
+  Permutation p{std::move(sigma)};
+  assert(p.valid() && "not a bijection onto {1..N}");
+  return p;
+}
+
+Permutation Permutation::from_ordering(const std::vector<LinkId>& order) {
+  std::vector<PriorityIndex> sigma(order.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    assert(order[pos] < order.size());
+    sigma[order[pos]] = static_cast<PriorityIndex>(pos + 1);
+  }
+  return from_priorities(std::move(sigma));
+}
+
+Permutation Permutation::random(std::size_t n, Rng& rng) {
+  std::vector<PriorityIndex> sigma(n);
+  for (std::size_t i = 0; i < n; ++i) sigma[i] = static_cast<PriorityIndex>(i + 1);
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(sigma[i - 1], sigma[j]);
+  }
+  return Permutation{std::move(sigma)};
+}
+
+LinkId Permutation::link_with_priority(PriorityIndex m) const {
+  assert(m >= 1 && m <= sigma_.size());
+  for (std::size_t n = 0; n < sigma_.size(); ++n) {
+    if (sigma_[n] == m) return static_cast<LinkId>(n);
+  }
+  assert(false && "invalid permutation");
+  return 0;
+}
+
+std::vector<LinkId> Permutation::ordering() const {
+  std::vector<LinkId> order(sigma_.size());
+  for (std::size_t n = 0; n < sigma_.size(); ++n) {
+    order[sigma_[n] - 1] = static_cast<LinkId>(n);
+  }
+  return order;
+}
+
+void Permutation::swap_adjacent_priorities(PriorityIndex m) {
+  assert(m >= 1 && m < sigma_.size());
+  const LinkId a = link_with_priority(m);
+  const LinkId b = link_with_priority(m + 1);
+  std::swap(sigma_[a], sigma_[b]);
+}
+
+std::vector<LinkId> Permutation::symmetric_difference(const Permutation& other) const {
+  assert(size() == other.size());
+  std::vector<LinkId> diff;
+  for (std::size_t n = 0; n < sigma_.size(); ++n) {
+    if (sigma_[n] != other.sigma_[n]) diff.push_back(static_cast<LinkId>(n));
+  }
+  return diff;
+}
+
+bool Permutation::is_adjacent_transposition_of(const Permutation& other,
+                                               PriorityIndex* m_out) const {
+  if (size() != other.size()) return false;
+  const auto diff = symmetric_difference(other);
+  if (diff.size() != 2) return false;
+  const LinkId i = diff[0];
+  const LinkId j = diff[1];
+  // The two links must have exchanged priority values, and those values must
+  // be consecutive.
+  if (sigma_[i] != other.sigma_[j] || sigma_[j] != other.sigma_[i]) return false;
+  const PriorityIndex lo = std::min(sigma_[i], sigma_[j]);
+  const PriorityIndex hi = std::max(sigma_[i], sigma_[j]);
+  if (hi != lo + 1) return false;
+  if (m_out != nullptr) *m_out = lo;
+  return true;
+}
+
+std::uint64_t Permutation::rank() const {
+  // Lehmer code over the priority sequence sigma_[0..N-1].
+  const std::size_t n = sigma_.size();
+  std::uint64_t rank = 0;
+  std::uint64_t fact = 1;
+  for (std::size_t i = 2; i <= n; ++i) fact *= i;  // n!
+  for (std::size_t i = 0; i < n; ++i) {
+    fact /= (n - i);
+    std::uint64_t smaller_later = 0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (sigma_[j] < sigma_[i]) ++smaller_later;
+    }
+    rank += smaller_later * fact;
+  }
+  return rank;
+}
+
+Permutation Permutation::unrank(std::size_t n, std::uint64_t rank) {
+  std::uint64_t fact = 1;
+  for (std::size_t i = 2; i <= n; ++i) fact *= i;
+  assert(rank < fact);
+  std::vector<PriorityIndex> available(n);
+  for (std::size_t i = 0; i < n; ++i) available[i] = static_cast<PriorityIndex>(i + 1);
+  std::vector<PriorityIndex> sigma;
+  sigma.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fact /= (n - i);
+    const auto idx = static_cast<std::size_t>(rank / fact);
+    rank %= fact;
+    sigma.push_back(available[idx]);
+    available.erase(available.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return Permutation{std::move(sigma)};
+}
+
+std::vector<Permutation> Permutation::all(std::size_t n) {
+  assert(n <= 8 && "N! blowup: exact enumeration intended for small N");
+  std::uint64_t fact = 1;
+  for (std::size_t i = 2; i <= n; ++i) fact *= i;
+  std::vector<Permutation> perms;
+  perms.reserve(fact);
+  for (std::uint64_t r = 0; r < fact; ++r) perms.push_back(unrank(n, r));
+  return perms;
+}
+
+bool Permutation::valid() const {
+  std::vector<bool> seen(sigma_.size(), false);
+  for (PriorityIndex pr : sigma_) {
+    if (pr < 1 || pr > sigma_.size() || seen[pr - 1]) return false;
+    seen[pr - 1] = true;
+  }
+  return true;
+}
+
+std::string Permutation::to_string() const {
+  std::string out = "[";
+  for (std::size_t n = 0; n < sigma_.size(); ++n) {
+    if (n > 0) out += ",";
+    out += std::to_string(sigma_[n]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rtmac::core

@@ -1,0 +1,79 @@
+// Transmission-priority permutations (the paper's Definitions 7-9).
+//
+// A Permutation assigns each link a unique priority index in {1..N}
+// (1 = transmits first). The DP protocol's reordering Markov chain moves
+// between permutations by adjacent transpositions — swapping the links that
+// hold priorities m and m+1. Lehmer ranking provides a dense index over the
+// N! states for the exact chain analysis at small N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::core {
+
+/// sigma: link -> priority, stored as sigma_[link] = priority (1-based).
+class Permutation {
+ public:
+  /// Identity: link n gets priority n+1.
+  [[nodiscard]] static Permutation identity(std::size_t n);
+
+  /// From an explicit link->priority map (validated in debug builds).
+  [[nodiscard]] static Permutation from_priorities(std::vector<PriorityIndex> sigma);
+
+  /// From a transmission order: order[0] is the link with priority 1.
+  [[nodiscard]] static Permutation from_ordering(const std::vector<LinkId>& order);
+
+  /// Uniformly random permutation (Fisher-Yates).
+  [[nodiscard]] static Permutation random(std::size_t n, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return sigma_.size(); }
+
+  /// Priority of link `n` (1-based; 1 = first to transmit).
+  [[nodiscard]] PriorityIndex priority_of(LinkId n) const { return sigma_[n]; }
+
+  /// Link holding priority `m`. Precondition: 1 <= m <= size().
+  [[nodiscard]] LinkId link_with_priority(PriorityIndex m) const;
+
+  /// Links in transmission order (priority 1 first).
+  [[nodiscard]] std::vector<LinkId> ordering() const;
+
+  /// Swaps the links holding priorities m and m+1 (adjacent transposition
+  /// in the paper's sense). Precondition: 1 <= m < size().
+  void swap_adjacent_priorities(PriorityIndex m);
+
+  /// The paper's Definition 9: set of links whose priorities differ.
+  [[nodiscard]] std::vector<LinkId> symmetric_difference(const Permutation& other) const;
+
+  /// True iff `other` differs from *this by exactly one adjacent
+  /// transposition; if so, `*m_out` (when non-null) receives the lower of
+  /// the two swapped priority values.
+  [[nodiscard]] bool is_adjacent_transposition_of(const Permutation& other,
+                                                  PriorityIndex* m_out = nullptr) const;
+
+  /// Dense index in [0, N!) via the Lehmer code of the priority sequence.
+  [[nodiscard]] std::uint64_t rank() const;
+  /// Inverse of rank(). Precondition: rank < N!.
+  [[nodiscard]] static Permutation unrank(std::size_t n, std::uint64_t rank);
+
+  /// All N! permutations of size n, in rank order. Intended for n <= 8.
+  [[nodiscard]] static std::vector<Permutation> all(std::size_t n);
+
+  bool operator==(const Permutation&) const = default;
+
+  /// Debug validation: bijective map onto {1..N}.
+  [[nodiscard]] bool valid() const;
+
+  /// e.g. "[2,1,4,3]" — priority of link 0 first (paper vector form).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit Permutation(std::vector<PriorityIndex> sigma) : sigma_{std::move(sigma)} {}
+  std::vector<PriorityIndex> sigma_;
+};
+
+}  // namespace rtmac::core

@@ -1,0 +1,40 @@
+// Timely-throughput requirements (Section II-C).
+//
+// Each link needs q_n delivered packets per interval on average; with
+// arrival rate lambda_n this is expressed as a delivery ratio
+// rho_n = q_n / lambda_n. This header holds the bookkeeping plus quick
+// necessary-condition checks used to sanity-scope experiment sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtmac::core {
+
+/// Per-link timely-throughput requirement specification.
+struct Requirements {
+  RateVector lambda;  ///< mean arrivals per interval, lambda_n
+  RateVector rho;     ///< required delivery ratio, rho_n in [0, 1]
+
+  /// q_n = rho_n * lambda_n (Definition: timely-throughput requirement).
+  [[nodiscard]] RateVector q() const;
+
+  [[nodiscard]] std::size_t size() const { return lambda.size(); }
+
+  /// Uniform requirements for a symmetric network.
+  [[nodiscard]] static Requirements symmetric(std::size_t n, double lambda_each, double rho_each);
+};
+
+/// Necessary (not sufficient) feasibility check: each delivery on link n
+/// costs 1/p_n transmissions in expectation, and at most
+/// `transmissions_per_interval` transmissions fit into one interval, so
+///     sum_n q_n / p_n <= transmissions_per_interval
+/// must hold for q to be feasible. Returns the utilization ratio
+/// (sum_n q_n/p_n) / transmissions_per_interval; values > 1 are provably
+/// infeasible.
+[[nodiscard]] double workload_utilization(const RateVector& q, const ProbabilityVector& p,
+                                          std::int64_t transmissions_per_interval);
+
+}  // namespace rtmac::core

@@ -1,0 +1,25 @@
+// Fundamental identifiers and small value types shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rtmac {
+
+/// Index of a directed link in the network, 0-based. The paper's link set
+/// N = {1..N} maps to {0..N-1} here.
+using LinkId = std::uint32_t;
+
+/// Index of a deadline interval (the paper's k). Intervals partition time
+/// into [kT, (k+1)T).
+using IntervalIndex = std::uint64_t;
+
+/// Priority index of a link within an interval: 1 = highest priority
+/// (transmits first), N = lowest. Matches the paper's sigma_n(k) range.
+using PriorityIndex = std::uint32_t;
+
+/// Per-link vector aliases used pervasively.
+using ProbabilityVector = std::vector<double>;  // e.g. p = [p_n]
+using RateVector = std::vector<double>;         // e.g. lambda, q
+
+}  // namespace rtmac

@@ -1,0 +1,80 @@
+#include "expfw/report.hpp"
+
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace rtmac::expfw {
+
+namespace {
+
+std::vector<std::string> series_columns(const std::vector<SweepResult>& results) {
+  std::vector<std::string> cols;
+  for (const auto& r : results) {
+    for (const auto& metric : r.metric_names) {
+      cols.push_back(r.metric_names.size() == 1 ? r.scheme : r.scheme + ":" + metric);
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+void print_figure_banner(std::ostream& out, const std::string& figure_id,
+                         const std::string& description, const std::string& expected_shape) {
+  out << "\n=== " << figure_id << " — " << description << " ===\n";
+  out << "paper shape: " << expected_shape << "\n\n";
+}
+
+void print_sweep_table(std::ostream& out, const std::string& x_name,
+                       const std::vector<SweepResult>& results) {
+  assert(!results.empty());
+  std::vector<std::string> cols{x_name};
+  for (auto& c : series_columns(results)) cols.push_back(std::move(c));
+  TablePrinter table{std::move(cols)};
+
+  const std::size_t rows = results.front().xs.size();
+  for (const auto& r : results) {
+    assert(r.xs == results.front().xs && "sweeps must share the grid");
+    (void)r;
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row{TablePrinter::num(results.front().xs[i], 3)};
+    for (const auto& r : results) {
+      for (double v : r.values[i]) row.push_back(TablePrinter::num(v, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+bool write_sweep_csv(const std::string& path, const std::string& x_name,
+                     const std::vector<SweepResult>& results) {
+  std::ofstream file{path};
+  if (!file) return false;
+  CsvWriter csv{file};
+  std::vector<std::string> cols{x_name};
+  for (auto& c : series_columns(results)) cols.push_back(std::move(c));
+  csv.header(cols);
+  const std::size_t rows = results.front().xs.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    csv.field(results.front().xs[i]);
+    for (const auto& r : results) {
+      for (double v : r.values[i]) csv.field(v);
+    }
+    csv.end_row();
+  }
+  return true;
+}
+
+std::string bench_output_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace rtmac::expfw

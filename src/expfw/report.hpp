@@ -1,0 +1,33 @@
+// Figure regeneration output: aligned console tables + CSV series.
+//
+// Every bench prints one table per paper figure: the grid variable in the
+// first column and one column per (scheme, metric) pair — the same series
+// the paper plots. An optional CSV dump (under bench_out/) makes the series
+// easy to re-plot.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "expfw/runner.hpp"
+
+namespace rtmac::expfw {
+
+/// Prints a figure header with the paper reference and expected shape.
+void print_figure_banner(std::ostream& out, const std::string& figure_id,
+                         const std::string& description, const std::string& expected_shape);
+
+/// Renders sweep results side by side. All results must share the grid.
+void print_sweep_table(std::ostream& out, const std::string& x_name,
+                       const std::vector<SweepResult>& results);
+
+/// Writes the same data as CSV to `path` (directories must exist).
+/// Returns false (and prints a warning) if the file cannot be opened.
+bool write_sweep_csv(const std::string& path, const std::string& x_name,
+                     const std::vector<SweepResult>& results);
+
+/// Ensures the bench output directory exists; returns its path.
+[[nodiscard]] std::string bench_output_dir();
+
+}  // namespace rtmac::expfw

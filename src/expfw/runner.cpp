@@ -1,0 +1,56 @@
+#include "expfw/runner.hpp"
+
+#include <cassert>
+
+#include "stats/deficiency.hpp"
+
+namespace rtmac::expfw {
+
+MetricFn total_deficiency_metric() {
+  return [](const net::Network& network) {
+    return std::vector<double>{stats::total_deficiency(network.stats(),
+                                                       network.config().requirements.q())};
+  };
+}
+
+MetricFn group_deficiency_metric(std::vector<std::vector<LinkId>> groups) {
+  return [groups = std::move(groups)](const net::Network& network) {
+    std::vector<double> out;
+    out.reserve(groups.size());
+    for (const auto& group : groups) {
+      out.push_back(stats::group_deficiency(network.stats(),
+                                            network.config().requirements.q(), group));
+    }
+    return out;
+  };
+}
+
+SweepResult run_sweep(const std::string& scheme_name, const mac::SchemeFactory& scheme,
+                      const ConfigAt& config_at, const std::vector<double>& grid,
+                      IntervalIndex intervals, const MetricFn& metric,
+                      std::vector<std::string> metric_names) {
+  SweepResult result;
+  result.scheme = scheme_name;
+  result.metric_names = std::move(metric_names);
+  result.xs = grid;
+  result.values.reserve(grid.size());
+  for (double x : grid) {
+    net::Network network{config_at(x), scheme};
+    network.run(intervals);
+    std::vector<double> v = metric(network);
+    assert(v.size() == result.metric_names.size());
+    result.values.push_back(std::move(v));
+  }
+  return result;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t points) {
+  assert(points >= 2);
+  std::vector<double> xs(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  return xs;
+}
+
+}  // namespace rtmac::expfw

@@ -1,0 +1,44 @@
+// Sweep execution: run schemes across parameter grids and collect metrics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mac/link_mac.hpp"
+#include "net/network.hpp"
+#include "net/network_config.hpp"
+
+namespace rtmac::expfw {
+
+/// Builds the network config for one sweep point (x = alpha*, rho, ...).
+using ConfigAt = std::function<net::NetworkConfig(double x)>;
+
+/// Extracts one or more metric values from a finished run. The default
+/// metric everywhere is total timely-throughput deficiency.
+using MetricFn = std::function<std::vector<double>(const net::Network&)>;
+
+/// Result of sweeping one scheme over a grid.
+struct SweepResult {
+  std::string scheme;
+  std::vector<std::string> metric_names;   ///< one per metric column
+  std::vector<double> xs;                  ///< grid
+  std::vector<std::vector<double>> values; ///< values[i][m] at xs[i]
+};
+
+/// The standard metric: { total deficiency } (Definition 1).
+[[nodiscard]] MetricFn total_deficiency_metric();
+
+/// Group-wise deficiency metric for the asymmetric experiments.
+[[nodiscard]] MetricFn group_deficiency_metric(std::vector<std::vector<LinkId>> groups);
+
+/// Runs `scheme` at every grid point for `intervals` deadline intervals.
+[[nodiscard]] SweepResult run_sweep(const std::string& scheme_name,
+                                    const mac::SchemeFactory& scheme, const ConfigAt& config_at,
+                                    const std::vector<double>& grid, IntervalIndex intervals,
+                                    const MetricFn& metric, std::vector<std::string> metric_names);
+
+/// Evenly spaced grid [lo, hi] with `points` points (inclusive).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t points);
+
+}  // namespace rtmac::expfw

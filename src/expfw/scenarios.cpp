@@ -1,0 +1,155 @@
+#include "expfw/scenarios.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "mac/centralized_scheduler.hpp"
+#include "mac/priority_provider.hpp"
+#include "mac/reliability_estimator.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace rtmac::expfw {
+
+core::Influence paper_influence() { return core::Influence::paper_log(100.0); }
+
+net::NetworkConfig video_symmetric(double alpha, double rho, std::uint64_t seed) {
+  return net::symmetric_network(VideoScenario::kNumLinks, VideoScenario::deadline(),
+                                phy::PhyParams::video_80211a(), VideoScenario::kReliability,
+                                traffic::UniformBurstyArrivals{alpha}, rho, seed);
+}
+
+net::NetworkConfig video_asymmetric(double alpha_star, double rho, std::uint64_t seed) {
+  constexpr std::size_t kGroupSize = 10;
+  net::NetworkConfig cfg;
+  cfg.interval_length = VideoScenario::deadline();
+  cfg.phy = phy::PhyParams::video_80211a();
+  cfg.seed = seed;
+  for (std::size_t n = 0; n < 2 * kGroupSize; ++n) {
+    const bool group1 = n < kGroupSize;
+    const double p = group1 ? 0.5 : 0.8;
+    const double alpha = group1 ? 0.5 * alpha_star : alpha_star;
+    cfg.success_prob.push_back(p);
+    cfg.arrivals.push_back(std::make_unique<traffic::UniformBurstyArrivals>(alpha));
+    cfg.requirements.lambda.push_back(cfg.arrivals.back()->mean());
+    cfg.requirements.rho.push_back(rho);
+  }
+  return cfg;
+}
+
+std::vector<LinkId> asymmetric_group(int group) {
+  assert(group == 1 || group == 2);
+  std::vector<LinkId> links;
+  for (LinkId n = 0; n < 10; ++n) links.push_back(group == 1 ? n : n + 10);
+  return links;
+}
+
+net::NetworkConfig control_symmetric(double lambda, double rho, std::uint64_t seed) {
+  return net::symmetric_network(ControlScenario::kNumLinks, ControlScenario::deadline(),
+                                phy::PhyParams::control_80211a(),
+                                ControlScenario::kReliability,
+                                traffic::BernoulliArrivals{lambda}, rho, seed);
+}
+
+namespace {
+
+mac::DpLinkParams dp_params_from(const mac::SchemeContext& ctx, bool reordering,
+                                 int max_swap_pairs = 1) {
+  return mac::DpLinkParams{
+      .data_airtime = ctx.phy.data_airtime,
+      .empty_airtime = ctx.phy.empty_airtime,
+      .backoff_slot = ctx.phy.backoff_slot,
+      .reordering = reordering,
+      .max_swap_pairs = max_swap_pairs,
+  };
+}
+
+}  // namespace
+
+mac::SchemeFactory dbdp_factory() { return dbdp_factory(paper_influence(), kPaperR); }
+
+mac::SchemeFactory dbdp_factory(core::Influence influence, double r) {
+  return [influence = std::move(influence), r](const mac::SchemeContext& ctx) {
+    auto provider = std::make_unique<mac::DebtMuProvider>(
+        core::DebtMu{influence, r}, ctx.debts, ctx.success_prob);
+    return std::make_unique<mac::DpScheme>(ctx, std::move(provider),
+                                           dp_params_from(ctx, /*reordering=*/true), "DB-DP");
+  };
+}
+
+mac::SchemeFactory dbdp_multipair_factory(int max_swap_pairs) {
+  return [max_swap_pairs](const mac::SchemeContext& ctx) {
+    auto provider = std::make_unique<mac::DebtMuProvider>(
+        core::DebtMu{paper_influence(), kPaperR}, ctx.debts, ctx.success_prob);
+    return std::make_unique<mac::DpScheme>(
+        ctx, std::move(provider), dp_params_from(ctx, /*reordering=*/true, max_swap_pairs),
+        "DB-DP(x" + std::to_string(max_swap_pairs) + ")");
+  };
+}
+
+mac::SchemeFactory dbdp_estimated_p_factory(double initial_estimate) {
+  return [initial_estimate](const mac::SchemeContext& ctx) {
+    auto provider = std::make_unique<mac::EstimatedMuProvider>(
+        core::DebtMu{paper_influence(), kPaperR}, ctx.debts, ctx.num_links,
+        initial_estimate);
+    mac::ReliabilityEstimator* estimator = &provider->estimator();
+    return std::make_unique<mac::DpScheme>(ctx, std::move(provider),
+                                           dp_params_from(ctx, /*reordering=*/true),
+                                           "DB-DP(learned-p)", std::nullopt, estimator);
+  };
+}
+
+mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu) {
+  return dp_fixed_mu_factory(std::move(mu), 1);
+}
+
+mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu, int max_swap_pairs) {
+  return [mu = std::move(mu), max_swap_pairs](const mac::SchemeContext& ctx) {
+    assert(mu.size() == ctx.num_links);
+    auto provider = std::make_unique<mac::FixedMuProvider>(mu);
+    return std::make_unique<mac::DpScheme>(
+        ctx, std::move(provider), dp_params_from(ctx, /*reordering=*/true, max_swap_pairs),
+        "DP(fixed-mu)");
+  };
+}
+
+mac::SchemeFactory dp_static_priority_factory() {
+  return [](const mac::SchemeContext& ctx) {
+    // Coin biases are irrelevant with reordering disabled, but the provider
+    // contract requires values strictly inside (0, 1).
+    auto provider =
+        std::make_unique<mac::FixedMuProvider>(std::vector<double>(ctx.num_links, 0.5));
+    return std::make_unique<mac::DpScheme>(ctx, std::move(provider),
+                                           dp_params_from(ctx, /*reordering=*/false),
+                                           "DP(static)");
+  };
+}
+
+mac::SchemeFactory ldf_factory() {
+  return [](const mac::SchemeContext& ctx) {
+    return std::make_unique<mac::CentralizedScheme>(
+        ctx, mac::CentralizedParams{core::Influence::identity()}, "LDF");
+  };
+}
+
+mac::SchemeFactory eldf_factory(core::Influence influence) {
+  return [influence = std::move(influence)](const mac::SchemeContext& ctx) {
+    return std::make_unique<mac::CentralizedScheme>(ctx, mac::CentralizedParams{influence},
+                                                    "ELDF(" + influence.name() + ")");
+  };
+}
+
+mac::SchemeFactory fcsma_factory() { return fcsma_factory(mac::FcsmaParams{}); }
+
+mac::SchemeFactory fcsma_factory(mac::FcsmaParams params) {
+  return [params = std::move(params)](const mac::SchemeContext& ctx) {
+    return std::make_unique<mac::FcsmaScheme>(ctx, params, "FCSMA");
+  };
+}
+
+mac::SchemeFactory dcf_factory() {
+  return [](const mac::SchemeContext& ctx) {
+    return std::make_unique<mac::DcfScheme>(ctx, mac::DcfParams{}, "DCF");
+  };
+}
+
+}  // namespace rtmac::expfw

@@ -1,0 +1,103 @@
+// The paper's Section VI scenarios and scheme factories, in one place.
+//
+// Every bench and example builds its networks through these helpers so the
+// constants (20 links / 20 ms / p=0.7 / ... ) exist exactly once and match
+// the paper. See DESIGN.md section 4 for the experiment index.
+#pragma once
+
+#include <cstdint>
+
+#include "core/influence.hpp"
+#include "mac/dcf_mac.hpp"
+#include "mac/dp_link_mac.hpp"
+#include "mac/fcsma_mac.hpp"
+#include "mac/link_mac.hpp"
+#include "net/network_config.hpp"
+
+namespace rtmac::expfw {
+
+// ---- Paper constants (Section VI) ------------------------------------------
+
+/// Video delivery (VI-A): 20 links, 1500 B / 330 us, deadline 20 ms
+/// (up to 60 transmissions per interval), p* = 0.7, 5000 intervals.
+struct VideoScenario {
+  static constexpr std::size_t kNumLinks = 20;
+  static constexpr double kReliability = 0.7;
+  static constexpr IntervalIndex kIntervals = 5000;
+  [[nodiscard]] static Duration deadline() { return Duration::milliseconds(20); }
+};
+
+/// Control delivery (VI-B): 10 links, 100 B / 120 us, deadline 2 ms
+/// (16 transmissions per interval), p* = 0.7, rho = 0.99, 20000 intervals.
+struct ControlScenario {
+  static constexpr std::size_t kNumLinks = 10;
+  static constexpr double kReliability = 0.7;
+  static constexpr IntervalIndex kIntervals = 20000;
+  [[nodiscard]] static Duration deadline() { return Duration::milliseconds(2); }
+};
+
+/// DB-DP parameters used throughout Section VI:
+/// f(x) = log(max{1, 100(x+1)}), R = 10.
+[[nodiscard]] core::Influence paper_influence();
+inline constexpr double kPaperR = 10.0;
+
+// ---- Network builders -------------------------------------------------------
+
+/// Fig. 3/4/5/6 network: fully symmetric, bursty video arrivals
+/// (U{1..6} w.p. alpha), reliability 0.7, delivery ratio rho.
+[[nodiscard]] net::NetworkConfig video_symmetric(double alpha, double rho, std::uint64_t seed);
+
+/// Fig. 7/8 network: 20 links in two groups of 10.
+/// Group 1 (links 0-9): p = 0.5, alpha = 0.5 * alpha_star.
+/// Group 2 (links 10-19): p = 0.8, alpha = alpha_star. Both need ratio rho.
+[[nodiscard]] net::NetworkConfig video_asymmetric(double alpha_star, double rho,
+                                                  std::uint64_t seed);
+
+/// Link ids of the two asymmetric groups.
+[[nodiscard]] std::vector<LinkId> asymmetric_group(int group);
+
+/// Fig. 9/10 network: 10 links, Bernoulli(lambda) arrivals, deadline 2 ms.
+[[nodiscard]] net::NetworkConfig control_symmetric(double lambda, double rho,
+                                                   std::uint64_t seed);
+
+// ---- Scheme factories -------------------------------------------------------
+
+/// DB-DP: Algorithm 2 + eq. (14) with the paper's f and R.
+[[nodiscard]] mac::SchemeFactory dbdp_factory();
+
+/// DB-DP with explicit parameters (ablations).
+[[nodiscard]] mac::SchemeFactory dbdp_factory(core::Influence influence, double r);
+
+/// DB-DP with the Remark 6 multi-pair reordering (faster convergence).
+[[nodiscard]] mac::SchemeFactory dbdp_multipair_factory(int max_swap_pairs);
+
+/// DB-DP that LEARNS each link's reliability online from its own ACKs
+/// (Section II-A's "learning from past transmissions") instead of being
+/// given the oracle p_n.
+[[nodiscard]] mac::SchemeFactory dbdp_estimated_p_factory(double initial_estimate = 0.5);
+
+/// DP with fixed coin biases and multi-pair reordering (theory experiments).
+[[nodiscard]] mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu,
+                                                     int max_swap_pairs);
+
+/// DP with fixed coin biases (theory experiments, Proposition 2).
+[[nodiscard]] mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu);
+
+/// DP with reordering disabled: priorities frozen at the identity
+/// permutation — the Fig. 6 starvation experiment.
+[[nodiscard]] mac::SchemeFactory dp_static_priority_factory();
+
+/// Centralized LDF (Algorithm 1 with f(x) = x).
+[[nodiscard]] mac::SchemeFactory ldf_factory();
+
+/// Centralized ELDF with an explicit debt influence function.
+[[nodiscard]] mac::SchemeFactory eldf_factory(core::Influence influence);
+
+/// FCSMA baseline with default discretization.
+[[nodiscard]] mac::SchemeFactory fcsma_factory();
+[[nodiscard]] mac::SchemeFactory fcsma_factory(mac::FcsmaParams params);
+
+/// 802.11-DCF-style exponential backoff (extension baseline).
+[[nodiscard]] mac::SchemeFactory dcf_factory();
+
+}  // namespace rtmac::expfw

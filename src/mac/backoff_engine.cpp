@@ -1,0 +1,105 @@
+#include "mac/backoff_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rtmac::mac {
+
+BackoffEngine::BackoffEngine(sim::Simulator& simulator, phy::Medium& medium, Duration slot)
+    : sim_{simulator}, medium_{medium}, slot_{slot} {
+  assert(slot > Duration{});
+  medium_.add_listener(this);
+}
+
+void BackoffEngine::trace(sim::TraceKind kind, std::int64_t a) {
+  if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+    tracer->record(sim_.now(), kind, trace_link_, a);
+  }
+}
+
+void BackoffEngine::start(int count, std::function<void()> on_expire) {
+  assert(count >= 0);
+  stop();
+  running_ = true;
+  expired_ = false;
+  freeze_values_.clear();
+  on_expire_ = std::move(on_expire);
+  count_ = count;
+  trace(sim::TraceKind::kBackoffArmed, count);
+  if (medium_.busy()) {
+    frozen_ = true;  // begin counting at the next idle transition
+  } else {
+    frozen_ = false;
+    arm_expiry(sim_.now());
+  }
+}
+
+void BackoffEngine::stop() {
+  if (expiry_event_.valid()) sim_.cancel(expiry_event_);
+  expiry_event_ = {};
+  running_ = false;
+  frozen_ = false;
+  on_expire_ = nullptr;
+}
+
+int BackoffEngine::remaining() const {
+  if (!running_) return 0;
+  if (frozen_) return count_;
+  // Live countdown: report the value as of the last completed slot boundary.
+  const auto elapsed_slots = (sim_.now() - resume_time_).floor_div(slot_);
+  return std::max(0, count_at_resume_ - static_cast<int>(elapsed_slots));
+}
+
+bool BackoffEngine::was_frozen_at(int value) const {
+  return std::find(freeze_values_.begin(), freeze_values_.end(), value) != freeze_values_.end();
+}
+
+void BackoffEngine::arm_expiry(TimePoint resume_at) {
+  resume_time_ = resume_at;
+  count_at_resume_ = count_;
+  const TimePoint expiry_at = resume_at + count_ * slot_;
+  expiry_event_ = sim_.schedule_at(expiry_at, [this] { fire_expiry(); });
+}
+
+void BackoffEngine::fire_expiry() {
+  expiry_event_ = {};
+  running_ = false;
+  frozen_ = false;
+  count_ = 0;
+  expired_ = true;
+  trace(sim::TraceKind::kBackoffExpired);
+  // Move the callback out: it commonly re-arms this engine.
+  auto cb = std::move(on_expire_);
+  on_expire_ = nullptr;
+  if (cb) cb();
+}
+
+void BackoffEngine::on_medium_busy(TimePoint t) {
+  if (!running_ || frozen_) return;
+  // Charge the countdown for full idle slots completed before the freeze;
+  // partial-slot progress is discarded (802.11 semantics).
+  const auto elapsed_slots = static_cast<int>((t - resume_time_).floor_div(slot_));
+  const int count_after = count_at_resume_ - elapsed_slots;
+  if (count_after <= 0) {
+    // The busy transition coincides with our own expiry instant: the expiry
+    // event is firing at this same timestamp; let it proceed (in CSMA terms,
+    // both stations counted down to zero in the same slot and will collide).
+    return;
+  }
+  if (expiry_event_.valid()) sim_.cancel(expiry_event_);
+  expiry_event_ = {};
+  count_ = count_after;
+  frozen_ = true;
+  freeze_values_.push_back(count_);
+  trace(sim::TraceKind::kBackoffFrozen, count_);
+}
+
+void BackoffEngine::on_medium_idle(TimePoint t) {
+  if (!running_ || !frozen_) return;
+  frozen_ = false;
+  trace(sim::TraceKind::kBackoffResumed, count_);
+  arm_expiry(t);
+}
+
+}  // namespace rtmac::mac

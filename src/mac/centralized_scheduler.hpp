@@ -1,0 +1,58 @@
+// Centralized ELDF/LDF scheduling (the paper's Algorithm 1).
+//
+// A genie with global knowledge: at each interval start it sorts all links
+// by f(d_n^+(k)) * p_n (eq. 4) and serves them strictly in that order,
+// retransmitting each link's packets until delivered or drained, with no
+// backoff, no collisions, and no contention overhead — the feasibility-
+// optimal upper bound the decentralized schemes are measured against.
+// Choosing f(x) = x recovers plain Largest-Debt-First (LDF).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/influence.hpp"
+#include "mac/link_mac.hpp"
+
+namespace rtmac::mac {
+
+/// Configuration for the centralized scheduler.
+struct CentralizedParams {
+  core::Influence influence = core::Influence::identity();  ///< f in eq. (4)
+};
+
+/// MacScheme implementation of Algorithm 1 on the shared Medium (so the
+/// unreliable-channel process is identical across schemes).
+class CentralizedScheme final : public MacScheme {
+ public:
+  CentralizedScheme(const SchemeContext& ctx, CentralizedParams params, std::string name);
+
+  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                      TimePoint interval_end) override;
+  std::vector<int> end_interval() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// The priority ordering used in the current interval (highest first).
+  [[nodiscard]] const std::vector<LinkId>& current_ordering() const { return ordering_; }
+
+ private:
+  void serve_next();
+  void on_tx_done(phy::TxOutcome outcome);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  Duration data_airtime_;
+  const ProbabilityVector& p_;
+  const core::DebtTracker& debts_;
+  CentralizedParams params_;
+  std::string name_;
+
+  // Per-interval state.
+  TimePoint interval_end_;
+  std::vector<int> buffer_;
+  std::vector<int> delivered_;
+  std::vector<LinkId> ordering_;
+  std::size_t serving_ = 0;  ///< index into ordering_ of the link on the air
+};
+
+}  // namespace rtmac::mac

@@ -1,0 +1,80 @@
+#include "mac/dcf_mac.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtmac::mac {
+
+DcfLinkMac::DcfLinkMac(sim::Simulator& simulator, phy::Medium& medium, DcfParams params,
+                       Duration data_airtime, Duration slot, LinkId id, std::uint64_t seed)
+    : sim_{simulator},
+      medium_{medium},
+      params_{params},
+      data_airtime_{data_airtime},
+      id_{id},
+      rng_{seed, /*stream_id=*/0xDCF00000000ULL + id},
+      cw_{params.cw_min},
+      backoff_{simulator, medium, slot} {
+  assert(params.cw_min >= 1 && params.cw_max >= params.cw_min);
+}
+
+void DcfLinkMac::begin_interval(IntervalIndex, int arrivals, TimePoint interval_end) {
+  interval_end_ = interval_end;
+  buffer_ = arrivals;
+  delivered_ = 0;
+  if (buffer_ > 0) contend();
+}
+
+void DcfLinkMac::contend() {
+  const int draw = static_cast<int>(rng_.uniform_int(0, cw_ - 1));
+  backoff_.start(draw, [this] { on_backoff_expired(); });
+}
+
+void DcfLinkMac::on_backoff_expired() {
+  if (sim_.now() + data_airtime_ > interval_end_) return;
+  medium_.start_transmission(id_, data_airtime_, phy::PacketKind::kData,
+                             [this](phy::TxOutcome o) { on_tx_done(o); });
+}
+
+void DcfLinkMac::on_tx_done(phy::TxOutcome outcome) {
+  if (outcome == phy::TxOutcome::kDelivered) {
+    --buffer_;
+    ++delivered_;
+    cw_ = params_.cw_min;  // success resets the window
+  } else {
+    cw_ = std::min(cw_ * 2, params_.cw_max);  // binary exponential backoff
+  }
+  if (buffer_ > 0) contend();
+}
+
+int DcfLinkMac::end_interval() {
+  backoff_.stop();
+  buffer_ = 0;
+  return delivered_;
+}
+
+DcfScheme::DcfScheme(const SchemeContext& ctx, DcfParams params, std::string name)
+    : name_{std::move(name)} {
+  links_.reserve(ctx.num_links);
+  for (LinkId n = 0; n < ctx.num_links; ++n) {
+    links_.push_back(std::make_unique<DcfLinkMac>(ctx.simulator, ctx.medium, params,
+                                                  ctx.phy.data_airtime, ctx.phy.backoff_slot,
+                                                  n, ctx.seed));
+  }
+}
+
+void DcfScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                               TimePoint interval_end) {
+  assert(arrivals.size() == links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) {
+    links_[n]->begin_interval(k, arrivals[n], interval_end);
+  }
+}
+
+std::vector<int> DcfScheme::end_interval() {
+  std::vector<int> delivered(links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) delivered[n] = links_[n]->end_interval();
+  return delivered;
+}
+
+}  // namespace rtmac::mac

@@ -1,0 +1,75 @@
+// 802.11 DCF-style exponential-backoff baseline (extension).
+//
+// Not part of the paper's evaluation, but the paper's motivation cites
+// Bianchi's analysis of DCF collision loss; this scheme makes that loss
+// directly measurable inside the same harness. Plain CSMA/CA: uniform
+// backoff in [0, CW-1], CW doubling from cw_min to cw_max on every failed
+// attempt (collision or channel loss), reset to cw_min on success. Debt- and
+// deadline-oblivious within an interval except for the standard gap rule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mac/backoff_engine.hpp"
+#include "mac/link_mac.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::mac {
+
+/// Contention-window doubling parameters (802.11a defaults).
+struct DcfParams {
+  int cw_min = 16;
+  int cw_max = 1024;
+};
+
+/// Per-link DCF state machine.
+class DcfLinkMac {
+ public:
+  DcfLinkMac(sim::Simulator& simulator, phy::Medium& medium, DcfParams params,
+             Duration data_airtime, Duration slot, LinkId id, std::uint64_t seed);
+
+  DcfLinkMac(const DcfLinkMac&) = delete;
+  DcfLinkMac& operator=(const DcfLinkMac&) = delete;
+
+  void begin_interval(IntervalIndex k, int arrivals, TimePoint interval_end);
+  int end_interval();
+
+  [[nodiscard]] int current_window() const { return cw_; }
+
+ private:
+  void contend();
+  void on_backoff_expired();
+  void on_tx_done(phy::TxOutcome outcome);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  DcfParams params_;
+  Duration data_airtime_;
+  LinkId id_;
+  Rng rng_;
+
+  TimePoint interval_end_;
+  int buffer_ = 0;
+  int delivered_ = 0;
+  int cw_;
+  BackoffEngine backoff_;
+};
+
+/// MacScheme gluing N DCF links together.
+class DcfScheme final : public MacScheme {
+ public:
+  DcfScheme(const SchemeContext& ctx, DcfParams params, std::string name);
+
+  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                      TimePoint interval_end) override;
+  std::vector<int> end_interval() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::vector<std::unique_ptr<DcfLinkMac>> links_;
+  std::string name_;
+};
+
+}  // namespace rtmac::mac

@@ -1,0 +1,279 @@
+#include "mac/dp_link_mac.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rtmac::mac {
+
+// ---- SharedSeed -------------------------------------------------------------
+
+std::vector<PriorityIndex> SharedSeed::candidate_set(IntervalIndex k, std::size_t num_links,
+                                                     int max_pairs) const {
+  assert(num_links >= 2);
+  assert(max_pairs >= 1);
+  if (max_pairs == 1) return {candidate(k, num_links)};
+
+  // Deterministic shuffle of {1..N-1}, then greedy acceptance of
+  // non-conflicting pair anchors (|m - m'| >= 2 keeps pairs disjoint).
+  // Every device runs this with the same (seed, k), so the sets agree.
+  Rng rng{mix64(seed_, k)};
+  std::vector<PriorityIndex> anchors(num_links - 1);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    anchors[i] = static_cast<PriorityIndex>(i + 1);
+  }
+  for (std::size_t i = anchors.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(anchors[i - 1], anchors[j]);
+  }
+  std::vector<PriorityIndex> chosen;
+  for (PriorityIndex m : anchors) {
+    if (static_cast<int>(chosen.size()) >= max_pairs) break;
+    bool conflicts = false;
+    for (PriorityIndex c : chosen) {
+      const auto d = m > c ? m - c : c - m;
+      if (d < 2) {
+        conflicts = true;
+        break;
+      }
+    }
+    if (!conflicts) chosen.push_back(m);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+// ---- eq. (6) backoff assignment ---------------------------------------------
+
+bool dp_is_candidate(PriorityIndex sigma, const std::vector<PriorityIndex>& pairs,
+                     bool* is_lower) {
+  for (PriorityIndex m : pairs) {
+    if (sigma == m || sigma == m + 1) {
+      if (is_lower != nullptr) *is_lower = (sigma == m);
+      return true;
+    }
+  }
+  return false;
+}
+
+int dp_backoff_count(PriorityIndex sigma, const std::vector<PriorityIndex>& pairs, int xi) {
+  int shift = 0;
+  bool candidate = false;
+  for (PriorityIndex m : pairs) {
+    if (m + 1 < sigma) shift += 2;
+    if (sigma == m || sigma == m + 1) candidate = true;
+  }
+  if (candidate) {
+    assert(xi == 1 || xi == -1);
+    return static_cast<int>(sigma) - xi + shift;
+  }
+  return static_cast<int>(sigma) - 1 + shift;
+}
+
+// ---- DpLinkMac --------------------------------------------------------------
+
+DpLinkMac::DpLinkMac(sim::Simulator& simulator, phy::Medium& medium,
+                     const SharedSeed& shared_seed, const PriorityProvider& provider,
+                     DpLinkParams params, LinkId id, std::size_t num_links,
+                     PriorityIndex initial_priority, std::uint64_t seed,
+                     ReliabilityEstimator* estimator)
+    : sim_{simulator},
+      medium_{medium},
+      shared_seed_{shared_seed},
+      provider_{provider},
+      estimator_{estimator},
+      params_{params},
+      id_{id},
+      num_links_{num_links},
+      coin_rng_{seed, /*stream_id=*/0xD100000000ULL + id},
+      sigma_{initial_priority},
+      backoff_{simulator, medium, params.backoff_slot} {
+  assert(initial_priority >= 1 && initial_priority <= num_links);
+  backoff_.set_trace_link(id);
+}
+
+void DpLinkMac::begin_interval(IntervalIndex k, int arrivals, TimePoint interval_end) {
+  assert(arrivals >= 0);
+  interval_end_ = interval_end;
+  buffer_ = arrivals;
+  delivered_ = 0;
+  tx_started_ = 0;
+  first_tx_started_ = false;
+  empty_claim_pending_ = false;
+  role_ = Role::kBystander;
+  xi_ = 0;
+
+  // Step 4 (eq. 6, generalized per Remark 6 to disjoint candidate pairs):
+  // every candidate pair (m, m+1) widens the backoff schedule by 2 slots so
+  // the candidates' coin-modulated choices {m-1, m, m+1, m+2} (plus the
+  // per-pair shift) never touch a bystander's slot. With a single pair the
+  // expressions reduce exactly to eq. (6).
+  int beta;
+  if (params_.reordering && num_links_ >= 2) {
+    const std::vector<PriorityIndex> pairs =
+        shared_seed_.candidate_set(k, num_links_, params_.max_swap_pairs);  // Step 1
+    bool is_lower = false;
+    if (dp_is_candidate(sigma_, pairs, &is_lower)) {
+      role_ = is_lower ? Role::kLower : Role::kUpper;
+      // Step 2: a candidate with no traffic still claims its slot on the air.
+      if (buffer_ == 0) empty_claim_pending_ = true;
+      // Step 3 (eq. 5): local biased coin.
+      xi_ = coin_rng_.bernoulli(provider_.mu(id_, k)) ? +1 : -1;
+    }
+    beta = dp_backoff_count(sigma_, pairs, xi_);
+  } else {
+    beta = static_cast<int>(sigma_) - 1;  // static priorities: plain TDMA-by-backoff
+  }
+
+  backoff_.start(beta, [this] { on_backoff_expired(); });
+}
+
+void DpLinkMac::on_backoff_expired() { try_transmit(); }
+
+void DpLinkMac::try_transmit() {
+  const TimePoint now = sim_.now();
+  const bool is_candidate = role_ != Role::kBystander;
+
+  auto send = [this](Duration airtime, phy::PacketKind kind) {
+    ++tx_started_;
+    first_tx_started_ = true;
+    medium_.start_transmission(id_, airtime, kind,
+                               [this, kind](phy::TxOutcome o) { on_tx_done(kind, o); });
+  };
+
+  if (buffer_ > 0) {
+    // Remark 4 gap rule: transmit only if the packet fits in the interval.
+    if (now + params_.data_airtime <= interval_end_) {
+      send(params_.data_airtime, phy::PacketKind::kData);
+      return;
+    }
+    // Swap-consistency rule: a CANDIDATE whose data packet no longer fits
+    // must still claim its backoff slot on the air if a short empty packet
+    // fits — otherwise its silence is indistinguishable from "moved away"
+    // and the partner could commit a one-sided swap. (Candidates without
+    // arrivals already claim via empty_claim_pending_ below; this extends
+    // the same priority-claiming packet to the gap-blocked data case.)
+    if (is_candidate && !first_tx_started_ &&
+        now + params_.empty_airtime <= interval_end_) {
+      send(params_.empty_airtime, phy::PacketKind::kEmpty);
+    }
+    return;
+  }
+  if (empty_claim_pending_ && now + params_.empty_airtime <= interval_end_) {
+    empty_claim_pending_ = false;
+    send(params_.empty_airtime, phy::PacketKind::kEmpty);
+  }
+}
+
+void DpLinkMac::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
+  // DP backoff counts are unique within the interval, so no DP transmission
+  // can ever collide; the assert documents the collision-freedom invariant.
+  assert(outcome != phy::TxOutcome::kCollision && "DP protocol must be collision-free");
+  if (kind == phy::PacketKind::kData && estimator_ != nullptr &&
+      outcome != phy::TxOutcome::kCollision) {
+    // Learning mode (Section II-A): the ACK outcome of every clean data
+    // transmission updates this link's own reliability posterior.
+    estimator_->record(id_, outcome == phy::TxOutcome::kDelivered);
+  }
+  if (kind == phy::PacketKind::kData && outcome == phy::TxOutcome::kDelivered) {
+    ++delivered_;
+    --buffer_;
+  }
+  // Channel losses leave the packet in the buffer: retransmit until the
+  // deadline (back-to-back, the channel is already ours).
+  try_transmit();
+}
+
+int DpLinkMac::end_interval() {
+  backoff_.stop();
+
+  // Step 5 (eqs. 7-8), applied at the interval boundary so the change takes
+  // effect next interval. With unique backoff counts, a freeze at remaining
+  // count 1 can only be caused by the swap partner's transmission, so the
+  // carrier-sense record alone decides the swap:
+  //  * lower candidate (priority C), coin "down" (xi=-1): moves down iff the
+  //    channel turned busy when its count stood at 1 — i.e. the upper
+  //    candidate claimed the earlier slot and transmitted in it;
+  //  * upper candidate (priority C+1), coin "up" (xi=+1): moves up iff its
+  //    count passed 1 -> 0 with the channel idle AND its claim actually went
+  //    on the air (if the gap rule suppressed the transmission, the partner
+  //    cannot have heard anything, and both sides must conclude "no swap").
+  if (role_ == Role::kLower && xi_ == -1 && backoff_.was_frozen_at(1)) {
+    if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+      tracer->record(sim_.now(), sim::TraceKind::kSwapDown, id_, sigma_, sigma_ + 1);
+    }
+    ++sigma_;
+  } else if (role_ == Role::kUpper && xi_ == +1 && !backoff_.was_frozen_at(1) &&
+             backoff_.expired() && first_tx_started_) {
+    if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+      tracer->record(sim_.now(), sim::TraceKind::kSwapUp, id_, sigma_, sigma_ - 1);
+    }
+    --sigma_;
+  }
+
+  // Step 7: flush everything that missed the deadline.
+  buffer_ = 0;
+  empty_claim_pending_ = false;
+  return delivered_;
+}
+
+// ---- DpScheme ---------------------------------------------------------------
+
+DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> provider,
+                   DpLinkParams params, std::string name,
+                   std::optional<core::Permutation> initial, ReliabilityEstimator* estimator)
+    : shared_seed_{mix64(ctx.seed, 0x5EEDC0DE)},
+      provider_{std::move(provider)},
+      name_{std::move(name)} {
+  assert(provider_ != nullptr);
+  const core::Permutation init =
+      initial.has_value() ? *initial : core::Permutation::identity(ctx.num_links);
+  assert(init.size() == ctx.num_links);
+  links_.reserve(ctx.num_links);
+  for (LinkId n = 0; n < ctx.num_links; ++n) {
+    links_.push_back(std::make_unique<DpLinkMac>(ctx.simulator, ctx.medium, shared_seed_,
+                                                 *provider_, params, n, ctx.num_links,
+                                                 init.priority_of(n), ctx.seed, estimator));
+  }
+}
+
+void DpScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                              TimePoint interval_end) {
+  assert(arrivals.size() == links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) {
+    links_[n]->begin_interval(k, arrivals[n], interval_end);
+  }
+}
+
+std::vector<int> DpScheme::end_interval() {
+  std::vector<int> delivered(links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) {
+    delivered[n] = links_[n]->end_interval();
+  }
+  // Decentralized decisions must still compose into a permutation; this is
+  // the protocol's core consistency invariant.
+#ifndef NDEBUG
+  {
+    const auto sigma = priority_vector();
+    std::vector<bool> seen(sigma.size(), false);
+    for (PriorityIndex pr : sigma) {
+      assert(pr >= 1 && pr <= sigma.size() && !seen[pr - 1] &&
+             "priority state diverged: swap decisions inconsistent");
+      seen[pr - 1] = true;
+    }
+  }
+#endif
+  return delivered;
+}
+
+core::Permutation DpScheme::priorities() const {
+  return core::Permutation::from_priorities(priority_vector());
+}
+
+std::vector<PriorityIndex> DpScheme::priority_vector() const {
+  std::vector<PriorityIndex> sigma(links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) sigma[n] = links_[n]->priority();
+  return sigma;
+}
+
+}  // namespace rtmac::mac

@@ -1,0 +1,186 @@
+// The Decentralized Priority (DP) protocol — the paper's Algorithm 2.
+//
+// Each link holds a unique priority index sigma_n(k) in {1..N} and derives a
+// collision-free backoff count from it (eq. 6). One adjacent pair of
+// priorities {C(k), C(k)+1} is drawn per interval from a seed shared by all
+// devices; the two candidate links toss biased coins xi_n (eq. 5) and detect
+// each other's intent purely through carrier sensing at backoff value 1
+// (eqs. 7-8), swapping priorities for the next interval when both agree.
+// Candidates with no arrivals transmit a short "empty packet" so the swap
+// can always be confirmed on the air; confirmed or not, the whole interval
+// carries no collisions because backoff counts are unique.
+//
+// DpLinkMac is the per-link state machine; DpScheme wires N of them to the
+// shared Medium and implements the MacScheme contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/permutation.hpp"
+#include "core/types.hpp"
+#include "mac/backoff_engine.hpp"
+#include "mac/link_mac.hpp"
+#include "mac/priority_provider.hpp"
+#include "mac/reliability_estimator.hpp"
+#include "phy/medium.hpp"
+#include "phy/phy_params.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::mac {
+
+/// The common random seed of Algorithm 2 Step 1. All devices hold the same
+/// seed (obtained e.g. from coarse time synchronization) and derive the same
+/// candidate pair(s) for every interval without exchanging messages.
+class SharedSeed {
+ public:
+  explicit SharedSeed(std::uint64_t seed) : seed_{seed} {}
+
+  /// C(k): uniform on {1..N-1}, identical at every device.
+  /// Precondition: num_links >= 2.
+  [[nodiscard]] PriorityIndex candidate(IntervalIndex k, std::size_t num_links) const {
+    return static_cast<PriorityIndex>(
+        1 + mix64(seed_, k) % static_cast<std::uint64_t>(num_links - 1));
+  }
+
+  /// Remark 6 generalization: up to `max_pairs` NON-CONSECUTIVE integers
+  /// from {1..N-1}, sorted ascending — each value m marks the disjoint
+  /// candidate pair (m, m+1). max_pairs == 1 reduces to {candidate(k, N)}.
+  /// Every device derives the identical set from (seed, k) alone.
+  [[nodiscard]] std::vector<PriorityIndex> candidate_set(IntervalIndex k,
+                                                         std::size_t num_links,
+                                                         int max_pairs) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Pure backoff assignment of eq. (6), generalized per Remark 6.
+///
+/// `sigma` is the link's priority, `pairs` the sorted disjoint candidate
+/// anchors for the interval, `xi` the link's coin (+1/-1; ignored for
+/// bystanders). Exposed as a free function so the collision-freedom
+/// invariant — distinct links always receive distinct counts, whatever the
+/// coins — can be tested exhaustively, independent of the event engine.
+/// Returns the backoff slot count (>= 0).
+[[nodiscard]] int dp_backoff_count(PriorityIndex sigma,
+                                   const std::vector<PriorityIndex>& pairs, int xi);
+
+/// True iff `sigma` belongs to one of the candidate pairs; when it does,
+/// `*is_lower` (if non-null) reports whether it is the pair's lower index.
+[[nodiscard]] bool dp_is_candidate(PriorityIndex sigma,
+                                   const std::vector<PriorityIndex>& pairs,
+                                   bool* is_lower = nullptr);
+
+/// Static configuration of one DP link.
+struct DpLinkParams {
+  Duration data_airtime;
+  Duration empty_airtime;
+  Duration backoff_slot;
+  /// When false, Step 1-5 reordering is disabled entirely: priorities stay
+  /// fixed forever (the Fig. 6 "fixed priority ordering" experiment).
+  bool reordering = true;
+  /// Remark 6: number of disjoint candidate pairs drawn per interval.
+  /// 1 is the base protocol of Algorithm 2; larger values trade a slightly
+  /// larger worst-case backoff (up to ~N + 2*pairs slots) for faster
+  /// convergence of the priority chain.
+  int max_swap_pairs = 1;
+};
+
+/// Per-link protocol state machine. Knows only: its own priority, its own
+/// debt-driven coin bias (via PriorityProvider), the shared seed, and the
+/// busy/idle state of the medium — nothing about other links.
+class DpLinkMac {
+ public:
+  /// `estimator`, when non-null, receives the outcome of every clean data
+  /// transmission this link makes (the "learning p_n" mode of Section II-A).
+  DpLinkMac(sim::Simulator& simulator, phy::Medium& medium, const SharedSeed& shared_seed,
+            const PriorityProvider& provider, DpLinkParams params, LinkId id,
+            std::size_t num_links, PriorityIndex initial_priority, std::uint64_t seed,
+            ReliabilityEstimator* estimator = nullptr);
+
+  DpLinkMac(const DpLinkMac&) = delete;
+  DpLinkMac& operator=(const DpLinkMac&) = delete;
+
+  /// Algorithm 2 steps 1-4 for interval k; arms the backoff engine.
+  void begin_interval(IntervalIndex k, int arrivals, TimePoint interval_end);
+
+  /// Steps 5 and 7: resolves the priority update from the carrier-sense
+  /// record, flushes the buffer, returns this interval's deliveries.
+  int end_interval();
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] PriorityIndex priority() const { return sigma_; }
+  /// Number of transmissions (data + empty) started this interval (R_n).
+  [[nodiscard]] int transmissions_started() const { return tx_started_; }
+
+ private:
+  void on_backoff_expired();
+  void try_transmit();
+  void on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  const SharedSeed& shared_seed_;
+  const PriorityProvider& provider_;
+  ReliabilityEstimator* estimator_;  ///< optional, not owned
+  DpLinkParams params_;
+  LinkId id_;
+  std::size_t num_links_;
+  Rng coin_rng_;
+
+  PriorityIndex sigma_;  ///< priority carried into the current interval
+
+  // Per-interval state.
+  TimePoint interval_end_;
+  int buffer_ = 0;               ///< undelivered data packets
+  bool empty_claim_pending_ = false;
+  int delivered_ = 0;
+  int tx_started_ = 0;
+  bool first_tx_started_ = false;  ///< the at-expiry claim actually aired
+  enum class Role : std::uint8_t { kBystander, kLower, kUpper };
+  Role role_ = Role::kBystander;  ///< kLower = priority C(k), kUpper = C(k)+1
+  int xi_ = 0;                    ///< coin outcome, +1 or -1 (candidates only)
+  BackoffEngine backoff_;
+};
+
+/// MacScheme gluing N DpLinkMacs together. The per-link objects never talk
+/// to each other; the scheme only fans out interval boundaries (which in a
+/// real deployment come from the devices' own synchronized clocks) and
+/// aggregates statistics.
+class DpScheme final : public MacScheme {
+ public:
+  /// The scheme owns its coin-bias provider. Initial priorities are the
+  /// identity permutation unless `initial` is given. `estimator`, when
+  /// non-null, must live inside `provider` (e.g. EstimatedMuProvider) or
+  /// otherwise outlive the scheme; every link reports its clean data
+  /// transmission outcomes to it.
+  DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> provider,
+           DpLinkParams params, std::string name,
+           std::optional<core::Permutation> initial = std::nullopt,
+           ReliabilityEstimator* estimator = nullptr);
+
+  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                      TimePoint interval_end) override;
+  std::vector<int> end_interval() override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  /// Current priority assignment (valid between intervals). Debug/analysis.
+  [[nodiscard]] core::Permutation priorities() const;
+
+  /// Raw per-link priority indices without the bijection check (diagnostics).
+  [[nodiscard]] std::vector<PriorityIndex> priority_vector() const;
+
+ private:
+  // Declaration order matters: links_ hold references to both members below.
+  SharedSeed shared_seed_;
+  std::unique_ptr<PriorityProvider> provider_;
+  std::vector<std::unique_ptr<DpLinkMac>> links_;
+  std::string name_;
+};
+
+}  // namespace rtmac::mac

@@ -1,0 +1,99 @@
+#include "mac/fcsma_mac.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtmac::mac {
+
+int fcsma_window_for_weight(double weight, const FcsmaParams& params) {
+  assert(!params.window_sizes.empty());
+  assert(params.section_width > 0.0);
+  const auto section = static_cast<std::size_t>(
+      std::max(0.0, std::floor(weight / params.section_width)));
+  const std::size_t clamped = std::min(section, params.window_sizes.size() - 1);
+  return params.window_sizes[clamped];
+}
+
+// ---- FcsmaLinkMac -----------------------------------------------------------
+
+FcsmaLinkMac::FcsmaLinkMac(sim::Simulator& simulator, phy::Medium& medium,
+                           const core::DebtTracker& debts, const ProbabilityVector& p,
+                           const FcsmaParams& params, Duration data_airtime, Duration slot,
+                           LinkId id, std::uint64_t seed)
+    : sim_{simulator},
+      medium_{medium},
+      debts_{debts},
+      p_{p},
+      params_{params},
+      data_airtime_{data_airtime},
+      id_{id},
+      rng_{seed, /*stream_id=*/0xFC500000000ULL + id},
+      backoff_{simulator, medium, slot} {}
+
+void FcsmaLinkMac::begin_interval(IntervalIndex, int arrivals, TimePoint interval_end) {
+  assert(arrivals >= 0);
+  interval_end_ = interval_end;
+  buffer_ = arrivals;
+  delivered_ = 0;
+  // The window reacts to debt once per interval (the discretized design:
+  // the mapping is static within an interval and saturates for large debt).
+  const double weight = params_.influence(debts_.debt_plus(id_)) * p_[id_];
+  window_ = fcsma_window_for_weight(weight, params_);
+  if (buffer_ > 0) contend();
+}
+
+void FcsmaLinkMac::contend() {
+  const int draw = static_cast<int>(rng_.uniform_int(0, window_ - 1));
+  backoff_.start(draw, [this] { on_backoff_expired(); });
+}
+
+void FcsmaLinkMac::on_backoff_expired() {
+  if (sim_.now() + data_airtime_ > interval_end_) return;  // deadline gap rule
+  medium_.start_transmission(id_, data_airtime_, phy::PacketKind::kData,
+                             [this](phy::TxOutcome o) { on_tx_done(o); });
+}
+
+void FcsmaLinkMac::on_tx_done(phy::TxOutcome outcome) {
+  if (outcome == phy::TxOutcome::kDelivered) {
+    --buffer_;
+    ++delivered_;
+  }
+  // Collision or channel loss: the packet stays queued. Either way the link
+  // redraws a fresh backoff for its next attempt.
+  if (buffer_ > 0) contend();
+}
+
+int FcsmaLinkMac::end_interval() {
+  backoff_.stop();
+  buffer_ = 0;
+  return delivered_;
+}
+
+// ---- FcsmaScheme ------------------------------------------------------------
+
+FcsmaScheme::FcsmaScheme(const SchemeContext& ctx, FcsmaParams params, std::string name)
+    : params_{std::move(params)}, name_{std::move(name)} {
+  links_.reserve(ctx.num_links);
+  for (LinkId n = 0; n < ctx.num_links; ++n) {
+    links_.push_back(std::make_unique<FcsmaLinkMac>(ctx.simulator, ctx.medium, ctx.debts,
+                                                    ctx.success_prob, params_,
+                                                    ctx.phy.data_airtime, ctx.phy.backoff_slot,
+                                                    n, ctx.seed));
+  }
+}
+
+void FcsmaScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                                 TimePoint interval_end) {
+  assert(arrivals.size() == links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) {
+    links_[n]->begin_interval(k, arrivals[n], interval_end);
+  }
+}
+
+std::vector<int> FcsmaScheme::end_interval() {
+  std::vector<int> delivered(links_.size());
+  for (std::size_t n = 0; n < links_.size(); ++n) delivered[n] = links_[n]->end_interval();
+  return delivered;
+}
+
+}  // namespace rtmac::mac

@@ -1,0 +1,5 @@
+// Intentionally minimal: MacScheme is an interface; its out-of-line anchor
+// lives here so the vtable has a home translation unit.
+#include "mac/link_mac.hpp"
+
+namespace rtmac::mac {}  // namespace rtmac::mac

@@ -1,0 +1,60 @@
+// MAC-scheme interfaces binding protocols to the interval structure.
+//
+// A MacScheme is one complete medium-access discipline for the whole
+// network (decentralized schemes own one state machine per link; the
+// centralized ELDF genie is a single scheduler). The Network drives it:
+// begin_interval() delivers this interval's arrivals, the scheme contends
+// on the shared Medium during the interval, end_interval() reports how many
+// packets each link delivered on time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/debt.hpp"
+#include "core/types.hpp"
+#include "phy/medium.hpp"
+#include "phy/phy_params.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtmac::mac {
+
+/// One medium-access discipline driving all N links for the experiment.
+class MacScheme {
+ public:
+  virtual ~MacScheme() = default;
+
+  /// Starts interval k. `arrivals[n]` packets appear in link n's buffer,
+  /// all with absolute deadline `interval_end`. Called at time kT.
+  virtual void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+                              TimePoint interval_end) = 0;
+
+  /// Closes the interval at time (k+1)T after the medium has gone idle.
+  /// Returns S(k): on-time deliveries per link. Implementations must drop
+  /// all undelivered packets (deadline expiry) and quiesce.
+  virtual std::vector<int> end_interval() = 0;
+
+  /// Human-readable scheme name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Everything a scheme implementation may depend on, owned by the Network.
+/// Schemes hold references; the Network guarantees lifetime.
+struct SchemeContext {
+  sim::Simulator& simulator;
+  phy::Medium& medium;
+  const phy::PhyParams& phy;
+  Duration interval_length;
+  std::size_t num_links;
+  const ProbabilityVector& success_prob;   ///< p_n, known to transmitters (paper SII-A)
+  const core::DebtTracker& debts;          ///< updated by the Network between intervals
+  std::uint64_t seed;                      ///< root seed for scheme-local randomness
+};
+
+/// Factory used by the Network to instantiate the scheme under test.
+using SchemeFactory = std::function<std::unique_ptr<MacScheme>(const SchemeContext&)>;
+
+}  // namespace rtmac::mac

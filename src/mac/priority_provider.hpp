@@ -1,0 +1,52 @@
+// Sources of the DP protocol's per-interval coin bias mu_n(k).
+//
+// The generic DP protocol (Algorithm 2) is agnostic to how mu_n is chosen;
+// feasibility optimality comes from plugging in the debt-driven eq. (14)
+// (DB-DP). Fixed biases are used for the stationary-distribution experiments
+// where eq. (10) must hold with constant mu.
+#pragma once
+
+#include <vector>
+
+#include "core/debt.hpp"
+#include "core/mu.hpp"
+#include "core/types.hpp"
+
+namespace rtmac::mac {
+
+/// Supplies each link's coin bias at the start of each interval.
+class PriorityProvider {
+ public:
+  virtual ~PriorityProvider() = default;
+  /// mu_n(k) in (0, 1): probability that link n draws xi = +1.
+  [[nodiscard]] virtual double mu(LinkId n, IntervalIndex k) const = 0;
+};
+
+/// Constant per-link biases (Proposition 2 setting: stationary chain).
+class FixedMuProvider final : public PriorityProvider {
+ public:
+  explicit FixedMuProvider(std::vector<double> mu);
+  [[nodiscard]] double mu(LinkId n, IntervalIndex k) const override;
+
+ private:
+  std::vector<double> mu_;
+};
+
+/// The DB-DP bias of eq. (14): mu_n(k) = exp(f(d_n^+)p_n)/(R+exp(f(d_n^+)p_n)).
+/// Reads only link n's own debt — the decentralization constraint.
+class DebtMuProvider final : public PriorityProvider {
+ public:
+  /// References must outlive the provider (both owned by the Network).
+  DebtMuProvider(core::DebtMu formula, const core::DebtTracker& debts,
+                 const ProbabilityVector& success_prob);
+  [[nodiscard]] double mu(LinkId n, IntervalIndex k) const override;
+
+  [[nodiscard]] const core::DebtMu& formula() const { return formula_; }
+
+ private:
+  core::DebtMu formula_;
+  const core::DebtTracker& debts_;
+  const ProbabilityVector& p_;
+};
+
+}  // namespace rtmac::mac

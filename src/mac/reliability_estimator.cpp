@@ -1,0 +1,41 @@
+#include "mac/reliability_estimator.hpp"
+
+#include <cassert>
+
+namespace rtmac::mac {
+
+ReliabilityEstimator::ReliabilityEstimator(std::size_t num_links, double initial,
+                                           double prior_weight)
+    : prior_successes_{prior_weight * initial},
+      prior_weight_{prior_weight},
+      attempts_(num_links, 0),
+      successes_(num_links, 0) {
+  assert(num_links > 0);
+  assert(initial > 0.0 && initial <= 1.0);
+  assert(prior_weight > 0.0);
+}
+
+void ReliabilityEstimator::record(LinkId link, bool success) {
+  assert(link < attempts_.size());
+  ++attempts_[link];
+  if (success) ++successes_[link];
+}
+
+double ReliabilityEstimator::estimate(LinkId link) const {
+  assert(link < attempts_.size());
+  return (static_cast<double>(successes_[link]) + prior_successes_) /
+         (static_cast<double>(attempts_[link]) + prior_weight_);
+}
+
+EstimatedMuProvider::EstimatedMuProvider(core::DebtMu formula, const core::DebtTracker& debts,
+                                         std::size_t num_links, double initial,
+                                         double prior_weight)
+    : formula_{std::move(formula)},
+      debts_{debts},
+      estimator_{num_links, initial, prior_weight} {}
+
+double EstimatedMuProvider::mu(LinkId n, IntervalIndex) const {
+  return formula_.mu(debts_.debt(n), estimator_.estimate(n));
+}
+
+}  // namespace rtmac::mac

@@ -1,0 +1,68 @@
+// Online estimation of per-link channel reliability.
+//
+// The paper assumes each transmitter knows its p_n, noting it "can be
+// obtained by either probing or learning from the empirical results of past
+// transmissions" (Section II-A). This module implements the learning
+// option: each link keeps a Beta-Bernoulli posterior over its own success
+// probability, updated from the ACK outcome of every clean (non-collided)
+// data transmission, and the DB-DP coin bias consumes the posterior mean
+// instead of an oracle value. Fully decentralized: link n only ever
+// observes its own transmissions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/debt.hpp"
+#include "core/mu.hpp"
+#include "core/types.hpp"
+#include "mac/priority_provider.hpp"
+
+namespace rtmac::mac {
+
+/// Beta-posterior reliability tracker for all links (each link's entry is
+/// touched only by that link's MAC — no cross-link information flows).
+class ReliabilityEstimator {
+ public:
+  /// `initial` is the prior mean, `prior_weight` its strength in
+  /// pseudo-observations. Defaults: uninformative-ish around 0.5.
+  explicit ReliabilityEstimator(std::size_t num_links, double initial = 0.5,
+                                double prior_weight = 2.0);
+
+  /// Records the outcome of one clean data transmission on `link`.
+  void record(LinkId link, bool success);
+
+  /// Posterior mean estimate of p_link.
+  [[nodiscard]] double estimate(LinkId link) const;
+
+  [[nodiscard]] std::uint64_t observations(LinkId link) const { return attempts_[link]; }
+  [[nodiscard]] std::size_t num_links() const { return attempts_.size(); }
+
+ private:
+  double prior_successes_;  ///< prior_weight * initial
+  double prior_weight_;
+  std::vector<std::uint64_t> attempts_;
+  std::vector<std::uint64_t> successes_;
+};
+
+/// DB-DP coin bias (eq. 14) fed by the learned reliability instead of the
+/// configured oracle p_n. Owns the estimator; the DpScheme shares it with
+/// its links so they can record outcomes.
+class EstimatedMuProvider final : public PriorityProvider {
+ public:
+  EstimatedMuProvider(core::DebtMu formula, const core::DebtTracker& debts,
+                      std::size_t num_links, double initial = 0.5,
+                      double prior_weight = 2.0);
+
+  [[nodiscard]] double mu(LinkId n, IntervalIndex k) const override;
+
+  [[nodiscard]] ReliabilityEstimator& estimator() { return estimator_; }
+  [[nodiscard]] const ReliabilityEstimator& estimator() const { return estimator_; }
+
+ private:
+  core::DebtMu formula_;
+  const core::DebtTracker& debts_;
+  ReliabilityEstimator estimator_;
+};
+
+}  // namespace rtmac::mac

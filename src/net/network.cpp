@@ -1,0 +1,94 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stats/deficiency.hpp"
+
+namespace rtmac::net {
+
+Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
+    : config_{std::move(config)},
+      medium_{nullptr},
+      debts_{config_.requirements.q()},
+      stats_{config_.num_links()},
+      arrival_rng_{config_.seed, /*stream_id=*/0xA221BA15ULL} {
+  std::string error;
+  if (!config_.validate(&error)) {
+    std::fprintf(stderr, "rtmac: invalid NetworkConfig: %s\n", error.c_str());
+    std::abort();
+  }
+  if (config_.channel_factory) {
+    auto channel = config_.channel_factory();
+    assert(channel != nullptr && channel->num_links() == config_.num_links() &&
+           "channel model size must match the network");
+    medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), config_.seed);
+  } else {
+    medium_ = std::make_unique<phy::Medium>(sim_, config_.success_prob, config_.seed);
+  }
+  const mac::SchemeContext ctx{sim_,
+                               *medium_,
+                               config_.phy,
+                               config_.interval_length,
+                               config_.num_links(),
+                               config_.success_prob,
+                               debts_,
+                               config_.seed};
+  scheme_ = scheme_factory(ctx);
+  assert(scheme_ != nullptr);
+}
+
+void Network::add_observer(IntervalObserver observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void Network::attach_tracer(sim::Tracer* tracer) {
+  tracer_ = tracer;
+  medium_->set_tracer(tracer);
+}
+
+void Network::run(IntervalIndex intervals) {
+  const std::size_t n_links = config_.num_links();
+  std::vector<int> arrivals(n_links);
+
+  for (IntervalIndex i = 0; i < intervals; ++i) {
+    const IntervalIndex k = next_interval_++;
+    const TimePoint start = TimePoint::origin() +
+                            static_cast<std::int64_t>(k) * config_.interval_length;
+    const TimePoint end = start + config_.interval_length;
+    assert(sim_.now() == start && "interval boundaries drifted");
+
+    if (config_.joint_arrivals != nullptr) {
+      arrivals = config_.joint_arrivals->sample(arrival_rng_);
+    } else {
+      for (std::size_t n = 0; n < n_links; ++n) {
+        arrivals[n] = config_.arrivals[n]->sample(arrival_rng_);
+      }
+    }
+
+    if (tracer_ != nullptr) {
+      tracer_->record(start, sim::TraceKind::kIntervalStart, sim::kNoLink,
+                      static_cast<std::int64_t>(k));
+    }
+    scheme_->begin_interval(k, arrivals, end);
+    sim_.run_until(end);
+    assert(!medium_->busy() && "a transmission overran the interval boundary (gap rule)");
+
+    const std::vector<int> delivered = scheme_->end_interval();
+    if (tracer_ != nullptr) {
+      tracer_->record(end, sim::TraceKind::kIntervalEnd, sim::kNoLink,
+                      static_cast<std::int64_t>(k));
+    }
+    debts_.on_interval_end(delivered);
+    stats_.record(arrivals, delivered);
+    for (const auto& obs : observers_) obs(k, arrivals, delivered);
+  }
+}
+
+double Network::total_deficiency() const {
+  return stats::total_deficiency(stats_, config_.requirements.q());
+}
+
+}  // namespace rtmac::net

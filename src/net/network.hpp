@@ -1,0 +1,73 @@
+// The experiment orchestrator: wires Simulator + Medium + traffic + one
+// MacScheme + debt/statistics, and drives the interval structure.
+//
+// Per interval k (paper Section II-B): at t = kT arrivals are sampled and
+// handed to the scheme; the scheme contends on the medium until (k+1)T;
+// at the boundary the network collects on-time deliveries S(k), advances
+// the debt ledger (eq. 1), and records statistics. Undelivered packets are
+// dropped by the scheme (hard per-packet deadline = interval end).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/debt.hpp"
+#include "mac/link_mac.hpp"
+#include "net/network_config.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "stats/link_stats.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::net {
+
+/// Observer invoked after every interval with (k, arrivals, deliveries);
+/// used by convergence/starvation experiments to record time series.
+using IntervalObserver =
+    std::function<void(IntervalIndex, const std::vector<int>&, const std::vector<int>&)>;
+
+/// Owns the full simulation stack for one run of one scheme.
+class Network {
+ public:
+  /// Takes ownership of `config` (validated; aborts on inconsistent input).
+  Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Simulates `intervals` further deadline intervals (resumable).
+  void run(IntervalIndex intervals);
+
+  /// Registers an end-of-interval observer (may be called multiple times).
+  void add_observer(IntervalObserver observer);
+
+  /// Attaches a protocol tracer to the whole stack (medium + MAC layers).
+  /// Not owned; pass nullptr to detach. Interval boundaries are recorded by
+  /// the network itself.
+  void attach_tracer(sim::Tracer* tracer);
+
+  [[nodiscard]] const stats::LinkStatsCollector& stats() const { return stats_; }
+  [[nodiscard]] const core::DebtTracker& debts() const { return debts_; }
+  [[nodiscard]] const phy::Medium& medium() const { return *medium_; }
+  [[nodiscard]] mac::MacScheme& scheme() { return *scheme_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
+
+  /// Total timely-throughput deficiency so far (Definition 1).
+  [[nodiscard]] double total_deficiency() const;
+
+ private:
+  NetworkConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<phy::Medium> medium_;
+  core::DebtTracker debts_;
+  stats::LinkStatsCollector stats_;
+  Rng arrival_rng_;
+  std::unique_ptr<mac::MacScheme> scheme_;
+  std::vector<IntervalObserver> observers_;
+  sim::Tracer* tracer_ = nullptr;
+  IntervalIndex next_interval_ = 0;
+};
+
+}  // namespace rtmac::net

@@ -1,0 +1,82 @@
+#include "net/network_config.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace rtmac::net {
+
+bool NetworkConfig::validate(std::string* error) const {
+  auto fail = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  const std::size_t n = success_prob.size();
+  if (n == 0) return fail("network has no links");
+  if (joint_arrivals != nullptr) {
+    if (joint_arrivals->num_links() != n) return fail("joint arrivals size != number of links");
+    const RateVector joint_mean = joint_arrivals->mean();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(joint_mean[i] - requirements.lambda[i]) > 1e-9) {
+        return fail("declared lambda does not match joint arrival process mean");
+      }
+    }
+  } else if (arrivals.size() != n) {
+    return fail("arrivals size != number of links");
+  }
+  if (requirements.lambda.size() != n || requirements.rho.size() != n) {
+    return fail("requirements size != number of links");
+  }
+  if (interval_length <= Duration{}) return fail("interval length must be positive");
+  if (phy.data_airtime <= Duration{} || phy.backoff_slot <= Duration{}) {
+    return fail("airtimes and slot width must be positive");
+  }
+  if (interval_length < phy.data_airtime) {
+    return fail("interval shorter than one packet airtime: nothing can ever be delivered");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (success_prob[i] <= 0.0 || success_prob[i] > 1.0) {
+      return fail("success probabilities must lie in (0, 1]");
+    }
+    if (joint_arrivals == nullptr) {
+      if (arrivals[i] == nullptr) return fail("null arrival process");
+      if (std::abs(arrivals[i]->mean() - requirements.lambda[i]) > 1e-9) {
+        return fail("declared lambda does not match arrival process mean");
+      }
+    }
+    if (requirements.rho[i] < 0.0 || requirements.rho[i] > 1.0) {
+      return fail("delivery ratios must lie in [0, 1]");
+    }
+  }
+  return true;
+}
+
+NetworkConfig NetworkConfig::clone() const {
+  NetworkConfig copy;
+  copy.interval_length = interval_length;
+  copy.phy = phy;
+  copy.success_prob = success_prob;
+  copy.arrivals.reserve(arrivals.size());
+  for (const auto& a : arrivals) copy.arrivals.push_back(a->clone());
+  copy.requirements = requirements;
+  copy.seed = seed;
+  copy.channel_factory = channel_factory;
+  if (joint_arrivals != nullptr) copy.joint_arrivals = joint_arrivals->clone();
+  return copy;
+}
+
+NetworkConfig symmetric_network(std::size_t num_links, Duration interval_length,
+                                const phy::PhyParams& phy, double p,
+                                const traffic::ArrivalProcess& arrivals, double rho,
+                                std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.interval_length = interval_length;
+  cfg.phy = phy;
+  cfg.success_prob.assign(num_links, p);
+  cfg.arrivals.reserve(num_links);
+  for (std::size_t i = 0; i < num_links; ++i) cfg.arrivals.push_back(arrivals.clone());
+  cfg.requirements = core::Requirements::symmetric(num_links, arrivals.mean(), rho);
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace rtmac::net

@@ -1,0 +1,59 @@
+// Experiment-level network description: (N, A, T, p) plus requirements.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/requirements.hpp"
+#include "core/types.hpp"
+#include "phy/channel_model.hpp"
+#include "phy/phy_params.hpp"
+#include "traffic/arrival_process.hpp"
+#include "traffic/joint_arrivals.hpp"
+#include "util/time.hpp"
+
+namespace rtmac::net {
+
+/// Full specification of one simulated network. Move-only (owns the arrival
+/// processes). Mirrors the paper's tuple (N, A, T, p) plus the requirement
+/// vector q expressed as (lambda, rho).
+struct NetworkConfig {
+  Duration interval_length;                  ///< the deadline T
+  phy::PhyParams phy;                        ///< airtimes and slot width
+  ProbabilityVector success_prob;            ///< p_n per link (policy-visible)
+  std::vector<std::unique_ptr<traffic::ArrivalProcess>> arrivals;  ///< A_n per link
+  core::Requirements requirements;           ///< lambda_n and rho_n
+  std::uint64_t seed = 1;                    ///< root seed for the whole run
+  /// Optional loss-process override (e.g. a GilbertElliottChannel for the
+  /// bursty-loss robustness ablation). When unset, the channel is the
+  /// paper's i.i.d. Bernoulli(success_prob). The policies always see
+  /// `success_prob` as their p_n estimate, so a model whose long-run mean
+  /// differs from it deliberately exercises estimation mismatch.
+  phy::ChannelModelFactory channel_factory;
+  /// Optional cross-link correlated traffic (Section II-B permits arrival
+  /// counts correlated across links within an interval). When set it
+  /// replaces the per-link `arrivals` sampling; `requirements.lambda` must
+  /// match its per-link means.
+  std::unique_ptr<traffic::JointArrivalProcess> joint_arrivals;
+
+  [[nodiscard]] std::size_t num_links() const { return success_prob.size(); }
+
+  /// Validates internal consistency (sizes match, probabilities in range,
+  /// declared lambda equals each arrival process's mean). Returns true and
+  /// leaves `error` untouched on success.
+  [[nodiscard]] bool validate(std::string* error = nullptr) const;
+
+  /// Deep copy (arrival processes cloned) — configs are templates reused
+  /// across sweep points and schemes.
+  [[nodiscard]] NetworkConfig clone() const;
+};
+
+/// Convenience builder for symmetric networks: every link shares the same
+/// reliability, arrival process, and delivery ratio.
+[[nodiscard]] NetworkConfig symmetric_network(std::size_t num_links, Duration interval_length,
+                                              const phy::PhyParams& phy, double p,
+                                              const traffic::ArrivalProcess& arrivals,
+                                              double rho, std::uint64_t seed);
+
+}  // namespace rtmac::net

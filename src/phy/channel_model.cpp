@@ -1,0 +1,50 @@
+#include "phy/channel_model.hpp"
+
+#include <cassert>
+
+namespace rtmac::phy {
+
+StaticChannel::StaticChannel(ProbabilityVector p) : p_{std::move(p)} {
+  assert(!p_.empty());
+  for (double pn : p_) {
+    assert(pn > 0.0 && pn <= 1.0);
+    (void)pn;
+  }
+}
+
+bool StaticChannel::attempt_succeeds(LinkId link, Rng& rng) {
+  assert(link < p_.size());
+  return rng.bernoulli(p_[link]);
+}
+
+GilbertElliottChannel::GilbertElliottChannel(std::vector<GilbertElliottParams> params)
+    : params_{std::move(params)}, good_(params_.size(), true) {
+  assert(!params_.empty());
+  for (const auto& p : params_) {
+    assert(p.p_good >= 0.0 && p.p_good <= 1.0);
+    assert(p.p_bad >= 0.0 && p.p_bad <= 1.0);
+    assert(p.good_to_bad > 0.0 && p.good_to_bad < 1.0);
+    assert(p.bad_to_good > 0.0 && p.bad_to_good < 1.0);
+    (void)p;
+  }
+}
+
+bool GilbertElliottChannel::attempt_succeeds(LinkId link, Rng& rng) {
+  assert(link < params_.size());
+  const auto& p = params_[link];
+  // Step the state chain first, then draw the attempt in the new state
+  // (order is a modeling convention; the stationary mean is unaffected).
+  if (good_[link]) {
+    if (rng.bernoulli(p.good_to_bad)) good_[link] = false;
+  } else {
+    if (rng.bernoulli(p.bad_to_good)) good_[link] = true;
+  }
+  return rng.bernoulli(good_[link] ? p.p_good : p.p_bad);
+}
+
+double GilbertElliottChannel::mean_success(LinkId link) const {
+  assert(link < params_.size());
+  return params_[link].mean_success();
+}
+
+}  // namespace rtmac::phy

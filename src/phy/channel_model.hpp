@@ -1,0 +1,82 @@
+// Per-link packet-loss processes.
+//
+// The paper's base model is i.i.d. Bernoulli(p_n) per clean transmission
+// (StaticChannel). GilbertElliottChannel adds the classic two-state bursty
+// loss model — each link flips between a Good and a Bad state with given
+// per-attempt transition probabilities and state-dependent success rates —
+// used by the robustness ablation: the protocols are configured with the
+// long-run mean reliability and must tolerate the fluctuation around it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::phy {
+
+/// Decides the fate of each interference-free data transmission.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Draws the outcome of one clean transmission attempt on `link`.
+  [[nodiscard]] virtual bool attempt_succeeds(LinkId link, Rng& rng) = 0;
+
+  /// Long-run success probability of `link` (what a transmitter would learn
+  /// from probing; the p_n handed to the scheduling policies).
+  [[nodiscard]] virtual double mean_success(LinkId link) const = 0;
+
+  [[nodiscard]] virtual std::size_t num_links() const = 0;
+};
+
+/// The paper's base channel: i.i.d. Bernoulli(p_n).
+class StaticChannel final : public ChannelModel {
+ public:
+  explicit StaticChannel(ProbabilityVector p);
+  [[nodiscard]] bool attempt_succeeds(LinkId link, Rng& rng) override;
+  [[nodiscard]] double mean_success(LinkId link) const override { return p_[link]; }
+  [[nodiscard]] std::size_t num_links() const override { return p_.size(); }
+
+ private:
+  ProbabilityVector p_;
+};
+
+/// Parameters of one link's two-state loss chain.
+struct GilbertElliottParams {
+  double p_good = 0.95;      ///< success probability in the Good state
+  double p_bad = 0.2;        ///< success probability in the Bad state
+  double good_to_bad = 0.02; ///< per-attempt transition probability
+  double bad_to_good = 0.1;  ///< per-attempt transition probability
+
+  /// Long-run stationary success probability of the chain.
+  [[nodiscard]] double mean_success() const {
+    const double pi_bad = good_to_bad / (good_to_bad + bad_to_good);
+    return (1.0 - pi_bad) * p_good + pi_bad * p_bad;
+  }
+};
+
+/// Bursty loss: each link carries an independent Good/Bad Markov chain that
+/// steps once per transmission attempt on that link.
+class GilbertElliottChannel final : public ChannelModel {
+ public:
+  explicit GilbertElliottChannel(std::vector<GilbertElliottParams> params);
+  [[nodiscard]] bool attempt_succeeds(LinkId link, Rng& rng) override;
+  [[nodiscard]] double mean_success(LinkId link) const override;
+  [[nodiscard]] std::size_t num_links() const override { return params_.size(); }
+
+  /// Current state of a link's chain (true = Good); exposed for tests.
+  [[nodiscard]] bool in_good_state(LinkId link) const { return good_[link]; }
+
+ private:
+  std::vector<GilbertElliottParams> params_;
+  std::vector<bool> good_;
+};
+
+/// Factory signature used by NetworkConfig to defer model construction.
+using ChannelModelFactory = std::function<std::unique_ptr<ChannelModel>()>;
+
+}  // namespace rtmac::phy

@@ -1,0 +1,121 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rtmac::phy {
+
+Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed)
+    : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)), seed} {}
+
+Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
+               std::uint64_t seed)
+    : sim_{simulator},
+      channel_{std::move(channel)},
+      loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
+  assert(channel_ != nullptr && channel_->num_links() > 0);
+  link_counters_.resize(channel_->num_links());
+}
+
+void Medium::add_listener(MediumListener* listener) {
+  assert(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done) {
+  assert(link < channel_->num_links());
+  assert(airtime > Duration{} && "zero-airtime transmission");
+
+  const TimePoint now = sim_.now();
+  const bool was_idle = (active_count_ == 0);
+
+  // Transmissions occupy half-open intervals [start, start+airtime): an
+  // active record whose end instant equals `now` is merely awaiting its
+  // same-timestamp completion event and does NOT overlap the newcomer.
+  bool overlaps = false;
+  for (auto& tx : active_) {
+    if (tx.start + tx.airtime > now) {
+      tx.collided = true;
+      overlaps = true;
+    }
+  }
+
+  const std::uint64_t tx_id = next_tx_id_++;
+  active_.push_back(ActiveTx{link, kind, now, airtime, overlaps, std::move(done), tx_id});
+  ++active_count_;
+
+  if (kind == PacketKind::kData) {
+    ++counters_.data_tx;
+    ++link_counters_[link].data_tx;
+  } else {
+    ++counters_.empty_tx;
+    ++link_counters_[link].empty_tx;
+  }
+
+  sim_.schedule_in(airtime, [this, tx_id] { finish_transmission(tx_id); });
+
+  if (tracer_ != nullptr) {
+    tracer_->record(now, sim::TraceKind::kTxStart, link, airtime.ns(),
+                    kind == PacketKind::kEmpty ? 1 : 0);
+  }
+
+  (void)was_idle;
+  if (!notified_busy_) {
+    notified_busy_ = true;
+    for (auto* l : listeners_) l->on_medium_busy(now);
+  }
+}
+
+void Medium::finish_transmission(std::uint64_t tx_id) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [tx_id](const ActiveTx& tx) { return tx.id == tx_id; });
+  assert(it != active_.end() && "unknown transmission id");
+
+  // Move the record out before invoking user code: the completion callback
+  // may immediately start another transmission (back-to-back bursts).
+  ActiveTx tx = std::move(*it);
+  active_.erase(it);
+  --active_count_;
+
+  counters_.busy_time += tx.airtime;
+  link_counters_[tx.link].airtime += tx.airtime;
+
+  TxOutcome outcome;
+  if (tx.collided) {
+    outcome = TxOutcome::kCollision;
+    ++counters_.collisions;
+    ++link_counters_[tx.link].collisions;
+    counters_.collided_time += tx.airtime;
+  } else if (tx.kind == PacketKind::kData && channel_->attempt_succeeds(tx.link, loss_rng_)) {
+    outcome = TxOutcome::kDelivered;
+    ++counters_.delivered;
+    ++link_counters_[tx.link].delivered;
+  } else if (tx.kind == PacketKind::kEmpty) {
+    // Empty packets carry no payload; a clean empty transmission counts as
+    // delivered for protocol purposes (the claim was heard as channel
+    // activity), and is never subject to the payload loss process.
+    outcome = TxOutcome::kDelivered;
+  } else {
+    outcome = TxOutcome::kChannelLoss;
+    ++counters_.channel_losses;
+  }
+
+  const TimePoint now = sim_.now();
+  if (tracer_ != nullptr) {
+    tracer_->record(now, sim::TraceKind::kTxEnd, tx.link, static_cast<std::int64_t>(outcome),
+                    tx.kind == PacketKind::kEmpty ? 1 : 0);
+  }
+
+  // Notify the transmitter first (it may chain the next packet of a burst,
+  // keeping the medium busy with no idle gap), then carrier-sense listeners
+  // if the medium actually went idle.
+  if (tx.done) tx.done(outcome);
+
+  if (active_count_ == 0 && notified_busy_) {
+    notified_busy_ = false;
+    for (auto* l : listeners_) l->on_medium_idle(now);
+  }
+}
+
+}  // namespace rtmac::phy

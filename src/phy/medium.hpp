@@ -1,0 +1,151 @@
+// The shared wireless medium: a single fully-interfering collision domain.
+//
+// This models exactly the channel of the paper's Section II-A:
+//   * the conflict graph is complete — any two overlapping transmissions
+//     collide and ALL overlapping transmissions fail;
+//   * an interference-free transmission on link n is delivered with
+//     probability p_n (i.i.d. across transmissions, the "unreliable
+//     transmissions" of the title);
+//   * every device can carrier-sense the medium (busy/idle) but cannot
+//     decode other devices' packets.
+// Transmission intervals are half-open [start, start+airtime): a packet
+// ending at t does not collide with one starting at t.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "phy/channel_model.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rtmac::phy {
+
+/// Result of one transmission attempt.
+enum class TxOutcome : std::uint8_t {
+  kDelivered,    ///< interference-free and passed the Bernoulli(p_n) draw
+  kChannelLoss,  ///< interference-free but lost to the unreliable channel
+  kCollision,    ///< overlapped with at least one other transmission
+};
+
+/// What is being transmitted. Empty packets claim priority in the DP
+/// protocol; they occupy airtime but carry no payload to deliver.
+enum class PacketKind : std::uint8_t { kData, kEmpty };
+
+/// Observer interface for carrier sensing. Devices register to learn about
+/// busy/idle transitions of the medium; that is all a paper-compliant
+/// device may learn about other links.
+///
+/// Re-entrancy rule: listener callbacks must NOT call
+/// Medium::start_transmission synchronously (other listeners would observe
+/// transitions out of order). Schedule the transmission through the
+/// Simulator instead — protocol timing always implies at least a zero-delay
+/// event boundary.
+class MediumListener {
+ public:
+  virtual ~MediumListener() = default;
+  /// The medium transitioned idle -> busy at virtual time `t`.
+  virtual void on_medium_busy(TimePoint t) = 0;
+  /// The medium transitioned busy -> idle at virtual time `t`.
+  virtual void on_medium_idle(TimePoint t) = 0;
+};
+
+/// Aggregate channel accounting, exposed for capacity/overhead analysis.
+struct MediumCounters {
+  std::uint64_t data_tx = 0;         ///< data transmission attempts
+  std::uint64_t empty_tx = 0;        ///< empty (priority-claim) transmissions
+  std::uint64_t delivered = 0;       ///< data packets delivered
+  std::uint64_t channel_losses = 0;  ///< clean data tx lost to Bernoulli(p)
+  std::uint64_t collisions = 0;      ///< transmissions that overlapped
+  Duration busy_time;                ///< total time the medium was busy
+  Duration collided_time;            ///< busy time wasted in collisions
+};
+
+/// Per-link slice of the channel accounting (airtime-fairness analysis).
+struct LinkCounters {
+  std::uint64_t data_tx = 0;
+  std::uint64_t empty_tx = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collisions = 0;
+  Duration airtime;  ///< total airtime used by this link (all outcomes)
+};
+
+/// The shared channel. Owns the loss process; notifies listeners of
+/// busy/idle transitions; reports each transmission's outcome to its
+/// initiator via callback at the end of the airtime.
+class Medium {
+ public:
+  using TxDone = std::function<void(TxOutcome)>;
+
+  /// `success_prob[n]` is the paper's p_n for link n (i.i.d. Bernoulli loss).
+  Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed);
+
+  /// Custom loss process (e.g. GilbertElliottChannel). The model also
+  /// provides the long-run p_n reported by success_prob().
+  Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel, std::uint64_t seed);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Begins a transmission on `link` lasting `airtime`. `done` fires exactly
+  /// once, at now()+airtime, with the outcome. Overlap with any concurrent
+  /// transmission marks every participant collided.
+  void start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done);
+
+  /// Carrier-sense: is any transmission in flight right now?
+  [[nodiscard]] bool busy() const { return active_count_ > 0; }
+
+  /// Registers a carrier-sense observer (not owned; must outlive the run).
+  void add_listener(MediumListener* listener);
+
+  [[nodiscard]] const MediumCounters& counters() const { return counters_; }
+  [[nodiscard]] const LinkCounters& link_counters(LinkId link) const {
+    return link_counters_[link];
+  }
+
+  /// Attaches a protocol tracer (not owned; null detaches). The medium is
+  /// the natural distribution point: MAC components that already hold a
+  /// Medium& read the tracer from here, so attaching once traces the whole
+  /// stack.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] sim::Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] std::size_t num_links() const { return channel_->num_links(); }
+  /// Long-run reliability p_n (what policies are configured with).
+  [[nodiscard]] double success_prob(LinkId link) const {
+    return channel_->mean_success(link);
+  }
+
+ private:
+  struct ActiveTx {
+    LinkId link;
+    PacketKind kind;
+    TimePoint start;
+    Duration airtime;
+    bool collided;
+    TxDone done;
+    std::uint64_t id;
+  };
+
+  void finish_transmission(std::uint64_t tx_id);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<ChannelModel> channel_;
+  Rng loss_rng_;
+  std::vector<ActiveTx> active_;  // small: rarely more than a handful in flight
+  std::size_t active_count_ = 0;
+  // Listeners' view of the channel. A completion callback may chain the next
+  // packet of a burst with zero idle gap; in that case no idle/busy pair is
+  // emitted and listeners correctly perceive one continuous busy period.
+  bool notified_busy_ = false;
+  std::uint64_t next_tx_id_ = 1;
+  std::vector<MediumListener*> listeners_;
+  MediumCounters counters_;
+  std::vector<LinkCounters> link_counters_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace rtmac::phy

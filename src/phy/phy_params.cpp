@@ -1,0 +1,21 @@
+#include "phy/phy_params.hpp"
+
+namespace rtmac::phy {
+
+PhyParams PhyParams::video_80211a() {
+  return PhyParams{
+      .data_airtime = Duration::microseconds(330),
+      .empty_airtime = Duration::microseconds(70),
+      .backoff_slot = Duration::microseconds(9),
+  };
+}
+
+PhyParams PhyParams::control_80211a() {
+  return PhyParams{
+      .data_airtime = Duration::microseconds(120),
+      .empty_airtime = Duration::microseconds(70),
+      .backoff_slot = Duration::microseconds(9),
+  };
+}
+
+}  // namespace rtmac::phy

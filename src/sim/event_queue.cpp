@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rtmac::sim {
+
+EventId EventQueue::push(TimePoint at, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Erasing from the pending set is the cancellation; the heap entry becomes
+  // a tombstone that pop()/next_time() skip.
+  return pending_.erase(id.seq_) > 0;
+}
+
+bool EventQueue::is_pending(EventId id) const {
+  return id.valid() && pending_.contains(id.seq_);
+}
+
+void EventQueue::skim_tombstones() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() {
+  skim_tombstones();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skim_tombstones();
+  assert(!heap_.empty() && "pop() on empty queue");
+  // priority_queue::top() is const&; move out via const_cast, which is safe
+  // because we pop the entry immediately after and never compare by callback.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.callback)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_.clear();
+}
+
+}  // namespace rtmac::sim

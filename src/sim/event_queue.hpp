@@ -1,0 +1,87 @@
+// Cancellable pending-event set for the discrete-event engine.
+//
+// A binary heap keyed by (time, sequence number) gives deterministic FIFO
+// ordering among events scheduled for the same instant — essential for
+// reproducible simulations. Cancellation is lazy: cancelled entries stay in
+// the heap as tombstones and are skipped on pop, which keeps cancel() O(1)
+// (protocol state machines cancel backoff expiries constantly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rtmac::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_ = 0;  // 0 = invalid/never-scheduled
+};
+
+/// Priority queue of timed callbacks with lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Returns a handle for cancel().
+  EventId push(TimePoint at, Callback cb);
+
+  /// Cancels a pending event. Safe on already-fired or already-cancelled
+  /// handles (no effect). Returns true iff the event was still pending.
+  bool cancel(EventId id);
+
+  /// True iff the handle refers to an event that has not yet fired nor been
+  /// cancelled.
+  [[nodiscard]] bool is_pending(EventId id) const;
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time();
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Popped {
+    TimePoint time;
+    Callback callback;
+  };
+  Popped pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops cancelled tombstones off the heap front.
+  void skim_tombstones();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // seqs neither fired nor cancelled
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace rtmac::sim

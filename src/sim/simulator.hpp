@@ -1,0 +1,63 @@
+// The discrete-event simulator: virtual clock + event loop.
+//
+// This is the stand-in for ns-3's core in this reproduction: components
+// schedule closures at absolute or relative virtual times; run() executes
+// them in deterministic (time, insertion) order while advancing the clock.
+// There is no real-time pacing — a 100 s experiment runs as fast as the CPU
+// allows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace rtmac::sim {
+
+/// Single-threaded discrete-event executor with a virtual clock.
+///
+/// Not thread-safe by design (CP.1 does not apply: the engine is inherently
+/// sequential; determinism is the feature).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Starts at the origin (t = 0).
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute virtual time `at`.
+  /// Precondition: at >= now() (events cannot be scheduled in the past).
+  EventId schedule_at(TimePoint at, EventQueue::Callback cb);
+
+  /// Schedules `cb` after `delay` from now. Precondition: delay >= 0.
+  EventId schedule_in(Duration delay, EventQueue::Callback cb);
+
+  /// Cancels a pending event; no effect on fired/cancelled handles.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+  [[nodiscard]] bool is_pending(EventId id) const { return queue_.is_pending(id); }
+
+  /// Runs until the event queue is exhausted or stop() is called.
+  void run();
+
+  /// Runs events with time <= horizon, then sets the clock to the horizon.
+  void run_until(TimePoint horizon);
+
+  /// Requests termination of a run in progress (callable from callbacks).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  void dispatch(EventQueue::Popped popped);
+
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::origin();
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rtmac::sim

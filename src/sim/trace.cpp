@@ -1,0 +1,80 @@
+#include "sim/trace.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace rtmac::sim {
+
+namespace {
+
+const char* kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kIntervalStart: return "interval-start";
+    case TraceKind::kIntervalEnd: return "interval-end";
+    case TraceKind::kBackoffArmed: return "backoff-armed";
+    case TraceKind::kBackoffFrozen: return "backoff-frozen";
+    case TraceKind::kBackoffResumed: return "backoff-resumed";
+    case TraceKind::kBackoffExpired: return "backoff-expired";
+    case TraceKind::kTxStart: return "tx-start";
+    case TraceKind::kTxEnd: return "tx-end";
+    case TraceKind::kSwapUp: return "swap-up";
+    case TraceKind::kSwapDown: return "swap-down";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceEvent::to_string() const {
+  char buf[160];
+  if (link == kNoLink) {
+    std::snprintf(buf, sizeof buf, "[%11.6fs] %-16s a=%lld b=%lld", time.seconds_f(),
+                  kind_name(kind), static_cast<long long>(a), static_cast<long long>(b));
+  } else {
+    std::snprintf(buf, sizeof buf, "[%11.6fs] %-16s link=%u a=%lld b=%lld",
+                  time.seconds_f(), kind_name(kind), link, static_cast<long long>(a),
+                  static_cast<long long>(b));
+  }
+  return buf;
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_{capacity} { assert(capacity > 0); }
+
+void Tracer::record(TraceEvent event) {
+  ++total_;
+  events_.push_back(event);
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<TraceEvent> Tracer::filter(TraceKind kind, LinkId link) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind && (link == kNoLink || e.link == link)) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Tracer::count(TraceKind kind, LinkId link) const {
+  std::size_t c = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind && (link == kNoLink || e.link == link)) ++c;
+  }
+  return c;
+}
+
+std::string Tracer::render() const {
+  std::string out;
+  out.reserve(events_.size() * 60);
+  for (const auto& e : events_) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+}  // namespace rtmac::sim

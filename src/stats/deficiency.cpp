@@ -1,0 +1,35 @@
+#include "stats/deficiency.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace rtmac::stats {
+
+std::vector<double> per_link_deficiency(const LinkStatsCollector& stats, const RateVector& q) {
+  assert(q.size() == stats.num_links());
+  std::vector<double> out(q.size());
+  for (LinkId n = 0; n < q.size(); ++n) {
+    out[n] = positive_part(q[n] - stats.timely_throughput(n));
+  }
+  return out;
+}
+
+double total_deficiency(const LinkStatsCollector& stats, const RateVector& q) {
+  double total = 0.0;
+  for (double d : per_link_deficiency(stats, q)) total += d;
+  return total;
+}
+
+double group_deficiency(const LinkStatsCollector& stats, const RateVector& q,
+                        const std::vector<LinkId>& group) {
+  assert(q.size() == stats.num_links());
+  double total = 0.0;
+  for (LinkId n : group) {
+    assert(n < q.size());
+    total += positive_part(q[n] - stats.timely_throughput(n));
+  }
+  return total;
+}
+
+}  // namespace rtmac::stats

@@ -1,0 +1,27 @@
+// Timely-throughput deficiency (the paper's Definition 1).
+//
+// Deficiency of link n up to interval K:  (q_n - (1/K) sum_k S_n(k))^+.
+// The total across links is the paper's headline metric: a requirement
+// vector q is fulfilled iff the total deficiency converges to zero.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "stats/link_stats.hpp"
+
+namespace rtmac::stats {
+
+/// Per-link deficiency given required timely-throughputs q.
+[[nodiscard]] std::vector<double> per_link_deficiency(const LinkStatsCollector& stats,
+                                                      const RateVector& q);
+
+/// Total timely-throughput deficiency (Definition 1, summed over links).
+[[nodiscard]] double total_deficiency(const LinkStatsCollector& stats, const RateVector& q);
+
+/// Deficiency summed over an explicit subset of links (the paper's Figs. 7-8
+/// report "group-wide" deficiency).
+[[nodiscard]] double group_deficiency(const LinkStatsCollector& stats, const RateVector& q,
+                                      const std::vector<LinkId>& group);
+
+}  // namespace rtmac::stats

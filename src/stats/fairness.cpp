@@ -1,0 +1,26 @@
+#include "stats/fairness.hpp"
+
+#include <algorithm>
+
+namespace rtmac::stats {
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double min_max_ratio(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  if (*mx == 0.0) return 1.0;
+  return *mn / *mx;
+}
+
+}  // namespace rtmac::stats

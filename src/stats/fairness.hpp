@@ -1,0 +1,19 @@
+// Fairness metrics over per-link allocations.
+//
+// Used by the starvation analyses (Fig. 6) and the asymmetric-network
+// experiments: Jain's index is 1 for a perfectly even allocation and 1/N
+// when a single link receives everything.
+#pragma once
+
+#include <span>
+
+namespace rtmac::stats {
+
+/// Jain's fairness index: (sum x)^2 / (N * sum x^2). Returns 1.0 for an
+/// empty or all-zero allocation (vacuously fair).
+[[nodiscard]] double jain_index(std::span<const double> xs);
+
+/// Min-max ratio: min(x)/max(x); 1.0 when empty or max is zero.
+[[nodiscard]] double min_max_ratio(std::span<const double> xs);
+
+}  // namespace rtmac::stats

@@ -1,0 +1,58 @@
+#include "stats/latency.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rtmac::stats {
+
+void LatencySample::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+Duration LatencySample::mean() const {
+  if (samples_.empty()) return Duration{};
+  // Sum in double nanoseconds: experiment-scale sums stay well inside the
+  // 53-bit exact-integer range.
+  double total = 0.0;
+  for (Duration d : samples_) total += static_cast<double>(d.ns());
+  return Duration::nanoseconds(
+      static_cast<std::int64_t>(std::llround(total / static_cast<double>(samples_.size()))));
+}
+
+Duration LatencySample::max() const {
+  Duration m{};
+  for (Duration d : samples_) m = std::max(m, d);
+  return m;
+}
+
+Duration LatencySample::quantile(double q) const {
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+LatencySample delivery_latencies(const sim::Tracer& tracer, Duration interval_length) {
+  assert(interval_length > Duration{});
+  LatencySample sample;
+  for (const auto& e : tracer.events()) {
+    if (e.kind != sim::TraceKind::kTxEnd) continue;
+    if (e.a != 0 /* not delivered */ || e.b != 0 /* empty packet */) continue;
+    const std::int64_t t = e.time.ns();
+    std::int64_t offset = t % interval_length.ns();
+    // A delivery exactly at the boundary belongs to the ENDING interval:
+    // report the full interval length, not zero.
+    if (offset == 0) offset = interval_length.ns();
+    sample.add(Duration::nanoseconds(offset));
+  }
+  return sample;
+}
+
+}  // namespace rtmac::stats

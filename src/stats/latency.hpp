@@ -1,0 +1,44 @@
+// Per-packet delivery latency analysis.
+//
+// The deadline model guarantees every delivered packet arrives within T of
+// its release (packets are dropped at the interval boundary), but the
+// DISTRIBUTION of delivery times inside the interval differs sharply across
+// schemes: a centralized genie serves back-to-back from t = 0, while
+// contention-based schemes pay backoff and collision delays. Latencies are
+// reconstructed from a protocol trace — a delivered data packet's latency is
+// its tx-end time minus the enclosing interval's start — so no extra
+// plumbing is needed in the MAC layers.
+#pragma once
+
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/time.hpp"
+
+namespace rtmac::stats {
+
+/// Simple exact-quantile sample collector (stores all samples; fine at
+/// experiment scale).
+class LatencySample {
+ public:
+  void add(Duration d) { samples_.push_back(d); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] Duration mean() const;
+  [[nodiscard]] Duration max() const;
+  /// q in [0, 1]; nearest-rank quantile. Precondition: count() > 0.
+  [[nodiscard]] Duration quantile(double q) const;
+
+ private:
+  mutable std::vector<Duration> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Extracts the delivery latency (time since the enclosing interval's
+/// start) of every delivered DATA packet in the trace. Empty-packet and
+/// failed transmissions are ignored. `interval_length` must match the run.
+[[nodiscard]] LatencySample delivery_latencies(const sim::Tracer& tracer,
+                                               Duration interval_length);
+
+}  // namespace rtmac::stats

@@ -1,0 +1,48 @@
+#include "stats/link_stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtmac::stats {
+
+LinkStatsCollector::LinkStatsCollector(std::size_t num_links)
+    : total_arrivals_(num_links, 0), total_delivered_(num_links, 0) {
+  assert(num_links > 0);
+}
+
+void LinkStatsCollector::record(const std::vector<int>& arrivals,
+                                const std::vector<int>& delivered) {
+  assert(arrivals.size() == total_arrivals_.size());
+  assert(delivered.size() == total_delivered_.size());
+  for (std::size_t n = 0; n < arrivals.size(); ++n) {
+    assert(delivered[n] >= 0 && delivered[n] <= arrivals[n] &&
+           "cannot deliver more than arrived (S_n(k) <= A_n(k))");
+    total_arrivals_[n] += static_cast<std::uint64_t>(arrivals[n]);
+    total_delivered_[n] += static_cast<std::uint64_t>(delivered[n]);
+  }
+  ++intervals_;
+}
+
+double LinkStatsCollector::timely_throughput(LinkId n) const {
+  if (intervals_ == 0) return 0.0;
+  return static_cast<double>(total_delivered_[n]) / static_cast<double>(intervals_);
+}
+
+std::vector<double> LinkStatsCollector::timely_throughputs() const {
+  std::vector<double> out(total_delivered_.size());
+  for (LinkId n = 0; n < out.size(); ++n) out[n] = timely_throughput(n);
+  return out;
+}
+
+double LinkStatsCollector::delivery_ratio(LinkId n) const {
+  if (total_arrivals_[n] == 0) return 1.0;
+  return static_cast<double>(total_delivered_[n]) / static_cast<double>(total_arrivals_[n]);
+}
+
+void LinkStatsCollector::reset() {
+  std::fill(total_arrivals_.begin(), total_arrivals_.end(), 0);
+  std::fill(total_delivered_.begin(), total_delivered_.end(), 0);
+  intervals_ = 0;
+}
+
+}  // namespace rtmac::stats

@@ -1,0 +1,40 @@
+// Per-link delivery accounting across a whole experiment run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtmac::stats {
+
+/// Accumulates arrivals and on-time deliveries per link per interval.
+class LinkStatsCollector {
+ public:
+  explicit LinkStatsCollector(std::size_t num_links);
+
+  /// Records one completed interval.
+  void record(const std::vector<int>& arrivals, const std::vector<int>& delivered);
+
+  [[nodiscard]] std::size_t num_links() const { return total_delivered_.size(); }
+  [[nodiscard]] IntervalIndex intervals() const { return intervals_; }
+
+  [[nodiscard]] std::uint64_t total_arrivals(LinkId n) const { return total_arrivals_[n]; }
+  [[nodiscard]] std::uint64_t total_delivered(LinkId n) const { return total_delivered_[n]; }
+
+  /// Empirical timely-throughput: delivered packets per interval so far.
+  [[nodiscard]] double timely_throughput(LinkId n) const;
+  [[nodiscard]] std::vector<double> timely_throughputs() const;
+
+  /// Empirical delivery ratio delivered/arrived (1.0 when nothing arrived).
+  [[nodiscard]] double delivery_ratio(LinkId n) const;
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> total_arrivals_;
+  std::vector<std::uint64_t> total_delivered_;
+  IntervalIndex intervals_ = 0;
+};
+
+}  // namespace rtmac::stats

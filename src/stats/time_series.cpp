@@ -1,0 +1,46 @@
+#include "stats/time_series.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtmac::stats {
+
+std::vector<double> TimeSeries::cumulative_mean() const {
+  std::vector<double> out(values_.size());
+  double running = 0.0;
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    running += values_[k];
+    out[k] = running / static_cast<double>(k + 1);
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::moving_average(std::size_t window) const {
+  assert(window >= 1);
+  std::vector<double> out(values_.size());
+  double running = 0.0;
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    running += values_[k];
+    if (k >= window) running -= values_[k - window];
+    out[k] = running / static_cast<double>(std::min(k + 1, window));
+  }
+  return out;
+}
+
+std::optional<std::size_t> convergence_interval(const TimeSeries& series, double target,
+                                                double tolerance) {
+  const auto means = series.cumulative_mean();
+  const double band = std::abs(target) * tolerance;
+  // Scan from the end: find the last index that violates the band.
+  std::size_t first_settled = 0;
+  for (std::size_t k = means.size(); k-- > 0;) {
+    if (std::abs(means[k] - target) > band) {
+      first_settled = k + 1;
+      break;
+    }
+  }
+  if (first_settled >= means.size()) return std::nullopt;
+  return first_settled;
+}
+
+}  // namespace rtmac::stats

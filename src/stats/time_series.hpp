@@ -1,0 +1,39 @@
+// Interval-indexed time series and convergence measurement (Fig. 5 support).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtmac::stats {
+
+/// A per-interval scalar series with running-average helpers.
+class TimeSeries {
+ public:
+  void push(double value) { values_.push_back(value); }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Cumulative means: out[k] = mean(values[0..k]).
+  [[nodiscard]] std::vector<double> cumulative_mean() const;
+
+  /// Trailing moving average with the given window (shorter prefixes use
+  /// what is available). Precondition: window >= 1.
+  [[nodiscard]] std::vector<double> moving_average(std::size_t window) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// First index k after which the cumulative mean stays within
+/// `tolerance * target` of `target` forever (the paper's "within 1%
+/// neighborhood of the timely-throughput requirement"). Empty when the
+/// series never settles.
+[[nodiscard]] std::optional<std::size_t> convergence_interval(const TimeSeries& series,
+                                                              double target,
+                                                              double tolerance);
+
+}  // namespace rtmac::stats

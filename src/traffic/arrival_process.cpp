@@ -1,0 +1,106 @@
+#include "traffic/arrival_process.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/math.hpp"
+
+namespace rtmac::traffic {
+
+// ---- BernoulliArrivals ------------------------------------------------------
+
+BernoulliArrivals::BernoulliArrivals(double lambda) : lambda_{lambda} {
+  assert(lambda >= 0.0 && lambda <= 1.0);
+}
+
+int BernoulliArrivals::sample(Rng& rng) const { return rng.bernoulli(lambda_) ? 1 : 0; }
+
+std::vector<double> BernoulliArrivals::pmf() const { return {1.0 - lambda_, lambda_}; }
+
+std::unique_ptr<ArrivalProcess> BernoulliArrivals::clone() const {
+  return std::make_unique<BernoulliArrivals>(*this);
+}
+
+// ---- UniformBurstyArrivals --------------------------------------------------
+
+UniformBurstyArrivals::UniformBurstyArrivals(double alpha, int lo, int hi)
+    : alpha_{alpha}, lo_{lo}, hi_{hi} {
+  assert(alpha >= 0.0 && alpha <= 1.0);
+  assert(0 <= lo && lo <= hi);
+}
+
+int UniformBurstyArrivals::sample(Rng& rng) const {
+  if (!rng.bernoulli(alpha_)) return 0;
+  return static_cast<int>(rng.uniform_int(lo_, hi_));
+}
+
+double UniformBurstyArrivals::mean() const {
+  return alpha_ * 0.5 * static_cast<double>(lo_ + hi_);
+}
+
+std::vector<double> UniformBurstyArrivals::pmf() const {
+  std::vector<double> pmf(static_cast<std::size_t>(hi_) + 1, 0.0);
+  const double per_value = alpha_ / static_cast<double>(hi_ - lo_ + 1);
+  for (int v = lo_; v <= hi_; ++v) pmf[static_cast<std::size_t>(v)] += per_value;
+  pmf[0] += 1.0 - alpha_;
+  return pmf;
+}
+
+std::unique_ptr<ArrivalProcess> UniformBurstyArrivals::clone() const {
+  return std::make_unique<UniformBurstyArrivals>(*this);
+}
+
+// ---- ConstantArrivals -------------------------------------------------------
+
+ConstantArrivals::ConstantArrivals(int count) : count_{count} { assert(count >= 0); }
+
+int ConstantArrivals::sample(Rng&) const { return count_; }
+
+std::vector<double> ConstantArrivals::pmf() const {
+  std::vector<double> pmf(static_cast<std::size_t>(count_) + 1, 0.0);
+  pmf.back() = 1.0;
+  return pmf;
+}
+
+std::unique_ptr<ArrivalProcess> ConstantArrivals::clone() const {
+  return std::make_unique<ConstantArrivals>(*this);
+}
+
+// ---- GeneralDiscreteArrivals ------------------------------------------------
+
+GeneralDiscreteArrivals::GeneralDiscreteArrivals(std::vector<double> pmf)
+    : pmf_{std::move(pmf)} {
+  assert(!pmf_.empty());
+  for (double p : pmf_) {
+    assert(p >= 0.0);
+    (void)p;
+  }
+  const double total = normalize(pmf_);
+  assert(total > 0.0 && "pmf must have positive mass");
+  (void)total;
+  cdf_.resize(pmf_.size());
+  std::partial_sum(pmf_.begin(), pmf_.end(), cdf_.begin());
+  cdf_.back() = 1.0;  // guard against rounding drift at the top
+}
+
+int GeneralDiscreteArrivals::sample(Rng& rng) const {
+  // upper_bound (first cdf entry strictly greater than u) makes value v win
+  // exactly the interval [cdf[v-1], cdf[v]) of mass pmf[v], including v=0.
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(std::min<std::ptrdiff_t>(std::distance(cdf_.begin(), it),
+                                                   static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double GeneralDiscreteArrivals::mean() const {
+  double m = 0.0;
+  for (std::size_t v = 0; v < pmf_.size(); ++v) m += static_cast<double>(v) * pmf_[v];
+  return m;
+}
+
+std::unique_ptr<ArrivalProcess> GeneralDiscreteArrivals::clone() const {
+  return std::make_unique<GeneralDiscreteArrivals>(*this);
+}
+
+}  // namespace rtmac::traffic

@@ -1,0 +1,109 @@
+// Per-interval packet arrival processes (the paper's A_n(k)).
+//
+// Arrivals happen at interval boundaries: A_n(k) packets appear in link n's
+// buffer at time kT, each with absolute deadline (k+1)T. The paper assumes
+// {A(k)} i.i.d. across intervals with bounded support (A_max < infinity);
+// every process here reports its full pmf so the exact analysis tools can
+// consume the same specification as the simulator.
+//
+// The two evaluation workloads of Section VI are provided directly:
+//   * UniformBurstyArrivals — "video" traffic: U{1..6} w.p. alpha, else 0,
+//     so lambda = 3.5 * alpha;
+//   * BernoulliArrivals     — "control" traffic: 1 packet w.p. lambda.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rtmac::traffic {
+
+/// Interface for an i.i.d., bounded, nonnegative-integer arrival process.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Draws the number of packets arriving this interval.
+  [[nodiscard]] virtual int sample(Rng& rng) const = 0;
+
+  /// Mean arrivals per interval (the paper's lambda_n).
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Largest possible arrival count (the paper's A_max). Finite by model.
+  [[nodiscard]] virtual int max_arrivals() const = 0;
+
+  /// Probability mass function over {0, 1, ..., max_arrivals()}.
+  [[nodiscard]] virtual std::vector<double> pmf() const = 0;
+
+  /// Deep copy (value semantics across a pointer boundary).
+  [[nodiscard]] virtual std::unique_ptr<ArrivalProcess> clone() const = 0;
+};
+
+/// Exactly one packet w.p. `lambda`, zero otherwise (Section VI-B control
+/// traffic). Precondition: lambda in [0, 1].
+class BernoulliArrivals final : public ArrivalProcess {
+ public:
+  explicit BernoulliArrivals(double lambda);
+  [[nodiscard]] int sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return lambda_; }
+  [[nodiscard]] int max_arrivals() const override { return 1; }
+  [[nodiscard]] std::vector<double> pmf() const override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  double lambda_;
+};
+
+/// With probability `alpha`, Uniform{lo..hi} packets; otherwise zero
+/// (Section VI-A bursty video traffic; paper uses lo=1, hi=6 so the mean is
+/// 3.5*alpha). Preconditions: alpha in [0,1], 0 <= lo <= hi.
+class UniformBurstyArrivals final : public ArrivalProcess {
+ public:
+  UniformBurstyArrivals(double alpha, int lo = 1, int hi = 6);
+  [[nodiscard]] int sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] int max_arrivals() const override { return hi_; }
+  [[nodiscard]] std::vector<double> pmf() const override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  int lo_;
+  int hi_;
+};
+
+/// Deterministic: exactly `count` packets every interval. The classic
+/// "one packet per interval" model of Hou-Borkar-Kumar is ConstantArrivals(1).
+class ConstantArrivals final : public ArrivalProcess {
+ public:
+  explicit ConstantArrivals(int count);
+  [[nodiscard]] int sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return count_; }
+  [[nodiscard]] int max_arrivals() const override { return count_; }
+  [[nodiscard]] std::vector<double> pmf() const override;
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  int count_;
+};
+
+/// Arbitrary finite-support distribution given as a pmf over {0..K}.
+/// The pmf is normalized on construction. Precondition: nonnegative entries
+/// with a positive sum.
+class GeneralDiscreteArrivals final : public ArrivalProcess {
+ public:
+  explicit GeneralDiscreteArrivals(std::vector<double> pmf);
+  [[nodiscard]] int sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] int max_arrivals() const override { return static_cast<int>(pmf_.size()) - 1; }
+  [[nodiscard]] std::vector<double> pmf() const override { return pmf_; }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+
+ private:
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace rtmac::traffic

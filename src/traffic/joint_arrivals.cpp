@@ -1,0 +1,66 @@
+#include "traffic/joint_arrivals.hpp"
+
+#include <cassert>
+
+namespace rtmac::traffic {
+
+IndependentArrivals::IndependentArrivals(
+    std::vector<std::unique_ptr<ArrivalProcess>> marginals)
+    : marginals_{std::move(marginals)} {
+  assert(!marginals_.empty());
+  for (const auto& m : marginals_) {
+    assert(m != nullptr);
+    (void)m;
+  }
+}
+
+std::vector<int> IndependentArrivals::sample(Rng& rng) const {
+  std::vector<int> out(marginals_.size());
+  for (std::size_t n = 0; n < marginals_.size(); ++n) out[n] = marginals_[n]->sample(rng);
+  return out;
+}
+
+RateVector IndependentArrivals::mean() const {
+  RateVector out(marginals_.size());
+  for (std::size_t n = 0; n < marginals_.size(); ++n) out[n] = marginals_[n]->mean();
+  return out;
+}
+
+std::unique_ptr<JointArrivalProcess> IndependentArrivals::clone() const {
+  std::vector<std::unique_ptr<ArrivalProcess>> copies;
+  copies.reserve(marginals_.size());
+  for (const auto& m : marginals_) copies.push_back(m->clone());
+  return std::make_unique<IndependentArrivals>(std::move(copies));
+}
+
+CommonShockBurstyArrivals::CommonShockBurstyArrivals(std::size_t num_links, double alpha,
+                                                     double shock, int lo, int hi)
+    : num_links_{num_links}, alpha_{alpha}, shock_{shock}, lo_{lo}, hi_{hi} {
+  assert(num_links >= 1);
+  assert(alpha >= 0.0 && alpha <= 1.0);
+  assert(shock >= 0.0 && shock <= alpha);
+  assert(0 <= lo && lo <= hi);
+  residual_alpha_ = shock_ >= 1.0 ? 0.0 : (alpha_ - shock_) / (1.0 - shock_);
+}
+
+std::vector<int> CommonShockBurstyArrivals::sample(Rng& rng) const {
+  std::vector<int> out(num_links_, 0);
+  const bool shock = rng.bernoulli(shock_);
+  for (std::size_t n = 0; n < num_links_; ++n) {
+    if (shock || rng.bernoulli(residual_alpha_)) {
+      out[n] = static_cast<int>(rng.uniform_int(lo_, hi_));
+    }
+  }
+  return out;
+}
+
+RateVector CommonShockBurstyArrivals::mean() const {
+  // P(burst) = shock + (1 - shock) * residual = alpha by construction.
+  return RateVector(num_links_, alpha_ * 0.5 * static_cast<double>(lo_ + hi_));
+}
+
+std::unique_ptr<JointArrivalProcess> CommonShockBurstyArrivals::clone() const {
+  return std::make_unique<CommonShockBurstyArrivals>(*this);
+}
+
+}  // namespace rtmac::traffic

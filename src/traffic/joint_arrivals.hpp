@@ -1,0 +1,76 @@
+// Joint (cross-link correlated) arrival processes.
+//
+// The paper's traffic model (Section II-B) requires {A(k)} i.i.d. across
+// intervals but explicitly allows the per-link counts within one interval
+// to be correlated. This module supplies the joint view: the Network can
+// sample the whole arrival VECTOR at once instead of per-link independent
+// draws, enabling e.g. synchronized video bursts across cameras.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "traffic/arrival_process.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::traffic {
+
+/// One draw of the whole arrival vector A(k).
+class JointArrivalProcess {
+ public:
+  virtual ~JointArrivalProcess() = default;
+
+  /// Samples A(k) for all links.
+  [[nodiscard]] virtual std::vector<int> sample(Rng& rng) const = 0;
+
+  /// Per-link means lambda_n.
+  [[nodiscard]] virtual RateVector mean() const = 0;
+
+  [[nodiscard]] virtual std::size_t num_links() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<JointArrivalProcess> clone() const = 0;
+};
+
+/// Product law: each link draws independently from its own marginal — the
+/// behaviour the Network uses by default, exposed here so joint and
+/// independent configurations flow through one code path.
+class IndependentArrivals final : public JointArrivalProcess {
+ public:
+  explicit IndependentArrivals(std::vector<std::unique_ptr<ArrivalProcess>> marginals);
+  [[nodiscard]] std::vector<int> sample(Rng& rng) const override;
+  [[nodiscard]] RateVector mean() const override;
+  [[nodiscard]] std::size_t num_links() const override { return marginals_.size(); }
+  [[nodiscard]] std::unique_ptr<JointArrivalProcess> clone() const override;
+
+ private:
+  std::vector<std::unique_ptr<ArrivalProcess>> marginals_;
+};
+
+/// Correlated video bursts with UNCHANGED per-link marginals:
+/// with probability `shock` every link bursts simultaneously (each drawing
+/// Uniform{lo..hi} packets); otherwise each link bursts independently with
+/// the residual probability (alpha - shock) / (1 - shock). shock = 0 is the
+/// independent UniformBurstyArrivals model; shock = alpha synchronizes all
+/// bursts. Preconditions: 0 <= shock <= alpha <= 1.
+class CommonShockBurstyArrivals final : public JointArrivalProcess {
+ public:
+  CommonShockBurstyArrivals(std::size_t num_links, double alpha, double shock, int lo = 1,
+                            int hi = 6);
+  [[nodiscard]] std::vector<int> sample(Rng& rng) const override;
+  [[nodiscard]] RateVector mean() const override;
+  [[nodiscard]] std::size_t num_links() const override { return num_links_; }
+  [[nodiscard]] std::unique_ptr<JointArrivalProcess> clone() const override;
+
+  [[nodiscard]] double residual_alpha() const { return residual_alpha_; }
+
+ private:
+  std::size_t num_links_;
+  double alpha_;
+  double shock_;
+  double residual_alpha_;
+  int lo_;
+  int hi_;
+};
+
+}  // namespace rtmac::traffic

@@ -1,0 +1,78 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace rtmac {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --key value form: consume the next token iff it is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";  // boolean switch
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const { return flags_.contains(name); }
+
+std::string ArgParser::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+double ArgParser::get(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : def;
+}
+
+std::int64_t ArgParser::get(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : def;
+}
+
+bool ArgParser::get(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  if (it->second.empty() || it->second == "true" || it->second == "1" ||
+      it->second == "yes" || it->second == "on") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ArgParser::unknown_flags(
+    const std::vector<std::string>& expected) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const auto& e : expected) {
+      if (e == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace rtmac

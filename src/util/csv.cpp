@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace rtmac {
+
+std::string csv_escape(std::string_view value, char separator) {
+  const bool needs_quote =
+      value.find_first_of("\"\r\n") != std::string_view::npos ||
+      value.find(separator) != std::string_view::npos;
+  if (!needs_quote) return std::string{value};
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char separator) : out_{out}, sep_{separator} {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  assert(!header_written_ && rows_ == 0 && "header must precede all rows");
+  header_written_ = true;
+  bool first = true;
+  for (const auto& c : columns) {
+    if (!first) out_ << sep_;
+    out_ << csv_escape(c, sep_);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::separator_if_needed() {
+  if (row_open_) out_ << sep_;
+  row_open_ = true;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  separator_if_needed();
+  out_ << csv_escape(value, sep_);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  separator_if_needed();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  out_ << buf;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  separator_if_needed();
+  out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  separator_if_needed();
+  out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace rtmac

@@ -1,0 +1,48 @@
+// Minimal CSV writer used by benches and examples to dump figure series.
+//
+// Values are formatted with enough precision to round-trip doubles; fields
+// containing separators/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtmac {
+
+/// Streams rows of a CSV table to an std::ostream supplied by the caller.
+/// The writer does not own the stream; keep it alive while writing.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char separator = ',');
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(const std::vector<std::string>& columns);
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(int value) { return field(static_cast<std::int64_t>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void separator_if_needed();
+
+  std::ostream& out_;
+  char sep_;
+  bool row_open_ = false;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV field (exposed for tests).
+[[nodiscard]] std::string csv_escape(std::string_view value, char separator = ',');
+
+}  // namespace rtmac

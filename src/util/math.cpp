@@ -1,0 +1,66 @@
+#include "util/math.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtmac {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  assert(p.size() == q.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) s += std::abs(p[i] - q[i]);
+  return 0.5 * s;
+}
+
+double linf_norm(std::span<const double> xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double factorial(unsigned n) {
+  double r = 1.0;
+  for (unsigned i = 2; i <= n; ++i) r *= static_cast<double>(i);
+  return r;
+}
+
+double normalize(std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  if (s > 0.0) {
+    for (double& x : xs) x /= s;
+  }
+  return s;
+}
+
+double binomial(unsigned n, unsigned k) {
+  if (k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+double binomial_pmf(unsigned n, unsigned k, double p) {
+  if (k > n) return 0.0;
+  return binomial(n, k) * std::pow(p, k) * std::pow(1.0 - p, n - k);
+}
+
+}  // namespace rtmac

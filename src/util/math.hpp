@@ -1,0 +1,41 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rtmac {
+
+/// x^+ = max{0, x} — positive part, used throughout the debt machinery.
+[[nodiscard]] constexpr double positive_part(double x) { return x > 0.0 ? x : 0.0; }
+
+/// Arithmetic mean of a span; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample variance (denominator n-1); 0 for spans shorter than 2.
+[[nodiscard]] double sample_variance(std::span<const double> xs);
+
+/// Total-variation distance between two distributions given as element-wise
+/// aligned probability vectors: TV = 0.5 * sum |p_i - q_i|.
+/// Precondition: p.size() == q.size().
+[[nodiscard]] double total_variation(std::span<const double> p, std::span<const double> q);
+
+/// L-infinity norm of a vector.
+[[nodiscard]] double linf_norm(std::span<const double> xs);
+
+/// n! as double (exact for n <= 20 in the integer part we use).
+[[nodiscard]] double factorial(unsigned n);
+
+/// Normalizes a nonnegative vector to sum to 1 in place; leaves a zero vector
+/// untouched. Returns the pre-normalization sum.
+double normalize(std::vector<double>& xs);
+
+/// Binomial coefficient C(n, k) as double.
+[[nodiscard]] double binomial(unsigned n, unsigned k);
+
+/// PMF of Binomial(n, p) at k.
+[[nodiscard]] double binomial_pmf(unsigned n, unsigned k, double p);
+
+}  // namespace rtmac

@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace rtmac {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns) : columns_{std::move(columns)} {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size() && "row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) width[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "| " : " | ");
+      out << row[i];
+      out << std::string(width[i] - row[i].size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(columns_);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out << (i == 0 ? "|-" : "-|-") << std::string(width[i], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace rtmac

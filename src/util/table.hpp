@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printer for bench/example console output.
+//
+// Benches print paper-figure series as aligned tables so the regenerated
+// rows can be eyeballed against the paper directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtmac {
+
+/// Collects rows of string cells and renders them with per-column widths.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Adds a row; the number of cells must equal the number of columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders header, separator, and all rows.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Convenience cell formatters.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+  [[nodiscard]] static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtmac

@@ -1,0 +1,37 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rtmac {
+
+Duration Duration::from_us_f(double us) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(std::llround(us * 1e3)));
+}
+
+Duration Duration::from_seconds_f(double s) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const std::int64_t a = ns_ < 0 ? -ns_ : ns_;
+  if (a >= 1'000'000'000 && a % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(ns_ / 1'000'000'000));
+  } else if (a >= 1'000'000 && a % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(ns_ / 1'000'000));
+  } else if (a >= 1'000 && a % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(ns_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", seconds_f());
+  return buf;
+}
+
+}  // namespace rtmac

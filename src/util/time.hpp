@@ -1,0 +1,91 @@
+// Strong-typed virtual time for the discrete-event simulator.
+//
+// All simulation time is kept as signed 64-bit nanosecond counts. A strong
+// Duration/TimePoint pair (rather than raw integers or std::chrono) keeps
+// the arithmetic closed under exactly the operations that make sense for
+// virtual time, and gives the whole library one unambiguous resolution.
+// 2^63 ns is roughly 292 years of virtual time, far beyond any experiment.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace rtmac {
+
+/// A span of virtual time with nanosecond resolution. Value type; totally
+/// ordered; supports the usual affine arithmetic with TimePoint.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t ns) { return Duration{ns}; }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1'000}; }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  /// Builds a duration from a fractional microsecond count (rounds to nearest ns).
+  [[nodiscard]] static Duration from_us_f(double us);
+  /// Builds a duration from a fractional second count (rounds to nearest ns).
+  [[nodiscard]] static Duration from_seconds_f(double s);
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us_f() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms_f() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const { return Duration{ns_ + other.ns_}; }
+  constexpr Duration operator-(Duration other) const { return Duration{ns_ - other.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration& operator+=(Duration other) { ns_ += other.ns_; return *this; }
+  constexpr Duration& operator-=(Duration other) { ns_ -= other.ns_; return *this; }
+
+  /// Number of whole `unit`s contained in this duration (truncating).
+  /// Precondition: `unit` is positive.
+  [[nodiscard]] constexpr std::int64_t floor_div(Duration unit) const {
+    const std::int64_t q = ns_ / unit.ns_;
+    return (ns_ % unit.ns_ != 0 && ((ns_ < 0) != (unit.ns_ < 0))) ? q - 1 : q;
+  }
+
+  /// Human-readable rendering with an adaptive unit, e.g. "330us", "2ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An instant on the simulator's virtual clock. Affine: TimePoint - TimePoint
+/// yields Duration; TimePoint + Duration yields TimePoint.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint{ns}; }
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint other) const { return Duration::nanoseconds(ns_ - other.ns_); }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace rtmac

@@ -1,0 +1,115 @@
+#include "analysis/interval_mdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/priority_evaluator.hpp"
+#include "core/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::analysis {
+namespace {
+
+TEST(IntervalMdpTest, SingleLinkSinglePacket) {
+  // 1 packet, p, T slots, weight w: optimum = w * (1 - (1-p)^T).
+  const IntervalMdp mdp{{0.5}, {2.0}, 3};
+  EXPECT_NEAR(mdp.optimal_value({1}), 2.0 * (1.0 - 0.125), 1e-12);
+}
+
+TEST(IntervalMdpTest, EmptyBuffersAreWorthless) {
+  const IntervalMdp mdp{{0.9, 0.9}, {1.0, 1.0}, 5};
+  EXPECT_DOUBLE_EQ(mdp.optimal_value({0, 0}), 0.0);
+  EXPECT_EQ(mdp.optimal_action({0, 0}, 5), -1);
+}
+
+TEST(IntervalMdpTest, ZeroSlotsWorthless) {
+  const IntervalMdp mdp{{0.9}, {1.0}, 0};
+  EXPECT_DOUBLE_EQ(mdp.optimal_value({3}), 0.0);
+}
+
+TEST(IntervalMdpTest, OneSlotPicksLargestWeightTimesP) {
+  // One slot, both links loaded: value = max(w0 p0, w1 p1).
+  const IntervalMdp mdp{{0.5, 0.9}, {3.0, 1.2}, 1};
+  EXPECT_NEAR(mdp.optimal_value({1, 1}), 1.5, 1e-12);
+  EXPECT_EQ(mdp.optimal_action({1, 1}, 1), 0);
+}
+
+TEST(IntervalMdpTest, ValueMonotoneInSlotsAndBuffers) {
+  const IntervalMdp mdp3{{0.6, 0.8}, {1.0, 2.0}, 3};
+  const IntervalMdp mdp6{{0.6, 0.8}, {1.0, 2.0}, 6};
+  EXPECT_LE(mdp3.optimal_value({1, 1}), mdp6.optimal_value({1, 1}));
+  EXPECT_LE(mdp6.optimal_value({1, 1}), mdp6.optimal_value({2, 1}));
+  EXPECT_LE(mdp6.optimal_value({2, 1}), mdp6.optimal_value({2, 2}));
+}
+
+TEST(IntervalMdpTest, OptimalActionIsEldfArgmax) {
+  // Lemma 3's mechanism: the optimal action is the loaded link maximizing
+  // w_n * p_n, regardless of the other buffers.
+  const IntervalMdp mdp{{0.7, 0.9, 0.5}, {2.0, 1.0, 3.0}, 8};
+  // w*p = 1.4, 0.9, 1.5 -> link 2 first.
+  EXPECT_EQ(mdp.optimal_action({2, 2, 2}, 8), 2);
+  // With link 2 drained: link 0 (1.4) next.
+  EXPECT_EQ(mdp.optimal_action({2, 2, 0}, 6), 0);
+  EXPECT_EQ(mdp.optimal_action({0, 2, 0}, 3), 1);
+}
+
+TEST(IntervalMdpTest, Lemma3AdaptiveOptimumEqualsEldfPriorityValue) {
+  // THE theorem check: the adaptive optimum over all policies equals the
+  // value of the non-adaptive ELDF priority ordering, for random instances.
+  Rng rng{314159};
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 3;
+    ProbabilityVector p(n);
+    std::vector<double> w(n);
+    std::vector<int> buffers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = rng.uniform_real(0.2, 1.0);
+      w[i] = rng.uniform_real(0.1, 3.0);
+      buffers[i] = static_cast<int>(rng.uniform_int(0, 3));
+    }
+    const int slots = static_cast<int>(rng.uniform_int(1, 8));
+
+    const IntervalMdp mdp{p, w, slots};
+    const double adaptive_opt = mdp.optimal_value(buffers);
+
+    PriorityEvaluator eval{p, slots};
+    const double eldf_value =
+        PriorityEvaluator::objective(eval.evaluate_fixed(eval.eldf_ordering(w), buffers), w);
+
+    EXPECT_NEAR(adaptive_opt, eldf_value, 1e-9)
+        << "trial " << trial << ": adaptive optimum should be attained by ELDF";
+  }
+}
+
+TEST(IntervalMdpTest, AdaptiveOptimumDominatesEveryFixedOrdering) {
+  Rng rng{2718};
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 4;
+    ProbabilityVector p(n);
+    std::vector<double> w(n);
+    std::vector<int> buffers(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = rng.uniform_real(0.3, 1.0);
+      w[i] = rng.uniform_real(0.1, 2.0);
+      buffers[i] = static_cast<int>(rng.uniform_int(0, 2));
+    }
+    const int slots = 5;
+    const IntervalMdp mdp{p, w, slots};
+    const double adaptive_opt = mdp.optimal_value(buffers);
+    PriorityEvaluator eval{p, slots};
+    for (const auto& perm : core::Permutation::all(n)) {
+      const double v =
+          PriorityEvaluator::objective(eval.evaluate_fixed(perm.ordering(), buffers), w);
+      EXPECT_LE(v, adaptive_opt + 1e-9) << perm.to_string();
+    }
+  }
+}
+
+TEST(IntervalMdpTest, PerfectChannelCountsGreedily) {
+  // p = 1 everywhere: optimum = serve in weight order until slots run out.
+  const IntervalMdp mdp{{1.0, 1.0}, {2.0, 1.0}, 3};
+  // Buffers (2, 2): serve link 0 twice (2+2) then link 1 once (1) = 5.
+  EXPECT_NEAR(mdp.optimal_value({2, 2}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtmac::analysis

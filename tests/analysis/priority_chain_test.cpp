@@ -1,0 +1,208 @@
+#include "analysis/priority_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::analysis {
+namespace {
+
+TEST(PriorityChainTest, TransitionMatrixIsRowStochastic) {
+  const PriorityChain chain{{0.3, 0.6, 0.8}};
+  for (const auto& row : chain.transition_matrix()) {
+    const double sum = std::accumulate(row.begin(), row.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(PriorityChainTest, OnlyAdjacentTranspositionsHavePositiveRate) {
+  const PriorityChain chain{{0.3, 0.6, 0.8, 0.4}};
+  const auto& states = chain.states();
+  const auto& x = chain.transition_matrix();
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    for (std::size_t b = 0; b < states.size(); ++b) {
+      if (a == b || x[a][b] == 0.0) continue;
+      EXPECT_TRUE(states[a].is_adjacent_transposition_of(states[b]))
+          << states[a].to_string() << " -> " << states[b].to_string();
+    }
+  }
+}
+
+TEST(PriorityChainTest, Equation9Rates) {
+  // N=2: from identity [1,2], swapping requires link0 (priority 1) down and
+  // link1 (priority 2) up: rate (1-mu0)*mu1 / (N-1) = (1-mu0)*mu1.
+  const double mu0 = 0.3;
+  const double mu1 = 0.8;
+  const PriorityChain chain{{mu0, mu1}};
+  const auto id = core::Permutation::identity(2);
+  auto swapped = id;
+  swapped.swap_adjacent_priorities(1);
+  const auto& x = chain.transition_matrix();
+  EXPECT_NEAR(x[id.rank()][swapped.rank()], (1.0 - mu0) * mu1, 1e-12);
+  EXPECT_NEAR(x[swapped.rank()][id.rank()], (1.0 - mu1) * mu0, 1e-12);
+  EXPECT_NEAR(x[id.rank()][id.rank()], 1.0 - (1.0 - mu0) * mu1, 1e-12);
+}
+
+TEST(PriorityChainTest, TransmitProbScalesOffDiagonals) {
+  const PriorityChain full{{0.3, 0.8}, 1.0};
+  const PriorityChain half{{0.3, 0.8}, 0.5};
+  const auto id = core::Permutation::identity(2);
+  auto swapped = id;
+  swapped.swap_adjacent_priorities(1);
+  EXPECT_NEAR(half.transition_matrix()[id.rank()][swapped.rank()],
+              0.5 * full.transition_matrix()[id.rank()][swapped.rank()], 1e-12);
+}
+
+TEST(PriorityChainTest, AnalyticStationaryIsDistribution) {
+  const PriorityChain chain{{0.2, 0.5, 0.7}};
+  const auto pi = chain.stationary_analytic();
+  EXPECT_EQ(pi.size(), 6u);
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-12);
+  for (double v : pi) EXPECT_GT(v, 0.0);
+}
+
+TEST(PriorityChainTest, Proposition2DetailedBalanceHolds) {
+  // The analytic law of eq. (10) must satisfy detailed balance w.r.t. the
+  // eq. (9) transition matrix — the crux of Proposition 2.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng{seed};
+    for (std::size_t n : {2u, 3u, 4u, 5u}) {
+      std::vector<double> mu(n);
+      for (auto& m : mu) m = rng.uniform_real(0.05, 0.95);
+      const PriorityChain chain{mu};
+      const auto pi = chain.stationary_analytic();
+      EXPECT_LT(chain.detailed_balance_residual(pi), 1e-12)
+          << "N=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PriorityChainTest, NumericStationaryMatchesAnalytic) {
+  const PriorityChain chain{{0.25, 0.6, 0.85}};
+  const auto analytic = chain.stationary_analytic();
+  const auto numeric = chain.stationary_numeric();
+  EXPECT_LT(total_variation(analytic, numeric), 1e-9);
+}
+
+TEST(PriorityChainTest, UniformMuGivesUniformStationary) {
+  // Equal coin biases make every permutation equally likely in steady state.
+  const PriorityChain chain{{0.4, 0.4, 0.4}};
+  const auto pi = chain.stationary_analytic();
+  for (double v : pi) EXPECT_NEAR(v, 1.0 / 6.0, 1e-12);
+}
+
+TEST(PriorityChainTest, HighMuLinkConcentratesOnTopPriority) {
+  // Link 0 with mu near 1 should be at priority 1 almost surely.
+  const PriorityChain chain{{0.999, 0.5, 0.5}};
+  const auto pi = chain.stationary_analytic();
+  double link0_top = 0.0;
+  for (std::size_t a = 0; a < chain.num_states(); ++a) {
+    if (chain.states()[a].priority_of(0) == 1) link0_top += pi[a];
+  }
+  EXPECT_GT(link0_top, 0.99);
+}
+
+TEST(PriorityChainTest, MixingReducesTvDistance) {
+  const PriorityChain chain{{0.3, 0.6, 0.8}};
+  const auto start = core::Permutation::identity(3);
+  const double tv1 = chain.tv_from_start(start, 1);
+  const double tv50 = chain.tv_from_start(start, 50);
+  const double tv500 = chain.tv_from_start(start, 500);
+  EXPECT_GT(tv1, tv50);
+  EXPECT_GT(tv50, tv500);
+  EXPECT_LT(tv500, 1e-3);
+}
+
+TEST(SpectralGapTest, TwoStateChainClosedForm) {
+  // N = 2: X = [[1-a, a],[b, 1-b]] with a = (1-mu0)mu1, b = (1-mu1)mu0.
+  // Eigenvalues {1, 1 - a - b} => SLEM = |1 - a - b|.
+  const double mu0 = 0.3;
+  const double mu1 = 0.8;
+  const PriorityChain chain{{mu0, mu1}};
+  const double a = (1.0 - mu0) * mu1;
+  const double b = (1.0 - mu1) * mu0;
+  EXPECT_NEAR(chain.second_eigenvalue_modulus(), std::abs(1.0 - a - b), 1e-9);
+}
+
+TEST(SpectralGapTest, SlemBelowOneForErgodicChains) {
+  const PriorityChain chain{{0.3, 0.5, 0.7, 0.4}};
+  const double slem = chain.second_eigenvalue_modulus();
+  EXPECT_GT(slem, 0.0);
+  EXPECT_LT(slem, 1.0);
+}
+
+TEST(SpectralGapTest, MixingBoundConsistentWithEmpiricalTv) {
+  // After t = mixing_time_bound(eps) steps the TV distance must actually be
+  // below eps (the bound is an upper bound on the required steps).
+  const PriorityChain chain{{0.25, 0.55, 0.8}};
+  const double eps = 0.05;
+  const auto t = static_cast<int>(chain.mixing_time_bound(eps)) + 1;
+  EXPECT_LT(chain.tv_from_start(core::Permutation::identity(3), t), eps);
+}
+
+TEST(SpectralGapTest, ExtremerBiasesMixSlower) {
+  // Pushing mu toward the boundary shrinks the downward-move probability
+  // and hence the spectral gap — the Glauber slowdown behind the two-time-
+  // scale caveat in Section V-A.
+  const PriorityChain mild{{0.4, 0.6}};
+  const PriorityChain extreme{{0.9, 0.97}};
+  EXPECT_GT(extreme.second_eigenvalue_modulus(), mild.second_eigenvalue_modulus());
+}
+
+TEST(DbdpStationaryLawTest, MatchesProposition3Form) {
+  // pi(sigma) ∝ exp(sum g(sigma_n) f(d_n^+) p_n); verify against a direct
+  // computation for N=3.
+  const core::DebtMu formula{core::Influence::identity(), 10.0};
+  const std::vector<double> debts{2.0, 0.5, -1.0};
+  const ProbabilityVector p{0.7, 0.9, 0.5};
+  const auto pi = dbdp_stationary_law(formula, debts, p);
+  const auto states = core::Permutation::all(3);
+  std::vector<double> expected(states.size());
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    double e = 0.0;
+    for (LinkId n = 0; n < 3; ++n) {
+      const double d_plus = std::max(0.0, debts[n]);
+      e += static_cast<double>(3 - states[a].priority_of(n)) * d_plus * p[n];
+    }
+    expected[a] = std::exp(e);
+  }
+  normalize(expected);
+  EXPECT_LT(total_variation(pi, expected), 1e-12);
+}
+
+TEST(DbdpStationaryLawTest, ConcentratesOnEldfOrderingForLargeDebts) {
+  // Proposition 4's engine: when debts grow, the stationary law concentrates
+  // on orderings sorted by f(d^+) p — exactly the ELDF priorities.
+  const core::DebtMu formula{core::Influence::identity(), 10.0};
+  const std::vector<double> debts{30.0, 20.0, 10.0};
+  const ProbabilityVector p{1.0, 1.0, 1.0};
+  const auto pi = dbdp_stationary_law(formula, debts, p);
+  // The ELDF ordering is link0 > link1 > link2 == the identity permutation.
+  const auto id = core::Permutation::identity(3);
+  EXPECT_GT(pi[id.rank()], 0.9999);
+}
+
+TEST(PriorityChainTest, FixedMuChainMatchesDbdpLawThroughOdds) {
+  // Plugging mu_n = exp(w_n)/(R+exp(w_n)) into eq. (10) must reproduce the
+  // eq. (15) law — the two-time-scale substitution of Proposition 3.
+  const core::DebtMu formula{core::Influence::paper_log(), 10.0};
+  const std::vector<double> debts{3.0, 1.0, 0.2, 5.0};
+  const ProbabilityVector p{0.7, 0.9, 0.6, 0.5};
+  std::vector<double> mu(4);
+  for (std::size_t n = 0; n < 4; ++n) mu[n] = formula.mu(debts[n], p[n]);
+  const PriorityChain chain{mu};
+  const auto from_chain = chain.stationary_analytic();
+  const auto from_law = dbdp_stationary_law(formula, debts, p);
+  EXPECT_LT(total_variation(from_chain, from_law), 1e-9);
+}
+
+}  // namespace
+}  // namespace rtmac::analysis

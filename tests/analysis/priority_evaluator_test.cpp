@@ -1,0 +1,152 @@
+#include "analysis/priority_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::analysis {
+namespace {
+
+TEST(PriorityEvaluatorTest, SingleLinkReliableChannel) {
+  PriorityEvaluator eval{{1.0}, 5};
+  const auto r = eval.evaluate_fixed({0}, {3});
+  EXPECT_NEAR(r.expected_deliveries[0], 3.0, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, SingleLinkSlotsBound) {
+  PriorityEvaluator eval{{1.0}, 2};
+  const auto r = eval.evaluate_fixed({0}, {5});
+  EXPECT_NEAR(r.expected_deliveries[0], 2.0, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, SingleLinkGeometricRetry) {
+  // 1 packet, p = 0.5, 3 slots: P(deliver) = 1 - 0.5^3.
+  PriorityEvaluator eval{{0.5}, 3};
+  const auto r = eval.evaluate_fixed({0}, {1});
+  EXPECT_NEAR(r.expected_deliveries[0], 1.0 - 0.125, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, SingleLinkBinomialTruncation) {
+  // 2 packets, p = 0.5, 2 slots: E[S] = E[Binomial(2, .5)] = 1.
+  PriorityEvaluator eval{{0.5}, 2};
+  const auto r = eval.evaluate_fixed({0}, {2});
+  EXPECT_NEAR(r.expected_deliveries[0], 1.0, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, TwoLinksReliableSequential) {
+  PriorityEvaluator eval{{1.0, 1.0}, 3};
+  const auto r = eval.evaluate_fixed({0, 1}, {2, 2});
+  EXPECT_NEAR(r.expected_deliveries[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.expected_deliveries[1], 1.0, 1e-12);  // one slot left
+}
+
+TEST(PriorityEvaluatorTest, OrderingMatters) {
+  PriorityEvaluator eval{{1.0, 1.0}, 1};
+  const auto forward = eval.evaluate_fixed({0, 1}, {1, 1});
+  const auto backward = eval.evaluate_fixed({1, 0}, {1, 1});
+  EXPECT_NEAR(forward.expected_deliveries[0], 1.0, 1e-12);
+  EXPECT_NEAR(forward.expected_deliveries[1], 0.0, 1e-12);
+  EXPECT_NEAR(backward.expected_deliveries[1], 1.0, 1e-12);
+  EXPECT_NEAR(backward.expected_deliveries[0], 0.0, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, SecondLinkSeesLeftoverDistribution) {
+  // Link 0: 1 packet at p=0.5 with 2 slots. It uses 1 slot w.p. .5 (success
+  // first try), else 2 slots. Link 1 (p=1, 1 packet) delivers iff a slot is
+  // left: probability 0.5.
+  PriorityEvaluator eval{{0.5, 1.0}, 2};
+  const auto r = eval.evaluate_fixed({0, 1}, {1, 1});
+  EXPECT_NEAR(r.expected_deliveries[0], 0.75, 1e-12);  // 1 - 0.5^2
+  EXPECT_NEAR(r.expected_deliveries[1], 0.5, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, IndependentArrivalsAverageOverPmf) {
+  // Link arrivals Bernoulli(0.5): E[S] = 0.5 * P(deliver 1 pkt in 2 slots).
+  PriorityEvaluator eval{{0.5}, 2};
+  const auto r = eval.evaluate({0}, {{0.5, 0.5}});
+  EXPECT_NEAR(r.expected_deliveries[0], 0.5 * 0.75, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, TotalsAndObjective) {
+  PriorityEvaluator eval{{1.0, 1.0}, 2};
+  const auto r = eval.evaluate_fixed({0, 1}, {1, 1});
+  EXPECT_NEAR(r.total(), 2.0, 1e-12);
+  EXPECT_NEAR(PriorityEvaluator::objective(r, {2.0, 3.0}), 5.0, 1e-12);
+}
+
+TEST(PriorityEvaluatorTest, EldfOrderingSortsByWeightTimesP) {
+  PriorityEvaluator eval{{0.5, 0.9, 0.7}, 10};
+  // weights * p: 0.5*2=1.0, 0.9*1=0.9, 0.7*2=1.4 -> order {2, 0, 1}.
+  EXPECT_EQ(eval.eldf_ordering({2.0, 1.0, 2.0}), (std::vector<LinkId>{2, 0, 1}));
+}
+
+TEST(PriorityEvaluatorTest, MatchesMonteCarlo) {
+  // Cross-validate the exact DP against brute-force simulation of the same
+  // serve-in-order process.
+  const ProbabilityVector p{0.6, 0.8, 0.4};
+  const std::vector<int> arrivals{2, 1, 3};
+  const int slots = 6;
+  PriorityEvaluator eval{p, slots};
+  const auto exact = eval.evaluate_fixed({2, 0, 1}, arrivals);
+
+  Rng rng{2718};
+  std::vector<double> mc(3, 0.0);
+  constexpr int kTrials = 200000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    int remaining = slots;
+    std::vector<int> buf = arrivals;
+    for (LinkId link : {2u, 0u, 1u}) {
+      while (buf[link] > 0 && remaining > 0) {
+        --remaining;
+        if (rng.bernoulli(p[link])) {
+          --buf[link];
+          mc[link] += 1.0;
+        }
+      }
+    }
+  }
+  for (auto& v : mc) v /= kTrials;
+  for (LinkId n = 0; n < 3; ++n) {
+    EXPECT_NEAR(exact.expected_deliveries[n], mc[n], 0.01) << "link " << n;
+  }
+}
+
+TEST(PriorityEvaluatorTest, Lemma3EldfMaximizesObjectiveExhaustively) {
+  // Lemma 3: the ELDF ordering maximizes sum w_n E[S_n] over ALL orderings.
+  // Exhaustive check for N = 4 over several random weight/arrival draws.
+  Rng rng{99};
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilityVector p(4);
+    std::vector<double> w(4);
+    std::vector<std::vector<double>> pmfs(4);
+    for (int n = 0; n < 4; ++n) {
+      p[static_cast<std::size_t>(n)] = rng.uniform_real(0.2, 1.0);
+      w[static_cast<std::size_t>(n)] = rng.uniform_real(0.0, 3.0);
+      // Bernoulli-ish arrival pmf over {0,1,2}.
+      const double a0 = rng.uniform_real(0.0, 1.0);
+      const double a1 = rng.uniform_real(0.0, 1.0 - a0);
+      pmfs[static_cast<std::size_t>(n)] = {a0, a1, 1.0 - a0 - a1};
+    }
+    PriorityEvaluator eval{p, 5};
+    const double eldf_obj =
+        PriorityEvaluator::objective(eval.evaluate(eval.eldf_ordering(w), pmfs), w);
+    for (const auto& perm : core::Permutation::all(4)) {
+      const double obj = PriorityEvaluator::objective(eval.evaluate(perm.ordering(), pmfs), w);
+      EXPECT_LE(obj, eldf_obj + 1e-9)
+          << "ordering " << perm.to_string() << " beats ELDF in trial " << trial;
+    }
+  }
+}
+
+TEST(PriorityEvaluatorTest, ZeroSlotsDeliversNothing) {
+  PriorityEvaluator eval{{0.9, 0.9}, 0};
+  const auto r = eval.evaluate_fixed({0, 1}, {2, 2});
+  EXPECT_DOUBLE_EQ(r.expected_deliveries[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.expected_deliveries[1], 0.0);
+}
+
+}  // namespace
+}  // namespace rtmac::analysis

@@ -1,0 +1,90 @@
+#include "analysis/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.hpp"
+#include "expfw/scenarios.hpp"
+#include "net/network_config.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace rtmac::analysis {
+namespace {
+
+TwoLinkRegion simple_region() {
+  // p = 1, one packet each, 1 slot: outcomes (1,0) and (0,1); the region is
+  // the probability simplex.
+  return two_link_region({1.0, 1.0}, {{0.0, 1.0}, {0.0, 1.0}}, 1);
+}
+
+TEST(TwoLinkRegionTest, SimplexExtremePoints) {
+  const auto region = simple_region();
+  EXPECT_NEAR(region.link0_first.q0, 1.0, 1e-12);
+  EXPECT_NEAR(region.link0_first.q1, 0.0, 1e-12);
+  EXPECT_NEAR(region.link1_first.q0, 0.0, 1e-12);
+  EXPECT_NEAR(region.link1_first.q1, 1.0, 1e-12);
+}
+
+TEST(TwoLinkRegionTest, SimplexMembership) {
+  const auto region = simple_region();
+  EXPECT_TRUE(region.contains({0.5, 0.5}));
+  EXPECT_TRUE(region.contains({0.3, 0.69}));
+  EXPECT_TRUE(region.contains({1.0, 0.0}));
+  EXPECT_FALSE(region.contains({0.6, 0.6}));
+  EXPECT_FALSE(region.contains({1.01, 0.0}));
+  EXPECT_TRUE(region.contains({0.0, 0.0}));
+}
+
+TEST(TwoLinkRegionTest, BoundaryScaleOnSimplex) {
+  const auto region = simple_region();
+  EXPECT_NEAR(region.boundary_scale({0.5, 0.5}), 1.0, 1e-9);
+  EXPECT_NEAR(region.boundary_scale({0.25, 0.25}), 2.0, 1e-9);
+  EXPECT_NEAR(region.boundary_scale({1.0, 0.0}), 1.0, 1e-9);
+  EXPECT_NEAR(region.boundary_scale({0.0, 2.0}), 0.5, 1e-9);
+}
+
+TEST(TwoLinkRegionTest, AbundantSlotsDecoupleLinks) {
+  // 8 slots, 1 packet each, p = 1: both orderings deliver (1,1); the region
+  // is the unit square.
+  const auto region = two_link_region({1.0, 1.0}, {{0.0, 1.0}, {0.0, 1.0}}, 8);
+  EXPECT_TRUE(region.contains({1.0, 1.0}));
+  EXPECT_FALSE(region.contains({1.0, 1.1}));
+}
+
+TEST(TwoLinkRegionTest, UnreliableAsymmetricFrontier) {
+  // Heterogeneous p: the frontier extreme points reflect who went first.
+  const auto region = two_link_region({0.5, 0.9}, {{0.0, 1.0}, {0.0, 1.0}}, 2);
+  // link0 first: E[S0] = 1 - 0.25 = 0.75; link1 gets the leftover slot
+  // (prob 0.5 that link0 succeeded on try one) -> E[S1] = 0.5 * 0.9 = 0.45.
+  EXPECT_NEAR(region.link0_first.q0, 0.75, 1e-12);
+  EXPECT_NEAR(region.link0_first.q1, 0.45, 1e-12);
+  // link1 first: E[S1] = 1 - 0.01 = 0.99; link0 leftover: 0.9 * 0.5 = 0.45.
+  EXPECT_NEAR(region.link1_first.q1, 0.99, 1e-12);
+  EXPECT_NEAR(region.link1_first.q0, 0.45, 1e-12);
+}
+
+TEST(TwoLinkRegionTest, EmpiricalLdfBoundaryMatchesExactRegion) {
+  // The exact frontier must match the empirically probed LDF boundary along
+  // the diagonal ray: feasibility optimality made measurable.
+  const int slots = 4;
+  const auto region = two_link_region({0.8, 0.8}, {{0.0, 1.0}, {0.0, 1.0}}, slots);
+  const double exact_scale = region.boundary_scale({1.0, 1.0});  // q = s*(1,1)
+
+  // Empirical: rho sweeps the diagonal since lambda = 1 for both links.
+  const ConfigForLoad config_for = [](double rho) {
+    return net::symmetric_network(2, Duration::microseconds(520),
+                                  phy::PhyParams::control_80211a(), 0.8,
+                                  traffic::ConstantArrivals{1}, rho, 17);
+  };
+  // 520us / 120us airtime = 4 slots, matching `slots`.
+  ProbeParams params;
+  params.intervals = 3000;
+  params.bisection_steps = 10;
+  params.deficiency_threshold = 0.01;
+  params.lo = 0.5;
+  params.hi = 1.0;
+  const double empirical = max_supported_load(config_for, expfw::ldf_factory(), params);
+  EXPECT_NEAR(empirical, exact_scale, 0.03);
+}
+
+}  // namespace
+}  // namespace rtmac::analysis

@@ -1,0 +1,92 @@
+#include "core/debt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rtmac::core {
+namespace {
+
+TEST(DebtTrackerTest, StartsAtZero) {
+  DebtTracker debt{{0.9, 0.5}};
+  EXPECT_DOUBLE_EQ(debt.debt(0), 0.0);
+  EXPECT_DOUBLE_EQ(debt.debt(1), 0.0);
+  EXPECT_EQ(debt.intervals_elapsed(), 0u);
+  EXPECT_EQ(debt.size(), 2u);
+}
+
+TEST(DebtTrackerTest, EquationOneSingleStep) {
+  // d(k+1) = d(k) - S(k) + q.
+  DebtTracker debt{{0.9}};
+  debt.on_interval_end({0});
+  EXPECT_DOUBLE_EQ(debt.debt(0), 0.9);
+  debt.on_interval_end({1});
+  EXPECT_NEAR(debt.debt(0), 0.8, 1e-12);
+  debt.on_interval_end({2});
+  EXPECT_NEAR(debt.debt(0), -0.3, 1e-12);
+}
+
+TEST(DebtTrackerTest, ClosedFormIdentity) {
+  // d_n(k) = k*q_n - sum_j S_n(j) for random delivery sequences.
+  Rng rng{17};
+  DebtTracker debt{{0.73, 0.2}};
+  long s0 = 0;
+  long s1 = 0;
+  for (int k = 1; k <= 500; ++k) {
+    const int a = static_cast<int>(rng.uniform_int(0, 3));
+    const int b = static_cast<int>(rng.uniform_int(0, 1));
+    s0 += a;
+    s1 += b;
+    debt.on_interval_end({a, b});
+    EXPECT_NEAR(debt.debt(0), k * 0.73 - static_cast<double>(s0), 1e-9);
+    EXPECT_NEAR(debt.debt(1), k * 0.2 - static_cast<double>(s1), 1e-9);
+  }
+  EXPECT_EQ(debt.intervals_elapsed(), 500u);
+}
+
+TEST(DebtTrackerTest, PositivePart) {
+  DebtTracker debt{{0.5}};
+  debt.on_interval_end({3});  // debt = -2.5
+  EXPECT_DOUBLE_EQ(debt.debt(0), -2.5);
+  EXPECT_DOUBLE_EQ(debt.debt_plus(0), 0.0);
+  debt.on_interval_end({0});
+  debt.on_interval_end({0});
+  debt.on_interval_end({0});
+  debt.on_interval_end({0});
+  debt.on_interval_end({0});  // debt = -2.5 + 5*0.5 = 0
+  EXPECT_NEAR(debt.debt(0), 0.0, 1e-12);
+  debt.on_interval_end({0});
+  EXPECT_NEAR(debt.debt_plus(0), 0.5, 1e-12);
+}
+
+TEST(DebtTrackerTest, DebtsPlusVector) {
+  DebtTracker debt{{1.0, 0.0}};
+  debt.on_interval_end({0, 1});
+  const auto dp = debt.debts_plus();
+  EXPECT_DOUBLE_EQ(dp[0], 1.0);
+  EXPECT_DOUBLE_EQ(dp[1], 0.0);  // debt is -1, clipped
+}
+
+TEST(DebtTrackerTest, LinfNorm) {
+  DebtTracker debt{{1.0, 0.1}};
+  debt.on_interval_end({0, 3});  // d = (1.0, -2.9)
+  EXPECT_NEAR(debt.linf(), 2.9, 1e-12);
+}
+
+TEST(DebtTrackerTest, ResetClearsState) {
+  DebtTracker debt{{0.9}};
+  debt.on_interval_end({0});
+  debt.reset();
+  EXPECT_DOUBLE_EQ(debt.debt(0), 0.0);
+  EXPECT_EQ(debt.intervals_elapsed(), 0u);
+}
+
+TEST(DebtTrackerTest, RequirementsAccessors) {
+  DebtTracker debt{{0.7, 0.3}};
+  EXPECT_DOUBLE_EQ(debt.requirement(0), 0.7);
+  EXPECT_DOUBLE_EQ(debt.requirement(1), 0.3);
+  EXPECT_EQ(debt.requirements().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rtmac::core

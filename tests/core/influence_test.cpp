@@ -1,0 +1,98 @@
+#include "core/influence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtmac::core {
+namespace {
+
+TEST(InfluenceTest, IdentityIsX) {
+  const Influence f = Influence::identity();
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(3.7), 3.7);
+  EXPECT_EQ(f.name(), "identity");
+}
+
+TEST(InfluenceTest, PowerFunction) {
+  const Influence f = Influence::power(2.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+}
+
+TEST(InfluenceTest, PowerZeroIsConstantOne) {
+  const Influence f = Influence::power(0.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(InfluenceTest, LogFunction) {
+  const Influence f = Influence::log(2.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_NEAR(f(1.0), 1.0, 1e-12);   // log2(2)
+  EXPECT_NEAR(f(3.0), 2.0, 1e-12);   // log2(4)
+}
+
+TEST(InfluenceTest, PaperLogMatchesFormula) {
+  // f(x) = ln(max{1, 100(x+1)}).
+  const Influence f = Influence::paper_log();
+  EXPECT_NEAR(f(0.0), std::log(100.0), 1e-12);
+  EXPECT_NEAR(f(1.0), std::log(200.0), 1e-12);
+  EXPECT_NEAR(f(9.0), std::log(1000.0), 1e-12);
+}
+
+TEST(InfluenceTest, PaperLogClampsAtZero) {
+  // With a tiny scale the argument can fall below 1; f must clamp to 0
+  // to stay nonnegative.
+  const Influence f = Influence::paper_log(0.01);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_GT(f(1000.0), 0.0);
+}
+
+// ---- Definition 6 axioms ----------------------------------------------------
+
+TEST(InfluenceAxiomsTest, IdentitySatisfiesAxioms) {
+  EXPECT_TRUE(check_influence_axioms(Influence::identity()).all());
+}
+
+TEST(InfluenceAxiomsTest, PowersSatisfyAxioms) {
+  for (double m : {0.5, 1.0, 2.0, 3.0}) {
+    const auto report = check_influence_axioms(Influence::power(m));
+    EXPECT_TRUE(report.all()) << "x^" << m;
+  }
+}
+
+TEST(InfluenceAxiomsTest, LogsSatisfyAxioms) {
+  for (double base : {2.0, 10.0}) {
+    EXPECT_TRUE(check_influence_axioms(Influence::log(base)).all()) << "base " << base;
+  }
+}
+
+TEST(InfluenceAxiomsTest, PaperLogSatisfiesAxioms) {
+  EXPECT_TRUE(check_influence_axioms(Influence::paper_log()).all());
+}
+
+TEST(InfluenceAxiomsTest, ExponentialViolatesShiftInsensitivity) {
+  // The paper's counterexample: f(x) = a^x with a > 1 is NOT a debt
+  // influence function because f(x+c)/f(x) = a^c != 1.
+  const Influence exp2{"2^x", [](double x) { return std::pow(2.0, x); }};
+  // Use a small x_max so 2^x stays finite.
+  const auto report = check_influence_axioms(exp2, /*x_max=*/500.0, /*c=*/10.0);
+  EXPECT_FALSE(report.shift_insensitive);
+  EXPECT_TRUE(report.nondecreasing);
+}
+
+TEST(InfluenceAxiomsTest, DecreasingFunctionFlagged) {
+  const Influence dec{"1/(1+x)", [](double x) { return 1.0 / (1.0 + x); }};
+  const auto report = check_influence_axioms(dec);
+  EXPECT_FALSE(report.nondecreasing);
+  EXPECT_FALSE(report.diverges);
+}
+
+TEST(InfluenceAxiomsTest, NegativeFunctionFlagged) {
+  const Influence neg{"x-5", [](double x) { return x - 5.0; }};
+  EXPECT_FALSE(check_influence_axioms(neg).nonnegative);
+}
+
+}  // namespace
+}  // namespace rtmac::core

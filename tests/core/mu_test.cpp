@@ -1,0 +1,82 @@
+#include "core/mu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtmac::core {
+namespace {
+
+DebtMu paper_mu() { return DebtMu{Influence::paper_log(), 10.0}; }
+
+TEST(DebtMuTest, MatchesEquation14) {
+  // mu = exp(f(d+)p) / (R + exp(f(d+)p)) with f = ln(max{1,100(x+1)}), R=10.
+  const DebtMu m = paper_mu();
+  const double d = 2.0;
+  const double p = 0.7;
+  const double w = std::log(100.0 * 3.0) * 0.7;
+  EXPECT_NEAR(m.mu(d, p), std::exp(w) / (10.0 + std::exp(w)), 1e-12);
+}
+
+TEST(DebtMuTest, WeightUsesPositivePart) {
+  const DebtMu m = paper_mu();
+  EXPECT_DOUBLE_EQ(m.weight(-5.0, 0.7), m.weight(0.0, 0.7));
+  EXPECT_GT(m.weight(1.0, 0.7), m.weight(0.0, 0.7));
+}
+
+TEST(DebtMuTest, MuIncreasesWithDebt) {
+  const DebtMu m = paper_mu();
+  double prev = 0.0;
+  for (double d = 0.0; d < 100.0; d += 5.0) {
+    const double mu = m.mu(d, 0.7);
+    EXPECT_GT(mu, prev);
+    prev = mu;
+  }
+}
+
+TEST(DebtMuTest, MuIncreasesWithReliability) {
+  const DebtMu m = paper_mu();
+  EXPECT_GT(m.mu(5.0, 0.9), m.mu(5.0, 0.5));
+}
+
+TEST(DebtMuTest, MuStaysInOpenUnitInterval) {
+  const DebtMu m = paper_mu();
+  for (double d : {-10.0, 0.0, 1.0, 100.0, 1e6, 1e12}) {
+    const double mu = m.mu(d, 0.7);
+    EXPECT_GT(mu, 0.0) << d;
+    EXPECT_LT(mu, 1.0) << d;
+    EXPECT_TRUE(std::isfinite(mu)) << d;
+  }
+}
+
+TEST(DebtMuTest, HugeDebtSaturatesTowardOneWithoutOverflow) {
+  const DebtMu m{Influence::identity(), 10.0};
+  const double mu = m.mu(1e9, 1.0);  // exp(1e9) would overflow naively
+  EXPECT_TRUE(std::isfinite(mu));
+  EXPECT_NEAR(mu, 1.0, 1e-12);
+}
+
+TEST(DebtMuTest, OddsIdentity) {
+  // mu/(1-mu) must equal exp(f(d+)p)/R — the quantity whose powers form the
+  // stationary law (eq. 10 vs eq. 15).
+  const DebtMu m = paper_mu();
+  for (double d : {0.0, 1.0, 7.0}) {
+    const double mu = m.mu(d, 0.7);
+    EXPECT_NEAR(mu / (1.0 - mu), m.odds(d, 0.7), 1e-9) << d;
+  }
+}
+
+TEST(DebtMuTest, LargerRIsMoreConservative) {
+  const DebtMu small_r{Influence::paper_log(), 1.0};
+  const DebtMu large_r{Influence::paper_log(), 100.0};
+  EXPECT_GT(small_r.mu(1.0, 0.7), large_r.mu(1.0, 0.7));
+}
+
+TEST(DebtMuTest, ZeroDebtZeroWeightInfluence) {
+  // With identity influence and zero debt: mu = 1/(1+R).
+  const DebtMu m{Influence::identity(), 10.0};
+  EXPECT_NEAR(m.mu(0.0, 0.7), 1.0 / 11.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtmac::core

@@ -1,0 +1,141 @@
+#include "core/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace rtmac::core {
+namespace {
+
+TEST(PermutationTest, IdentityAssignsSequentialPriorities) {
+  const auto p = Permutation::identity(4);
+  for (LinkId n = 0; n < 4; ++n) EXPECT_EQ(p.priority_of(n), n + 1);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(PermutationTest, FromPrioritiesAndOrderingAgree) {
+  // Paper Example 1 vector form: sigma = [2,1,4,3].
+  const auto p = Permutation::from_priorities({2, 1, 4, 3});
+  EXPECT_EQ(p.link_with_priority(1), 1u);
+  EXPECT_EQ(p.link_with_priority(2), 0u);
+  EXPECT_EQ(p.link_with_priority(3), 3u);
+  EXPECT_EQ(p.link_with_priority(4), 2u);
+  const auto order = p.ordering();
+  EXPECT_EQ(order, (std::vector<LinkId>{1, 0, 3, 2}));
+  EXPECT_EQ(Permutation::from_ordering(order), p);
+}
+
+TEST(PermutationTest, ToStringVectorForm) {
+  EXPECT_EQ(Permutation::from_priorities({2, 1, 4, 3}).to_string(), "[2,1,4,3]");
+}
+
+TEST(PermutationTest, SwapAdjacentPriorities) {
+  // sigma = [2,1,4,3]: link 0 holds priority 2 and link 3 holds priority 3;
+  // the adjacent transposition at priority 2 exchanges those two links.
+  auto p = Permutation::from_priorities({2, 1, 4, 3});
+  p.swap_adjacent_priorities(2);
+  EXPECT_EQ(p, Permutation::from_priorities({3, 1, 4, 2}));
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(PermutationTest, SymmetricDifference) {
+  const auto a = Permutation::from_priorities({2, 1, 4, 3});
+  const auto b = Permutation::from_priorities({2, 4, 1, 3});
+  // Links 1 and 2 differ (paper Example 1 reports positions {2,3} 1-based).
+  EXPECT_EQ(a.symmetric_difference(b), (std::vector<LinkId>{1, 2}));
+  EXPECT_TRUE(a.symmetric_difference(a).empty());
+}
+
+TEST(PermutationTest, IsAdjacentTranspositionDetects) {
+  const auto a = Permutation::from_priorities({2, 1, 4, 3});
+  auto b = a;
+  b.swap_adjacent_priorities(3);
+  PriorityIndex m = 0;
+  EXPECT_TRUE(a.is_adjacent_transposition_of(b, &m));
+  EXPECT_EQ(m, 3u);
+  EXPECT_FALSE(a.is_adjacent_transposition_of(a));
+}
+
+TEST(PermutationTest, NonAdjacentSwapRejected) {
+  auto a = Permutation::identity(4);
+  // Swap priorities 1 and 3 (non-adjacent): links 0 and 2.
+  const auto b = Permutation::from_priorities({3, 2, 1, 4});
+  EXPECT_FALSE(a.is_adjacent_transposition_of(b));
+}
+
+TEST(PermutationTest, RankUnrankRoundTrip) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    std::uint64_t fact = 1;
+    for (std::size_t i = 2; i <= n; ++i) fact *= i;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t r = 0; r < fact; ++r) {
+      const auto p = Permutation::unrank(n, r);
+      EXPECT_TRUE(p.valid());
+      EXPECT_EQ(p.rank(), r);
+      seen.insert(r);
+    }
+    EXPECT_EQ(seen.size(), fact);
+  }
+}
+
+TEST(PermutationTest, AllEnumeratesDistinctPermutations) {
+  const auto perms = Permutation::all(4);
+  EXPECT_EQ(perms.size(), 24u);
+  std::set<std::string> distinct;
+  for (const auto& p : perms) {
+    EXPECT_TRUE(p.valid());
+    distinct.insert(p.to_string());
+  }
+  EXPECT_EQ(distinct.size(), 24u);
+}
+
+TEST(PermutationTest, RandomIsUniform) {
+  Rng rng{1234};
+  std::map<std::uint64_t, int> counts;
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) counts[Permutation::random(3, rng).rank()]++;
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(kN), 1.0 / 6.0, 0.01) << "rank " << rank;
+  }
+}
+
+TEST(PermutationTest, ValidRejectsBadVectors) {
+  // Duplicate priority.
+  const std::vector<PriorityIndex> dup{1, 1, 3};
+  // Out-of-range priority.
+  const std::vector<PriorityIndex> range{0, 1, 2};
+  // Construct via identity then poke through from_ordering is impossible;
+  // use a default-constructed check helper instead.
+  auto check = [](std::vector<PriorityIndex> v) {
+    // from_priorities asserts in debug; replicate the validity predicate.
+    std::vector<bool> seen(v.size(), false);
+    for (auto pr : v) {
+      if (pr < 1 || pr > v.size() || seen[pr - 1]) return false;
+      seen[pr - 1] = true;
+    }
+    return true;
+  };
+  EXPECT_FALSE(check(dup));
+  EXPECT_FALSE(check(range));
+  EXPECT_TRUE(check({2, 1, 3}));
+}
+
+TEST(PermutationTest, SwapIsInvolution) {
+  Rng rng{5};
+  for (int trial = 0; trial < 50; ++trial) {
+    auto p = Permutation::random(6, rng);
+    const auto original = p;
+    const auto m = static_cast<PriorityIndex>(rng.uniform_int(1, 5));
+    p.swap_adjacent_priorities(m);
+    EXPECT_NE(p, original);
+    p.swap_adjacent_priorities(m);
+    EXPECT_EQ(p, original);
+  }
+}
+
+}  // namespace
+}  // namespace rtmac::core

@@ -1,0 +1,67 @@
+#include "core/requirements.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtmac::core {
+namespace {
+
+TEST(RequirementsTest, QIsRhoTimesLambda) {
+  const Requirements req{{3.5 * 0.55, 0.78}, {0.9, 0.99}};
+  const auto q = req.q();
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_NEAR(q[0], 3.5 * 0.55 * 0.9, 1e-12);
+  EXPECT_NEAR(q[1], 0.78 * 0.99, 1e-12);
+}
+
+TEST(RequirementsTest, SymmetricBuilder) {
+  const auto req = Requirements::symmetric(20, 1.925, 0.9);
+  EXPECT_EQ(req.size(), 20u);
+  for (std::size_t n = 0; n < 20; ++n) {
+    EXPECT_DOUBLE_EQ(req.lambda[n], 1.925);
+    EXPECT_DOUBLE_EQ(req.rho[n], 0.9);
+  }
+}
+
+TEST(WorkloadUtilizationTest, SimpleCase) {
+  // q = 0.5 deliveries/interval at p = 0.5 costs 1 transmission/interval.
+  // With 2 transmissions available: utilization 0.5.
+  EXPECT_NEAR(workload_utilization({0.5}, {0.5}, 2), 0.5, 1e-12);
+}
+
+TEST(WorkloadUtilizationTest, PaperVideoScenarioIsNearCritical) {
+  // Fig. 3: 20 links, lambda = 3.5*alpha, rho = 0.9, p = 0.7, 60 slots.
+  // At the paper's reported knee alpha* ~ 0.62 the mean-workload utilization
+  // is ~ 0.93: close to but below 1, because bursty arrivals waste capacity
+  // in light intervals that cannot be banked for heavy ones.
+  const double alpha = 0.62;
+  const RateVector q(20, 3.5 * alpha * 0.9);
+  const ProbabilityVector p(20, 0.7);
+  const double util = workload_utilization(q, p, 60);
+  EXPECT_NEAR(util, 20.0 * 3.5 * alpha * 0.9 / 0.7 / 60.0, 1e-12);
+  EXPECT_NEAR(util, 0.93, 0.01);
+  EXPECT_LT(util, 1.0);
+}
+
+TEST(WorkloadUtilizationTest, PaperControlScenarioIsNearCritical) {
+  // Fig. 9: 10 links, Bernoulli(lambda), rho = 0.99, p = 0.7, 16 slots.
+  // The knee near lambda* ~ 0.78: utilization ~ 0.689... wait, compute:
+  // 10 * 0.78 * 0.99 / 0.7 / 16 = 0.689. The knee is instead pinned by the
+  // 99th-percentile retransmission demand, not the mean bound — which is why
+  // this check only asserts the bound is satisfied (necessary, not tight).
+  const RateVector q(10, 0.78 * 0.99);
+  const ProbabilityVector p(10, 0.7);
+  EXPECT_LT(workload_utilization(q, p, 16), 1.0);
+}
+
+TEST(WorkloadUtilizationTest, InfeasibleLoadExceedsOne) {
+  const RateVector q(20, 3.5 * 0.9 * 0.9);  // alpha = 0.9: way past the knee
+  const ProbabilityVector p(20, 0.7);
+  EXPECT_GT(workload_utilization(q, p, 60), 1.0);
+}
+
+TEST(WorkloadUtilizationTest, HeterogeneousLinks) {
+  EXPECT_NEAR(workload_utilization({0.5, 0.8}, {0.5, 0.8}, 4), (1.0 + 1.0) / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtmac::core

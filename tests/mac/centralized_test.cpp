@@ -1,0 +1,118 @@
+#include "mac/centralized_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "helpers/scheme_harness.hpp"
+
+namespace rtmac::mac {
+namespace {
+
+using test::SchemeHarness;
+
+SchemeHarness video_harness(std::size_t n, double p = 1.0) {
+  return SchemeHarness{ProbabilityVector(n, p), phy::PhyParams::video_80211a(),
+                       Duration::milliseconds(20), RateVector(n, 0.9)};
+}
+
+CentralizedScheme make_ldf(SchemeHarness& h) {
+  const auto ctx = h.context();
+  return CentralizedScheme{ctx, CentralizedParams{core::Influence::identity()}, "LDF"};
+}
+
+TEST(CentralizedTest, DeliversAllUnderLightLoad) {
+  auto h = video_harness(4);
+  auto ldf = make_ldf(h);
+  const auto delivered = h.run_interval(ldf, {2, 3, 1, 2});
+  EXPECT_EQ(delivered, (std::vector<int>{2, 3, 1, 2}));
+}
+
+TEST(CentralizedTest, CapacityIsSixtyTransmissionsPerVideoInterval) {
+  // 20 links x 4 packets = 80 demanded, but only 60 slots fit in 20 ms.
+  auto h = video_harness(20);
+  auto ldf = make_ldf(h);
+  const auto delivered = h.run_interval(ldf, std::vector<int>(20, 4));
+  EXPECT_EQ(std::accumulate(delivered.begin(), delivered.end(), 0), 60);
+}
+
+TEST(CentralizedTest, ZeroDebtTieBreaksByLinkId) {
+  // All debts zero: stable sort serves links in id order.
+  auto h = video_harness(3);
+  auto ldf = make_ldf(h);
+  h.run_interval(ldf, {1, 1, 1});
+  EXPECT_EQ(ldf.current_ordering(), (std::vector<LinkId>{0, 1, 2}));
+}
+
+TEST(CentralizedTest, LargestDebtServedFirst) {
+  auto h = video_harness(3);
+  auto ldf = make_ldf(h);
+  // After two intervals with deliveries only on links 0 and 1, link 2 has
+  // the largest positive debt and links 0 < 1 have distinct smaller ones.
+  h.debts().on_interval_end({1, 0, 0});  // d = (-0.1, 0.9, 0.9)
+  h.debts().on_interval_end({1, 1, 0});  // d = (-0.2, 0.8, 1.8)
+  h.run_interval(ldf, {1, 1, 1});
+  EXPECT_EQ(ldf.current_ordering(), (std::vector<LinkId>{2, 1, 0}));
+}
+
+TEST(CentralizedTest, EldfWeightsByInfluenceTimesReliability) {
+  // p = (0.9, 0.3), equal positive debts, identity influence:
+  // weight = d * p favours link 0.
+  SchemeHarness h{{0.9, 0.3}, phy::PhyParams::video_80211a(), Duration::milliseconds(20),
+                  {0.5, 0.5}};
+  const auto ctx = h.context();
+  CentralizedScheme eldf{ctx, CentralizedParams{core::Influence::identity()}, "ELDF"};
+  h.debts().on_interval_end({0, 0});  // both debts 0.5
+  h.run_interval(eldf, {1, 1});
+  EXPECT_EQ(eldf.current_ordering(), (std::vector<LinkId>{0, 1}));
+}
+
+TEST(CentralizedTest, NegativeDebtClipsToZeroWeight) {
+  auto h = video_harness(2);
+  auto ldf = make_ldf(h);
+  h.debts().on_interval_end({5, 0});  // link 0 debt negative, link 1 positive
+  h.run_interval(ldf, {1, 1});
+  EXPECT_EQ(ldf.current_ordering(), (std::vector<LinkId>{1, 0}));
+}
+
+TEST(CentralizedTest, RetransmitsUntilDelivered) {
+  // Single link, p = 0.4, one packet, 60 opportunities: essentially always
+  // delivered; channel losses must be visible in the medium counters.
+  SchemeHarness h{{0.4}, phy::PhyParams::video_80211a(), Duration::milliseconds(20), {0.9}};
+  const auto ctx = h.context();
+  CentralizedScheme ldf{ctx, CentralizedParams{}, "LDF"};
+  int total = 0;
+  for (int k = 0; k < 100; ++k) total += h.run_interval(ldf, {1})[0];
+  EXPECT_EQ(total, 100);
+  EXPECT_GT(h.medium().counters().channel_losses, 0u);
+}
+
+TEST(CentralizedTest, NoBackoffOverhead) {
+  // The genie transmits back to back: busy time == 60 airtimes exactly when
+  // demand saturates the interval.
+  auto h = video_harness(20);
+  auto ldf = make_ldf(h);
+  h.run_interval(ldf, std::vector<int>(20, 4));
+  EXPECT_EQ(h.medium().counters().busy_time, Duration::microseconds(330) * 60);
+  EXPECT_EQ(h.medium().counters().collisions, 0u);
+}
+
+TEST(CentralizedTest, ControlProfileSixteenSlots) {
+  SchemeHarness h{ProbabilityVector(10, 1.0), phy::PhyParams::control_80211a(),
+                  Duration::milliseconds(2), RateVector(10, 0.5)};
+  const auto ctx = h.context();
+  CentralizedScheme ldf{ctx, CentralizedParams{}, "LDF"};
+  const auto delivered = h.run_interval(ldf, std::vector<int>(10, 2));
+  EXPECT_EQ(std::accumulate(delivered.begin(), delivered.end(), 0), 16);
+}
+
+TEST(CentralizedTest, EmptyIntervalStaysIdle) {
+  auto h = video_harness(3);
+  auto ldf = make_ldf(h);
+  const auto delivered = h.run_interval(ldf, {0, 0, 0});
+  EXPECT_EQ(delivered, (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(h.medium().counters().data_tx, 0u);
+}
+
+}  // namespace
+}  // namespace rtmac::mac

@@ -1,0 +1,72 @@
+#include "mac/dcf_mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "helpers/scheme_harness.hpp"
+
+namespace rtmac::mac {
+namespace {
+
+using test::SchemeHarness;
+
+SchemeHarness video_harness(std::size_t n, double p = 1.0) {
+  return SchemeHarness{ProbabilityVector(n, p), phy::PhyParams::video_80211a(),
+                       Duration::milliseconds(20), RateVector(n, 0.9)};
+}
+
+TEST(DcfTest, SingleLinkDelivers) {
+  auto h = video_harness(1);
+  const auto ctx = h.context();
+  DcfScheme dcf{ctx, DcfParams{}, "DCF"};
+  const auto delivered = h.run_interval(dcf, {4});
+  EXPECT_EQ(delivered, (std::vector<int>{4}));
+}
+
+TEST(DcfTest, WindowDoublesOnFailureAndResetsOnSuccess) {
+  SchemeHarness h{{1.0, 1.0}, phy::PhyParams::video_80211a(), Duration::milliseconds(20),
+                  {0.9, 0.9}};
+  const auto ctx = h.context();
+  DcfParams params;
+  params.cw_min = 2;  // force frequent collisions
+  params.cw_max = 64;
+  DcfLinkMac a{h.simulator(), h.medium(), params, ctx.phy.data_airtime, ctx.phy.backoff_slot,
+               0, 7};
+  DcfLinkMac b{h.simulator(), h.medium(), params, ctx.phy.data_airtime, ctx.phy.backoff_slot,
+               1, 8};
+  a.begin_interval(0, 10, h.simulator().now() + Duration::milliseconds(20));
+  b.begin_interval(0, 10, h.simulator().now() + Duration::milliseconds(20));
+  h.simulator().run_until(h.simulator().now() + Duration::milliseconds(20));
+  const int da = a.end_interval();
+  const int db = b.end_interval();
+  // With CWmin=2 and two saturated links, some collisions are certain; the
+  // exponential backoff must still let most packets through eventually.
+  EXPECT_GT(h.medium().counters().collisions, 0u);
+  EXPECT_GT(da + db, 0);
+}
+
+TEST(DcfTest, SaturatedNetworkLosesCapacityToCollisions) {
+  auto h = video_harness(20);
+  const auto ctx = h.context();
+  DcfScheme dcf{ctx, DcfParams{}, "DCF"};
+  int total = 0;
+  for (int k = 0; k < 20; ++k) {
+    const auto d = h.run_interval(dcf, std::vector<int>(20, 4));
+    total += std::accumulate(d.begin(), d.end(), 0);
+  }
+  EXPECT_LT(total, 20 * 60);
+  EXPECT_GT(h.medium().counters().collisions, 0u);
+}
+
+TEST(DcfTest, CurrentWindowStartsAtMin) {
+  SchemeHarness h{{1.0}, phy::PhyParams::video_80211a(), Duration::milliseconds(20), {0.9}};
+  const auto ctx = h.context();
+  DcfParams params;
+  DcfLinkMac link{h.simulator(), h.medium(), params, ctx.phy.data_airtime,
+                  ctx.phy.backoff_slot, 0, 7};
+  EXPECT_EQ(link.current_window(), params.cw_min);
+}
+
+}  // namespace
+}  // namespace rtmac::mac

@@ -1,0 +1,257 @@
+#include "phy/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace rtmac::phy {
+namespace {
+
+class RecordingListener final : public MediumListener {
+ public:
+  void on_medium_busy(TimePoint t) override { events.emplace_back('B', t.ns()); }
+  void on_medium_idle(TimePoint t) override { events.emplace_back('I', t.ns()); }
+  std::vector<std::pair<char, std::int64_t>> events;
+};
+
+TEST(MediumTest, StartsIdle) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0}, 1};
+  EXPECT_FALSE(medium.busy());
+}
+
+TEST(MediumTest, BusyDuringTransmission) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0}, 1};
+  bool done = false;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(330), PacketKind::kData,
+                              [&](TxOutcome o) {
+                                done = true;
+                                EXPECT_EQ(o, TxOutcome::kDelivered);
+                              });
+  });
+  sim.run_until(TimePoint::origin() + Duration::microseconds(100));
+  EXPECT_TRUE(medium.busy());
+  sim.run();
+  EXPECT_FALSE(medium.busy());
+  EXPECT_TRUE(done);
+}
+
+TEST(MediumTest, ReliableChannelAlwaysDelivers) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0}, 7};
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_in(Duration::microseconds(400 * i), [&] {
+      medium.start_transmission(0, Duration::microseconds(330), PacketKind::kData,
+                                [&](TxOutcome o) {
+                                  if (o == TxOutcome::kDelivered) ++delivered;
+                                });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(medium.counters().delivered, 50u);
+  EXPECT_EQ(medium.counters().channel_losses, 0u);
+}
+
+TEST(MediumTest, UnreliableChannelLossRateMatchesP) {
+  sim::Simulator sim;
+  Medium medium{sim, {0.7}, 42};
+  int delivered = 0;
+  constexpr int kTx = 20000;
+  for (int i = 0; i < kTx; ++i) {
+    sim.schedule_in(Duration::microseconds(10 * i), [&] {
+      medium.start_transmission(0, Duration::microseconds(5), PacketKind::kData,
+                                [&](TxOutcome o) {
+                                  if (o == TxOutcome::kDelivered) ++delivered;
+                                });
+    });
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / kTx, 0.7, 0.02);
+}
+
+TEST(MediumTest, OverlappingTransmissionsAllCollide) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, 3};
+  std::vector<TxOutcome> outcomes;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.schedule_in(Duration::microseconds(50), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], TxOutcome::kCollision);
+  EXPECT_EQ(outcomes[1], TxOutcome::kCollision);
+  EXPECT_EQ(medium.counters().collisions, 2u);
+}
+
+TEST(MediumTest, BackToBackTransmissionsDoNotCollide) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0}, 3};
+  std::vector<TxOutcome> outcomes;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) {
+                                outcomes.push_back(o);
+                                // Chain the next packet with zero gap.
+                                medium.start_transmission(
+                                    0, Duration::microseconds(100), PacketKind::kData,
+                                    [&](TxOutcome o2) { outcomes.push_back(o2); });
+                              });
+  });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], TxOutcome::kDelivered);
+  EXPECT_EQ(outcomes[1], TxOutcome::kDelivered);
+}
+
+TEST(MediumTest, AdjacentTransmissionsDoNotCollide) {
+  // A tx ending at t and another starting exactly at t must not overlap.
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, 3};
+  std::vector<TxOutcome> outcomes;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.schedule_in(Duration::microseconds(100), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], TxOutcome::kDelivered);
+  EXPECT_EQ(outcomes[1], TxOutcome::kDelivered);
+}
+
+TEST(MediumTest, ListenersSeeBusyIdleTransitions) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0}, 3};
+  RecordingListener listener;
+  medium.add_listener(&listener);
+  sim.schedule_in(Duration::microseconds(10), [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.run();
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_EQ(listener.events[0], std::make_pair('B', std::int64_t{10'000}));
+  EXPECT_EQ(listener.events[1], std::make_pair('I', std::int64_t{110'000}));
+}
+
+TEST(MediumTest, NoDuplicateBusyOnBackToBackChain) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0}, 3};
+  RecordingListener listener;
+  medium.add_listener(&listener);
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(50), PacketKind::kData,
+                              [&](TxOutcome) {
+                                medium.start_transmission(0, Duration::microseconds(50),
+                                                          PacketKind::kData, nullptr);
+                              });
+  });
+  sim.run();
+  // One continuous busy period: exactly one B and one I.
+  ASSERT_EQ(listener.events.size(), 2u);
+  EXPECT_EQ(listener.events[0].first, 'B');
+  EXPECT_EQ(listener.events[1].first, 'I');
+  EXPECT_EQ(listener.events[1].second, 100'000);
+}
+
+TEST(MediumTest, EmptyPacketsAreNotSubjectToPayloadLoss) {
+  sim::Simulator sim;
+  Medium medium{sim, {0.01}, 5};  // nearly-dead channel
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_in(Duration::microseconds(100 * i), [&] {
+      medium.start_transmission(0, Duration::microseconds(70), PacketKind::kEmpty,
+                                [&](TxOutcome o) {
+                                  if (o == TxOutcome::kDelivered) ++delivered;
+                                });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 200);  // clean empty packets always "succeed"
+  EXPECT_EQ(medium.counters().empty_tx, 200u);
+  EXPECT_EQ(medium.counters().data_tx, 0u);
+}
+
+TEST(MediumTest, CountersTrackBusyAndCollidedTime) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, 3};
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(10), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(medium.counters().busy_time, Duration::microseconds(200));
+  EXPECT_EQ(medium.counters().collided_time, Duration::microseconds(200));
+}
+
+TEST(MediumTest, PerLinkCountersTrackAttribution) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, 3};
+  // Link 0 transmits twice (data), link 1 once (empty); no overlap.
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(200), [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(400), [&] {
+    medium.start_transmission(1, Duration::microseconds(70), PacketKind::kEmpty, nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(medium.link_counters(0).data_tx, 2u);
+  EXPECT_EQ(medium.link_counters(0).delivered, 2u);
+  EXPECT_EQ(medium.link_counters(0).airtime, Duration::microseconds(200));
+  EXPECT_EQ(medium.link_counters(0).empty_tx, 0u);
+  EXPECT_EQ(medium.link_counters(1).empty_tx, 1u);
+  EXPECT_EQ(medium.link_counters(1).data_tx, 0u);
+  EXPECT_EQ(medium.link_counters(1).airtime, Duration::microseconds(70));
+}
+
+TEST(MediumTest, PerLinkCollisionCounters) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, 3};
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(10), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(medium.link_counters(0).collisions, 1u);
+  EXPECT_EQ(medium.link_counters(1).collisions, 1u);
+  EXPECT_EQ(medium.link_counters(0).delivered, 0u);
+}
+
+TEST(MediumTest, ThreeWayCollision) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0, 1.0}, 3};
+  int collisions = 0;
+  for (LinkId n = 0; n < 3; ++n) {
+    sim.schedule_in(Duration::microseconds(n), [&, n] {
+      medium.start_transmission(n, Duration::microseconds(50), PacketKind::kData,
+                                [&](TxOutcome o) {
+                                  if (o == TxOutcome::kCollision) ++collisions;
+                                });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(collisions, 3);
+}
+
+}  // namespace
+}  // namespace rtmac::phy

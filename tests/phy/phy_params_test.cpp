@@ -1,0 +1,37 @@
+#include "phy/phy_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtmac::phy {
+namespace {
+
+TEST(PhyParamsTest, VideoProfileMatchesPaperConstants) {
+  const PhyParams p = PhyParams::video_80211a();
+  EXPECT_EQ(p.data_airtime, Duration::microseconds(330));
+  EXPECT_EQ(p.empty_airtime, Duration::microseconds(70));
+  EXPECT_EQ(p.backoff_slot, Duration::microseconds(9));
+}
+
+TEST(PhyParamsTest, ControlProfileMatchesPaperConstants) {
+  const PhyParams p = PhyParams::control_80211a();
+  EXPECT_EQ(p.data_airtime, Duration::microseconds(120));
+  EXPECT_EQ(p.empty_airtime, Duration::microseconds(70));
+  EXPECT_EQ(p.backoff_slot, Duration::microseconds(9));
+}
+
+TEST(PhyParamsTest, VideoInterval60Transmissions) {
+  // Paper Section VI-A: "under LDF, there are up to 60 transmissions in each
+  // interval" with 20 ms deadline / 330 us airtime.
+  EXPECT_EQ(PhyParams::video_80211a().transmissions_per_interval(Duration::milliseconds(20)),
+            60);
+}
+
+TEST(PhyParamsTest, ControlInterval16Transmissions) {
+  // Paper Section VI-B: "under LDF there are 16 available transmissions" with
+  // 2 ms deadline / 120 us airtime.
+  EXPECT_EQ(PhyParams::control_80211a().transmissions_per_interval(Duration::milliseconds(2)),
+            16);
+}
+
+}  // namespace
+}  // namespace rtmac::phy

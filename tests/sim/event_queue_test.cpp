@@ -1,0 +1,131 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtmac::sim {
+namespace {
+
+TimePoint at_us(std::int64_t us) { return TimePoint::origin() + Duration::microseconds(us); }
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(at_us(30), [&] { fired.push_back(3); });
+  q.push(at_us(10), [&] { fired.push_back(1); });
+  q.push(at_us(20), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongSimultaneousEvents) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(at_us(10), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  const EventId early = q.push(at_us(5), [] {});
+  q.push(at_us(9), [] {});
+  EXPECT_EQ(q.next_time(), at_us(5));
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), at_us(9));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(at_us(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.push(at_us(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId id = q.push(at_us(1), [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidHandle) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueueTest, IsPendingTracksLifecycle) {
+  EventQueue q;
+  const EventId id = q.push(at_us(1), [] {});
+  EXPECT_TRUE(q.is_pending(id));
+  q.pop();
+  EXPECT_FALSE(q.is_pending(id));
+  EXPECT_FALSE(q.is_pending(EventId{}));
+}
+
+TEST(EventQueueTest, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(at_us(1), [] {});
+  q.push(at_us(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, ClearDropsEverything) {
+  EventQueue q;
+  q.push(at_us(1), [] {});
+  q.push(at_us(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TombstonesDoNotBlockLaterEvents) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.push(at_us(1), [&] { fired.push_back(1); });
+  const EventId b = q.push(at_us(2), [&] { fired.push_back(2); });
+  q.push(at_us(3), [&] { fired.push_back(3); });
+  q.cancel(a);
+  q.cancel(b);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{3}));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<std::int64_t> fired;
+  // Interleave pushes with deterministic pseudo-random times.
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 2000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto t = static_cast<std::int64_t>(x % 1000);
+    q.push(at_us(t), [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.pop().callback();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace rtmac::sim

@@ -1,0 +1,115 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtmac::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<std::int64_t> observed;
+  sim.schedule_in(Duration::microseconds(10), [&] { observed.push_back(sim.now().ns()); });
+  sim.schedule_in(Duration::microseconds(5), [&] { observed.push_back(sim.now().ns()); });
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<std::int64_t>{5'000, 10'000}));
+  EXPECT_EQ(sim.now().ns(), 10'000);
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(Duration::microseconds(1), chain);
+  };
+  sim.schedule_in(Duration::microseconds(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now().ns(), 5'000);
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  bool inner = false;
+  sim.schedule_in(Duration::microseconds(3), [&] {
+    sim.schedule_in(Duration{}, [&] {
+      inner = true;
+      EXPECT_EQ(sim.now().ns(), 3'000);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndSetsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Duration::microseconds(5), [&] { ++fired; });
+  sim.schedule_in(Duration::microseconds(15), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::microseconds(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), 10'000);
+  // The 15us event is still pending and runs on the next call.
+  sim.run_until(TimePoint::origin() + Duration::microseconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now().ns(), 20'000);
+}
+
+TEST(SimulatorTest, RunUntilIncludesEventsExactlyAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_in(Duration::microseconds(10), [&] { fired = true; });
+  sim.run_until(TimePoint::origin() + Duration::microseconds(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopTerminatesRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(Duration::microseconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(Duration::microseconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_in(Duration::microseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.is_pending(id));
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(Duration::microseconds(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::origin() + Duration::microseconds(4);
+  sim.schedule_at(t, [&] { order.push_back(1); });
+  sim.schedule_at(t, [&] { order.push_back(2); });
+  sim.schedule_at(t, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rtmac::sim

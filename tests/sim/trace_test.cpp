@@ -1,0 +1,115 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace rtmac::sim {
+namespace {
+
+TEST(TracerTest, RecordsAndFilters) {
+  Tracer tracer{16};
+  tracer.record(TimePoint::from_ns(1), TraceKind::kTxStart, 3, 100);
+  tracer.record(TimePoint::from_ns(2), TraceKind::kTxEnd, 3, 0);
+  tracer.record(TimePoint::from_ns(3), TraceKind::kTxStart, 4, 100);
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.count(TraceKind::kTxStart), 2u);
+  EXPECT_EQ(tracer.count(TraceKind::kTxStart, 3), 1u);
+  const auto tx3 = tracer.filter(TraceKind::kTxStart, 3);
+  ASSERT_EQ(tx3.size(), 1u);
+  EXPECT_EQ(tx3[0].a, 100);
+}
+
+TEST(TracerTest, RingBufferDropsOldest) {
+  Tracer tracer{4};
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(TimePoint::from_ns(i), TraceKind::kBackoffArmed, 0, i);
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.events().front().a, 6);
+  EXPECT_EQ(tracer.events().back().a, 9);
+}
+
+TEST(TracerTest, RenderMentionsKindsAndLinks) {
+  Tracer tracer;
+  tracer.record(TimePoint::from_ns(5000), TraceKind::kSwapUp, 7, 3, 2);
+  const std::string s = tracer.render();
+  EXPECT_NE(s.find("swap-up"), std::string::npos);
+  EXPECT_NE(s.find("link=7"), std::string::npos);
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer tracer;
+  tracer.record(TimePoint::origin(), TraceKind::kIntervalStart);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(TraceIntegrationTest, FullStackProducesCoherentTrace) {
+  auto cfg = net::symmetric_network(3, Duration::milliseconds(20),
+                                    phy::PhyParams::video_80211a(), 1.0,
+                                    traffic::ConstantArrivals{1}, 0.9, 61);
+  net::Network net{std::move(cfg), expfw::dbdp_factory()};
+  Tracer tracer;
+  net.attach_tracer(&tracer);
+  net.run(10);
+
+  // Interval boundaries: 10 starts, 10 ends, alternating.
+  EXPECT_EQ(tracer.count(TraceKind::kIntervalStart), 10u);
+  EXPECT_EQ(tracer.count(TraceKind::kIntervalEnd), 10u);
+  // Every link arms a backoff every interval.
+  EXPECT_EQ(tracer.count(TraceKind::kBackoffArmed), 30u);
+  // p = 1, 1 packet each: exactly one data tx per link per interval, plus
+  // possibly empty claim packets from candidates... with ConstantArrivals{1}
+  // no empty packets are ever needed.
+  EXPECT_EQ(tracer.count(TraceKind::kTxStart), 30u);
+  EXPECT_EQ(tracer.count(TraceKind::kTxEnd), 30u);
+  // Every tx-end reports delivered (outcome 0) on the perfect channel.
+  for (const auto& e : tracer.filter(TraceKind::kTxEnd)) EXPECT_EQ(e.a, 0);
+  // Swap events must come in consistent up/down pairs.
+  EXPECT_EQ(tracer.count(TraceKind::kSwapUp), tracer.count(TraceKind::kSwapDown));
+}
+
+TEST(TraceIntegrationTest, SwapEventsMatchPriorityEvolution) {
+  auto cfg = net::symmetric_network(2, Duration::milliseconds(20),
+                                    phy::PhyParams::video_80211a(), 1.0,
+                                    traffic::ConstantArrivals{1}, 0.9, 62);
+  net::Network net{std::move(cfg), expfw::dp_fixed_mu_factory({1e-9, 1.0 - 1e-9})};
+  Tracer tracer;
+  net.attach_tracer(&tracer);
+  net.run(1);
+  // Deterministic coins force exactly one swap in interval 0 (see
+  // DpProtocolTest.SwapHappensWhenBothCandidatesAgree).
+  ASSERT_EQ(tracer.count(TraceKind::kSwapUp), 1u);
+  ASSERT_EQ(tracer.count(TraceKind::kSwapDown), 1u);
+  const auto up = tracer.filter(TraceKind::kSwapUp)[0];
+  const auto down = tracer.filter(TraceKind::kSwapDown)[0];
+  EXPECT_EQ(up.link, 1u);
+  EXPECT_EQ(up.a, 2);
+  EXPECT_EQ(up.b, 1);
+  EXPECT_EQ(down.link, 0u);
+  EXPECT_EQ(down.a, 1);
+  EXPECT_EQ(down.b, 2);
+}
+
+TEST(TraceIntegrationTest, FreezeEventsAppearUnderContention) {
+  auto cfg = net::symmetric_network(4, Duration::milliseconds(20),
+                                    phy::PhyParams::video_80211a(), 1.0,
+                                    traffic::ConstantArrivals{2}, 0.9, 63);
+  net::Network net{std::move(cfg), expfw::dbdp_factory()};
+  Tracer tracer;
+  net.attach_tracer(&tracer);
+  net.run(5);
+  // Lower-priority links necessarily freeze while higher ones transmit.
+  EXPECT_GT(tracer.count(TraceKind::kBackoffFrozen), 0u);
+  EXPECT_EQ(tracer.count(TraceKind::kBackoffFrozen),
+            tracer.count(TraceKind::kBackoffResumed));
+}
+
+}  // namespace
+}  // namespace rtmac::sim

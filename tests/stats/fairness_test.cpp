@@ -1,0 +1,47 @@
+#include "stats/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtmac::stats {
+namespace {
+
+TEST(JainIndexTest, PerfectlyFairIsOne) {
+  const std::vector<double> xs{2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
+}
+
+TEST(JainIndexTest, SingleWinnerIsOneOverN) {
+  const std::vector<double> xs{4.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(xs), 0.25);
+}
+
+TEST(JainIndexTest, KnownIntermediateValue) {
+  const std::vector<double> xs{1.0, 3.0};
+  // (4)^2 / (2 * 10) = 0.8.
+  EXPECT_DOUBLE_EQ(jain_index(xs), 0.8);
+}
+
+TEST(JainIndexTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{5.0}), 1.0);
+}
+
+TEST(JainIndexTest, ScaleInvariance) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(MinMaxRatioTest, Basics) {
+  EXPECT_DOUBLE_EQ(min_max_ratio(std::vector<double>{1.0, 4.0}), 0.25);
+  EXPECT_DOUBLE_EQ(min_max_ratio(std::vector<double>{3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(min_max_ratio(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(min_max_ratio(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(min_max_ratio(std::vector<double>{0.0, 2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rtmac::stats

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "stats/deficiency.hpp"
+#include "stats/link_stats.hpp"
+#include "stats/time_series.hpp"
+
+namespace rtmac::stats {
+namespace {
+
+TEST(LinkStatsTest, AccumulatesTotals) {
+  LinkStatsCollector stats{2};
+  stats.record({2, 1}, {2, 0});
+  stats.record({1, 1}, {1, 1});
+  EXPECT_EQ(stats.intervals(), 2u);
+  EXPECT_EQ(stats.total_arrivals(0), 3u);
+  EXPECT_EQ(stats.total_delivered(0), 3u);
+  EXPECT_EQ(stats.total_arrivals(1), 2u);
+  EXPECT_EQ(stats.total_delivered(1), 1u);
+}
+
+TEST(LinkStatsTest, TimelyThroughputIsPerInterval) {
+  LinkStatsCollector stats{1};
+  stats.record({3}, {2});
+  stats.record({3}, {1});
+  EXPECT_DOUBLE_EQ(stats.timely_throughput(0), 1.5);
+  EXPECT_EQ(stats.timely_throughputs(), (std::vector<double>{1.5}));
+}
+
+TEST(LinkStatsTest, DeliveryRatio) {
+  LinkStatsCollector stats{1};
+  stats.record({4}, {3});
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(0), 0.75);
+}
+
+TEST(LinkStatsTest, DeliveryRatioWithNoArrivalsIsOne) {
+  LinkStatsCollector stats{1};
+  stats.record({0}, {0});
+  EXPECT_DOUBLE_EQ(stats.delivery_ratio(0), 1.0);
+}
+
+TEST(LinkStatsTest, EmptyCollectorThroughputZero) {
+  LinkStatsCollector stats{1};
+  EXPECT_DOUBLE_EQ(stats.timely_throughput(0), 0.0);
+}
+
+TEST(LinkStatsTest, ResetClears) {
+  LinkStatsCollector stats{1};
+  stats.record({1}, {1});
+  stats.reset();
+  EXPECT_EQ(stats.intervals(), 0u);
+  EXPECT_EQ(stats.total_delivered(0), 0u);
+}
+
+TEST(DeficiencyTest, Definition1PositivePart) {
+  LinkStatsCollector stats{2};
+  stats.record({1, 1}, {1, 0});
+  stats.record({1, 1}, {1, 0});
+  // Throughputs: (1.0, 0.0). q = (0.5, 0.8).
+  const RateVector q{0.5, 0.8};
+  const auto def = per_link_deficiency(stats, q);
+  EXPECT_DOUBLE_EQ(def[0], 0.0);  // ahead of requirement, clipped
+  EXPECT_DOUBLE_EQ(def[1], 0.8);
+  EXPECT_DOUBLE_EQ(total_deficiency(stats, q), 0.8);
+}
+
+TEST(DeficiencyTest, GroupDeficiencySumsSubset) {
+  LinkStatsCollector stats{4};
+  stats.record({1, 1, 1, 1}, {0, 0, 1, 1});
+  const RateVector q{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(group_deficiency(stats, q, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(group_deficiency(stats, q, {2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(group_deficiency(stats, q, {}), 0.0);
+}
+
+TEST(TimeSeriesTest, CumulativeMean) {
+  TimeSeries s;
+  s.push(1.0);
+  s.push(3.0);
+  s.push(5.0);
+  EXPECT_EQ(s.cumulative_mean(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TimeSeriesTest, MovingAverage) {
+  TimeSeries s;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) s.push(v);
+  const auto ma = s.moving_average(2);
+  EXPECT_DOUBLE_EQ(ma[0], 2.0);
+  EXPECT_DOUBLE_EQ(ma[1], 3.0);
+  EXPECT_DOUBLE_EQ(ma[2], 5.0);
+  EXPECT_DOUBLE_EQ(ma[3], 7.0);
+}
+
+TEST(ConvergenceTest, DetectsSettlingPoint) {
+  TimeSeries s;
+  // Starts at 0 then jumps to 1: the cumulative mean approaches 1 slowly.
+  for (int i = 0; i < 10; ++i) s.push(0.0);
+  for (int i = 0; i < 2000; ++i) s.push(1.0);
+  const auto k = convergence_interval(s, 1.0, 0.05);
+  ASSERT_TRUE(k.has_value());
+  // Cumulative mean reaches 0.95 when 10 zeros are diluted 20x.
+  EXPECT_GT(*k, 100u);
+  EXPECT_LT(*k, 500u);
+}
+
+TEST(ConvergenceTest, NeverSettlesReturnsNullopt) {
+  TimeSeries s;
+  for (int i = 0; i < 100; ++i) s.push(0.0);
+  EXPECT_FALSE(convergence_interval(s, 1.0, 0.01).has_value());
+}
+
+TEST(ConvergenceTest, ImmediateConvergenceIsZero) {
+  TimeSeries s;
+  for (int i = 0; i < 10; ++i) s.push(1.0);
+  const auto k = convergence_interval(s, 1.0, 0.01);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 0u);
+}
+
+}  // namespace
+}  // namespace rtmac::stats

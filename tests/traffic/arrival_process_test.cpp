@@ -1,0 +1,177 @@
+#include "traffic/arrival_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rtmac::traffic {
+namespace {
+
+double empirical_mean(const ArrivalProcess& proc, int samples, std::uint64_t seed) {
+  Rng rng{seed};
+  double total = 0.0;
+  for (int i = 0; i < samples; ++i) total += proc.sample(rng);
+  return total / samples;
+}
+
+double pmf_sum(const ArrivalProcess& proc) {
+  const auto pmf = proc.pmf();
+  return std::accumulate(pmf.begin(), pmf.end(), 0.0);
+}
+
+double pmf_mean(const ArrivalProcess& proc) {
+  const auto pmf = proc.pmf();
+  double m = 0.0;
+  for (std::size_t v = 0; v < pmf.size(); ++v) m += static_cast<double>(v) * pmf[v];
+  return m;
+}
+
+// ---- Bernoulli --------------------------------------------------------------
+
+TEST(BernoulliArrivalsTest, MeanAndSupport) {
+  const BernoulliArrivals a{0.78};
+  EXPECT_DOUBLE_EQ(a.mean(), 0.78);
+  EXPECT_EQ(a.max_arrivals(), 1);
+}
+
+TEST(BernoulliArrivalsTest, PmfIsConsistent) {
+  const BernoulliArrivals a{0.3};
+  const auto pmf = a.pmf();
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.7);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.3);
+  EXPECT_NEAR(pmf_mean(a), a.mean(), 1e-12);
+}
+
+TEST(BernoulliArrivalsTest, SamplesMatchMean) {
+  const BernoulliArrivals a{0.78};
+  EXPECT_NEAR(empirical_mean(a, 50000, 11), 0.78, 0.01);
+}
+
+TEST(BernoulliArrivalsTest, DegenerateProbabilities) {
+  Rng rng{1};
+  const BernoulliArrivals zero{0.0};
+  const BernoulliArrivals one{1.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zero.sample(rng), 0);
+    EXPECT_EQ(one.sample(rng), 1);
+  }
+}
+
+// ---- UniformBursty ----------------------------------------------------------
+
+TEST(UniformBurstyTest, PaperVideoModelMean) {
+  // Paper: U{1..6} w.p. alpha, else 0 => lambda = 3.5 alpha.
+  const UniformBurstyArrivals a{0.55};
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5 * 0.55);
+  EXPECT_EQ(a.max_arrivals(), 6);
+}
+
+TEST(UniformBurstyTest, PmfSumsToOneAndMatchesMean) {
+  const UniformBurstyArrivals a{0.6};
+  EXPECT_NEAR(pmf_sum(a), 1.0, 1e-12);
+  EXPECT_NEAR(pmf_mean(a), a.mean(), 1e-12);
+  const auto pmf = a.pmf();
+  EXPECT_NEAR(pmf[0], 0.4, 1e-12);
+  for (int v = 1; v <= 6; ++v) EXPECT_NEAR(pmf[static_cast<std::size_t>(v)], 0.1, 1e-12);
+}
+
+TEST(UniformBurstyTest, SamplesWithinSupport) {
+  const UniformBurstyArrivals a{0.5};
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    const int v = a.sample(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 6);
+    EXPECT_TRUE(v == 0 || v >= 1);
+  }
+}
+
+TEST(UniformBurstyTest, SamplesMatchMean) {
+  const UniformBurstyArrivals a{0.55};
+  EXPECT_NEAR(empirical_mean(a, 100000, 13), 3.5 * 0.55, 0.03);
+}
+
+TEST(UniformBurstyTest, CustomRange) {
+  const UniformBurstyArrivals a{1.0, 2, 4};
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const int v = a.sample(rng);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+  }
+}
+
+TEST(UniformBurstyTest, AlphaZeroNeverArrives) {
+  const UniformBurstyArrivals a{0.0};
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.sample(rng), 0);
+}
+
+// ---- Constant ---------------------------------------------------------------
+
+TEST(ConstantArrivalsTest, AlwaysSameValue) {
+  const ConstantArrivals a{3};
+  Rng rng{1};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.sample(rng), 3);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_EQ(a.max_arrivals(), 3);
+  const auto pmf = a.pmf();
+  ASSERT_EQ(pmf.size(), 4u);
+  EXPECT_DOUBLE_EQ(pmf[3], 1.0);
+}
+
+TEST(ConstantArrivalsTest, ZeroPackets) {
+  const ConstantArrivals a{0};
+  Rng rng{1};
+  EXPECT_EQ(a.sample(rng), 0);
+  EXPECT_EQ(a.pmf(), (std::vector<double>{1.0}));
+}
+
+// ---- GeneralDiscrete --------------------------------------------------------
+
+TEST(GeneralDiscreteTest, NormalizesInput) {
+  const GeneralDiscreteArrivals a{{2.0, 2.0}};
+  const auto pmf = a.pmf();
+  EXPECT_DOUBLE_EQ(pmf[0], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.5);
+}
+
+TEST(GeneralDiscreteTest, SamplesMatchPmf) {
+  const GeneralDiscreteArrivals a{{0.2, 0.3, 0.5}};
+  Rng rng{77};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[static_cast<std::size_t>(a.sample(rng))]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.5, 0.01);
+}
+
+TEST(GeneralDiscreteTest, ZeroMassValuesNeverSampled) {
+  const GeneralDiscreteArrivals a{{0.0, 1.0, 0.0}};
+  Rng rng{4};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.sample(rng), 1);
+}
+
+// ---- clone ------------------------------------------------------------------
+
+TEST(ArrivalProcessTest, ClonePreservesBehaviour) {
+  const UniformBurstyArrivals original{0.55};
+  const auto copy = original.clone();
+  EXPECT_DOUBLE_EQ(copy->mean(), original.mean());
+  EXPECT_EQ(copy->max_arrivals(), original.max_arrivals());
+  EXPECT_EQ(copy->pmf(), original.pmf());
+  // Clones sample identically under identical RNG state.
+  Rng r1{21};
+  Rng r2{21};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(original.sample(r1), copy->sample(r2));
+}
+
+}  // namespace
+}  // namespace rtmac::traffic

@@ -1,0 +1,138 @@
+#include "traffic/joint_arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "util/math.hpp"
+
+namespace rtmac::traffic {
+namespace {
+
+TEST(IndependentArrivalsTest, MatchesMarginals) {
+  std::vector<std::unique_ptr<ArrivalProcess>> marginals;
+  marginals.push_back(std::make_unique<BernoulliArrivals>(0.3));
+  marginals.push_back(std::make_unique<ConstantArrivals>(2));
+  IndependentArrivals joint{std::move(marginals)};
+  EXPECT_EQ(joint.num_links(), 2u);
+  EXPECT_EQ(joint.mean(), (RateVector{0.3, 2.0}));
+  Rng rng{4};
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = joint.sample(rng);
+    EXPECT_LE(a[0], 1);
+    EXPECT_EQ(a[1], 2);
+  }
+}
+
+TEST(IndependentArrivalsTest, CloneIsDeep) {
+  std::vector<std::unique_ptr<ArrivalProcess>> marginals;
+  marginals.push_back(std::make_unique<BernoulliArrivals>(0.5));
+  IndependentArrivals joint{std::move(marginals)};
+  const auto copy = joint.clone();
+  EXPECT_EQ(copy->mean(), joint.mean());
+  Rng r1{9};
+  Rng r2{9};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(joint.sample(r1), copy->sample(r2));
+}
+
+TEST(CommonShockTest, MarginalMeanUnchangedByShock) {
+  for (double shock : {0.0, 0.2, 0.4, 0.55}) {
+    CommonShockBurstyArrivals joint{10, 0.55, shock};
+    for (double m : joint.mean()) EXPECT_NEAR(m, 3.5 * 0.55, 1e-12);
+  }
+}
+
+TEST(CommonShockTest, EmpiricalMarginalMatches) {
+  CommonShockBurstyArrivals joint{4, 0.5, 0.3};
+  Rng rng{17};
+  std::vector<double> sums(4, 0.0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const auto a = joint.sample(rng);
+    for (int n = 0; n < 4; ++n) sums[static_cast<std::size_t>(n)] += a[static_cast<std::size_t>(n)];
+  }
+  for (double s : sums) EXPECT_NEAR(s / kN, 3.5 * 0.5, 0.05);
+}
+
+TEST(CommonShockTest, ShockInducesPositiveCorrelation) {
+  // Covariance of burst indicators across two links must grow with shock.
+  auto burst_covariance = [](double shock) {
+    CommonShockBurstyArrivals joint{2, 0.5, shock};
+    Rng rng{23};
+    double b0 = 0.0;
+    double b1 = 0.0;
+    double b01 = 0.0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) {
+      const auto a = joint.sample(rng);
+      const double x = a[0] > 0 ? 1.0 : 0.0;
+      const double y = a[1] > 0 ? 1.0 : 0.0;
+      b0 += x;
+      b1 += y;
+      b01 += x * y;
+    }
+    return b01 / kN - (b0 / kN) * (b1 / kN);
+  };
+  const double none = burst_covariance(0.0);
+  const double some = burst_covariance(0.25);
+  const double full = burst_covariance(0.5);
+  EXPECT_NEAR(none, 0.0, 0.01);
+  EXPECT_GT(some, none + 0.02);
+  EXPECT_GT(full, some + 0.02);
+}
+
+TEST(CommonShockTest, FullShockSynchronizesBursts) {
+  CommonShockBurstyArrivals joint{5, 0.5, 0.5};
+  Rng rng{3};
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = joint.sample(rng);
+    const bool any = std::any_of(a.begin(), a.end(), [](int v) { return v > 0; });
+    const bool all = std::all_of(a.begin(), a.end(), [](int v) { return v > 0; });
+    EXPECT_EQ(any, all) << "with shock == alpha bursts must be all-or-nothing";
+  }
+}
+
+TEST(CommonShockTest, NetworkAcceptsJointTraffic) {
+  // Shock strength must respect capacity: a synchronized burst demands
+  // ~20*3.5/0.7 = 100 transmissions against 60 slots, so each shock interval
+  // inevitably drops ~1.4 packets/link. With rho = 0.9 the per-link slack is
+  // 3.5*alpha*0.1 = 0.14, so shocks up to ~10% of intervals stay feasible.
+  auto cfg = expfw::video_symmetric(0.4, 0.9, 9);
+  cfg.arrivals.clear();
+  cfg.joint_arrivals = std::make_unique<CommonShockBurstyArrivals>(20, 0.4, 0.05);
+  std::string error;
+  ASSERT_TRUE(cfg.validate(&error)) << error;
+  net::Network net{std::move(cfg), expfw::dbdp_factory()};
+  net.run(1500);
+  EXPECT_LT(net.total_deficiency(), 0.3);
+}
+
+TEST(CommonShockTest, ExcessiveShockIsInfeasibleForEveryPolicy) {
+  // The converse: synchronizing 30% of intervals exceeds capacity and even
+  // the centralized genie cannot fulfil the requirement.
+  auto cfg = expfw::video_symmetric(0.4, 0.9, 9);
+  cfg.arrivals.clear();
+  cfg.joint_arrivals = std::make_unique<CommonShockBurstyArrivals>(20, 0.4, 0.3);
+  net::Network net{std::move(cfg), expfw::ldf_factory()};
+  net.run(600);
+  EXPECT_GT(net.total_deficiency(), 1.0);
+}
+
+TEST(CommonShockTest, ValidationRejectsMeanMismatch) {
+  auto cfg = expfw::video_symmetric(0.4, 0.9, 9);
+  cfg.arrivals.clear();
+  cfg.joint_arrivals = std::make_unique<CommonShockBurstyArrivals>(20, 0.5, 0.1);
+  EXPECT_FALSE(cfg.validate());
+}
+
+TEST(CommonShockTest, ValidationRejectsSizeMismatch) {
+  auto cfg = expfw::video_symmetric(0.4, 0.9, 9);
+  cfg.arrivals.clear();
+  cfg.joint_arrivals = std::make_unique<CommonShockBurstyArrivals>(7, 0.4, 0.1);
+  EXPECT_FALSE(cfg.validate());
+}
+
+}  // namespace
+}  // namespace rtmac::traffic

@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtmac {
+namespace {
+
+TEST(CsvEscapeTest, PlainValuesPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, SeparatorTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a;b", ';'), "\"a;b\"");
+  EXPECT_EQ(csv_escape("a;b", ','), "a;b");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlinesTriggerQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.header({"x", "y"});
+  csv.field(1.5).field(std::int64_t{2});
+  csv.end_row();
+  csv.field("label,with,commas").field(3.0);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "x,y\n1.5,2\n\"label,with,commas\",3\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, DoubleRoundTripPrecision) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.field(0.1234567891);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "0.1234567891\n");
+}
+
+TEST(CsvWriterTest, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter csv{out, ';'};
+  csv.field("a").field("b");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a;b\n");
+}
+
+}  // namespace
+}  // namespace rtmac

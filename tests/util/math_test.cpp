@@ -1,0 +1,81 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtmac {
+namespace {
+
+TEST(MathTest, PositivePart) {
+  EXPECT_EQ(positive_part(3.5), 3.5);
+  EXPECT_EQ(positive_part(-2.0), 0.0);
+  EXPECT_EQ(positive_part(0.0), 0.0);
+}
+
+TEST(MathTest, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(sample_variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_EQ(sample_variance(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(MathTest, TotalVariation) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), 0.5);
+  EXPECT_DOUBLE_EQ(total_variation(p, p), 0.0);
+}
+
+TEST(MathTest, LinfNorm) {
+  const std::vector<double> xs{1.0, -4.0, 2.0};
+  EXPECT_DOUBLE_EQ(linf_norm(xs), 4.0);
+  EXPECT_DOUBLE_EQ(linf_norm(std::vector<double>{}), 0.0);
+}
+
+TEST(MathTest, Factorial) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+TEST(MathTest, NormalizeMakesDistribution) {
+  std::vector<double> xs{1.0, 3.0};
+  const double sum = normalize(xs);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_DOUBLE_EQ(xs[0], 0.25);
+  EXPECT_DOUBLE_EQ(xs[1], 0.75);
+}
+
+TEST(MathTest, NormalizeLeavesZeroVector) {
+  std::vector<double> xs{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(xs), 0.0);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+}
+
+TEST(MathTest, Binomial) {
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(60, 30), binomial(60, 30));
+}
+
+TEST(MathTest, BinomialPmfSumsToOne) {
+  for (unsigned n : {1u, 5u, 20u}) {
+    double total = 0.0;
+    for (unsigned k = 0; k <= n; ++k) total += binomial_pmf(n, k, 0.3);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(MathTest, BinomialPmfKnownValues) {
+  EXPECT_NEAR(binomial_pmf(2, 1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.5), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_pmf(3, 4, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace rtmac

@@ -1,0 +1,134 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace rtmac {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64Test, DependsOnBothArguments) {
+  EXPECT_NE(mix64(1, 1), mix64(1, 2));
+  EXPECT_NE(mix64(1, 1), mix64(2, 1));
+  EXPECT_EQ(mix64(7, 9), mix64(7, 9));
+}
+
+TEST(RngTest, DeterministicUnderSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, StreamsAreIndependentButReproducible) {
+  Rng a{123, 0};
+  Rng b{123, 1};
+  Rng a2{123, 0};
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    if (va != b.next_u64()) any_diff = true;
+    EXPECT_EQ(va, a2.next_u64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng{7};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntStaysInRangeAndHitsEndpoints) {
+  Rng rng{99};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng{2024};
+  std::array<int, 6> counts{};
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) counts[static_cast<std::size_t>(rng.uniform_int(0, 5))]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng{31};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.7) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.7, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, UniformRealBounds) {
+  Rng rng{8};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UsableWithStdDistributions) {
+  Rng rng{55};
+  // UniformRandomBitGenerator requirements.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  const auto v = rng();
+  (void)v;
+}
+
+}  // namespace
+}  // namespace rtmac

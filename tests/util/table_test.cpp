@@ -1,0 +1,46 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtmac {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderSeparatorAndRows) {
+  TablePrinter table{{"name", "value"}};
+  table.add_row({"alpha", "0.55"});
+  table.add_row({"rho", "0.9"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("|-------|-------|"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 0.55  |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, ColumnWidthsFitLongestCell) {
+  TablePrinter table{{"x"}};
+  table.add_row({"longer-cell"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("| longer-cell |"), std::string::npos);
+  EXPECT_NE(out.str().find("| x           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter table{{"a", "b"}};
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("| a | b |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatters) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(1.0), "1.0000");
+  EXPECT_EQ(TablePrinter::num(std::int64_t{-42}), "-42");
+}
+
+}  // namespace
+}  // namespace rtmac

@@ -1,0 +1,93 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtmac {
+namespace {
+
+TEST(DurationTest, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(20).ns(), 20'000'000);
+  EXPECT_EQ(Duration::microseconds(330).ns(), 330'000);
+  EXPECT_EQ(Duration::nanoseconds(7).ns(), 7);
+}
+
+TEST(DurationTest, FractionalFactoriesRound) {
+  EXPECT_EQ(Duration::from_us_f(0.5).ns(), 500);
+  EXPECT_EQ(Duration::from_us_f(9.0).ns(), 9'000);
+  EXPECT_EQ(Duration::from_seconds_f(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds_f(0.1).ns(), 100'000'000);
+}
+
+TEST(DurationTest, ArithmeticIsClosed) {
+  const Duration a = Duration::microseconds(330);
+  const Duration b = Duration::microseconds(70);
+  EXPECT_EQ((a + b).ns(), 400'000);
+  EXPECT_EQ((a - b).ns(), 260'000);
+  EXPECT_EQ((a * 3).ns(), 990'000);
+  EXPECT_EQ((3 * a).ns(), 990'000);
+  EXPECT_EQ((-a).ns(), -330'000);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::microseconds(10);
+  d += Duration::microseconds(5);
+  EXPECT_EQ(d.ns(), 15'000);
+  d -= Duration::microseconds(20);
+  EXPECT_EQ(d.ns(), -5'000);
+  EXPECT_TRUE(d.is_negative());
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(Duration::microseconds(9), Duration::microseconds(10));
+  EXPECT_GT(Duration::milliseconds(1), Duration::microseconds(999));
+  EXPECT_EQ(Duration::milliseconds(1), Duration::microseconds(1000));
+}
+
+TEST(DurationTest, FloorDivCountsWholeUnits) {
+  const Duration deadline = Duration::milliseconds(20);
+  const Duration airtime = Duration::microseconds(330);
+  EXPECT_EQ(deadline.floor_div(airtime), 60);  // the paper's 60 tx/interval
+  EXPECT_EQ(Duration::milliseconds(2).floor_div(Duration::microseconds(120)), 16);
+  EXPECT_EQ(Duration::microseconds(100).floor_div(Duration::microseconds(100)), 1);
+  EXPECT_EQ(Duration::microseconds(99).floor_div(Duration::microseconds(100)), 0);
+}
+
+TEST(DurationTest, FloorDivNegativeRoundsDown) {
+  EXPECT_EQ(Duration::microseconds(-1).floor_div(Duration::microseconds(100)), -1);
+  EXPECT_EQ(Duration::microseconds(-100).floor_div(Duration::microseconds(100)), -1);
+  EXPECT_EQ(Duration::microseconds(-101).floor_div(Duration::microseconds(100)), -2);
+}
+
+TEST(DurationTest, ToStringPicksAdaptiveUnit) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::milliseconds(20).to_string(), "20ms");
+  EXPECT_EQ(Duration::microseconds(330).to_string(), "330us");
+  EXPECT_EQ(Duration::nanoseconds(12).to_string(), "12ns");
+  EXPECT_EQ(Duration::nanoseconds(1500).to_string(), "1500ns");
+}
+
+TEST(TimePointTest, AffineArithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::milliseconds(20);
+  EXPECT_EQ((t1 - t0).ns(), 20'000'000);
+  EXPECT_EQ((t1 - Duration::milliseconds(20)), t0);
+  TimePoint t = t0;
+  t += Duration::seconds(1);
+  EXPECT_EQ(t.ns(), 1'000'000'000);
+}
+
+TEST(TimePointTest, Ordering) {
+  const TimePoint a = TimePoint::from_ns(5);
+  const TimePoint b = TimePoint::from_ns(6);
+  EXPECT_LT(a, b);
+  EXPECT_GE(b, a);
+  EXPECT_EQ(a, TimePoint::from_ns(5));
+}
+
+TEST(TimePointTest, SecondsConversion) {
+  EXPECT_DOUBLE_EQ((TimePoint::origin() + Duration::milliseconds(1500)).seconds_f(), 1.5);
+}
+
+}  // namespace
+}  // namespace rtmac
