@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dp_overhead"
+  "../bench/ablation_dp_overhead.pdb"
+  "CMakeFiles/ablation_dp_overhead.dir/ablation_dp_overhead.cpp.o"
+  "CMakeFiles/ablation_dp_overhead.dir/ablation_dp_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

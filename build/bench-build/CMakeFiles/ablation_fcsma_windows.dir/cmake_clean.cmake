@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fcsma_windows"
+  "../bench/ablation_fcsma_windows.pdb"
+  "CMakeFiles/ablation_fcsma_windows.dir/ablation_fcsma_windows.cpp.o"
+  "CMakeFiles/ablation_fcsma_windows.dir/ablation_fcsma_windows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fcsma_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_fcsma_windows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fcsma_windows.
+# This may be replaced when dependencies are built.

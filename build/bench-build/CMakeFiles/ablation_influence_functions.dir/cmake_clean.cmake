@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_influence_functions"
+  "../bench/ablation_influence_functions.pdb"
+  "CMakeFiles/ablation_influence_functions.dir/ablation_influence_functions.cpp.o"
+  "CMakeFiles/ablation_influence_functions.dir/ablation_influence_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_influence_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

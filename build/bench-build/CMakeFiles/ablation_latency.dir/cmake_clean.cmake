@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_latency"
+  "../bench/ablation_latency.pdb"
+  "CMakeFiles/ablation_latency.dir/ablation_latency.cpp.o"
+  "CMakeFiles/ablation_latency.dir/ablation_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_learned_p"
+  "../bench/ablation_learned_p.pdb"
+  "CMakeFiles/ablation_learned_p.dir/ablation_learned_p.cpp.o"
+  "CMakeFiles/ablation_learned_p.dir/ablation_learned_p.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learned_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

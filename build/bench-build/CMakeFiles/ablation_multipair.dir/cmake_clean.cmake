@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multipair"
+  "../bench/ablation_multipair.pdb"
+  "CMakeFiles/ablation_multipair.dir/ablation_multipair.cpp.o"
+  "CMakeFiles/ablation_multipair.dir/ablation_multipair.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multipair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_control_ratio_sweep"
+  "../bench/fig10_control_ratio_sweep.pdb"
+  "CMakeFiles/fig10_control_ratio_sweep.dir/fig10_control_ratio_sweep.cpp.o"
+  "CMakeFiles/fig10_control_ratio_sweep.dir/fig10_control_ratio_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_control_ratio_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

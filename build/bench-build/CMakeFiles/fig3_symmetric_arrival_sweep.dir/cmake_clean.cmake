@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_symmetric_arrival_sweep"
+  "../bench/fig3_symmetric_arrival_sweep.pdb"
+  "CMakeFiles/fig3_symmetric_arrival_sweep.dir/fig3_symmetric_arrival_sweep.cpp.o"
+  "CMakeFiles/fig3_symmetric_arrival_sweep.dir/fig3_symmetric_arrival_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_symmetric_arrival_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_symmetric_ratio_sweep"
+  "../bench/fig4_symmetric_ratio_sweep.pdb"
+  "CMakeFiles/fig4_symmetric_ratio_sweep.dir/fig4_symmetric_ratio_sweep.cpp.o"
+  "CMakeFiles/fig4_symmetric_ratio_sweep.dir/fig4_symmetric_ratio_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_symmetric_ratio_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

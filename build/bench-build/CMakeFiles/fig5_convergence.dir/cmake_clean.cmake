@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_convergence"
+  "../bench/fig5_convergence.pdb"
+  "CMakeFiles/fig5_convergence.dir/fig5_convergence.cpp.o"
+  "CMakeFiles/fig5_convergence.dir/fig5_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

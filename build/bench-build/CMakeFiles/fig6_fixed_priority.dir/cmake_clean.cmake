@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fixed_priority"
+  "../bench/fig6_fixed_priority.pdb"
+  "CMakeFiles/fig6_fixed_priority.dir/fig6_fixed_priority.cpp.o"
+  "CMakeFiles/fig6_fixed_priority.dir/fig6_fixed_priority.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fixed_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_asymmetric_arrival_sweep"
+  "../bench/fig7_asymmetric_arrival_sweep.pdb"
+  "CMakeFiles/fig7_asymmetric_arrival_sweep.dir/fig7_asymmetric_arrival_sweep.cpp.o"
+  "CMakeFiles/fig7_asymmetric_arrival_sweep.dir/fig7_asymmetric_arrival_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_asymmetric_arrival_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_engine_benchmark"
+  "../bench/micro_engine_benchmark.pdb"
+  "CMakeFiles/micro_engine_benchmark.dir/micro_engine_benchmark.cpp.o"
+  "CMakeFiles/micro_engine_benchmark.dir/micro_engine_benchmark.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_engine_benchmark.
+# This may be replaced when dependencies are built.

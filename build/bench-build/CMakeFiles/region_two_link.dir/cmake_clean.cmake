@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/region_two_link"
+  "../bench/region_two_link.pdb"
+  "CMakeFiles/region_two_link.dir/region_two_link.cpp.o"
+  "CMakeFiles/region_two_link.dir/region_two_link.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_two_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for region_two_link.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for region_two_link.
+# This may be replaced when dependencies are built.

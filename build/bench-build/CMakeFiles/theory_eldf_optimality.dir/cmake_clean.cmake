@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theory_eldf_optimality"
+  "../bench/theory_eldf_optimality.pdb"
+  "CMakeFiles/theory_eldf_optimality.dir/theory_eldf_optimality.cpp.o"
+  "CMakeFiles/theory_eldf_optimality.dir/theory_eldf_optimality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_eldf_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

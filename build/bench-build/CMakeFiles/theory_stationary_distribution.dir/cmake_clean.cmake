@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theory_stationary_distribution"
+  "../bench/theory_stationary_distribution.pdb"
+  "CMakeFiles/theory_stationary_distribution.dir/theory_stationary_distribution.cpp.o"
+  "CMakeFiles/theory_stationary_distribution.dir/theory_stationary_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_stationary_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_latency_control.dir/low_latency_control.cpp.o"
+  "CMakeFiles/low_latency_control.dir/low_latency_control.cpp.o.d"
+  "low_latency_control"
+  "low_latency_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_latency_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

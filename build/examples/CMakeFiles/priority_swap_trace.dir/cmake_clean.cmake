@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_swap_trace.dir/priority_swap_trace.cpp.o"
+  "CMakeFiles/priority_swap_trace.dir/priority_swap_trace.cpp.o.d"
+  "priority_swap_trace"
+  "priority_swap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_swap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for priority_swap_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtmac_sim.dir/rtmac_sim.cpp.o"
+  "CMakeFiles/rtmac_sim.dir/rtmac_sim.cpp.o.d"
+  "rtmac_sim"
+  "rtmac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtmac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stationary_distribution.dir/stationary_distribution.cpp.o"
+  "CMakeFiles/stationary_distribution.dir/stationary_distribution.cpp.o.d"
+  "stationary_distribution"
+  "stationary_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stationary_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_delivery.dir/video_delivery.cpp.o"
+  "CMakeFiles/video_delivery.dir/video_delivery.cpp.o.d"
+  "video_delivery"
+  "video_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

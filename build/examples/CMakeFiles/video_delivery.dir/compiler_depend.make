@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for video_delivery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/feasibility.cpp" "src/CMakeFiles/rtmac.dir/analysis/feasibility.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/analysis/feasibility.cpp.o.d"
+  "/root/repo/src/analysis/interval_mdp.cpp" "src/CMakeFiles/rtmac.dir/analysis/interval_mdp.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/analysis/interval_mdp.cpp.o.d"
+  "/root/repo/src/analysis/priority_chain.cpp" "src/CMakeFiles/rtmac.dir/analysis/priority_chain.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/analysis/priority_chain.cpp.o.d"
+  "/root/repo/src/analysis/priority_evaluator.cpp" "src/CMakeFiles/rtmac.dir/analysis/priority_evaluator.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/analysis/priority_evaluator.cpp.o.d"
+  "/root/repo/src/analysis/region.cpp" "src/CMakeFiles/rtmac.dir/analysis/region.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/analysis/region.cpp.o.d"
+  "/root/repo/src/core/debt.cpp" "src/CMakeFiles/rtmac.dir/core/debt.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/core/debt.cpp.o.d"
+  "/root/repo/src/core/influence.cpp" "src/CMakeFiles/rtmac.dir/core/influence.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/core/influence.cpp.o.d"
+  "/root/repo/src/core/mu.cpp" "src/CMakeFiles/rtmac.dir/core/mu.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/core/mu.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/CMakeFiles/rtmac.dir/core/permutation.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/core/permutation.cpp.o.d"
+  "/root/repo/src/core/requirements.cpp" "src/CMakeFiles/rtmac.dir/core/requirements.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/core/requirements.cpp.o.d"
+  "/root/repo/src/expfw/report.cpp" "src/CMakeFiles/rtmac.dir/expfw/report.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/expfw/report.cpp.o.d"
+  "/root/repo/src/expfw/runner.cpp" "src/CMakeFiles/rtmac.dir/expfw/runner.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/expfw/runner.cpp.o.d"
+  "/root/repo/src/expfw/scenarios.cpp" "src/CMakeFiles/rtmac.dir/expfw/scenarios.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/expfw/scenarios.cpp.o.d"
+  "/root/repo/src/mac/backoff_engine.cpp" "src/CMakeFiles/rtmac.dir/mac/backoff_engine.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/backoff_engine.cpp.o.d"
+  "/root/repo/src/mac/centralized_scheduler.cpp" "src/CMakeFiles/rtmac.dir/mac/centralized_scheduler.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/centralized_scheduler.cpp.o.d"
+  "/root/repo/src/mac/dcf_mac.cpp" "src/CMakeFiles/rtmac.dir/mac/dcf_mac.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/dcf_mac.cpp.o.d"
+  "/root/repo/src/mac/dp_link_mac.cpp" "src/CMakeFiles/rtmac.dir/mac/dp_link_mac.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/dp_link_mac.cpp.o.d"
+  "/root/repo/src/mac/fcsma_mac.cpp" "src/CMakeFiles/rtmac.dir/mac/fcsma_mac.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/fcsma_mac.cpp.o.d"
+  "/root/repo/src/mac/link_mac.cpp" "src/CMakeFiles/rtmac.dir/mac/link_mac.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/link_mac.cpp.o.d"
+  "/root/repo/src/mac/priority_provider.cpp" "src/CMakeFiles/rtmac.dir/mac/priority_provider.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/priority_provider.cpp.o.d"
+  "/root/repo/src/mac/reliability_estimator.cpp" "src/CMakeFiles/rtmac.dir/mac/reliability_estimator.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/mac/reliability_estimator.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/rtmac.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/network_config.cpp" "src/CMakeFiles/rtmac.dir/net/network_config.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/net/network_config.cpp.o.d"
+  "/root/repo/src/phy/channel_model.cpp" "src/CMakeFiles/rtmac.dir/phy/channel_model.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/phy/channel_model.cpp.o.d"
+  "/root/repo/src/phy/medium.cpp" "src/CMakeFiles/rtmac.dir/phy/medium.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/phy/medium.cpp.o.d"
+  "/root/repo/src/phy/phy_params.cpp" "src/CMakeFiles/rtmac.dir/phy/phy_params.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/phy/phy_params.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/rtmac.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rtmac.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rtmac.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/stats/deficiency.cpp" "src/CMakeFiles/rtmac.dir/stats/deficiency.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/stats/deficiency.cpp.o.d"
+  "/root/repo/src/stats/fairness.cpp" "src/CMakeFiles/rtmac.dir/stats/fairness.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/stats/fairness.cpp.o.d"
+  "/root/repo/src/stats/latency.cpp" "src/CMakeFiles/rtmac.dir/stats/latency.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/stats/latency.cpp.o.d"
+  "/root/repo/src/stats/link_stats.cpp" "src/CMakeFiles/rtmac.dir/stats/link_stats.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/stats/link_stats.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/CMakeFiles/rtmac.dir/stats/time_series.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/stats/time_series.cpp.o.d"
+  "/root/repo/src/traffic/arrival_process.cpp" "src/CMakeFiles/rtmac.dir/traffic/arrival_process.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/traffic/arrival_process.cpp.o.d"
+  "/root/repo/src/traffic/joint_arrivals.cpp" "src/CMakeFiles/rtmac.dir/traffic/joint_arrivals.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/traffic/joint_arrivals.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/rtmac.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/rtmac.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "src/CMakeFiles/rtmac.dir/util/math.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rtmac.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rtmac.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/rtmac.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/rtmac.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

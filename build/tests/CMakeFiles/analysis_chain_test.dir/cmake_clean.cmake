@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_chain_test.dir/analysis/priority_chain_test.cpp.o"
+  "CMakeFiles/analysis_chain_test.dir/analysis/priority_chain_test.cpp.o.d"
+  "analysis_chain_test"
+  "analysis_chain_test.pdb"
+  "analysis_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

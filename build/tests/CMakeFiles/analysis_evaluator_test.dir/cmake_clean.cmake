@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_evaluator_test.dir/analysis/priority_evaluator_test.cpp.o"
+  "CMakeFiles/analysis_evaluator_test.dir/analysis/priority_evaluator_test.cpp.o.d"
+  "analysis_evaluator_test"
+  "analysis_evaluator_test.pdb"
+  "analysis_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_feasibility_test.dir/analysis/feasibility_test.cpp.o"
+  "CMakeFiles/analysis_feasibility_test.dir/analysis/feasibility_test.cpp.o.d"
+  "analysis_feasibility_test"
+  "analysis_feasibility_test.pdb"
+  "analysis_feasibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_feasibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

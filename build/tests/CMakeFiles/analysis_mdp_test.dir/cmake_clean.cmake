@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_mdp_test.dir/analysis/interval_mdp_test.cpp.o"
+  "CMakeFiles/analysis_mdp_test.dir/analysis/interval_mdp_test.cpp.o.d"
+  "analysis_mdp_test"
+  "analysis_mdp_test.pdb"
+  "analysis_mdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_mdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

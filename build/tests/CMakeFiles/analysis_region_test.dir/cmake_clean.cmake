@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_region_test.dir/analysis/region_test.cpp.o"
+  "CMakeFiles/analysis_region_test.dir/analysis/region_test.cpp.o.d"
+  "analysis_region_test"
+  "analysis_region_test.pdb"
+  "analysis_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

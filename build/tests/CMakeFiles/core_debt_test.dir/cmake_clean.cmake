@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_debt_test.dir/core/debt_test.cpp.o"
+  "CMakeFiles/core_debt_test.dir/core/debt_test.cpp.o.d"
+  "core_debt_test"
+  "core_debt_test.pdb"
+  "core_debt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_debt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_influence_test.dir/core/influence_test.cpp.o"
+  "CMakeFiles/core_influence_test.dir/core/influence_test.cpp.o.d"
+  "core_influence_test"
+  "core_influence_test.pdb"
+  "core_influence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_influence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

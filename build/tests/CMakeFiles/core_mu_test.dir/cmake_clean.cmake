@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mu_test.dir/core/mu_test.cpp.o"
+  "CMakeFiles/core_mu_test.dir/core/mu_test.cpp.o.d"
+  "core_mu_test"
+  "core_mu_test.pdb"
+  "core_mu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_permutation_test.dir/core/permutation_test.cpp.o"
+  "CMakeFiles/core_permutation_test.dir/core/permutation_test.cpp.o.d"
+  "core_permutation_test"
+  "core_permutation_test.pdb"
+  "core_permutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_permutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

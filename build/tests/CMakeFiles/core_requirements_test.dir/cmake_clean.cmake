@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_requirements_test.dir/core/requirements_test.cpp.o"
+  "CMakeFiles/core_requirements_test.dir/core/requirements_test.cpp.o.d"
+  "core_requirements_test"
+  "core_requirements_test.pdb"
+  "core_requirements_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_requirements_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expfw_test.dir/expfw/expfw_test.cpp.o"
+  "CMakeFiles/expfw_test.dir/expfw/expfw_test.cpp.o.d"
+  "expfw_test"
+  "expfw_test.pdb"
+  "expfw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expfw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

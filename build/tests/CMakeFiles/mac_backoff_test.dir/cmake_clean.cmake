@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_backoff_test.dir/mac/backoff_engine_test.cpp.o"
+  "CMakeFiles/mac_backoff_test.dir/mac/backoff_engine_test.cpp.o.d"
+  "mac_backoff_test"
+  "mac_backoff_test.pdb"
+  "mac_backoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_backoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

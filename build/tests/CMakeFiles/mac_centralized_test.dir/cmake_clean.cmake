@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_centralized_test.dir/mac/centralized_test.cpp.o"
+  "CMakeFiles/mac_centralized_test.dir/mac/centralized_test.cpp.o.d"
+  "mac_centralized_test"
+  "mac_centralized_test.pdb"
+  "mac_centralized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_dp_test.dir/mac/dp_protocol_test.cpp.o"
+  "CMakeFiles/mac_dp_test.dir/mac/dp_protocol_test.cpp.o.d"
+  "mac_dp_test"
+  "mac_dp_test.pdb"
+  "mac_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

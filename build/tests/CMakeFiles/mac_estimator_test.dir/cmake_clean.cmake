@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_estimator_test.dir/mac/reliability_estimator_test.cpp.o"
+  "CMakeFiles/mac_estimator_test.dir/mac/reliability_estimator_test.cpp.o.d"
+  "mac_estimator_test"
+  "mac_estimator_test.pdb"
+  "mac_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

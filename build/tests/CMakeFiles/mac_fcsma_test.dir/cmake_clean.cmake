@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_fcsma_test.dir/mac/fcsma_test.cpp.o"
+  "CMakeFiles/mac_fcsma_test.dir/mac/fcsma_test.cpp.o.d"
+  "mac_fcsma_test"
+  "mac_fcsma_test.pdb"
+  "mac_fcsma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_fcsma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mac_fcsma_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_multipair_test.dir/mac/multipair_test.cpp.o"
+  "CMakeFiles/mac_multipair_test.dir/mac/multipair_test.cpp.o.d"
+  "mac_multipair_test"
+  "mac_multipair_test.pdb"
+  "mac_multipair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_multipair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_network_test.dir/net/network_test.cpp.o"
+  "CMakeFiles/net_network_test.dir/net/network_test.cpp.o.d"
+  "net_network_test"
+  "net_network_test.pdb"
+  "net_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

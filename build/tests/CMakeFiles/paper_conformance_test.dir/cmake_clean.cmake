@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_conformance_test.dir/integration/paper_conformance_test.cpp.o"
+  "CMakeFiles/paper_conformance_test.dir/integration/paper_conformance_test.cpp.o.d"
+  "paper_conformance_test"
+  "paper_conformance_test.pdb"
+  "paper_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

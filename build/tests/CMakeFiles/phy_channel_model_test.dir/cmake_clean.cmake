@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_channel_model_test.dir/phy/channel_model_test.cpp.o"
+  "CMakeFiles/phy_channel_model_test.dir/phy/channel_model_test.cpp.o.d"
+  "phy_channel_model_test"
+  "phy_channel_model_test.pdb"
+  "phy_channel_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_channel_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_medium_test.dir/phy/medium_test.cpp.o"
+  "CMakeFiles/phy_medium_test.dir/phy/medium_test.cpp.o.d"
+  "phy_medium_test"
+  "phy_medium_test.pdb"
+  "phy_medium_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_medium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_params_test.dir/phy/phy_params_test.cpp.o"
+  "CMakeFiles/phy_params_test.dir/phy/phy_params_test.cpp.o.d"
+  "phy_params_test"
+  "phy_params_test.pdb"
+  "phy_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

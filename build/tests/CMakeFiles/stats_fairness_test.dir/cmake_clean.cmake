@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_fairness_test.dir/stats/fairness_test.cpp.o"
+  "CMakeFiles/stats_fairness_test.dir/stats/fairness_test.cpp.o.d"
+  "stats_fairness_test"
+  "stats_fairness_test.pdb"
+  "stats_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_latency_test.dir/stats/latency_test.cpp.o"
+  "CMakeFiles/stats_latency_test.dir/stats/latency_test.cpp.o.d"
+  "stats_latency_test"
+  "stats_latency_test.pdb"
+  "stats_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

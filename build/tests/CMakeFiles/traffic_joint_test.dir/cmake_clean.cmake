@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_joint_test.dir/traffic/joint_arrivals_test.cpp.o"
+  "CMakeFiles/traffic_joint_test.dir/traffic/joint_arrivals_test.cpp.o.d"
+  "traffic_joint_test"
+  "traffic_joint_test.pdb"
+  "traffic_joint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_joint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_args_test.dir/util/args_test.cpp.o"
+  "CMakeFiles/util_args_test.dir/util/args_test.cpp.o.d"
+  "util_args_test"
+  "util_args_test.pdb"
+  "util_args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_math_test.dir/util/math_test.cpp.o"
+  "CMakeFiles/util_math_test.dir/util/math_test.cpp.o.d"
+  "util_math_test"
+  "util_math_test.pdb"
+  "util_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

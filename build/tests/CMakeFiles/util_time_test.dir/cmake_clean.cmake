@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_time_test.dir/util/time_test.cpp.o"
+  "CMakeFiles/util_time_test.dir/util/time_test.cpp.o.d"
+  "util_time_test"
+  "util_time_test.pdb"
+  "util_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
