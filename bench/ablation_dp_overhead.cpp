@@ -3,9 +3,9 @@
 // share, empty-packet airtime share, and idle share attributable to backoff,
 // as the deadline shrinks — the overhead grows relative to capacity exactly
 // as the paper's Remark 4 discussion predicts.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
 #include "traffic/arrival_process.hpp"
@@ -13,21 +13,23 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500;
+  const auto args = expfw::parse_bench_args(argc, argv, 500, 50);
 
   std::cout << "\n=== Ablation: DP contention overhead vs deadline ===\n";
   std::cout << "10 links, saturated Bernoulli traffic, control airtimes\n\n";
 
   TablePrinter table{{"deadline", "tx slots", "busy share", "empty-pkt share",
                       "delivered/interval", "collisions"}};
-  for (std::int64_t ms : {1, 2, 4, 8, 16}) {
+  const std::vector<std::int64_t> deadlines =
+      args.smoke ? std::vector<std::int64_t>{1, 4} : std::vector<std::int64_t>{1, 2, 4, 8, 16};
+  for (std::int64_t ms : deadlines) {
     const Duration deadline = Duration::milliseconds(ms);
     const auto phy = phy::PhyParams::control_80211a();
     const std::int64_t slots = phy.transmissions_per_interval(deadline);
     auto cfg = net::symmetric_network(10, deadline, phy, 0.9,
                                       traffic::BernoulliArrivals{1.0}, 0.5, 1012);
     net::Network net{std::move(cfg), expfw::dbdp_factory()};
-    net.run(intervals);
+    net.run(args.intervals);
     const auto& c = net.medium().counters();
     const double sim_time = (net.simulator().now() - TimePoint::origin()).seconds_f();
     const double busy_share = c.busy_time.seconds_f() / sim_time;

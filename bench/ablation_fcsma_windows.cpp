@@ -4,57 +4,49 @@
 // point and reports deficiency: the qualitative conclusion (FCSMA far worse
 // than DB-DP/LDF) must hold across the whole constant range for the
 // reproduction to be fair.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+  const auto args = expfw::parse_bench_args(argc, argv, 800);
 
   std::cout << "\n=== Ablation: FCSMA discretization constants (Fig. 3 point alpha*=0.55) ===\n";
 
-  struct Variant {
-    std::string name;
-    mac::FcsmaParams params;
-  };
-  std::vector<Variant> variants;
-  variants.push_back({"default {128..32}/w=1", mac::FcsmaParams{}});
+  std::vector<expfw::SchemeSpec> schemes;
+  schemes.push_back({"DB-DP(ref)", expfw::dbdp_factory()});
+  schemes.push_back({"FCSMA default {128..32}/w=1", expfw::fcsma_factory(mac::FcsmaParams{})});
   {
     mac::FcsmaParams p;
     p.window_sizes = {64, 32, 16, 8, 4, 2};
-    variants.push_back({"aggressive {64..2} (collision collapse)", p});
+    schemes.push_back({"FCSMA aggressive {64..2} (collision collapse)", expfw::fcsma_factory(p)});
   }
   {
     mac::FcsmaParams p;
     p.window_sizes = {256, 192, 128, 96, 64};
-    variants.push_back({"patient {256..64} (backoff-dominated)", p});
+    schemes.push_back({"FCSMA patient {256..64} (backoff-dominated)", expfw::fcsma_factory(p)});
   }
   {
     mac::FcsmaParams p;
     p.section_width = 2.0;
-    variants.push_back({"wide sections w=2", p});
+    schemes.push_back({"FCSMA wide sections w=2", expfw::fcsma_factory(p)});
   }
   {
     mac::FcsmaParams p;
     p.section_width = 0.5;
-    variants.push_back({"narrow sections w=0.5", p});
+    schemes.push_back({"FCSMA narrow sections w=0.5", expfw::fcsma_factory(p)});
   }
 
   const auto config_at = [](double alpha) { return expfw::video_symmetric(alpha, 0.9, 1011); };
-  const auto metric = expfw::total_deficiency_metric();
   const std::vector<double> grid{0.45, 0.55, 0.65};
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("DB-DP(ref)", expfw::dbdp_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
-  for (const auto& v : variants) {
-    results.push_back(expfw::run_sweep("FCSMA " + v.name, expfw::fcsma_factory(v.params),
-                                       config_at, grid, intervals, metric, {"deficiency"}));
-  }
+  const auto results =
+      expfw::run_sweeps(schemes, config_at, grid, args.intervals,
+                        expfw::total_deficiency_metric(), {"deficiency"}, args.sweep);
   expfw::print_sweep_table(std::cout, "alpha*", results);
   std::cout << "\nconclusion holds iff every FCSMA column dominates the DB-DP column\n";
   return 0;

@@ -3,44 +3,35 @@
 // Compares deficiency and convergence across f choices at the Fig. 3
 // operating point, echoing the literature's observation that log-like
 // weights trade off adaptivity vs chain mixing.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+  const auto args = expfw::parse_bench_args(argc, argv, 800);
 
   std::cout << "\n=== Ablation: DB-DP debt influence function ===\n";
 
-  struct Variant {
-    std::string name;
-    core::Influence f;
-    double r;
-  };
-  const std::vector<Variant> variants{
-      {"paper ln(100(x+1)), R=10", core::Influence::paper_log(), 10.0},
-      {"identity x, R=10", core::Influence::identity(), 10.0},
-      {"sqrt x, R=10", core::Influence::power(0.5), 10.0},
-      {"log2(1+x), R=10", core::Influence::log(2.0), 10.0},
-      {"paper f, R=1", core::Influence::paper_log(), 1.0},
-      {"paper f, R=100", core::Influence::paper_log(), 100.0},
+  const std::vector<expfw::SchemeSpec> schemes{
+      {"LDF(ref)", expfw::ldf_factory()},
+      {"paper ln(100(x+1)), R=10", expfw::dbdp_factory(core::Influence::paper_log(), 10.0)},
+      {"identity x, R=10", expfw::dbdp_factory(core::Influence::identity(), 10.0)},
+      {"sqrt x, R=10", expfw::dbdp_factory(core::Influence::power(0.5), 10.0)},
+      {"log2(1+x), R=10", expfw::dbdp_factory(core::Influence::log(2.0), 10.0)},
+      {"paper f, R=1", expfw::dbdp_factory(core::Influence::paper_log(), 1.0)},
+      {"paper f, R=100", expfw::dbdp_factory(core::Influence::paper_log(), 100.0)},
   };
 
   const auto config_at = [](double alpha) { return expfw::video_symmetric(alpha, 0.9, 1013); };
-  const auto metric = expfw::total_deficiency_metric();
   const std::vector<double> grid{0.50, 0.55, 0.60};
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("LDF(ref)", expfw::ldf_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
-  for (const auto& v : variants) {
-    results.push_back(expfw::run_sweep(v.name, expfw::dbdp_factory(v.f, v.r), config_at,
-                                       grid, intervals, metric, {"deficiency"}));
-  }
+  const auto results =
+      expfw::run_sweeps(schemes, config_at, grid, args.intervals,
+                        expfw::total_deficiency_metric(), {"deficiency"}, args.sweep);
   expfw::print_sweep_table(std::cout, "alpha*", results);
   std::cout << "\nall Definition-6 choices should stay near LDF inside the region\n";
   return 0;

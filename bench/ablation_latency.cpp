@@ -5,9 +5,9 @@
 // the deadline, how early do they arrive? The centralized genie serves
 // back-to-back from the interval start; DP pays a few 9 us backoff slots;
 // FCSMA/DCF pay random backoff plus collision retries.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
 #include "stats/latency.hpp"
@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300;
+  const auto args = expfw::parse_bench_args(argc, argv, 300, 25);
 
   std::cout << "\n=== Ablation: delivery-latency distribution (video, alpha*=0.55) ===\n";
   std::cout << "latency = delivery instant minus interval start; deadline = 20 ms\n\n";
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     net::Network net{expfw::video_symmetric(0.55, 0.9, 1017), factory};
     sim::Tracer tracer{1u << 22};
     net.attach_tracer(&tracer);
-    net.run(intervals);
+    net.run(args.intervals);
     const auto lat = stats::delivery_latencies(tracer, Duration::milliseconds(20));
     table.add_row({net.scheme().name(),
                    TablePrinter::num(static_cast<std::int64_t>(lat.count())),

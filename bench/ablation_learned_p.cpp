@@ -4,33 +4,29 @@
 // transmissions"; this bench quantifies the cost of doing so. Each link
 // starts from an uninformative prior and updates a Beta posterior from its
 // own ACKs; the coin bias of eq. (14) consumes the posterior mean.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+  const auto args = expfw::parse_bench_args(argc, argv, 1500);
 
   std::cout << "\n=== Ablation: oracle p_n vs online-learned p_n (eq. 14 input) ===\n";
   std::cout << "symmetric video network, rho = 0.9; estimator prior mean 0.5\n\n";
 
-  const auto grid = std::vector<double>{0.40, 0.50, 0.55, 0.60};
+  const std::vector<double> grid{0.40, 0.50, 0.55, 0.60};
   const auto config_at = [](double a) { return expfw::video_symmetric(a, 0.9, 1018); };
-  const auto metric = expfw::total_deficiency_metric();
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("DB-DP oracle-p", expfw::dbdp_factory(), config_at,
-                                     grid, intervals, metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("DB-DP learned-p (prior .5)",
-                                     expfw::dbdp_estimated_p_factory(0.5), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("DB-DP learned-p (prior .9)",
-                                     expfw::dbdp_estimated_p_factory(0.9), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
+  const auto results = expfw::run_sweeps(
+      {{"DB-DP oracle-p", expfw::dbdp_factory()},
+       {"DB-DP learned-p (prior .5)", expfw::dbdp_estimated_p_factory(0.5)},
+       {"DB-DP learned-p (prior .9)", expfw::dbdp_estimated_p_factory(0.9)}},
+      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
+      args.sweep);
   expfw::print_sweep_table(std::cout, "alpha*", results);
   std::cout << "\nwith ~100+ observations per link per second, the learned curve should\n"
                "be indistinguishable from the oracle beyond the first few intervals.\n";

@@ -2,36 +2,38 @@
 // deficiency of DB-DP as the number of simultaneous candidate pairs grows.
 // One pair is the base Algorithm 2; more pairs mix the priority chain
 // faster at the cost of up to 2 extra backoff slots per pair.
-#include <cstdlib>
 #include <iostream>
+#include <string>
 
-#include "expfw/report.hpp"
-#include "expfw/runner.hpp"
+#include "expfw/bench_cli.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
-#include "stats/time_series.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+  const auto args = expfw::parse_bench_args(argc, argv, 3000, 60);
+  // Milestones scale with the horizon so --smoke stays consistent.
+  const IntervalIndex m1 = args.intervals / 6;
+  const IntervalIndex m2 = args.intervals / 2;
 
   std::cout << "\n=== Ablation: multi-pair randomized reordering (Remark 6) ===\n";
   std::cout << "symmetric video network, alpha* = 0.55, rho = 0.9\n\n";
 
-  TablePrinter table{{"swap pairs", "deficiency @500", "deficiency @1500",
-                      "deficiency @" + std::to_string(intervals), "collisions"}};
+  TablePrinter table{{"swap pairs", "deficiency @" + std::to_string(m1),
+                      "deficiency @" + std::to_string(m2),
+                      "deficiency @" + std::to_string(args.intervals), "collisions"}};
   for (int pairs : {1, 2, 4, 8}) {
     net::Network net{expfw::video_symmetric(0.55, 0.9, 1016),
                      pairs == 1 ? expfw::dbdp_factory()
                                 : expfw::dbdp_multipair_factory(pairs)};
-    net.run(500);
-    const double d500 = net.total_deficiency();
-    net.run(1000);
-    const double d1500 = net.total_deficiency();
-    net.run(intervals - 1500);
+    net.run(m1);
+    const double d1 = net.total_deficiency();
+    net.run(m2 - m1);
+    const double d2 = net.total_deficiency();
+    net.run(args.intervals - m2);
     table.add_row({TablePrinter::num(static_cast<std::int64_t>(pairs)),
-                   TablePrinter::num(d500), TablePrinter::num(d1500),
+                   TablePrinter::num(d1), TablePrinter::num(d2),
                    TablePrinter::num(net.total_deficiency()),
                    TablePrinter::num(static_cast<std::int64_t>(
                        net.medium().counters().collisions))});

@@ -5,10 +5,11 @@
 //  (2) cross-link correlated video bursts (common-shock traffic) — the
 //      model (Section II-B) allows intra-interval correlation; this probes
 //      how much headroom correlated demand peaks consume.
-#include <cstdlib>
+#include <cstdio>
 #include <iostream>
 #include <memory>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
@@ -17,7 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+  const auto args = expfw::parse_bench_args(argc, argv, 1500);
 
   // --- (1) bursty losses -----------------------------------------------------
   std::cout << "\n=== Ablation: Gilbert-Elliott bursty losses (mean-matched p = 0.7) ===\n";
@@ -41,8 +42,8 @@ int main(int argc, char** argv) {
   std::vector<expfw::SweepResult> ge_results;
   ge_results.push_back(expfw::run_sweep(
       "iid (paper)", expfw::dbdp_factory(),
-      [](double a) { return expfw::video_symmetric(a, 0.9, 1014); }, grid, intervals, metric,
-      {"deficiency"}));
+      [](double a) { return expfw::video_symmetric(a, 0.9, 1014); }, grid, args.intervals,
+      metric, {"deficiency"}, args.sweep));
   for (const auto& v : ge_variants) {
     const double mean = v.ge.mean_success();
     auto config_at = [v, mean](double a) {
@@ -55,8 +56,8 @@ int main(int argc, char** argv) {
       return cfg;
     };
     ge_results.push_back(expfw::run_sweep("DB-DP GE " + v.name, expfw::dbdp_factory(),
-                                          config_at, grid, intervals, metric,
-                                          {"deficiency"}));
+                                          config_at, grid, args.intervals, metric,
+                                          {"deficiency"}, args.sweep));
   }
   expfw::print_sweep_table(std::cout, "alpha*", ge_results);
 
@@ -74,7 +75,8 @@ int main(int argc, char** argv) {
     char name[48];
     std::snprintf(name, sizeof name, "DB-DP shock=%.0f%%", 100 * shock_frac);
     shock_results.push_back(expfw::run_sweep(name, expfw::dbdp_factory(), config_at, grid,
-                                             intervals, metric, {"deficiency"}));
+                                             args.intervals, metric, {"deficiency"},
+                                             args.sweep));
   }
   expfw::print_sweep_table(std::cout, "alpha*", shock_results);
   std::cout << "\ncorrelated peaks cost capacity for EVERY policy (demand exceeding 60\n"

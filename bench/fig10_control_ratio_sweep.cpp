@@ -2,36 +2,34 @@
 // lambda* = 0.78, sweeping the required delivery ratio. Paper shape:
 // DB-DP close to LDF all the way to rho ~ 0.99; FCSMA deficient from much
 // lower ratios.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const auto args = expfw::parse_bench_args(argc, argv, 4000);
 
   expfw::print_figure_banner(
       std::cout, "Fig. 10",
       "control network, lambda* = 0.78, deficiency vs delivery ratio",
       "DB-DP ~ LDF up to rho ~ 0.99; FCSMA deficiency grows across the sweep");
 
-  const auto grid = expfw::linspace(0.80, 1.00, 9);
+  const auto grid = expfw::linspace(0.80, 1.00, args.grid_points(9));
   const auto config_at = [](double rho) { return expfw::control_symmetric(0.78, rho, 1010); };
-  const auto metric = expfw::total_deficiency_metric();
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("LDF", expfw::ldf_factory(), config_at, grid, intervals,
-                                     metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("DB-DP", expfw::dbdp_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("FCSMA", expfw::fcsma_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
+  const auto results = expfw::run_sweeps(
+      {{"LDF", expfw::ldf_factory()},
+       {"DB-DP", expfw::dbdp_factory()},
+       {"FCSMA", expfw::fcsma_factory()}},
+      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
+      args.sweep);
 
   expfw::print_sweep_table(std::cout, "rho", results);
   expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig10.csv", "rho", results);
-  std::cout << "\n(" << intervals << " intervals/point; paper used 20000)\n";
+  std::cout << "\n(" << args.intervals << " intervals/point; paper used 20000)\n";
   return 0;
 }

@@ -4,39 +4,36 @@
 // alpha* ~ 0.62; FCSMA's knee sits at roughly 70% of that load.
 //
 // Intervals per point are reduced from the paper's 5000 to keep the full
-// bench suite fast; pass an integer argument to override (e.g. 5000 for the
-// paper-scale run recorded in EXPERIMENTS.md).
-#include <cstdlib>
+// bench suite fast; pass --intervals 5000 --reps 8 for a paper-scale run
+// with confidence intervals (see --help for the full flag triad).
 #include <iostream>
-#include <string>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+  const auto args = expfw::parse_bench_args(argc, argv, 1000);
 
   expfw::print_figure_banner(
       std::cout, "Fig. 3",
       "symmetric video network, 20 links, rho = 0.9, deficiency vs alpha*",
       "DB-DP ~ LDF with knee near alpha* ~ 0.62; FCSMA knee near 0.43 (~70% of LDF)");
 
-  const auto grid = expfw::linspace(0.40, 0.80, 9);
+  const auto grid = expfw::linspace(0.40, 0.80, args.grid_points(9));
   const auto config_at = [](double alpha) { return expfw::video_symmetric(alpha, 0.9, 1001); };
-  const auto metric = expfw::total_deficiency_metric();
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("LDF", expfw::ldf_factory(), config_at, grid, intervals,
-                                     metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("DB-DP", expfw::dbdp_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("FCSMA", expfw::fcsma_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
+  const auto results = expfw::run_sweeps(
+      {{"LDF", expfw::ldf_factory()},
+       {"DB-DP", expfw::dbdp_factory()},
+       {"FCSMA", expfw::fcsma_factory()}},
+      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
+      args.sweep);
 
   expfw::print_sweep_table(std::cout, "alpha*", results);
   expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig3.csv", "alpha", results);
-  std::cout << "\n(" << intervals << " intervals/point; paper used 5000)\n";
+  std::cout << "\n(" << args.intervals << " intervals/point; paper used 5000)\n";
   return 0;
 }

@@ -3,9 +3,12 @@
 // 93% delivery ratio. Paper shape: both converge to the requirement
 // q = 3.5 * 0.55 * 0.93 ~ 1.79 within a comparable number of intervals
 // (DB-DP within the same order as LDF; no starvation).
-#include <cstdlib>
+//
+// A time-series bench, not a sweep: --reps/--jobs are accepted (standard
+// CLI) but the three runs execute sequentially.
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
@@ -14,7 +17,8 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+  const auto args = expfw::parse_bench_args(argc, argv, 3000, 100);
+  const IntervalIndex intervals = args.intervals;
   constexpr LinkId kWatched = 19;  // lowest initial priority (identity start)
   const double q = 3.5 * 0.55 * 0.93;
 
@@ -44,7 +48,8 @@ int main(int argc, char** argv) {
   const auto dbdp4_mean = dbdp4.cumulative_mean();
 
   TablePrinter table{{"interval", "LDF", "DB-DP", "DB-DP(x4 pairs)", "target q"}};
-  for (std::size_t k = 50; k <= ldf_mean.size(); k = k < 500 ? k + 50 : k + 500) {
+  const std::size_t first_row = std::min<std::size_t>(50, ldf_mean.size());
+  for (std::size_t k = first_row; k <= ldf_mean.size(); k = k < 500 ? k + 50 : k + 500) {
     table.add_row({TablePrinter::num(static_cast<std::int64_t>(k)),
                    TablePrinter::num(ldf_mean[k - 1]), TablePrinter::num(dbdp_mean[k - 1]),
                    TablePrinter::num(dbdp4_mean[k - 1]), TablePrinter::num(q)});

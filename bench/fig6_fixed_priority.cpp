@@ -3,9 +3,9 @@
 // timely-throughput decreases with priority index but remains strictly
 // positive even for the lowest-priority link (index 20) — the priority
 // structure prevents complete starvation.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  const auto args = expfw::parse_bench_args(argc, argv, 2000, 100);
 
   expfw::print_figure_banner(
       std::cout, "Fig. 6",
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   net::Network net{expfw::video_symmetric(0.6, 0.9, 1006),
                    expfw::dp_static_priority_factory()};
-  net.run(intervals);
+  net.run(args.intervals);
 
   TablePrinter table{{"priority index", "avg timely-throughput", "arrival rate"}};
   for (LinkId n = 0; n < 20; ++n) {

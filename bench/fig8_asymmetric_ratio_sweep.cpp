@@ -1,38 +1,35 @@
 // Regenerates Fig. 8: group-wide deficiency of the asymmetric network at
 // fixed alpha* = 0.7, sweeping the delivery ratio. Paper shape: as Fig. 7 —
 // DB-DP ~ LDF; FCSMA group 1 dominated by deficiency.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000;
+  const auto args = expfw::parse_bench_args(argc, argv, 1000);
 
   expfw::print_figure_banner(
       std::cout, "Fig. 8",
       "asymmetric network (two groups), alpha* = 0.7, group deficiency vs rho",
       "DB-DP ~ LDF in both groups across rho; FCSMA group 1 much worse than group 2");
 
-  const auto grid = expfw::linspace(0.60, 1.00, 9);
+  const auto grid = expfw::linspace(0.60, 1.00, args.grid_points(9));
   const auto config_at = [](double rho) { return expfw::video_asymmetric(0.7, rho, 1008); };
   const auto metric =
       expfw::group_deficiency_metric({expfw::asymmetric_group(1), expfw::asymmetric_group(2)});
-  const std::vector<std::string> names{"grp1", "grp2"};
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("LDF", expfw::ldf_factory(), config_at, grid, intervals,
-                                     metric, names));
-  results.push_back(expfw::run_sweep("DB-DP", expfw::dbdp_factory(), config_at, grid,
-                                     intervals, metric, names));
-  results.push_back(expfw::run_sweep("FCSMA", expfw::fcsma_factory(), config_at, grid,
-                                     intervals, metric, names));
+  const auto results = expfw::run_sweeps(
+      {{"LDF", expfw::ldf_factory()},
+       {"DB-DP", expfw::dbdp_factory()},
+       {"FCSMA", expfw::fcsma_factory()}},
+      config_at, grid, args.intervals, metric, {"grp1", "grp2"}, args.sweep);
 
   expfw::print_sweep_table(std::cout, "rho", results);
   expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig8.csv", "rho", results);
-  std::cout << "\n(" << intervals << " intervals/point; paper used 5000)\n";
+  std::cout << "\n(" << args.intervals << " intervals/point; paper used 5000)\n";
   return 0;
 }

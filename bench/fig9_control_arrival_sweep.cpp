@@ -3,36 +3,34 @@
 // sweeping lambda*. Paper shape: DB-DP close to LDF despite losing 1-2 of
 // the 16 transmission opportunities per interval to backoff/claim overhead;
 // FCSMA substantially worse.
-#include <cstdlib>
 #include <iostream>
 
+#include "expfw/bench_cli.hpp"
 #include "expfw/report.hpp"
 #include "expfw/runner.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const auto args = expfw::parse_bench_args(argc, argv, 4000);
 
   expfw::print_figure_banner(
       std::cout, "Fig. 9",
       "control network, 10 links, 2 ms deadline, rho = 0.99, deficiency vs lambda*",
       "DB-DP ~ LDF with knee near lambda* ~ 0.8; FCSMA knee far lower");
 
-  const auto grid = expfw::linspace(0.60, 1.00, 9);
+  const auto grid = expfw::linspace(0.60, 1.00, args.grid_points(9));
   const auto config_at = [](double l) { return expfw::control_symmetric(l, 0.99, 1009); };
-  const auto metric = expfw::total_deficiency_metric();
 
-  std::vector<expfw::SweepResult> results;
-  results.push_back(expfw::run_sweep("LDF", expfw::ldf_factory(), config_at, grid, intervals,
-                                     metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("DB-DP", expfw::dbdp_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
-  results.push_back(expfw::run_sweep("FCSMA", expfw::fcsma_factory(), config_at, grid,
-                                     intervals, metric, {"deficiency"}));
+  const auto results = expfw::run_sweeps(
+      {{"LDF", expfw::ldf_factory()},
+       {"DB-DP", expfw::dbdp_factory()},
+       {"FCSMA", expfw::fcsma_factory()}},
+      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
+      args.sweep);
 
   expfw::print_sweep_table(std::cout, "lambda*", results);
   expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig9.csv", "lambda", results);
-  std::cout << "\n(" << intervals << " intervals/point; paper used 20000)\n";
+  std::cout << "\n(" << args.intervals << " intervals/point; paper used 20000)\n";
   return 0;
 }

@@ -2,7 +2,14 @@
 // how many simulated events/intervals per wall-clock second the substrate
 // sustains. Not a paper figure; guards against performance regressions in
 // the simulator that would make the figure benches impractically slow.
+//
+// Provides its own main so `--smoke` works like every other bench binary
+// (CI runs `$b --smoke` uniformly): smoke mode runs only the cheap event
+// queue benchmark instead of the multi-second protocol loops.
 #include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
 
 #include <numeric>
 
@@ -71,4 +78,23 @@ void BM_PriorityEvaluatorExact(benchmark::State& state) {
 BENCHMARK(BM_PriorityEvaluatorExact)->Arg(5)->Arg(10)->Arg(20);
 
 }  // namespace
-// main() provided by benchmark::benchmark_main (see bench/CMakeLists.txt).
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char filter[] = "--benchmark_filter=BM_EventQueueScheduleRun";
+  if (smoke) args.push_back(filter);
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

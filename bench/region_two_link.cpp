@@ -5,11 +5,13 @@
 // Lemma 3: the region is the downward closure of their convex hull); the
 // empirical boundary is probed by bisection along rays. Feasibility
 // optimality (Theorem 1) predicts all three coincide.
-#include <cstdlib>
+#include <algorithm>
+#include <cstdio>
 #include <iostream>
 
 #include "analysis/feasibility.hpp"
 #include "analysis/region.hpp"
+#include "expfw/bench_cli.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network_config.hpp"
 #include "traffic/arrival_process.hpp"
@@ -17,7 +19,7 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex intervals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2500;
+  const auto args = expfw::parse_bench_args(argc, argv, 2500, 100);
 
   std::cout << "\n=== Theory: exact two-link region vs empirical boundaries ===\n";
   std::cout << "2 links, p = (0.6, 0.9), 1 packet/interval each, 4 tx slots\n\n";
@@ -31,7 +33,9 @@ int main(int argc, char** argv) {
 
   // Probe along rays q = s * (w, 1-w): lambda = 1, rho_n = s * dir_n.
   TablePrinter table{{"ray (w, 1-w)", "exact boundary s*", "LDF empirical", "DB-DP empirical"}};
-  for (double w : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+  const std::vector<double> rays =
+      args.smoke ? std::vector<double>{0.5} : std::vector<double>{0.2, 0.35, 0.5, 0.65, 0.8};
+  for (double w : rays) {
     const analysis::RegionPoint dir{w, 1.0 - w};
     const double exact = region.boundary_scale(dir);
 
@@ -49,8 +53,8 @@ int main(int argc, char** argv) {
       return cfg;
     };
     analysis::ProbeParams params;
-    params.intervals = intervals;
-    params.bisection_steps = 9;
+    params.intervals = args.intervals;
+    params.bisection_steps = args.smoke ? 4 : 9;
     params.deficiency_threshold = 0.01;
     params.lo = 0.1;
     params.hi = 1.0 / std::max(dir.q0, dir.q1);  // rho caps at 1

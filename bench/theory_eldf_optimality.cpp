@@ -3,28 +3,33 @@
 // Exhaustively evaluated with the exact PriorityEvaluator for N = 5 over
 // random debt/reliability draws, and reports the optimality gap of the
 // best non-ELDF ordering.
+//
+// --intervals sets the number of random trials (the bench's horizon knob).
 #include <iostream>
 
 #include "analysis/priority_evaluator.hpp"
 #include "core/influence.hpp"
 #include "core/permutation.hpp"
+#include "expfw/bench_cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rtmac;
+  const auto args = expfw::parse_bench_args(argc, argv, 20, 3);
+  const int trials = static_cast<int>(args.intervals);
+
   std::cout << "\n=== Theory: ELDF optimality among priority orderings (Lemma 3) ===\n";
 
   const core::Influence f = core::Influence::paper_log();
   Rng rng{2025};
   constexpr std::size_t kN = 5;
-  constexpr int kTrials = 20;
   constexpr int kSlots = 12;
 
   TablePrinter table{{"trial", "ELDF objective", "best objective", "ELDF optimal?",
                       "runner-up gap"}};
   int optimal_count = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     ProbabilityVector p(kN);
     std::vector<double> debts(kN);
     std::vector<std::vector<double>> pmfs(kN);
@@ -61,7 +66,7 @@ int main() {
                    optimal ? "yes" : "NO", TablePrinter::num(best - second, 6)});
   }
   table.print(std::cout);
-  std::cout << "\nELDF optimal in " << optimal_count << "/" << kTrials << " trials over all "
+  std::cout << "\nELDF optimal in " << optimal_count << "/" << trials << " trials over all "
             << 120 << " orderings each\n";
-  return optimal_count == kTrials ? 0 : 1;
+  return optimal_count == trials ? 0 : 1;
 }

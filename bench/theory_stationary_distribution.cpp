@@ -3,10 +3,12 @@
 // empirical distribution over priority permutations against the analytic
 // product-form stationary law. Also prints the detailed-balance residual
 // and the mixing profile of the exact chain.
-#include <cstdlib>
+//
+// --intervals sets the SAMPLE length (burn-in scales with it).
 #include <iostream>
 
 #include "analysis/priority_chain.hpp"
+#include "expfw/bench_cli.hpp"
 #include "expfw/scenarios.hpp"
 #include "mac/dp_link_mac.hpp"
 #include "net/network.hpp"
@@ -16,7 +18,9 @@
 
 int main(int argc, char** argv) {
   using namespace rtmac;
-  const IntervalIndex sample = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40000;
+  const auto args = expfw::parse_bench_args(argc, argv, 40000, 1000);
+  const IntervalIndex sample = args.intervals;
+  const IntervalIndex burn_in = std::max<IntervalIndex>(sample / 20, 50);
 
   std::cout << "\n=== Theory: stationary law of the priority chain (eq. 10) ===\n";
   const std::vector<double> mu{0.3, 0.5, 0.7};
@@ -28,7 +32,7 @@ int main(int argc, char** argv) {
   net::Network network{std::move(cfg), expfw::dp_fixed_mu_factory(mu)};
   auto* dp = dynamic_cast<mac::DpScheme*>(&network.scheme());
 
-  network.run(2000);  // burn-in
+  network.run(burn_in);
   std::vector<double> counts(6, 0.0);
   network.add_observer([&](IntervalIndex, const std::vector<int>&, const std::vector<int>&) {
     counts[dp->priorities().rank()] += 1.0;

@@ -7,6 +7,7 @@
 //   $ ./priority_swap_trace [intervals]
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "expfw/scenarios.hpp"
 #include "mac/dp_link_mac.hpp"
@@ -36,8 +37,12 @@ int main(int argc, char** argv) {
     const auto c = seed.candidate(k, 4);
     net.run(1);
     const core::Permutation after = dp->priorities();
-    table.add_row({TablePrinter::num(static_cast<std::int64_t>(k)),
-                   "(" + std::to_string(c) + "," + std::to_string(c + 1) + ")",
+    std::string pair = "(";
+    pair += std::to_string(c);
+    pair += ',';
+    pair += std::to_string(c + 1);
+    pair += ')';
+    table.add_row({TablePrinter::num(static_cast<std::int64_t>(k)), std::move(pair),
                    before.to_string(), after.to_string(),
                    after == before ? "no" : "YES"});
     before = after;

@@ -1,8 +1,8 @@
 // rtmac_sim — configurable command-line front end to the whole library.
 //
-//   $ ./rtmac_sim --scheme dbdp --links 20 --profile video --alpha 0.55 \
-//                 --rho 0.9 --p 0.7 --intervals 2000 --seed 1 [--pairs 4] \
-//                 [--learned-p] [--csv out.csv]
+//   $ ./rtmac_sim --scheme dbdp --links 20 --profile video --alpha 0.55
+//                 --rho 0.9 --p 0.7 --intervals 2000 --seed 1 [--pairs 4]
+//                 [--learned-p] [--csv out.csv]        (one line in the shell)
 //
 // Profiles: video (bursty U{1..6}, 20 ms deadline) | control (Bernoulli,
 // 2 ms deadline). Schemes: dbdp | ldf | eldf | fcsma | dcf | static.

@@ -1,0 +1,83 @@
+#include "expfw/bench_cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/args.hpp"
+
+namespace rtmac::expfw {
+
+std::size_t BenchArgs::grid_points(std::size_t full) const {
+  return smoke ? std::min<std::size_t>(full, 3) : full;
+}
+
+IntervalIndex BenchArgs::scaled(IntervalIndex full, IntervalIndex smoke_value) const {
+  return smoke ? std::min(full, smoke_value) : full;
+}
+
+BenchArgs parse_bench_args(int argc, const char* const* argv,
+                           IntervalIndex default_intervals, IntervalIndex smoke_intervals) {
+  const ArgParser args{argc, argv};
+  const auto usage = [&](std::ostream& out) {
+    out << "usage: " << (argc > 0 ? argv[0] : "bench")
+        << " [--intervals N] [--reps N] [--jobs N] [--smoke]\n"
+        << "  --intervals N  deadline intervals per simulation (default "
+        << default_intervals << ")\n"
+        << "  --reps N       replications per grid point (default 1)\n"
+        << "  --jobs N       sweep worker threads (default 0 = all cores)\n"
+        << "  --smoke        tiny grid + short horizon for CI\n";
+  };
+  if (args.has("help")) {
+    usage(std::cout);
+    std::exit(0);
+  }
+  const auto unknown = args.unknown_flags({"intervals", "reps", "jobs", "smoke", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag --" << unknown.front() << "\n";
+    usage(std::cerr);
+    std::exit(2);
+  }
+
+  // ArgParser's typed getters are best-effort (malformed values fall back
+  // to the default); the bench flags must fail loudly instead, or a typo
+  // silently reruns the default configuration.
+  const auto require_int = [&](const char* name, std::int64_t def) -> std::int64_t {
+    if (!args.has(name)) return def;
+    const std::string raw = args.get(name, std::string{});
+    char* end = nullptr;
+    const long long v = raw.empty() ? 0 : std::strtoll(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0') {
+      std::cerr << "--" << name << " expects an integer, got \"" << raw << "\"\n";
+      usage(std::cerr);
+      std::exit(2);
+    }
+    return v;
+  };
+
+  BenchArgs out;
+  // Legacy style: a bare positional integer is the interval count.
+  IntervalIndex intervals = default_intervals;
+  if (!args.positional().empty()) {
+    intervals = std::strtoull(args.positional().front().c_str(), nullptr, 10);
+    if (intervals == 0) intervals = default_intervals;
+  }
+  intervals = static_cast<IntervalIndex>(
+      require_int("intervals", static_cast<std::int64_t>(intervals)));
+  out.smoke = args.get("smoke", false);
+  out.intervals = out.smoke ? std::min(intervals, smoke_intervals) : intervals;
+  const std::int64_t reps = require_int("reps", 1);
+  const std::int64_t jobs = require_int("jobs", 0);
+  if (reps < 1) {
+    std::cerr << "--reps must be >= 1\n";
+    std::exit(2);
+  }
+  if (jobs < 0) {
+    std::cerr << "--jobs must be >= 0 (0 = all cores)\n";
+    std::exit(2);
+  }
+  out.sweep.reps = static_cast<std::size_t>(reps);
+  out.sweep.jobs = static_cast<std::size_t>(jobs);
+  return out;
+}
+
+}  // namespace rtmac::expfw

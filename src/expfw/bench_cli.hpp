@@ -1,0 +1,42 @@
+// Shared command line for the bench binaries: the --reps/--jobs/--smoke
+// triad plus --intervals, so every figure bench exposes the same knobs.
+//
+//   --intervals N   deadline intervals per simulation (default per bench;
+//                   a bare positional integer is accepted for backward
+//                   compatibility with the pre-flag invocation style)
+//   --reps N        independent replications per grid point (default 1)
+//   --jobs N        sweep worker threads (default 0 = all hardware threads)
+//   --smoke         CI mode: tiny grid + short horizon, exercises the full
+//                   binary in seconds
+//
+// Unknown flags print a usage line and exit(2), so typos cannot silently
+// run a multi-minute sweep with default settings.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+#include "expfw/runner.hpp"
+
+namespace rtmac::expfw {
+
+/// Parsed bench command line.
+struct BenchArgs {
+  IntervalIndex intervals = 0;  ///< horizon per simulation (smoke-adjusted)
+  SweepOptions sweep;           ///< reps + jobs, passed straight to run_sweeps
+  bool smoke = false;           ///< tiny-grid CI mode
+
+  /// Grid size to use: `full` normally, at most 3 points in smoke mode.
+  [[nodiscard]] std::size_t grid_points(std::size_t full) const;
+  /// Scales an auxiliary count (trials, burn-in, ...) down in smoke mode.
+  [[nodiscard]] IntervalIndex scaled(IntervalIndex full, IntervalIndex smoke_value) const;
+};
+
+/// Parses the standard bench flags. `default_intervals` is the bench's
+/// normal horizon; smoke mode caps it at `smoke_intervals`. Exits(2) with
+/// a usage message on unknown flags; exits(0) on --help.
+[[nodiscard]] BenchArgs parse_bench_args(int argc, const char* const* argv,
+                                         IntervalIndex default_intervals,
+                                         IntervalIndex smoke_intervals = 25);
+
+}  // namespace rtmac::expfw

@@ -1,8 +1,8 @@
 #include "expfw/report.hpp"
 
-#include <cassert>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -11,14 +11,37 @@ namespace rtmac::expfw {
 
 namespace {
 
+/// Column labels in result order: one mean column per (scheme, metric),
+/// plus sd/ci95 columns for any result carrying replications.
 std::vector<std::string> series_columns(const std::vector<SweepResult>& results) {
   std::vector<std::string> cols;
   for (const auto& r : results) {
     for (const auto& metric : r.metric_names) {
-      cols.push_back(r.metric_names.size() == 1 ? r.scheme : r.scheme + ":" + metric);
+      const std::string base =
+          r.metric_names.size() == 1 ? r.scheme : r.scheme + ":" + metric;
+      cols.push_back(base);
+      if (r.reps > 1) {
+        cols.push_back(base + ":sd");
+        cols.push_back(base + ":ci95");
+      }
     }
   }
   return cols;
+}
+
+void check_shared_grid(const std::vector<SweepResult>& results) {
+  if (results.empty()) throw std::invalid_argument{"report: no sweep results"};
+  for (const auto& r : results) {
+    if (r.xs != results.front().xs) {
+      throw std::invalid_argument{"report: sweeps must share the grid"};
+    }
+  }
+}
+
+std::size_t max_reps(const std::vector<SweepResult>& results) {
+  std::size_t reps = 1;
+  for (const auto& r : results) reps = std::max(reps, r.reps);
+  return reps;
 }
 
 }  // namespace
@@ -31,31 +54,42 @@ void print_figure_banner(std::ostream& out, const std::string& figure_id,
 
 void print_sweep_table(std::ostream& out, const std::string& x_name,
                        const std::vector<SweepResult>& results) {
-  assert(!results.empty());
+  check_shared_grid(results);
   std::vector<std::string> cols{x_name};
   for (auto& c : series_columns(results)) cols.push_back(std::move(c));
   TablePrinter table{std::move(cols)};
 
   const std::size_t rows = results.front().xs.size();
-  for (const auto& r : results) {
-    assert(r.xs == results.front().xs && "sweeps must share the grid");
-    (void)r;
-  }
   for (std::size_t i = 0; i < rows; ++i) {
     std::vector<std::string> row{TablePrinter::num(results.front().xs[i], 3)};
     for (const auto& r : results) {
-      for (double v : r.values[i]) row.push_back(TablePrinter::num(v, 4));
+      for (std::size_t m = 0; m < r.metric_names.size(); ++m) {
+        row.push_back(TablePrinter::num(r.mean(i, m), 4));
+        if (r.reps > 1) {
+          row.push_back(TablePrinter::num(r.stddev(i, m), 4));
+          row.push_back(TablePrinter::num(r.ci95(i, m), 4));
+        }
+      }
     }
     table.add_row(std::move(row));
   }
   table.print(out);
+  if (max_reps(results) > 1) {
+    out << "(" << max_reps(results)
+        << " replications/point; ci95 = 1.96*sd/sqrt(reps), normal approx)\n";
+  }
 }
 
 bool write_sweep_csv(const std::string& path, const std::string& x_name,
                      const std::vector<SweepResult>& results) {
+  check_shared_grid(results);
   std::ofstream file{path};
   if (!file) return false;
   CsvWriter csv{file};
+  if (max_reps(results) > 1) {
+    csv.comment("reps=" + std::to_string(max_reps(results)) +
+                "; ci95 = 1.96*sd/sqrt(reps) (normal approximation)");
+  }
   std::vector<std::string> cols{x_name};
   for (auto& c : series_columns(results)) cols.push_back(std::move(c));
   csv.header(cols);
@@ -63,7 +97,13 @@ bool write_sweep_csv(const std::string& path, const std::string& x_name,
   for (std::size_t i = 0; i < rows; ++i) {
     csv.field(results.front().xs[i]);
     for (const auto& r : results) {
-      for (double v : r.values[i]) csv.field(v);
+      for (std::size_t m = 0; m < r.metric_names.size(); ++m) {
+        csv.field(r.mean(i, m));
+        if (r.reps > 1) {
+          csv.field(r.stddev(i, m));
+          csv.field(r.ci95(i, m));
+        }
+      }
     }
     csv.end_row();
   }

@@ -18,11 +18,14 @@ namespace rtmac::expfw {
 void print_figure_banner(std::ostream& out, const std::string& figure_id,
                          const std::string& description, const std::string& expected_shape);
 
-/// Renders sweep results side by side. All results must share the grid.
+/// Renders sweep results side by side. All results must share the grid
+/// (throws std::invalid_argument otherwise). Results carrying more than
+/// one replication get extra `:sd` and `:ci95` columns after the mean.
 void print_sweep_table(std::ostream& out, const std::string& x_name,
                        const std::vector<SweepResult>& results);
 
-/// Writes the same data as CSV to `path` (directories must exist).
+/// Writes the same data as CSV to `path` (directories must exist), with a
+/// leading `# reps=...` provenance comment when replications are present.
 /// Returns false (and prints a warning) if the file cannot be opened.
 bool write_sweep_csv(const std::string& path, const std::string& x_name,
                      const std::vector<SweepResult>& results);

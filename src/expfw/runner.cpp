@@ -1,10 +1,57 @@
 #include "expfw/runner.hpp"
 
-#include <cassert>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
 
 #include "stats/deficiency.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rtmac::expfw {
+
+namespace {
+
+std::vector<double> replication_column(const std::vector<std::vector<double>>& point_samples,
+                                       std::size_t m) {
+  std::vector<double> xs;
+  xs.reserve(point_samples.size());
+  for (const auto& sample : point_samples) xs.push_back(sample[m]);
+  return xs;
+}
+
+}  // namespace
+
+double SweepResult::mean(std::size_t i, std::size_t m) const {
+  return rtmac::mean(replication_column(samples[i], m));
+}
+
+double SweepResult::stddev(std::size_t i, std::size_t m) const {
+  return std::sqrt(sample_variance(replication_column(samples[i], m)));
+}
+
+double SweepResult::ci95(std::size_t i, std::size_t m) const {
+  if (reps < 2) return 0.0;
+  return 1.96 * stddev(i, m) / std::sqrt(static_cast<double>(reps));
+}
+
+std::uint64_t sweep_seed(std::uint64_t base_seed, std::string_view scheme,
+                         std::size_t x_index, std::size_t replication) {
+  // FNV-1a folds the scheme name into the stream so every scheme sees
+  // independent randomness even at the same (point, replication).
+  std::uint64_t name_hash = 1469598103934665603ULL;
+  for (const char c : scheme) {
+    name_hash ^= static_cast<unsigned char>(c);
+    name_hash *= 1099511628211ULL;
+  }
+  std::uint64_t seed = mix64(base_seed, name_hash);
+  seed = mix64(seed, static_cast<std::uint64_t>(x_index));
+  seed = mix64(seed, static_cast<std::uint64_t>(replication));
+  return seed;
+}
 
 MetricFn total_deficiency_metric() {
   return [](const net::Network& network) {
@@ -25,27 +72,77 @@ MetricFn group_deficiency_metric(std::vector<std::vector<LinkId>> groups) {
   };
 }
 
+std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
+                                    const ConfigAt& config_at, const std::vector<double>& grid,
+                                    IntervalIndex intervals, const MetricFn& metric,
+                                    std::vector<std::string> metric_names,
+                                    const SweepOptions& opts) {
+  if (schemes.empty()) throw std::invalid_argument{"run_sweeps: no schemes"};
+  if (grid.empty()) throw std::invalid_argument{"run_sweeps: empty grid"};
+  if (opts.reps == 0) throw std::invalid_argument{"run_sweeps: reps must be >= 1"};
+  if (metric_names.empty()) throw std::invalid_argument{"run_sweeps: no metric names"};
+
+  std::vector<SweepResult> results;
+  results.reserve(schemes.size());
+  for (const auto& scheme : schemes) {
+    SweepResult r;
+    r.scheme = scheme.name;
+    r.metric_names = metric_names;
+    r.xs = grid;
+    r.reps = opts.reps;
+    r.samples.assign(grid.size(),
+                     std::vector<std::vector<double>>(opts.reps, std::vector<double>{}));
+    results.push_back(std::move(r));
+  }
+
+  const std::size_t tasks = schemes.size() * grid.size() * opts.reps;
+  const std::size_t requested = opts.jobs == 0 ? ThreadPool::hardware_threads() : opts.jobs;
+  ThreadPool pool{std::min(requested, tasks)};
+  // Config builders are user lambdas with no thread-safety contract beyond
+  // order-independence; serialize them (building is trivial next to a run).
+  std::mutex config_mutex;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      for (std::size_t rep = 0; rep < opts.reps; ++rep) {
+        futures.push_back(pool.submit([&, s, i, rep] {
+          net::NetworkConfig config;
+          {
+            const std::lock_guard lock{config_mutex};
+            config = config_at(grid[i]);
+          }
+          config.seed = sweep_seed(config.seed, schemes[s].name, i, rep);
+          net::Network network{std::move(config), schemes[s].factory};
+          network.run(intervals);
+          std::vector<double> sample = metric(network);
+          if (sample.size() != metric_names.size()) {
+            throw std::runtime_error{"run_sweeps: metric returned " +
+                                     std::to_string(sample.size()) + " values, expected " +
+                                     std::to_string(metric_names.size())};
+          }
+          results[s].samples[i][rep] = std::move(sample);
+        }));
+      }
+    }
+  }
+  pool.wait_all(futures);
+  for (auto& f : futures) f.get();  // surface the first task failure
+  return results;
+}
+
 SweepResult run_sweep(const std::string& scheme_name, const mac::SchemeFactory& scheme,
                       const ConfigAt& config_at, const std::vector<double>& grid,
                       IntervalIndex intervals, const MetricFn& metric,
-                      std::vector<std::string> metric_names) {
-  SweepResult result;
-  result.scheme = scheme_name;
-  result.metric_names = std::move(metric_names);
-  result.xs = grid;
-  result.values.reserve(grid.size());
-  for (double x : grid) {
-    net::Network network{config_at(x), scheme};
-    network.run(intervals);
-    std::vector<double> v = metric(network);
-    assert(v.size() == result.metric_names.size());
-    result.values.push_back(std::move(v));
-  }
-  return result;
+                      std::vector<std::string> metric_names, const SweepOptions& opts) {
+  auto results = run_sweeps({{scheme_name, scheme}}, config_at, grid, intervals, metric,
+                            std::move(metric_names), opts);
+  return std::move(results.front());
 }
 
 std::vector<double> linspace(double lo, double hi, std::size_t points) {
-  assert(points >= 2);
+  if (points < 2) throw std::invalid_argument{"linspace: need at least 2 points"};
   std::vector<double> xs(points);
   for (std::size_t i = 0; i < points; ++i) {
     xs[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);

@@ -1,8 +1,18 @@
 // Sweep execution: run schemes across parameter grids and collect metrics.
+//
+// The sweep engine fans (scheme x grid point x replication) tasks across a
+// fixed-size thread pool. Each task derives its root RNG seed
+// deterministically from (base seed, scheme name, x-index, replication), so
+// the numbers are bit-identical regardless of --jobs or scheduling order,
+// and every replication is an independent stream. Per-replication samples
+// are kept so reports can show mean / stddev / 95% confidence intervals,
+// matching how the paper's ns-3 evaluation averages independent runs.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mac/link_mac.hpp"
@@ -12,19 +22,51 @@
 namespace rtmac::expfw {
 
 /// Builds the network config for one sweep point (x = alpha*, rho, ...).
+/// Must be safe to call from the sweep engine's worker threads; calls are
+/// serialized, so a builder that reads shared state needs no locking of
+/// its own, but it must not depend on call order.
 using ConfigAt = std::function<net::NetworkConfig(double x)>;
 
 /// Extracts one or more metric values from a finished run. The default
-/// metric everywhere is total timely-throughput deficiency.
+/// metric everywhere is total timely-throughput deficiency. Runs on worker
+/// threads, possibly concurrently; must be stateless or internally locked.
 using MetricFn = std::function<std::vector<double>(const net::Network&)>;
 
-/// Result of sweeping one scheme over a grid.
+/// Execution knobs shared by every sweep (the --reps/--jobs flag pair).
+struct SweepOptions {
+  std::size_t reps = 1;  ///< independent replications per grid point (>= 1)
+  std::size_t jobs = 0;  ///< worker threads; 0 = all hardware threads
+};
+
+/// One scheme to sweep: display name + factory.
+struct SchemeSpec {
+  std::string name;
+  mac::SchemeFactory factory;
+};
+
+/// Result of sweeping one scheme over a grid, with all replications kept.
 struct SweepResult {
   std::string scheme;
-  std::vector<std::string> metric_names;   ///< one per metric column
-  std::vector<double> xs;                  ///< grid
-  std::vector<std::vector<double>> values; ///< values[i][m] at xs[i]
+  std::vector<std::string> metric_names;  ///< one per metric column
+  std::vector<double> xs;                 ///< grid
+  std::size_t reps = 1;                   ///< replications per grid point
+  /// samples[i][r][m]: metric m of replication r at grid point i.
+  std::vector<std::vector<std::vector<double>>> samples;
+
+  /// Mean over replications of metric m at grid point i.
+  [[nodiscard]] double mean(std::size_t i, std::size_t m) const;
+  /// Sample standard deviation (n-1); 0 when reps == 1.
+  [[nodiscard]] double stddev(std::size_t i, std::size_t m) const;
+  /// Half-width of the 95% confidence interval for the mean,
+  /// 1.96 * stddev / sqrt(reps) (normal approximation); 0 when reps == 1.
+  [[nodiscard]] double ci95(std::size_t i, std::size_t m) const;
 };
+
+/// Root seed for one simulation task. Chained SplitMix64 over
+/// (base_seed, FNV-1a(scheme), x_index, replication): platform-independent,
+/// collision-resistant, and independent of thread count by construction.
+[[nodiscard]] std::uint64_t sweep_seed(std::uint64_t base_seed, std::string_view scheme,
+                                       std::size_t x_index, std::size_t replication);
 
 /// The standard metric: { total deficiency } (Definition 1).
 [[nodiscard]] MetricFn total_deficiency_metric();
@@ -32,13 +74,26 @@ struct SweepResult {
 /// Group-wise deficiency metric for the asymmetric experiments.
 [[nodiscard]] MetricFn group_deficiency_metric(std::vector<std::vector<LinkId>> groups);
 
-/// Runs `scheme` at every grid point for `intervals` deadline intervals.
+/// Runs every scheme at every grid point for `opts.reps` replications of
+/// `intervals` deadline intervals each, fanned across one shared thread
+/// pool. The seed in the config produced by `config_at` is the base seed
+/// of the per-task derivation. Returns one SweepResult per scheme, in
+/// input order. Throws std::invalid_argument on an empty grid/scheme list,
+/// reps == 0, or empty metric names; rethrows any task failure.
+[[nodiscard]] std::vector<SweepResult> run_sweeps(
+    const std::vector<SchemeSpec>& schemes, const ConfigAt& config_at,
+    const std::vector<double>& grid, IntervalIndex intervals, const MetricFn& metric,
+    std::vector<std::string> metric_names, const SweepOptions& opts = {});
+
+/// Single-scheme convenience wrapper around run_sweeps.
 [[nodiscard]] SweepResult run_sweep(const std::string& scheme_name,
                                     const mac::SchemeFactory& scheme, const ConfigAt& config_at,
                                     const std::vector<double>& grid, IntervalIndex intervals,
-                                    const MetricFn& metric, std::vector<std::string> metric_names);
+                                    const MetricFn& metric, std::vector<std::string> metric_names,
+                                    const SweepOptions& opts = {});
 
-/// Evenly spaced grid [lo, hi] with `points` points (inclusive).
+/// Evenly spaced grid [lo, hi] with `points` points (inclusive). Throws
+/// std::invalid_argument if points < 2 (also in NDEBUG builds).
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t points);
 
 }  // namespace rtmac::expfw

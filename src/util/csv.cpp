@@ -35,6 +35,11 @@ void CsvWriter::header(const std::vector<std::string>& columns) {
   out_ << '\n';
 }
 
+void CsvWriter::comment(std::string_view text) {
+  assert(!row_open_ && "comment must not split a row");
+  out_ << "# " << text << '\n';
+}
+
 void CsvWriter::separator_if_needed() {
   if (row_open_) out_ << sep_;
   row_open_ = true;

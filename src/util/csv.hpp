@@ -21,6 +21,10 @@ class CsvWriter {
   /// Writes the header row. Must be called at most once, before any row.
   void header(const std::vector<std::string>& columns);
 
+  /// Writes a `# ...` metadata line (provenance: seeds, replication counts).
+  /// Only legal between rows, not inside one.
+  void comment(std::string_view text);
+
   CsvWriter& field(std::string_view value);
   CsvWriter& field(double value);
   CsvWriter& field(std::int64_t value);

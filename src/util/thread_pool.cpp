@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rtmac {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    throw std::invalid_argument{"ThreadPool: num_threads must be >= 1"};
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    const std::lock_guard lock{mutex_};
+    if (stopping_) {
+      throw std::runtime_error{"ThreadPool: submit on a stopping pool"};
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock{mutex_};
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::run_one() {
+  Task task;
+  {
+    const std::lock_guard lock{mutex_};
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::wait_until(const std::function<bool()>& ready) {
+  while (!ready()) {
+    if (run_one()) continue;
+    // Queue momentarily empty but the awaited work is running on other
+    // threads. There is no per-completion signal to wait on (tasks are
+    // opaque), so poll with a short sleep; sweep tasks run for
+    // milliseconds, making the overhead invisible.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace rtmac

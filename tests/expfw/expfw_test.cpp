@@ -76,10 +76,12 @@ TEST(RunnerTest, SweepProducesOneValuePerPoint) {
       [](double a) { return video_symmetric(a, 0.9, 5); }, grid, 20,
       total_deficiency_metric(), {"deficiency"});
   EXPECT_EQ(result.scheme, "LDF");
-  ASSERT_EQ(result.values.size(), 3u);
-  for (const auto& v : result.values) {
-    ASSERT_EQ(v.size(), 1u);
-    EXPECT_GE(v[0], 0.0);
+  EXPECT_EQ(result.reps, 1u);
+  ASSERT_EQ(result.samples.size(), 3u);
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    ASSERT_EQ(result.samples[i].size(), 1u);
+    ASSERT_EQ(result.samples[i][0].size(), 1u);
+    EXPECT_GE(result.mean(i, 0), 0.0);
   }
 }
 
@@ -89,13 +91,13 @@ TEST(RunnerTest, GroupMetricReturnsPerGroupValues) {
       "LDF", ldf_factory(),
       [](double a) { return video_asymmetric(a, 0.9, 5); }, {0.2}, 20, metric,
       {"group1", "group2"});
-  ASSERT_EQ(result.values.size(), 1u);
-  EXPECT_EQ(result.values[0].size(), 2u);
+  ASSERT_EQ(result.samples.size(), 1u);
+  EXPECT_EQ(result.samples[0][0].size(), 2u);
 }
 
 TEST(ReportTest, TableRendersAllSeries) {
-  SweepResult r1{"A", {"m"}, {0.1, 0.2}, {{1.0}, {2.0}}};
-  SweepResult r2{"B", {"m"}, {0.1, 0.2}, {{3.0}, {4.0}}};
+  SweepResult r1{"A", {"m"}, {0.1, 0.2}, 1, {{{1.0}}, {{2.0}}}};
+  SweepResult r2{"B", {"m"}, {0.1, 0.2}, 1, {{{3.0}}, {{4.0}}}};
   std::ostringstream out;
   print_sweep_table(out, "x", {r1, r2});
   const std::string s = out.str();
@@ -106,7 +108,7 @@ TEST(ReportTest, TableRendersAllSeries) {
 }
 
 TEST(ReportTest, MultiMetricColumnsAreQualified) {
-  SweepResult r{"FCSMA", {"g1", "g2"}, {0.1}, {{1.0, 2.0}}};
+  SweepResult r{"FCSMA", {"g1", "g2"}, {0.1}, 1, {{{1.0, 2.0}}}};
   std::ostringstream out;
   print_sweep_table(out, "x", {r});
   EXPECT_NE(out.str().find("FCSMA:g1"), std::string::npos);
@@ -121,7 +123,7 @@ TEST(ReportTest, BannerMentionsFigure) {
 }
 
 TEST(ReportTest, CsvWriterWritesFile) {
-  SweepResult r{"A", {"m"}, {0.5}, {{7.0}}};
+  SweepResult r{"A", {"m"}, {0.5}, 1, {{{7.0}}}};
   const std::string path = bench_output_dir() + "/expfw_test_tmp.csv";
   ASSERT_TRUE(write_sweep_csv(path, "x", {r}));
   std::ifstream in{path};

@@ -40,7 +40,9 @@ TEST(CandidateSetTest, PairsAreNonConsecutiveAndInRange) {
     for (std::size_t i = 0; i < set.size(); ++i) {
       EXPECT_GE(set[i], 1u);
       EXPECT_LE(set[i], 19u);
-      if (i > 0) EXPECT_GE(set[i] - set[i - 1], 2u) << "pairs must be disjoint";
+      if (i > 0) {
+        EXPECT_GE(set[i] - set[i - 1], 2u) << "pairs must be disjoint";
+      }
     }
   }
 }

@@ -73,7 +73,7 @@ TEST(GilbertElliottTest, IndependentChainsPerLink) {
   GilbertElliottChannel ch{{p, p}};
   Rng rng{3};
   // Drive only link 0; link 1's state must remain Good (initial).
-  for (int i = 0; i < 100; ++i) ch.attempt_succeeds(0, rng);
+  for (int i = 0; i < 100; ++i) (void)ch.attempt_succeeds(0, rng);
   EXPECT_TRUE(ch.in_good_state(1));
 }
 

@@ -54,5 +54,15 @@ TEST(CsvWriterTest, CustomSeparator) {
   EXPECT_EQ(out.str(), "a;b\n");
 }
 
+TEST(CsvWriterTest, CommentLinesCarryProvenance) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.comment("reps=8");
+  csv.header({"x", "y"});
+  csv.field(1.0).field(2.0);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "# reps=8\nx,y\n1,2\n");
+}
+
 }  // namespace
 }  // namespace rtmac
