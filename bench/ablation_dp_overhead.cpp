@@ -4,8 +4,10 @@
 // as the deadline shrinks — the overhead grows relative to capacity exactly
 // as the paper's Remark 4 discussion predicts.
 #include <iostream>
+#include <string>
 
 #include "expfw/bench_cli.hpp"
+#include "expfw/observe.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
 #include "traffic/arrival_process.hpp"
@@ -29,7 +31,13 @@ int main(int argc, char** argv) {
     auto cfg = net::symmetric_network(10, deadline, phy, 0.9,
                                       traffic::BernoulliArrivals{1.0}, 0.5, 1012);
     net::Network net{std::move(cfg), expfw::dbdp_factory()};
+    // One metrics file per deadline point; the trace captures the first.
+    expfw::RunObserver observer{args.sweep.metrics_dir,
+                                ms == deadlines.front() ? args.sweep.trace_out
+                                                        : std::string{}};
+    observer.attach(net, "d" + std::to_string(ms) + "ms");
     net.run(args.intervals);
+    observer.finish();
     const auto& c = net.medium().counters();
     const double sim_time = (net.simulator().now() - TimePoint::origin()).seconds_f();
     const double busy_share = c.busy_time.seconds_f() / sim_time;

@@ -5,10 +5,12 @@
 // (DB-DP within the same order as LDF; no starvation).
 //
 // A time-series bench, not a sweep: --reps/--jobs are accepted (standard
-// CLI) but the three runs execute sequentially.
+// CLI) but the three runs execute sequentially. --metrics-out/--trace-out
+// observe the DB-DP run (the one the figure is about).
 #include <iostream>
 
 #include "expfw/bench_cli.hpp"
+#include "expfw/observe.hpp"
 #include "expfw/report.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
@@ -28,21 +30,24 @@ int main(int argc, char** argv) {
       "alpha* = 0.55, rho = 0.93",
       "both schemes converge to q ~ 1.79; DB-DP convergence comparable to LDF");
 
-  auto run_series = [&](const mac::SchemeFactory& factory) {
+  expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out};
+  auto run_series = [&](const mac::SchemeFactory& factory, bool observe) {
     net::Network net{expfw::video_symmetric(0.55, 0.93, 1005), factory};
+    if (observe) observer.attach(net, "dbdp");
     stats::TimeSeries series;
     net.add_observer([&](IntervalIndex, const std::vector<int>&,
                          const std::vector<int>& delivered) {
       series.push(static_cast<double>(delivered[kWatched]));
     });
     net.run(intervals);
+    if (observe) observer.finish();
     return series;
   };
 
-  const auto ldf = run_series(expfw::ldf_factory());
-  const auto dbdp = run_series(expfw::dbdp_factory());
+  const auto ldf = run_series(expfw::ldf_factory(), false);
+  const auto dbdp = run_series(expfw::dbdp_factory(), true);
   // Remark 6 extension: multiple swap pairs accelerate exactly this metric.
-  const auto dbdp4 = run_series(expfw::dbdp_multipair_factory(4));
+  const auto dbdp4 = run_series(expfw::dbdp_multipair_factory(4), false);
   const auto ldf_mean = ldf.cumulative_mean();
   const auto dbdp_mean = dbdp.cumulative_mean();
   const auto dbdp4_mean = dbdp4.cumulative_mean();

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "expfw/bench_cli.hpp"
+#include "expfw/observe.hpp"
 #include "expfw/report.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
@@ -22,7 +23,10 @@ int main(int argc, char** argv) {
 
   net::Network net{expfw::video_symmetric(0.6, 0.9, 1006),
                    expfw::dp_static_priority_factory()};
+  expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out};
+  observer.attach(net, "static");
   net.run(args.intervals);
+  observer.finish();
 
   TablePrinter table{{"priority index", "avg timely-throughput", "arrival rate"}};
   for (LinkId n = 0; n < 20; ++n) {

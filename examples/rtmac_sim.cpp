@@ -2,16 +2,20 @@
 //
 //   $ ./rtmac_sim --scheme dbdp --links 20 --profile video --alpha 0.55
 //                 --rho 0.9 --p 0.7 --intervals 2000 --seed 1 [--pairs 4]
-//                 [--learned-p] [--csv out.csv]        (one line in the shell)
+//                 [--learned-p] [--csv out.csv] [--metrics-out DIR]
+//                 [--trace-out trace.json]             (one line in the shell)
 //
 // Profiles: video (bursty U{1..6}, 20 ms deadline) | control (Bernoulli,
 // 2 ms deadline). Schemes: dbdp | ldf | eldf | fcsma | dcf | static.
 // Prints the run summary (deficiency, per-link stats, channel accounting)
-// and optionally a per-link CSV.
+// and optionally a per-link CSV. --trace-out writes a Chrome trace-event
+// timeline of the whole run (open it at https://ui.perfetto.dev);
+// --metrics-out writes JSONL metrics + an engine profile under DIR.
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "expfw/observe.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
 #include "stats/deficiency.hpp"
@@ -28,7 +32,8 @@ void usage() {
       "usage: rtmac_sim [--scheme dbdp|ldf|eldf|fcsma|dcf|static]\n"
       "                 [--profile video|control] [--links N] [--alpha A | --lambda L]\n"
       "                 [--rho R] [--p P] [--intervals K] [--seed S]\n"
-      "                 [--pairs k] [--learned-p] [--csv FILE]\n";
+      "                 [--pairs k] [--learned-p] [--csv FILE]\n"
+      "                 [--metrics-out DIR] [--trace-out FILE]\n";
 }
 
 }  // namespace
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known{"scheme",    "profile", "links", "alpha",
                                        "lambda",    "rho",     "p",     "intervals",
                                        "seed",      "pairs",   "learned-p", "csv",
-                                       "help"};
+                                       "metrics-out", "trace-out", "help"};
   if (args.has("help")) {
     usage();
     return 0;
@@ -96,7 +101,11 @@ int main(int argc, char** argv) {
   }
 
   net::Network network{std::move(cfg), factory};
+  expfw::RunObserver observer{args.get("metrics-out", std::string{}),
+                              args.get("trace-out", std::string{})};
+  observer.attach(network, scheme_name);
   network.run(intervals);
+  if (!observer.finish()) return 1;
 
   const auto q = network.config().requirements.q();
   const auto& counters = network.medium().counters();

@@ -21,17 +21,21 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
   const auto usage = [&](std::ostream& out) {
     out << "usage: " << (argc > 0 ? argv[0] : "bench")
         << " [--intervals N] [--reps N] [--jobs N] [--smoke]\n"
-        << "  --intervals N  deadline intervals per simulation (default "
+        << "             [--metrics-out DIR] [--trace-out FILE]\n"
+        << "  --intervals N    deadline intervals per simulation (default "
         << default_intervals << ")\n"
-        << "  --reps N       replications per grid point (default 1)\n"
-        << "  --jobs N       sweep worker threads (default 0 = all cores)\n"
-        << "  --smoke        tiny grid + short horizon for CI\n";
+        << "  --reps N         replications per grid point (default 1)\n"
+        << "  --jobs N         sweep worker threads (default 0 = all cores)\n"
+        << "  --smoke          tiny grid + short horizon for CI\n"
+        << "  --metrics-out D  write JSONL metrics + engine profile under D\n"
+        << "  --trace-out F    write a Perfetto-loadable Chrome trace to F\n";
   };
   if (args.has("help")) {
     usage(std::cout);
     std::exit(0);
   }
-  const auto unknown = args.unknown_flags({"intervals", "reps", "jobs", "smoke", "help"});
+  const auto unknown = args.unknown_flags(
+      {"intervals", "reps", "jobs", "smoke", "metrics-out", "trace-out", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag --" << unknown.front() << "\n";
     usage(std::cerr);
@@ -77,6 +81,14 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
   }
   out.sweep.reps = static_cast<std::size_t>(reps);
   out.sweep.jobs = static_cast<std::size_t>(jobs);
+  out.sweep.metrics_dir = args.get("metrics-out", std::string{});
+  out.sweep.trace_out = args.get("trace-out", std::string{});
+  if ((args.has("metrics-out") && out.sweep.metrics_dir.empty()) ||
+      (args.has("trace-out") && out.sweep.trace_out.empty())) {
+    std::cerr << "--metrics-out/--trace-out expect a path\n";
+    usage(std::cerr);
+    std::exit(2);
+  }
   return out;
 }
 

@@ -1,13 +1,19 @@
 // Shared command line for the bench binaries: the --reps/--jobs/--smoke
-// triad plus --intervals, so every figure bench exposes the same knobs.
+// triad plus --intervals and the observability outputs, so every figure
+// bench exposes the same knobs.
 //
-//   --intervals N   deadline intervals per simulation (default per bench;
-//                   a bare positional integer is accepted for backward
-//                   compatibility with the pre-flag invocation style)
-//   --reps N        independent replications per grid point (default 1)
-//   --jobs N        sweep worker threads (default 0 = all hardware threads)
-//   --smoke         CI mode: tiny grid + short horizon, exercises the full
-//                   binary in seconds
+//   --intervals N     deadline intervals per simulation (default per bench;
+//                     a bare positional integer is accepted for backward
+//                     compatibility with the pre-flag invocation style)
+//   --reps N          independent replications per grid point (default 1)
+//   --jobs N          sweep worker threads (default 0 = all hardware threads)
+//   --smoke           CI mode: tiny grid + short horizon, exercises the full
+//                     binary in seconds
+//   --metrics-out D   write JSONL metrics (per-link delivery/collision
+//                     rates, busy fraction, debt, engine profile) under
+//                     directory D; default output stays byte-identical
+//   --trace-out F     write a Chrome trace-event timeline of the first
+//                     task's opening intervals to file F (Perfetto-loadable)
 //
 // Unknown flags print a usage line and exit(2), so typos cannot silently
 // run a multi-minute sweep with default settings.

@@ -1,0 +1,95 @@
+#include "expfw/observe.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/collect.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+
+namespace rtmac::expfw {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RunObserver::RunObserver(std::string metrics_dir, std::string trace_path)
+    : metrics_dir_{std::move(metrics_dir)}, trace_path_{std::move(trace_path)} {}
+
+RunObserver::~RunObserver() {
+  if (network_ != nullptr) {
+    network_->attach_metrics(nullptr);
+    network_->attach_tracer(nullptr);
+  }
+}
+
+void RunObserver::attach(net::Network& network, const std::string& label) {
+  if (!enabled()) return;
+  network_ = &network;
+  label_ = label;
+  if (!metrics_dir_.empty()) network.attach_metrics(&registry_);
+  if (!trace_path_.empty()) network.attach_tracer(&tracer_);
+  wall_start_ = wall_now();
+}
+
+bool RunObserver::finish() {
+  if (network_ == nullptr) return true;
+  const double wall_seconds = wall_now() - wall_start_;
+  net::Network& network = *network_;
+  network.attach_metrics(nullptr);
+  network.attach_tracer(nullptr);
+  network_ = nullptr;
+
+  bool ok = true;
+  if (!metrics_dir_.empty()) {
+    obs::collect_network_metrics(registry_, network);
+    // Wall-clock profile of the observed span (attach -> finish). Gauges,
+    // like everything else in the registry, so one parser handles the file.
+    const auto events = network.simulator().events_executed();
+    registry_.gauge("profile.wall_seconds").set(wall_seconds);
+    registry_.gauge("profile.events_per_sec")
+        .set(wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0);
+
+    std::error_code ec;
+    std::filesystem::create_directories(metrics_dir_, ec);
+    const std::string path =
+        metrics_dir_ + "/metrics" + (label_.empty() ? "" : "_" + label_) + ".jsonl";
+    std::ofstream file{path};
+    if (!file) {
+      std::fprintf(stderr, "observability: cannot write %s\n", path.c_str());
+      ok = false;
+    } else {
+      obs::write_metrics_header(file);
+      const std::string context =
+          label_.empty() ? std::string{}
+                         : "\"label\":" + obs::json_quote(label_);
+      registry_.write_jsonl(file, context);
+    }
+  }
+  if (!trace_path_.empty()) {
+    if (const auto parent = std::filesystem::path{trace_path_}.parent_path();
+        !parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream file{trace_path_};
+    if (!file) {
+      std::fprintf(stderr, "observability: cannot write %s\n", trace_path_.c_str());
+      ok = false;
+    } else {
+      obs::write_chrome_trace(file, tracer_);
+    }
+  }
+  return ok;
+}
+
+}  // namespace rtmac::expfw

@@ -1,0 +1,59 @@
+// Observability wiring for a directly-run Network (the --metrics-out /
+// --trace-out flags of benches and tools that drive one Network without
+// going through run_sweeps; the sweep engine has its own per-task wiring).
+//
+// Usage:
+//   expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out};
+//   observer.attach(network, "dbdp");   // before network.run(...)
+//   network.run(intervals);
+//   observer.finish();                  // collects + writes the files
+//
+// With both output paths empty every call is a no-op, so benches can wire
+// the observer unconditionally without perturbing default runs.
+#pragma once
+
+#include <string>
+
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace rtmac::expfw {
+
+/// One network's metrics registry + tracer + wall-clock profile, flushed to
+/// disk on finish(). Movable-nothing: create it in the scope of the run.
+class RunObserver {
+ public:
+  /// `metrics_dir`: directory for the JSONL metrics file ("" = disabled;
+  /// created on finish). `trace_path`: Chrome trace-event output file
+  /// ("" = disabled).
+  RunObserver(std::string metrics_dir, std::string trace_path);
+
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+  ~RunObserver();  ///< detaches from the network if finish() was not called
+
+  /// Attaches registry + tracer to `network` and starts the wall clock.
+  /// `label` names the metrics file (metrics_<label>.jsonl, or
+  /// metrics.jsonl when empty) and is spliced into every JSONL line.
+  /// No-op when both outputs are disabled.
+  void attach(net::Network& network, const std::string& label = {});
+
+  /// Collects derived end-of-run metrics and writes all enabled outputs.
+  /// Returns false (with a stderr warning) when a file cannot be written.
+  /// Safe to call once per attach; no-op when nothing is attached.
+  bool finish();
+
+  [[nodiscard]] bool enabled() const { return !metrics_dir_.empty() || !trace_path_.empty(); }
+
+ private:
+  std::string metrics_dir_;
+  std::string trace_path_;
+  std::string label_;
+  net::Network* network_ = nullptr;
+  obs::MetricsRegistry registry_;
+  sim::Tracer tracer_{0};  // unbounded: single runs are user-scoped
+  double wall_start_ = 0.0;
+};
+
+}  // namespace rtmac::expfw

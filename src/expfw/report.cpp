@@ -1,5 +1,6 @@
 #include "expfw/report.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -44,6 +45,26 @@ std::size_t max_reps(const std::vector<SweepResult>& results) {
   return reps;
 }
 
+bool has_profiles(const std::vector<SweepResult>& results) {
+  for (const auto& r : results) {
+    if (!r.profiles.empty()) return true;
+  }
+  return false;
+}
+
+TaskProfile profile_total(const std::vector<SweepResult>& results) {
+  TaskProfile total;
+  for (const auto& r : results) {
+    for (const auto& point : r.profiles) {
+      for (const auto& p : point) {
+        total.events += p.events;
+        total.wall_seconds += p.wall_seconds;
+      }
+    }
+  }
+  return total;
+}
+
 }  // namespace
 
 void print_figure_banner(std::ostream& out, const std::string& figure_id,
@@ -78,6 +99,15 @@ void print_sweep_table(std::ostream& out, const std::string& x_name,
     out << "(" << max_reps(results)
         << " replications/point; ci95 = 1.96*sd/sqrt(reps), normal approx)\n";
   }
+  if (has_profiles(results)) {
+    const TaskProfile total = profile_total(results);
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "(engine: %llu events in %.3f s of simulation work, %.3g events/s)\n",
+                  static_cast<unsigned long long>(total.events), total.wall_seconds,
+                  total.events_per_sec());
+    out << line;
+  }
 }
 
 bool write_sweep_csv(const std::string& path, const std::string& x_name,
@@ -89,6 +119,27 @@ bool write_sweep_csv(const std::string& path, const std::string& x_name,
   if (max_reps(results) > 1) {
     csv.comment("reps=" + std::to_string(max_reps(results)) +
                 "; ci95 = 1.96*sd/sqrt(reps) (normal approximation)");
+  }
+  // Per-task engine provenance, present only when the sweep ran with
+  // --metrics-out (keeps default output byte-identical). Wall times are
+  // wall-clock and therefore vary run to run; the simulated-event counts
+  // are deterministic.
+  if (has_profiles(results)) {
+    for (const auto& r : results) {
+      for (std::size_t i = 0; i < r.profiles.size(); ++i) {
+        for (std::size_t rep = 0; rep < r.profiles[i].size(); ++rep) {
+          const TaskProfile& p = r.profiles[i][rep];
+          char line[200];
+          std::snprintf(line, sizeof line,
+                        "profile: scheme=%s x=%.6g rep=%zu events=%llu wall_ms=%.3f "
+                        "events_per_sec=%.6g",
+                        r.scheme.c_str(), r.xs[i], rep,
+                        static_cast<unsigned long long>(p.events), p.wall_seconds * 1e3,
+                        p.events_per_sec());
+          csv.comment(line);
+        }
+      }
+    }
   }
   std::vector<std::string> cols{x_name};
   for (auto& c : series_columns(results)) cols.push_back(std::move(c));

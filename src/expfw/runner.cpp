@@ -1,11 +1,20 @@
 #include "expfw/runner.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/collect.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/trace.hpp"
 #include "stats/deficiency.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -82,6 +91,9 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
   if (opts.reps == 0) throw std::invalid_argument{"run_sweeps: reps must be >= 1"};
   if (metric_names.empty()) throw std::invalid_argument{"run_sweeps: no metric names"};
 
+  const bool with_metrics = !opts.metrics_dir.empty();
+  const bool with_trace = !opts.trace_out.empty();
+
   std::vector<SweepResult> results;
   results.reserve(schemes.size());
   for (const auto& scheme : schemes) {
@@ -92,6 +104,9 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
     r.reps = opts.reps;
     r.samples.assign(grid.size(),
                      std::vector<std::vector<double>>(opts.reps, std::vector<double>{}));
+    if (with_metrics) {
+      r.profiles.assign(grid.size(), std::vector<TaskProfile>(opts.reps));
+    }
     results.push_back(std::move(r));
   }
 
@@ -102,12 +117,24 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
   // order-independence; serialize them (building is trivial next to a run).
   std::mutex config_mutex;
 
+  // Per-task observability output, serialized JSONL held per task slot so
+  // the concatenated files come out in deterministic (scheme, point, rep)
+  // order whatever the thread schedule was. Sim-domain metrics and
+  // wall-clock profile lines are kept apart: the former are byte-identical
+  // across --jobs, the latter cannot be.
+  std::vector<std::string> metric_blocks(with_metrics ? tasks : 0);
+  std::vector<std::string> profile_blocks(with_metrics ? tasks : 0);
+  // The first task additionally records a protocol trace of its first
+  // kTraceCaptureIntervals intervals for the timeline export.
+  sim::Tracer trace_capture{0};
+
   std::vector<std::future<void>> futures;
   futures.reserve(tasks);
   for (std::size_t s = 0; s < schemes.size(); ++s) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
       for (std::size_t rep = 0; rep < opts.reps; ++rep) {
-        futures.push_back(pool.submit([&, s, i, rep] {
+        const std::size_t task_index = (s * grid.size() + i) * opts.reps + rep;
+        futures.push_back(pool.submit([&, s, i, rep, task_index] {
           net::NetworkConfig config;
           {
             const std::lock_guard lock{config_mutex};
@@ -115,7 +142,23 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           }
           config.seed = sweep_seed(config.seed, schemes[s].name, i, rep);
           net::Network network{std::move(config), schemes[s].factory};
+
+          obs::MetricsRegistry registry;
+          if (with_metrics) network.attach_metrics(&registry);
+          if (with_trace && task_index == 0) {
+            network.attach_tracer(&trace_capture);
+            network.add_observer([&network](IntervalIndex k, const std::vector<int>&,
+                                            const std::vector<int>&) {
+              if (k + 1 >= kTraceCaptureIntervals) network.attach_tracer(nullptr);
+            });
+          }
+
+          const auto wall_start = std::chrono::steady_clock::now();
           network.run(intervals);
+          const double wall_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                  .count();
+
           std::vector<double> sample = metric(network);
           if (sample.size() != metric_names.size()) {
             throw std::runtime_error{"run_sweeps: metric returned " +
@@ -123,12 +166,66 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
                                      std::to_string(metric_names.size())};
           }
           results[s].samples[i][rep] = std::move(sample);
+
+          if (with_metrics) {
+            network.attach_metrics(nullptr);
+            obs::collect_network_metrics(registry, network);
+            const TaskProfile profile{network.simulator().events_executed(), wall_seconds};
+            results[s].profiles[i][rep] = profile;
+
+            const std::string context = "\"scheme\":" + obs::json_quote(schemes[s].name) +
+                                        ",\"x\":" + obs::json_number(grid[i]) +
+                                        ",\"x_index\":" + std::to_string(i) +
+                                        ",\"rep\":" + std::to_string(rep);
+            std::ostringstream block;
+            registry.write_jsonl(block, context);
+            metric_blocks[task_index] = std::move(block).str();
+            profile_blocks[task_index] =
+                obs::JsonObject{}
+                    .field("name", "task_profile")
+                    .raw("scheme", obs::json_quote(schemes[s].name))
+                    .field("x", grid[i])
+                    .field("x_index", static_cast<std::uint64_t>(i))
+                    .field("rep", static_cast<std::uint64_t>(rep))
+                    .field("events", profile.events)
+                    .field("wall_seconds", profile.wall_seconds)
+                    .field("events_per_sec", profile.events_per_sec())
+                    .str() +
+                "\n";
+          }
         }));
       }
     }
   }
   pool.wait_all(futures);
   for (auto& f : futures) f.get();  // surface the first task failure
+
+  if (with_metrics) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.metrics_dir, ec);
+    std::ofstream metrics_file{opts.metrics_dir + "/metrics.jsonl"};
+    std::ofstream profile_file{opts.metrics_dir + "/profile.jsonl"};
+    if (!metrics_file || !profile_file) {
+      throw std::runtime_error{"run_sweeps: cannot write metrics files under " +
+                               opts.metrics_dir};
+    }
+    obs::write_metrics_header(metrics_file);
+    for (const auto& block : metric_blocks) metrics_file << block;
+    obs::write_metrics_header(profile_file);
+    for (const auto& block : profile_blocks) profile_file << block;
+  }
+  if (with_trace) {
+    if (const auto parent = std::filesystem::path{opts.trace_out}.parent_path();
+        !parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream trace_file{opts.trace_out};
+    if (!trace_file) {
+      throw std::runtime_error{"run_sweeps: cannot write trace to " + opts.trace_out};
+    }
+    obs::write_chrome_trace(trace_file, trace_capture);
+  }
   return results;
 }
 

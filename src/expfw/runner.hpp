@@ -32,10 +32,36 @@ using ConfigAt = std::function<net::NetworkConfig(double x)>;
 /// threads, possibly concurrently; must be stateless or internally locked.
 using MetricFn = std::function<std::vector<double>(const net::Network&)>;
 
-/// Execution knobs shared by every sweep (the --reps/--jobs flag pair).
+/// Execution knobs shared by every sweep (the --reps/--jobs flag pair plus
+/// the observability outputs).
 struct SweepOptions {
   std::size_t reps = 1;  ///< independent replications per grid point (>= 1)
   std::size_t jobs = 0;  ///< worker threads; 0 = all hardware threads
+
+  /// When non-empty, every task runs with a metrics registry attached and
+  /// the sweep writes <metrics_dir>/metrics.jsonl (sim-domain metrics,
+  /// deterministic across --jobs) plus <metrics_dir>/profile.jsonl
+  /// (wall-clock engine profiling, inherently nondeterministic — kept in a
+  /// separate file so the deterministic one can be diffed byte-for-byte).
+  std::string metrics_dir;
+  /// When non-empty, the first task (first scheme, first grid point, rep 0)
+  /// runs with a tracer attached for its first kTraceCaptureIntervals
+  /// intervals and the sweep writes a Chrome trace-event timeline here
+  /// (loadable in Perfetto / chrome://tracing).
+  std::string trace_out;
+};
+
+/// How many intervals of the traced task a sweep captures (bounds the trace
+/// file; one interval is enough to inspect, fifty show convergence).
+inline constexpr IntervalIndex kTraceCaptureIntervals = 50;
+
+/// Engine profile of one (scheme, grid point, replication) task.
+struct TaskProfile {
+  std::uint64_t events = 0;    ///< simulator events executed by the task
+  double wall_seconds = 0.0;   ///< wall-clock time of Network::run
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
 };
 
 /// One scheme to sweep: display name + factory.
@@ -52,6 +78,9 @@ struct SweepResult {
   std::size_t reps = 1;                   ///< replications per grid point
   /// samples[i][r][m]: metric m of replication r at grid point i.
   std::vector<std::vector<std::vector<double>>> samples;
+  /// profiles[i][r]: engine profile of replication r at grid point i.
+  /// Empty unless the sweep ran with SweepOptions::metrics_dir set.
+  std::vector<std::vector<TaskProfile>> profiles;
 
   /// Mean over replications of metric m at grid point i.
   [[nodiscard]] double mean(std::size_t i, std::size_t m) const;

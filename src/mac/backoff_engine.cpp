@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
 namespace rtmac::mac {
@@ -18,6 +19,29 @@ void BackoffEngine::trace(sim::TraceKind kind, std::int64_t a) {
   }
 }
 
+void BackoffEngine::account_freeze(Duration frozen_for) {
+  total_frozen_ += frozen_for;
+  // Handles are cached across events and re-resolved only when the Medium's
+  // registry changes; detached cost is one pointer compare.
+  if (obs::MetricsRegistry* m = medium_.metrics(); m != metrics_seen_) {
+    metrics_seen_ = m;
+    if (m == nullptr) {
+      freeze_hist_ = nullptr;
+      freeze_ns_ = nullptr;
+    } else {
+      // Freezes last one airtime to most of an interval: ~3 us to ~65 ms.
+      freeze_hist_ = &m->histogram("mac.backoff_freeze_us", obs::log_bounds(1.0, 65536.0, 2.0));
+      freeze_ns_ = &m->counter(trace_link_ == sim::kNoLink
+                                   ? std::string{"mac.freeze_ns"}
+                                   : obs::link_metric("mac.freeze_ns", trace_link_));
+    }
+  }
+  if (freeze_hist_ != nullptr) {
+    freeze_hist_->observe(frozen_for.us_f());
+    freeze_ns_->inc(static_cast<std::uint64_t>(frozen_for.ns()));
+  }
+}
+
 void BackoffEngine::start(int count, std::function<void()> on_expire) {
   assert(count >= 0);
   stop();
@@ -29,6 +53,7 @@ void BackoffEngine::start(int count, std::function<void()> on_expire) {
   trace(sim::TraceKind::kBackoffArmed, count);
   if (medium_.busy()) {
     frozen_ = true;  // begin counting at the next idle transition
+    frozen_since_ = sim_.now();
   } else {
     frozen_ = false;
     arm_expiry(sim_.now());
@@ -39,6 +64,7 @@ void BackoffEngine::stop() {
   if (expiry_event_.valid()) sim_.cancel(expiry_event_);
   expiry_event_ = {};
   running_ = false;
+  if (frozen_) account_freeze(sim_.now() - frozen_since_);  // close the open freeze
   frozen_ = false;
   on_expire_ = nullptr;
 }
@@ -91,6 +117,7 @@ void BackoffEngine::on_medium_busy(TimePoint t) {
   expiry_event_ = {};
   count_ = count_after;
   frozen_ = true;
+  frozen_since_ = t;
   freeze_values_.push_back(count_);
   trace(sim::TraceKind::kBackoffFrozen, count_);
 }
@@ -98,6 +125,7 @@ void BackoffEngine::on_medium_busy(TimePoint t) {
 void BackoffEngine::on_medium_idle(TimePoint t) {
   if (!running_ || !frozen_) return;
   frozen_ = false;
+  account_freeze(t - frozen_since_);
   trace(sim::TraceKind::kBackoffResumed, count_);
   arm_expiry(t);
 }

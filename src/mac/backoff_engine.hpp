@@ -56,7 +56,14 @@ class BackoffEngine final : public phy::MediumListener {
 
   /// Labels this engine's trace events with the owning link (tracing flows
   /// through the Medium's attached Tracer; see phy::Medium::set_tracer).
+  /// The same label names this engine's metrics (freeze-time accounting
+  /// flows through the Medium's attached MetricsRegistry).
   void set_trace_link(LinkId link) { trace_link_ = link; }
+
+  /// Total time this engine has spent frozen (medium busy while armed)
+  /// since construction. Always tracked; also exported to the metrics
+  /// registry when one is attached to the Medium.
+  [[nodiscard]] Duration total_frozen_time() const { return total_frozen_; }
 
   // phy::MediumListener:
   void on_medium_busy(TimePoint t) override;
@@ -67,6 +74,7 @@ class BackoffEngine final : public phy::MediumListener {
   void fire_expiry();
 
   void trace(sim::TraceKind kind, std::int64_t a = 0);
+  void account_freeze(Duration frozen_for);
 
   sim::Simulator& sim_;
   phy::Medium& medium_;
@@ -77,11 +85,19 @@ class BackoffEngine final : public phy::MediumListener {
   bool frozen_ = false;     ///< true while medium busy (or awaiting first idle)
   int count_ = 0;           ///< remaining slots while frozen
   TimePoint resume_time_;   ///< when the live countdown last (re)started
+  TimePoint frozen_since_;  ///< when the current freeze began (valid while frozen_)
   int count_at_resume_ = 0;
   sim::EventId expiry_event_;
   bool expired_ = false;
   std::function<void()> on_expire_;
   std::vector<int> freeze_values_;
+
+  Duration total_frozen_;
+  // Cached metric handles, re-resolved when the Medium's registry changes
+  // (attachment may happen after construction, like the tracer).
+  obs::MetricsRegistry* metrics_seen_ = nullptr;
+  obs::Histogram* freeze_hist_ = nullptr;
+  obs::Counter* freeze_ns_ = nullptr;
 };
 
 }  // namespace rtmac::mac

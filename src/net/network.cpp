@@ -49,6 +49,30 @@ void Network::attach_tracer(sim::Tracer* tracer) {
   medium_->set_tracer(tracer);
 }
 
+void Network::attach_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  medium_->set_metrics(registry);
+  debt_gauges_.clear();
+  if (registry == nullptr) {
+    debt_linf_gauge_ = nullptr;
+    debt_linf_hist_ = nullptr;
+    deliveries_hist_ = nullptr;
+    return;
+  }
+  debt_linf_gauge_ = &registry->gauge("core.debt_linf");
+  // Debt grows by at most max(q) per interval and the interesting dynamic
+  // range spans "converged" (< 1) to "badly starved" (hundreds).
+  debt_linf_hist_ =
+      &registry->histogram("core.debt_linf_per_interval", obs::log_bounds(0.125, 4096.0, 2.0));
+  deliveries_hist_ = &registry->histogram(
+      "net.deliveries_per_interval",
+      std::vector<double>{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
+  debt_gauges_.reserve(config_.num_links());
+  for (LinkId n = 0; n < config_.num_links(); ++n) {
+    debt_gauges_.push_back(&registry->gauge(obs::link_metric("core.debt", n)));
+  }
+}
+
 void Network::run(IntervalIndex intervals) {
   const std::size_t n_links = config_.num_links();
   std::vector<int> arrivals(n_links);
@@ -83,6 +107,16 @@ void Network::run(IntervalIndex intervals) {
     }
     debts_.on_interval_end(delivered);
     stats_.record(arrivals, delivered);
+    if (metrics_ != nullptr) {
+      int total_delivered = 0;
+      for (std::size_t n = 0; n < n_links; ++n) {
+        total_delivered += delivered[n];
+        debt_gauges_[n]->set(debts_.debt(static_cast<LinkId>(n)));
+      }
+      debt_linf_gauge_->set(debts_.linf());
+      debt_linf_hist_->observe(debts_.linf());
+      deliveries_hist_->observe(static_cast<double>(total_delivered));
+    }
     for (const auto& obs : observers_) obs(k, arrivals, delivered);
   }
 }

@@ -47,6 +47,14 @@ class Network {
   /// the network itself.
   void attach_tracer(sim::Tracer* tracer);
 
+  /// Attaches a metrics registry to the whole stack (medium + MAC layers;
+  /// not owned; pass nullptr to detach). While attached, the network
+  /// snapshots the debt vector and delivery counts into the registry at
+  /// every interval boundary; derived end-of-run rates come from
+  /// obs::collect_network_metrics. Zero overhead when detached (one null
+  /// check per interval).
+  void attach_metrics(obs::MetricsRegistry* registry);
+
   [[nodiscard]] const stats::LinkStatsCollector& stats() const { return stats_; }
   [[nodiscard]] const core::DebtTracker& debts() const { return debts_; }
   [[nodiscard]] const phy::Medium& medium() const { return *medium_; }
@@ -68,6 +76,13 @@ class Network {
   std::vector<IntervalObserver> observers_;
   sim::Tracer* tracer_ = nullptr;
   IntervalIndex next_interval_ = 0;
+
+  // Metric handles cached at attach time; all null when detached.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Gauge* debt_linf_gauge_ = nullptr;
+  obs::Histogram* debt_linf_hist_ = nullptr;
+  obs::Histogram* deliveries_hist_ = nullptr;
+  std::vector<obs::Gauge*> debt_gauges_;  ///< one per link
 };
 
 }  // namespace rtmac::net

@@ -1,0 +1,41 @@
+#include "obs/collect.hpp"
+
+#include "net/network.hpp"
+#include "stats/deficiency.hpp"
+
+namespace rtmac::obs {
+
+void collect_network_metrics(MetricsRegistry& registry, const net::Network& network) {
+  const auto& counters = network.medium().counters();
+  const auto& stats = network.stats();
+  const double sim_seconds = network.simulator().now().seconds_f();
+
+  registry.counter("phy.tx_data").inc(counters.data_tx);
+  registry.counter("phy.tx_empty").inc(counters.empty_tx);
+  registry.counter("phy.delivered").inc(counters.delivered);
+  registry.counter("phy.collisions").inc(counters.collisions);
+  registry.counter("phy.channel_losses").inc(counters.channel_losses);
+  registry.gauge("phy.busy_fraction")
+      .set(sim_seconds > 0.0 ? counters.busy_time.seconds_f() / sim_seconds : 0.0);
+  registry.gauge("phy.collided_fraction")
+      .set(sim_seconds > 0.0 ? counters.collided_time.seconds_f() / sim_seconds : 0.0);
+
+  const std::size_t n_links = network.config().num_links();
+  for (LinkId n = 0; n < n_links; ++n) {
+    const auto& lc = network.medium().link_counters(n);
+    const std::uint64_t tx = lc.data_tx + lc.empty_tx;
+    registry.gauge(link_metric("link.delivery_rate", n)).set(stats.delivery_ratio(n));
+    registry.gauge(link_metric("link.collision_rate", n))
+        .set(tx > 0 ? static_cast<double>(lc.collisions) / static_cast<double>(tx) : 0.0);
+    registry.gauge(link_metric("link.timely_throughput", n)).set(stats.timely_throughput(n));
+    registry.gauge(link_metric("link.debt", n)).set(network.debts().debt(n));
+  }
+
+  registry.gauge("net.deficiency")
+      .set(stats::total_deficiency(stats, network.config().requirements.q()));
+  registry.gauge("net.intervals").set(static_cast<double>(stats.intervals()));
+  registry.counter("sim.events_executed").inc(network.simulator().events_executed());
+  registry.gauge("sim.virtual_seconds").set(sim_seconds);
+}
+
+}  // namespace rtmac::obs

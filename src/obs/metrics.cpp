@@ -1,0 +1,193 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace rtmac::obs {
+
+void write_metrics_header(std::ostream& out) {
+  out << JsonObject{}
+             .field("schema", "rtmac.metrics")
+             .field("version", kMetricsSchemaVersion)
+             .str()
+      << '\n';
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_{std::move(bounds)} {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"Histogram: bounds must be ascending"};
+  }
+  counts_.assign(bounds_.size() + 1, 0);  // +1: implicit +inf overflow bucket
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::min() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double Histogram::max() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+
+  // Rank of the target sample (1-based, ceil: the standard inverted-CDF
+  // definition), then linear interpolation across the containing bucket.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts_[b];
+    if (cumulative < rank) continue;
+    // Bucket b holds the target rank. Its value range, clamped to observed
+    // extremes so estimates never leave [min, max].
+    const double lo = std::max(min_, b == 0 ? min_ : bounds_[b - 1]);
+    const double hi = std::min(max_, b < bounds_.size() ? bounds_[b] : max_);
+    const double within =
+        (static_cast<double>(rank - before)) / static_cast<double>(counts_[b]);
+    return lo + (hi - lo) * within;
+  }
+  return max_;  // unreachable: cumulative == count_ >= rank by the end
+}
+
+std::vector<double> log_bounds(double lo, double hi, double step) {
+  if (!(lo > 0.0) || !(step > 1.0)) {
+    throw std::invalid_argument{"log_bounds: need lo > 0 and step > 1"};
+  }
+  std::vector<double> out;
+  for (double b = lo; b <= hi; b *= step) out.push_back(b);
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.type = Type::kCounter;
+    e.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string{name}, std::move(e)).first;
+  }
+  assert(it->second.type == Type::kCounter && "metric re-registered as a different type");
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.type = Type::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string{name}, std::move(e)).first;
+  }
+  assert(it->second.type == Type::kGauge && "metric re-registered as a different type");
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.type = Type::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = entries_.emplace(std::string{name}, std::move(e)).first;
+  }
+  assert(it->second.type == Type::kHistogram && "metric re-registered as a different type");
+  return *it->second.histogram;
+}
+
+namespace {
+
+std::string json_array(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_number(xs[i]);
+  }
+  return out + "]";
+}
+
+std::string json_array(const std::vector<std::uint64_t>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_number(xs[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+void MetricsRegistry::write_jsonl(std::ostream& out, std::string_view context) const {
+  for (const auto& [name, entry] : entries_) {
+    JsonObject line;
+    line.field("name", name);
+    switch (entry.type) {
+      case Type::kCounter:
+        line.field("type", "counter").field("value", entry.counter->value());
+        break;
+      case Type::kGauge:
+        line.field("type", "gauge").field("value", entry.gauge->value());
+        break;
+      case Type::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        line.field("type", "histogram")
+            .field("count", h.count())
+            .field("sum", h.sum())
+            .field("min", h.min())
+            .field("max", h.max())
+            .field("p50", h.quantile(0.50))
+            .field("p90", h.quantile(0.90))
+            .field("p99", h.quantile(0.99))
+            .raw("bounds", json_array(h.bounds()))
+            .raw("counts", json_array(h.bucket_counts()));
+        break;
+      }
+    }
+    std::string text = line.str();
+    if (!context.empty()) {
+      // Splice the caller's context fields before the closing brace.
+      text.pop_back();
+      text += ',';
+      text += context;
+      text += '}';
+    }
+    out << text << '\n';
+  }
+}
+
+std::string link_metric(std::string_view base, std::uint32_t link) {
+  std::string out{base};
+  out += ".link";
+  out += std::to_string(link);
+  return out;
+}
+
+}  // namespace rtmac::obs

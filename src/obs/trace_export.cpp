@@ -1,0 +1,174 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace rtmac::obs {
+
+namespace {
+
+using sim::TraceEvent;
+using sim::TraceKind;
+
+std::string_view outcome_name(std::int64_t outcome) {
+  switch (outcome) {
+    case 0: return "delivered";
+    case 1: return "channel-loss";
+    case 2: return "collision";
+    default: return "?";
+  }
+}
+
+/// Chrome trace thread id for an event: interval boundaries get track 0,
+/// link n gets track n + 1.
+std::int64_t chrome_tid(const TraceEvent& e) {
+  return e.link == sim::kNoLink ? 0 : static_cast<std::int64_t>(e.link) + 1;
+}
+
+double chrome_ts_us(const TraceEvent& e) {
+  return static_cast<double>(e.time.ns()) / 1e3;
+}
+
+}  // namespace
+
+void write_trace_jsonl(std::ostream& out, const sim::Tracer& tracer) {
+  out << JsonObject{}
+             .field("schema", "rtmac.trace")
+             .field("version", sim::kTraceSchemaVersion)
+             .field("total", static_cast<std::uint64_t>(tracer.total_recorded()))
+             .field("dropped", static_cast<std::uint64_t>(tracer.dropped()))
+             .str()
+      << '\n';
+  for (const auto& e : tracer.events()) {
+    JsonObject line;
+    line.field("t_ns", e.time.ns()).field("kind", to_string(e.kind));
+    if (e.link != sim::kNoLink) line.field("link", static_cast<std::int64_t>(e.link));
+    line.field("a", e.a).field("b", e.b);
+    out << line.str() << '\n';
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const sim::Tracer& tracer) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& event_json) {
+    if (!first) out << ",\n";
+    first = false;
+    out << event_json;
+  };
+
+  // Track naming. Track 0 carries interval boundaries; track n+1 is link n.
+  emit(JsonObject{}
+           .field("name", "process_name")
+           .field("ph", "M")
+           .field("pid", 0)
+           .raw("args", JsonObject{}.field("name", "rtmac").str())
+           .str());
+  std::map<std::int64_t, bool> tid_named;
+  const auto name_tid = [&](std::int64_t tid) {
+    if (tid_named[tid]) return;
+    tid_named[tid] = true;
+    const std::string label =
+        tid == 0 ? std::string{"intervals"} : "link " + std::to_string(tid - 1);
+    emit(JsonObject{}
+             .field("name", "thread_name")
+             .field("ph", "M")
+             .field("pid", 0)
+             .field("tid", tid)
+             .raw("args", JsonObject{}.field("name", label).str())
+             .str());
+  };
+
+  const auto slice = [&](const TraceEvent& e, std::string_view ph, std::string_view name,
+                         std::string args_json) {
+    const std::int64_t tid = chrome_tid(e);
+    name_tid(tid);
+    JsonObject ev;
+    ev.field("name", name)
+        .field("cat", to_string(e.kind))
+        .field("ph", ph)
+        .field("ts", chrome_ts_us(e))
+        .field("pid", 0)
+        .field("tid", tid);
+    if (!args_json.empty()) ev.raw("args", args_json);
+    emit(ev.str());
+  };
+
+  // A ring-bounded trace can open mid-slice; track open B/E depth per tid so
+  // the output never contains unmatched begins/ends (Perfetto rejects some
+  // malformed nestings outright).
+  std::map<std::int64_t, int> open_depth;
+  TimePoint last_time = TimePoint::origin();
+
+  for (const auto& e : tracer.events()) {
+    last_time = std::max(last_time, e.time);
+    switch (e.kind) {
+      case TraceKind::kIntervalStart:
+        slice(e, "B", "interval", JsonObject{}.field("k", e.a).str());
+        ++open_depth[chrome_tid(e)];
+        break;
+      case TraceKind::kIntervalEnd:
+        if (open_depth[chrome_tid(e)] > 0) {
+          --open_depth[chrome_tid(e)];
+          slice(e, "E", "interval", {});
+        } else {
+          slice(e, "i", "interval-end", JsonObject{}.field("k", e.a).str());
+        }
+        break;
+      case TraceKind::kTxStart:
+        slice(e, "B", e.b != 0 ? "empty-tx" : "tx",
+              JsonObject{}.field("airtime_ns", e.a).str());
+        ++open_depth[chrome_tid(e)];
+        break;
+      case TraceKind::kTxEnd:
+        if (open_depth[chrome_tid(e)] > 0) {
+          --open_depth[chrome_tid(e)];
+          slice(e, "E", e.b != 0 ? "empty-tx" : "tx",
+                JsonObject{}.field("outcome", outcome_name(e.a)).str());
+        } else {
+          slice(e, "i", "tx-end", JsonObject{}.field("outcome", outcome_name(e.a)).str());
+        }
+        break;
+      case TraceKind::kBackoffArmed:
+      case TraceKind::kBackoffFrozen:
+      case TraceKind::kBackoffResumed:
+        slice(e, "i", to_string(e.kind), JsonObject{}.field("count", e.a).str());
+        break;
+      case TraceKind::kBackoffExpired:
+        slice(e, "i", to_string(e.kind), {});
+        break;
+      case TraceKind::kSwapUp:
+      case TraceKind::kSwapDown:
+        slice(e, "i", to_string(e.kind),
+              JsonObject{}.field("old_priority", e.a).field("new_priority", e.b).str());
+        break;
+    }
+  }
+
+  // Close any slice left open at the end of the capture window.
+  for (const auto& [tid, depth] : open_depth) {
+    for (int d = 0; d < depth; ++d) {
+      JsonObject ev;
+      ev.field("name", "(truncated)")
+          .field("ph", "E")
+          .field("ts", static_cast<double>(last_time.ns()) / 1e3)
+          .field("pid", 0)
+          .field("tid", tid);
+      emit(ev.str());
+    }
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+      << JsonObject{}
+             .field("schema", "rtmac.trace")
+             .field("version", sim::kTraceSchemaVersion)
+             .field("total", static_cast<std::uint64_t>(tracer.total_recorded()))
+             .field("dropped", static_cast<std::uint64_t>(tracer.dropped()))
+             .str()
+      << "}\n";
+}
+
+}  // namespace rtmac::obs

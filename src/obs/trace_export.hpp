@@ -1,0 +1,33 @@
+// Structured exporters for sim::Tracer event streams.
+//
+// Two formats, both schema-versioned (sim::kTraceSchemaVersion):
+//  * JSONL — one self-describing JSON object per event, preceded by a
+//    header line; greppable, streamable, and parseable without a JSON
+//    library (see obs/json.hpp).
+//  * Chrome trace-event JSON — loadable directly in Perfetto or
+//    chrome://tracing: transmissions become duration slices on one track
+//    per link, backoff/swap events become instants, interval boundaries
+//    get their own track, so a whole interval timeline can be inspected
+//    visually (paper Figs. 3–10 all hinge on what these timelines show).
+#pragma once
+
+#include <ostream>
+
+#include "sim/trace.hpp"
+
+namespace rtmac::obs {
+
+/// Writes a schema header line then one JSON object per retained event:
+///   {"schema":"rtmac.trace","version":1,"dropped":0,"total":123}
+///   {"t_ns":12000,"kind":"tx-start","link":3,"a":330000,"b":0}
+/// Events not tied to a link omit the "link" field.
+void write_trace_jsonl(std::ostream& out, const sim::Tracer& tracer);
+
+/// Writes the Chrome trace-event format (JSON object form, with an
+/// otherData metadata block carrying the schema version). Tracks:
+/// tid 0 = interval boundaries, tid n+1 = link n. Timestamps are virtual
+/// microseconds. Open tx slices at the trace end are closed at the last
+/// event's timestamp so the file always loads.
+void write_chrome_trace(std::ostream& out, const sim::Tracer& tracer);
+
+}  // namespace rtmac::obs

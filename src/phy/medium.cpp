@@ -23,6 +23,16 @@ void Medium::add_listener(MediumListener* listener) {
   listeners_.push_back(listener);
 }
 
+void Medium::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  // Busy periods span microseconds (one claim packet) to a whole interval
+  // (tens of ms of back-to-back traffic): log-spaced buckets cover the range.
+  busy_period_hist_ =
+      registry == nullptr
+          ? nullptr
+          : &registry->histogram("phy.busy_period_us", obs::log_bounds(1.0, 65536.0, 2.0));
+}
+
 void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done) {
   assert(link < channel_->num_links());
   assert(airtime > Duration{} && "zero-airtime transmission");
@@ -63,6 +73,7 @@ void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, 
   (void)was_idle;
   if (!notified_busy_) {
     notified_busy_ = true;
+    busy_since_ = now;
     for (auto* l : listeners_) l->on_medium_busy(now);
   }
 }
@@ -114,6 +125,7 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
 
   if (active_count_ == 0 && notified_busy_) {
     notified_busy_ = false;
+    if (busy_period_hist_ != nullptr) busy_period_hist_->observe((now - busy_since_).us_f());
     for (auto* l : listeners_) l->on_medium_idle(now);
   }
 }

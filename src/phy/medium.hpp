@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "phy/channel_model.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -113,6 +114,16 @@ class Medium {
   /// stack.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] sim::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry (not owned; null detaches). Like the
+  /// tracer, the medium is the distribution point: MAC components that hold
+  /// a Medium& read the registry from here, so attaching once instruments
+  /// the whole stack. The medium itself contributes a busy-period duration
+  /// histogram (channel-occupancy burst structure, which the aggregate
+  /// MediumCounters cannot reconstruct); everything else it accounts is
+  /// exported from MediumCounters by obs::collect_network_metrics.
+  void set_metrics(obs::MetricsRegistry* registry);
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
   [[nodiscard]] std::size_t num_links() const { return channel_->num_links(); }
   /// Long-run reliability p_n (what policies are configured with).
   [[nodiscard]] double success_prob(LinkId link) const {
@@ -141,11 +152,14 @@ class Medium {
   // packet of a burst with zero idle gap; in that case no idle/busy pair is
   // emitted and listeners correctly perceive one continuous busy period.
   bool notified_busy_ = false;
+  TimePoint busy_since_;  ///< start of the current busy period (valid while notified_busy_)
   std::uint64_t next_tx_id_ = 1;
   std::vector<MediumListener*> listeners_;
   MediumCounters counters_;
   std::vector<LinkCounters> link_counters_;
   sim::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* busy_period_hist_ = nullptr;  ///< cached handle, null when detached
 };
 
 }  // namespace rtmac::phy

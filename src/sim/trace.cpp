@@ -1,53 +1,78 @@
 #include "sim/trace.hpp"
 
-#include <cassert>
 #include <cstdio>
 
 namespace rtmac::sim {
 
 namespace {
 
-const char* kind_name(TraceKind kind) {
-  switch (kind) {
-    case TraceKind::kIntervalStart: return "interval-start";
-    case TraceKind::kIntervalEnd: return "interval-end";
-    case TraceKind::kBackoffArmed: return "backoff-armed";
-    case TraceKind::kBackoffFrozen: return "backoff-frozen";
-    case TraceKind::kBackoffResumed: return "backoff-resumed";
-    case TraceKind::kBackoffExpired: return "backoff-expired";
-    case TraceKind::kTxStart: return "tx-start";
-    case TraceKind::kTxEnd: return "tx-end";
-    case TraceKind::kSwapUp: return "swap-up";
-    case TraceKind::kSwapDown: return "swap-down";
+struct KindName {
+  TraceKind kind;
+  std::string_view name;
+};
+
+/// Single source of truth for the to_string/from_string round trip.
+constexpr KindName kKindNames[kTraceKindCount] = {
+    {TraceKind::kIntervalStart, "interval-start"},
+    {TraceKind::kIntervalEnd, "interval-end"},
+    {TraceKind::kBackoffArmed, "backoff-armed"},
+    {TraceKind::kBackoffFrozen, "backoff-frozen"},
+    {TraceKind::kBackoffResumed, "backoff-resumed"},
+    {TraceKind::kBackoffExpired, "backoff-expired"},
+    {TraceKind::kTxStart, "tx-start"},
+    {TraceKind::kTxEnd, "tx-end"},
+    {TraceKind::kSwapUp, "swap-up"},
+    {TraceKind::kSwapDown, "swap-down"},
+};
+
+}  // namespace
+
+std::string_view to_string(TraceKind kind) {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
   }
   return "?";
 }
 
-}  // namespace
+std::optional<TraceKind> trace_kind_from_string(std::string_view name) {
+  for (const auto& entry : kKindNames) {
+    if (entry.name == name) return entry.kind;
+  }
+  return std::nullopt;
+}
 
 std::string TraceEvent::to_string() const {
   char buf[160];
   if (link == kNoLink) {
     std::snprintf(buf, sizeof buf, "[%11.6fs] %-16s a=%lld b=%lld", time.seconds_f(),
-                  kind_name(kind), static_cast<long long>(a), static_cast<long long>(b));
+                  std::string{sim::to_string(kind)}.c_str(), static_cast<long long>(a),
+                  static_cast<long long>(b));
   } else {
     std::snprintf(buf, sizeof buf, "[%11.6fs] %-16s link=%u a=%lld b=%lld",
-                  time.seconds_f(), kind_name(kind), link, static_cast<long long>(a),
-                  static_cast<long long>(b));
+                  time.seconds_f(), std::string{sim::to_string(kind)}.c_str(), link,
+                  static_cast<long long>(a), static_cast<long long>(b));
   }
   return buf;
 }
 
-Tracer::Tracer(std::size_t capacity) : capacity_{capacity} { assert(capacity > 0); }
+Tracer::Tracer(std::size_t capacity) : capacity_{capacity} {}
 
 void Tracer::record(TraceEvent event) {
   ++total_;
   events_.push_back(event);
-  if (events_.size() > capacity_) events_.pop_front();
+  ++kind_counts_[static_cast<std::size_t>(event.kind)];
+  ++kind_link_counts_[count_key(event.kind, event.link)];
+  if (capacity_ != 0 && events_.size() > capacity_) {
+    const TraceEvent& old = events_.front();
+    --kind_counts_[static_cast<std::size_t>(old.kind)];
+    --kind_link_counts_[count_key(old.kind, old.link)];
+    events_.pop_front();
+  }
 }
 
 std::vector<TraceEvent> Tracer::filter(TraceKind kind, LinkId link) const {
   std::vector<TraceEvent> out;
+  out.reserve(count(kind, link));
   for (const auto& e : events_) {
     if (e.kind == kind && (link == kNoLink || e.link == link)) out.push_back(e);
   }
@@ -55,11 +80,9 @@ std::vector<TraceEvent> Tracer::filter(TraceKind kind, LinkId link) const {
 }
 
 std::size_t Tracer::count(TraceKind kind, LinkId link) const {
-  std::size_t c = 0;
-  for (const auto& e : events_) {
-    if (e.kind == kind && (link == kNoLink || e.link == link)) ++c;
-  }
-  return c;
+  if (link == kNoLink) return kind_counts_[static_cast<std::size_t>(kind)];
+  const auto it = kind_link_counts_.find(count_key(kind, link));
+  return it == kind_link_counts_.end() ? 0 : it->second;
 }
 
 std::string Tracer::render() const {
@@ -75,6 +98,8 @@ std::string Tracer::render() const {
 void Tracer::clear() {
   events_.clear();
   total_ = 0;
+  for (auto& c : kind_counts_) c = 0;
+  kind_link_counts_.clear();
 }
 
 }  // namespace rtmac::sim

@@ -4,15 +4,19 @@
 // lifecycle, transmissions, swap decisions, interval boundaries — recorded
 // by the PHY/MAC layers when attached (zero overhead when absent: every
 // recording site guards on a null pointer). Used by the trace examples, by
-// tests asserting on protocol-internal behaviour, and for debugging
-// protocol changes (the swap-consistency bug in DESIGN.md §4b was found
-// with exactly this kind of trace).
+// tests asserting on protocol-internal behaviour, for debugging protocol
+// changes (the swap-consistency bug in DESIGN.md §4b was found with exactly
+// this kind of trace), and as the event source for the obs/trace_export
+// exporters (JSONL and Chrome trace-event timelines).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
@@ -35,6 +39,21 @@ enum class TraceKind : std::uint8_t {
   kSwapDown,        ///< link; a = old priority; b = new priority
 };
 
+/// Number of TraceKind values (kept in sync with the enum; checked by the
+/// round-trip test over every kind).
+inline constexpr std::size_t kTraceKindCount = 10;
+
+/// Version of the exported trace schema (JSONL event export and the Chrome
+/// trace metadata block both carry it); bumped whenever TraceKind values,
+/// payload meanings, or export field names change.
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Stable machine-readable name of `kind` ("tx-start", "swap-up", ...).
+[[nodiscard]] std::string_view to_string(TraceKind kind);
+
+/// Inverse of to_string: parses an exported kind name back to the enum.
+[[nodiscard]] std::optional<TraceKind> trace_kind_from_string(std::string_view name);
+
 /// Sentinel for events that are not tied to one link.
 inline constexpr LinkId kNoLink = static_cast<LinkId>(-1);
 
@@ -49,7 +68,11 @@ struct TraceEvent {
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Bounded event sink. Oldest events are dropped once `capacity` is hit.
+/// Bounded event sink. Oldest events are dropped once `capacity` is hit;
+/// capacity 0 means unbounded (nothing is ever dropped). Drop accounting:
+/// total_recorded() counts every record() ever made, events() holds the
+/// retained suffix, and dropped() == total_recorded() - events().size() is
+/// the number of oldest events lost to the ring bound.
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = 65536);
@@ -63,9 +86,16 @@ class Tracer {
   [[nodiscard]] const std::deque<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t total_recorded() const { return total_; }
   [[nodiscard]] std::size_t dropped() const { return total_ - events_.size(); }
+  /// Configured bound (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  /// Events of one kind (optionally restricted to one link).
+  /// Events of one kind (optionally restricted to one link). Linear in the
+  /// number of retained events (it materializes matches); use count() for
+  /// O(1) cardinality checks.
   [[nodiscard]] std::vector<TraceEvent> filter(TraceKind kind, LinkId link = kNoLink) const;
+
+  /// Number of retained events of `kind` (optionally on one link). O(1):
+  /// served from counts maintained on record()/drop, not by scanning.
   [[nodiscard]] std::size_t count(TraceKind kind, LinkId link = kNoLink) const;
 
   /// Renders all retained events, one per line.
@@ -74,9 +104,19 @@ class Tracer {
   void clear();
 
  private:
+  /// Key packing (kind, link) for the per-link counts index.
+  static constexpr std::uint64_t count_key(TraceKind kind, LinkId link) {
+    return (static_cast<std::uint64_t>(kind) << 32) | static_cast<std::uint64_t>(link);
+  }
+
   std::size_t capacity_;
   std::deque<TraceEvent> events_;
   std::size_t total_ = 0;
+  // Counts caches, kept exact across ring-buffer drops so count() stays O(1)
+  // on arbitrarily long runs (Tracer::count is on the hot path of test
+  // assertions that run after multi-thousand-interval simulations).
+  std::size_t kind_counts_[kTraceKindCount] = {};
+  std::unordered_map<std::uint64_t, std::size_t> kind_link_counts_;
 };
 
 }  // namespace rtmac::sim

@@ -96,8 +96,8 @@ TEST(RunnerTest, GroupMetricReturnsPerGroupValues) {
 }
 
 TEST(ReportTest, TableRendersAllSeries) {
-  SweepResult r1{"A", {"m"}, {0.1, 0.2}, 1, {{{1.0}}, {{2.0}}}};
-  SweepResult r2{"B", {"m"}, {0.1, 0.2}, 1, {{{3.0}}, {{4.0}}}};
+  SweepResult r1{"A", {"m"}, {0.1, 0.2}, 1, {{{1.0}}, {{2.0}}}, {}};
+  SweepResult r2{"B", {"m"}, {0.1, 0.2}, 1, {{{3.0}}, {{4.0}}}, {}};
   std::ostringstream out;
   print_sweep_table(out, "x", {r1, r2});
   const std::string s = out.str();
@@ -108,7 +108,7 @@ TEST(ReportTest, TableRendersAllSeries) {
 }
 
 TEST(ReportTest, MultiMetricColumnsAreQualified) {
-  SweepResult r{"FCSMA", {"g1", "g2"}, {0.1}, 1, {{{1.0, 2.0}}}};
+  SweepResult r{"FCSMA", {"g1", "g2"}, {0.1}, 1, {{{1.0, 2.0}}}, {}};
   std::ostringstream out;
   print_sweep_table(out, "x", {r});
   EXPECT_NE(out.str().find("FCSMA:g1"), std::string::npos);
@@ -123,7 +123,7 @@ TEST(ReportTest, BannerMentionsFigure) {
 }
 
 TEST(ReportTest, CsvWriterWritesFile) {
-  SweepResult r{"A", {"m"}, {0.5}, 1, {{{7.0}}}};
+  SweepResult r{"A", {"m"}, {0.5}, 1, {{{7.0}}}, {}};
   const std::string path = bench_output_dir() + "/expfw_test_tmp.csv";
   ASSERT_TRUE(write_sweep_csv(path, "x", {r}));
   std::ifstream in{path};

@@ -26,6 +26,13 @@ std::string file_contents(const std::string& path) {
   return out.str();
 }
 
+SweepOptions sweep_options(std::size_t reps, std::size_t jobs) {
+  SweepOptions opts;
+  opts.reps = reps;
+  opts.jobs = jobs;
+  return opts;
+}
+
 std::vector<SweepResult> small_sweep(const SweepOptions& opts) {
   return run_sweeps(
       {{"LDF", ldf_factory()}, {"FCSMA", fcsma_factory()}},
@@ -49,8 +56,8 @@ TEST(SweepSeedTest, ReplicationsAreDistinctStreams) {
 }
 
 TEST(ParallelSweepTest, ResultsAreIdenticalAcrossJobCounts) {
-  const auto serial = small_sweep({.reps = 2, .jobs = 1});
-  const auto parallel = small_sweep({.reps = 2, .jobs = 4});
+  const auto serial = small_sweep(sweep_options(2, 1));
+  const auto parallel = small_sweep(sweep_options(2, 4));
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t s = 0; s < serial.size(); ++s) {
     EXPECT_EQ(serial[s].scheme, parallel[s].scheme);
@@ -62,8 +69,8 @@ TEST(ParallelSweepTest, ResultsAreIdenticalAcrossJobCounts) {
 }
 
 TEST(ParallelSweepTest, CsvOutputIsByteIdenticalAcrossJobCounts) {
-  const auto serial = small_sweep({.reps = 2, .jobs = 1});
-  const auto parallel = small_sweep({.reps = 2, .jobs = 3});
+  const auto serial = small_sweep(sweep_options(2, 1));
+  const auto parallel = small_sweep(sweep_options(2, 3));
   const std::string p1 = bench_output_dir() + "/determinism_jobs1.csv";
   const std::string pn = bench_output_dir() + "/determinism_jobsN.csv";
   ASSERT_TRUE(write_sweep_csv(p1, "alpha", serial));
@@ -74,7 +81,7 @@ TEST(ParallelSweepTest, CsvOutputIsByteIdenticalAcrossJobCounts) {
 }
 
 TEST(ParallelSweepTest, ReplicationStatisticsMatchSamples) {
-  const auto results = small_sweep({.reps = 3, .jobs = 2});
+  const auto results = small_sweep(sweep_options(3, 2));
   const auto& r = results.front();
   ASSERT_EQ(r.reps, 3u);
   for (std::size_t i = 0; i < r.xs.size(); ++i) {
@@ -91,7 +98,7 @@ TEST(ParallelSweepTest, ReplicationStatisticsMatchSamples) {
 }
 
 TEST(ParallelSweepTest, SingleRepHasDegenerateStats) {
-  const auto results = small_sweep({.reps = 1, .jobs = 2});
+  const auto results = small_sweep(sweep_options(1, 2));
   const auto& r = results.front();
   EXPECT_EQ(r.reps, 1u);
   EXPECT_DOUBLE_EQ(r.stddev(0, 0), 0.0);
@@ -99,7 +106,7 @@ TEST(ParallelSweepTest, SingleRepHasDegenerateStats) {
 }
 
 TEST(ParallelSweepTest, ReportShowsCiColumnsForReplicatedSweeps) {
-  const auto results = small_sweep({.reps = 2, .jobs = 2});
+  const auto results = small_sweep(sweep_options(2, 2));
   std::ostringstream out;
   print_sweep_table(out, "alpha*", results);
   EXPECT_NE(out.str().find("LDF:sd"), std::string::npos);
@@ -123,7 +130,7 @@ TEST(SweepValidationTest, RunSweepsRejectsBadArguments) {
   EXPECT_THROW(run_sweeps({{"LDF", ldf_factory()}}, config_at, {0.4}, 1, metric, {}),
                std::invalid_argument);
   EXPECT_THROW(run_sweeps({{"LDF", ldf_factory()}}, config_at, {0.4}, 1, metric, {"d"},
-                          {.reps = 0}),
+                          sweep_options(0, 1)),
                std::invalid_argument);
 }
 
@@ -135,8 +142,8 @@ TEST(SweepValidationTest, MetricArityMismatchSurfacesFromWorkers) {
 }
 
 TEST(SweepValidationTest, ReportRejectsMismatchedGrids) {
-  SweepResult a{"A", {"m"}, {0.1}, 1, {{{1.0}}}};
-  SweepResult b{"B", {"m"}, {0.2}, 1, {{{2.0}}}};
+  SweepResult a{"A", {"m"}, {0.1}, 1, {{{1.0}}}, {}};
+  SweepResult b{"B", {"m"}, {0.2}, 1, {{{2.0}}}, {}};
   std::ostringstream out;
   EXPECT_THROW(print_sweep_table(out, "x", {a, b}), std::invalid_argument);
   EXPECT_THROW(print_sweep_table(out, "x", {}), std::invalid_argument);

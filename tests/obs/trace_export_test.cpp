@@ -1,0 +1,163 @@
+// The trace exporters' contract: TraceKind names round-trip through the
+// string table (over every kind — this is what keeps exported traces
+// parseable), the JSONL export is schema-versioned and line-parseable, and
+// the Chrome trace-event export is structurally sound (matched B/E depth,
+// named tracks, metadata block) so Perfetto always loads it.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "obs/json.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace rtmac::obs {
+namespace {
+
+using sim::TraceKind;
+using sim::Tracer;
+
+TEST(TraceKindTest, ToStringRoundTripsEveryKind) {
+  for (std::size_t k = 0; k < sim::kTraceKindCount; ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    const auto name = sim::to_string(kind);
+    EXPECT_FALSE(name.empty());
+    const auto parsed = sim::trace_kind_from_string(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+  }
+  EXPECT_FALSE(sim::trace_kind_from_string("no-such-kind").has_value());
+  EXPECT_FALSE(sim::trace_kind_from_string("").has_value());
+}
+
+TEST(TraceJsonlTest, HeaderAndEventsParse) {
+  Tracer tracer{8};
+  tracer.record(TimePoint::from_ns(1000), TraceKind::kIntervalStart, sim::kNoLink, 0);
+  tracer.record(TimePoint::from_ns(2000), TraceKind::kTxStart, 3, 330000, 0);
+  tracer.record(TimePoint::from_ns(5000), TraceKind::kTxEnd, 3, 2, 0);
+
+  std::ostringstream out;
+  write_trace_jsonl(out, tracer);
+  std::istringstream in{out.str()};
+  std::string line;
+
+  ASSERT_TRUE(std::getline(in, line));
+  auto header = parse_flat_json(line);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->at("schema"), "\"rtmac.trace\"");
+  EXPECT_EQ(header->at("version"), std::to_string(sim::kTraceSchemaVersion));
+  EXPECT_EQ(header->at("total"), "3");
+  EXPECT_EQ(header->at("dropped"), "0");
+
+  ASSERT_TRUE(std::getline(in, line));
+  auto ev = parse_flat_json(line);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->at("t_ns"), "1000");
+  EXPECT_EQ(ev->at("kind"), "\"interval-start\"");
+  // Events with no link omit the field entirely.
+  EXPECT_EQ(ev->count("link"), 0u);
+
+  ASSERT_TRUE(std::getline(in, line));
+  ev = parse_flat_json(line);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->at("kind"), "\"tx-start\"");
+  EXPECT_EQ(ev->at("link"), "3");
+  EXPECT_EQ(ev->at("a"), "330000");
+
+  // Exported kind names parse back to the enum.
+  ASSERT_TRUE(std::getline(in, line));
+  ev = parse_flat_json(line);
+  ASSERT_TRUE(ev.has_value());
+  const auto unquoted = json_unquote(ev->at("kind"));
+  ASSERT_TRUE(unquoted.has_value());
+  EXPECT_EQ(sim::trace_kind_from_string(*unquoted), TraceKind::kTxEnd);
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(TraceJsonlTest, DroppedCountSurvivesRingBound) {
+  Tracer tracer{2};
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(TimePoint::from_ns(i), TraceKind::kBackoffArmed, 0, i);
+  }
+  std::ostringstream out;
+  write_trace_jsonl(out, tracer);
+  std::istringstream in{out.str()};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto header = parse_flat_json(line);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->at("total"), "5");
+  EXPECT_EQ(header->at("dropped"), "3");
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ChromeTraceTest, BalancedSlicesAndNamedTracks) {
+  Tracer tracer{0};
+  tracer.record(TimePoint::from_ns(0), TraceKind::kIntervalStart, sim::kNoLink, 0);
+  tracer.record(TimePoint::from_ns(1000), TraceKind::kTxStart, 2, 330000, 0);
+  tracer.record(TimePoint::from_ns(331000), TraceKind::kTxEnd, 2, 0, 0);
+  tracer.record(TimePoint::from_ns(400000), TraceKind::kSwapUp, 2, 3, 2);
+  tracer.record(TimePoint::from_ns(500000), TraceKind::kIntervalEnd, sim::kNoLink, 0);
+
+  std::ostringstream out;
+  write_chrome_trace(out, tracer);
+  const std::string json = out.str();
+
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Metadata: process + per-track names, schema version in otherData.
+  EXPECT_NE(json.find("\"name\":\"rtmac\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"intervals\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"link 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"rtmac.trace\""), std::string::npos);
+  // Every begin has a matching end.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_NE(json.find("\"outcome\":\"delivered\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"swap-up\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, TruncatedCaptureStillBalances) {
+  // A ring-bounded capture can retain an unmatched tx-end (open at the
+  // front) and an unmatched tx-start (open at the back); the exporter must
+  // still emit balanced B/E pairs.
+  Tracer tracer{0};
+  tracer.record(TimePoint::from_ns(100), TraceKind::kTxEnd, 1, 0, 0);    // no begin
+  tracer.record(TimePoint::from_ns(200), TraceKind::kTxStart, 1, 500, 0);  // no end
+  std::ostringstream out;
+  write_chrome_trace(out, tracer);
+  const std::string json = out.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_NE(json.find("(truncated)"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, FullRunExportsNonTrivialTimeline) {
+  auto cfg = net::symmetric_network(3, Duration::milliseconds(20),
+                                    phy::PhyParams::video_80211a(), 1.0,
+                                    traffic::ConstantArrivals{1}, 0.9, 91);
+  net::Network net{std::move(cfg), expfw::dbdp_factory()};
+  Tracer tracer{0};
+  net.attach_tracer(&tracer);
+  net.run(5);
+
+  std::ostringstream out;
+  write_chrome_trace(out, tracer);
+  const std::string json = out.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), count_occurrences(json, "\"ph\":\"E\""));
+  // 5 intervals, 3 links, 1 packet each on a perfect channel.
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"interval\""), 10u);  // 5 B + 5 E
+  EXPECT_GE(count_occurrences(json, "\"name\":\"tx\""), 2u * 15u);
+}
+
+}  // namespace
+}  // namespace rtmac::obs

@@ -42,6 +42,38 @@ TEST(TracerTest, RenderMentionsKindsAndLinks) {
   EXPECT_NE(s.find("link=7"), std::string::npos);
 }
 
+TEST(TracerTest, CapacityZeroMeansUnbounded) {
+  Tracer tracer{0};
+  EXPECT_EQ(tracer.capacity(), 0u);
+  const std::size_t n = 70000;  // exceeds the default bounded capacity
+  for (std::size_t i = 0; i < n; ++i) {
+    tracer.record(TimePoint::from_ns(static_cast<std::int64_t>(i)),
+                  TraceKind::kBackoffArmed, 0);
+  }
+  EXPECT_EQ(tracer.events().size(), n);
+  EXPECT_EQ(tracer.total_recorded(), n);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, CountCacheMatchesFilterAcrossRingDrops) {
+  Tracer tracer{8};
+  // A mixed stream long enough to wrap the ring several times.
+  for (int i = 0; i < 40; ++i) {
+    const auto kind = static_cast<TraceKind>(i % static_cast<int>(kTraceKindCount));
+    tracer.record(TimePoint::from_ns(i), kind, static_cast<LinkId>(i % 3));
+  }
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    EXPECT_EQ(tracer.count(kind), tracer.filter(kind).size());
+    for (LinkId link = 0; link < 3; ++link) {
+      EXPECT_EQ(tracer.count(kind, link), tracer.filter(kind, link).size());
+    }
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.count(TraceKind::kBackoffArmed), 0u);
+  EXPECT_EQ(tracer.count(TraceKind::kBackoffArmed, 1), 0u);
+}
+
 TEST(TracerTest, ClearResets) {
   Tracer tracer;
   tracer.record(TimePoint::origin(), TraceKind::kIntervalStart);
