@@ -4,32 +4,30 @@
 // lower ratios.
 #include <iostream>
 
-#include "expfw/bench_cli.hpp"
-#include "expfw/report.hpp"
-#include "expfw/runner.hpp"
+#include "expfw/figure_bench.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
   const auto args = expfw::parse_bench_args(argc, argv, 4000);
 
-  expfw::print_figure_banner(
-      std::cout, "Fig. 10",
-      "control network, lambda* = 0.78, deficiency vs delivery ratio",
-      "DB-DP ~ LDF up to rho ~ 0.99; FCSMA deficiency grows across the sweep");
+  const expfw::FigureSpec spec{
+      .figure_id = "Fig. 10",
+      .description = "control network, lambda* = 0.78, deficiency vs delivery ratio",
+      .expected_shape =
+          "DB-DP ~ LDF up to rho ~ 0.99; FCSMA deficiency grows across the sweep",
+      .x_label = "rho",
+      .csv_column = "rho",
+      .csv_basename = "fig10.csv",
+      .schemes = expfw::paper_scheme_table(),
+      .metric = expfw::total_deficiency_metric(),
+      .metric_names = {"deficiency"},
+      .paper_intervals = 20000,
+  };
 
   const auto grid = expfw::linspace(0.80, 1.00, args.grid_points(9));
   const auto config_at = [](double rho) { return expfw::control_symmetric(0.78, rho, 1010); };
 
-  const auto results = expfw::run_sweeps(
-      {{"LDF", expfw::ldf_factory()},
-       {"DB-DP", expfw::dbdp_factory()},
-       {"FCSMA", expfw::fcsma_factory()}},
-      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
-      args.sweep);
-
-  expfw::print_sweep_table(std::cout, "rho", results);
-  expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig10.csv", "rho", results);
-  std::cout << "\n(" << args.intervals << " intervals/point; paper used 20000)\n";
+  (void)expfw::run_figure_sweep(std::cout, spec, config_at, grid, args);
   return 0;
 }

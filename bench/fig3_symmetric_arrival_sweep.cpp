@@ -8,32 +8,30 @@
 // with confidence intervals (see --help for the full flag triad).
 #include <iostream>
 
-#include "expfw/bench_cli.hpp"
-#include "expfw/report.hpp"
-#include "expfw/runner.hpp"
+#include "expfw/figure_bench.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
   const auto args = expfw::parse_bench_args(argc, argv, 1000);
 
-  expfw::print_figure_banner(
-      std::cout, "Fig. 3",
-      "symmetric video network, 20 links, rho = 0.9, deficiency vs alpha*",
-      "DB-DP ~ LDF with knee near alpha* ~ 0.62; FCSMA knee near 0.43 (~70% of LDF)");
+  const expfw::FigureSpec spec{
+      .figure_id = "Fig. 3",
+      .description = "symmetric video network, 20 links, rho = 0.9, deficiency vs alpha*",
+      .expected_shape =
+          "DB-DP ~ LDF with knee near alpha* ~ 0.62; FCSMA knee near 0.43 (~70% of LDF)",
+      .x_label = "alpha*",
+      .csv_column = "alpha",
+      .csv_basename = "fig3.csv",
+      .schemes = expfw::paper_scheme_table(),
+      .metric = expfw::total_deficiency_metric(),
+      .metric_names = {"deficiency"},
+      .paper_intervals = 5000,
+  };
 
   const auto grid = expfw::linspace(0.40, 0.80, args.grid_points(9));
   const auto config_at = [](double alpha) { return expfw::video_symmetric(alpha, 0.9, 1001); };
 
-  const auto results = expfw::run_sweeps(
-      {{"LDF", expfw::ldf_factory()},
-       {"DB-DP", expfw::dbdp_factory()},
-       {"FCSMA", expfw::fcsma_factory()}},
-      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
-      args.sweep);
-
-  expfw::print_sweep_table(std::cout, "alpha*", results);
-  expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig3.csv", "alpha", results);
-  std::cout << "\n(" << args.intervals << " intervals/point; paper used 5000)\n";
+  (void)expfw::run_figure_sweep(std::cout, spec, config_at, grid, args);
   return 0;
 }

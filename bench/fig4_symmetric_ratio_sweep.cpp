@@ -4,32 +4,30 @@
 // deficiency grows steeply across the whole range.
 #include <iostream>
 
-#include "expfw/bench_cli.hpp"
-#include "expfw/report.hpp"
-#include "expfw/runner.hpp"
+#include "expfw/figure_bench.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
   const auto args = expfw::parse_bench_args(argc, argv, 1000);
 
-  expfw::print_figure_banner(
-      std::cout, "Fig. 4",
-      "symmetric video network, alpha* = 0.55, deficiency vs delivery ratio",
-      "DB-DP ~ LDF up to rho ~ 0.95; FCSMA deficient everywhere above rho ~ 0.6");
+  const expfw::FigureSpec spec{
+      .figure_id = "Fig. 4",
+      .description = "symmetric video network, alpha* = 0.55, deficiency vs delivery ratio",
+      .expected_shape =
+          "DB-DP ~ LDF up to rho ~ 0.95; FCSMA deficient everywhere above rho ~ 0.6",
+      .x_label = "rho",
+      .csv_column = "rho",
+      .csv_basename = "fig4.csv",
+      .schemes = expfw::paper_scheme_table(),
+      .metric = expfw::total_deficiency_metric(),
+      .metric_names = {"deficiency"},
+      .paper_intervals = 5000,
+  };
 
   const auto grid = expfw::linspace(0.60, 1.00, args.grid_points(9));
   const auto config_at = [](double rho) { return expfw::video_symmetric(0.55, rho, 1002); };
 
-  const auto results = expfw::run_sweeps(
-      {{"LDF", expfw::ldf_factory()},
-       {"DB-DP", expfw::dbdp_factory()},
-       {"FCSMA", expfw::fcsma_factory()}},
-      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
-      args.sweep);
-
-  expfw::print_sweep_table(std::cout, "rho", results);
-  expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig4.csv", "rho", results);
-  std::cout << "\n(" << args.intervals << " intervals/point; paper used 5000)\n";
+  (void)expfw::run_figure_sweep(std::cout, spec, config_at, grid, args);
   return 0;
 }

@@ -5,33 +5,31 @@
 // (saturated contention windows ignore large debts).
 #include <iostream>
 
-#include "expfw/bench_cli.hpp"
-#include "expfw/report.hpp"
-#include "expfw/runner.hpp"
+#include "expfw/figure_bench.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
   const auto args = expfw::parse_bench_args(argc, argv, 1000);
 
-  expfw::print_figure_banner(
-      std::cout, "Fig. 7",
-      "asymmetric network (two groups), rho = 0.9, group deficiency vs alpha*",
-      "DB-DP ~ LDF in both groups; FCSMA group 1 (low p) far worse than group 2");
+  const expfw::FigureSpec spec{
+      .figure_id = "Fig. 7",
+      .description = "asymmetric network (two groups), rho = 0.9, group deficiency vs alpha*",
+      .expected_shape =
+          "DB-DP ~ LDF in both groups; FCSMA group 1 (low p) far worse than group 2",
+      .x_label = "alpha*",
+      .csv_column = "alpha",
+      .csv_basename = "fig7.csv",
+      .schemes = expfw::paper_scheme_table(),
+      .metric = expfw::group_deficiency_metric(
+          {expfw::asymmetric_group(1), expfw::asymmetric_group(2)}),
+      .metric_names = {"grp1", "grp2"},
+      .paper_intervals = 5000,
+  };
 
   const auto grid = expfw::linspace(0.50, 0.90, args.grid_points(9));
   const auto config_at = [](double a) { return expfw::video_asymmetric(a, 0.9, 1007); };
-  const auto metric =
-      expfw::group_deficiency_metric({expfw::asymmetric_group(1), expfw::asymmetric_group(2)});
 
-  const auto results = expfw::run_sweeps(
-      {{"LDF", expfw::ldf_factory()},
-       {"DB-DP", expfw::dbdp_factory()},
-       {"FCSMA", expfw::fcsma_factory()}},
-      config_at, grid, args.intervals, metric, {"grp1", "grp2"}, args.sweep);
-
-  expfw::print_sweep_table(std::cout, "alpha*", results);
-  expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig7.csv", "alpha", results);
-  std::cout << "\n(" << args.intervals << " intervals/point; paper used 5000)\n";
+  (void)expfw::run_figure_sweep(std::cout, spec, config_at, grid, args);
   return 0;
 }

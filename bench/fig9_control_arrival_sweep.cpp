@@ -5,32 +5,30 @@
 // FCSMA substantially worse.
 #include <iostream>
 
-#include "expfw/bench_cli.hpp"
-#include "expfw/report.hpp"
-#include "expfw/runner.hpp"
+#include "expfw/figure_bench.hpp"
 #include "expfw/scenarios.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtmac;
   const auto args = expfw::parse_bench_args(argc, argv, 4000);
 
-  expfw::print_figure_banner(
-      std::cout, "Fig. 9",
-      "control network, 10 links, 2 ms deadline, rho = 0.99, deficiency vs lambda*",
-      "DB-DP ~ LDF with knee near lambda* ~ 0.8; FCSMA knee far lower");
+  const expfw::FigureSpec spec{
+      .figure_id = "Fig. 9",
+      .description =
+          "control network, 10 links, 2 ms deadline, rho = 0.99, deficiency vs lambda*",
+      .expected_shape = "DB-DP ~ LDF with knee near lambda* ~ 0.8; FCSMA knee far lower",
+      .x_label = "lambda*",
+      .csv_column = "lambda",
+      .csv_basename = "fig9.csv",
+      .schemes = expfw::paper_scheme_table(),
+      .metric = expfw::total_deficiency_metric(),
+      .metric_names = {"deficiency"},
+      .paper_intervals = 20000,
+  };
 
   const auto grid = expfw::linspace(0.60, 1.00, args.grid_points(9));
   const auto config_at = [](double l) { return expfw::control_symmetric(l, 0.99, 1009); };
 
-  const auto results = expfw::run_sweeps(
-      {{"LDF", expfw::ldf_factory()},
-       {"DB-DP", expfw::dbdp_factory()},
-       {"FCSMA", expfw::fcsma_factory()}},
-      config_at, grid, args.intervals, expfw::total_deficiency_metric(), {"deficiency"},
-      args.sweep);
-
-  expfw::print_sweep_table(std::cout, "lambda*", results);
-  expfw::write_sweep_csv(expfw::bench_output_dir() + "/fig9.csv", "lambda", results);
-  std::cout << "\n(" << args.intervals << " intervals/point; paper used 20000)\n";
+  (void)expfw::run_figure_sweep(std::cout, spec, config_at, grid, args);
   return 0;
 }

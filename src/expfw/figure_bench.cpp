@@ -1,0 +1,28 @@
+#include "expfw/figure_bench.hpp"
+
+#include "expfw/report.hpp"
+#include "expfw/scenarios.hpp"
+
+namespace rtmac::expfw {
+
+std::vector<SweepResult> run_figure_sweep(std::ostream& out, const FigureSpec& spec,
+                                          const ConfigAt& config_at,
+                                          const std::vector<double>& grid,
+                                          const BenchArgs& args) {
+  print_figure_banner(out, spec.figure_id, spec.description, spec.expected_shape);
+
+  const auto results = run_sweeps(spec.schemes, config_at, grid, args.intervals, spec.metric,
+                                  spec.metric_names, args.sweep);
+
+  print_sweep_table(out, spec.x_label, results);
+  write_sweep_csv(bench_output_dir() + "/" + spec.csv_basename, spec.csv_column, results);
+  out << "\n(" << args.intervals << " intervals/point; paper used " << spec.paper_intervals
+      << ")\n";
+  return results;
+}
+
+std::vector<SchemeSpec> paper_scheme_table() {
+  return {{"LDF", ldf_factory()}, {"DB-DP", dbdp_factory()}, {"FCSMA", fcsma_factory()}};
+}
+
+}  // namespace rtmac::expfw

@@ -1,0 +1,45 @@
+// One-call driver for the figure benches: banner -> sweep -> table -> CSV.
+//
+// Every bench/fig*.cpp used to repeat the same six statements (banner,
+// grid, run_sweeps, table, CSV, footer) with only the constants changed.
+// FigureSpec captures the constants; run_figure_sweep replays the exact
+// sequence, byte-identically, so a new figure bench is the spec plus a
+// config builder and nothing else.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "expfw/bench_cli.hpp"
+#include "expfw/runner.hpp"
+
+namespace rtmac::expfw {
+
+/// Everything constant about one paper figure.
+struct FigureSpec {
+  std::string figure_id;       ///< banner heading, e.g. "Fig. 3"
+  std::string description;     ///< banner: what the figure shows
+  std::string expected_shape;  ///< banner: the paper's qualitative shape
+  std::string x_label;         ///< table header for the grid variable
+  std::string csv_column;      ///< CSV name for the grid variable
+  std::string csv_basename;    ///< file under bench_output_dir(), e.g. "fig3.csv"
+  std::vector<SchemeSpec> schemes;
+  MetricFn metric;
+  std::vector<std::string> metric_names;
+  IntervalIndex paper_intervals = 0;  ///< horizon the paper used (footer)
+};
+
+/// The banner / run_sweeps / print_sweep_table / write_sweep_csv / footer
+/// sequence shared by every figure bench, in that exact order. Returns the
+/// sweep results so a bench can add figure-specific checks afterwards.
+std::vector<SweepResult> run_figure_sweep(std::ostream& out, const FigureSpec& spec,
+                                          const ConfigAt& config_at,
+                                          const std::vector<double>& grid,
+                                          const BenchArgs& args);
+
+/// The scheme lineup of every Section VI comparison figure:
+/// {LDF, DB-DP, FCSMA} with the paper's parameters.
+[[nodiscard]] std::vector<SchemeSpec> paper_scheme_table();
+
+}  // namespace rtmac::expfw

@@ -50,6 +50,54 @@ net::NetworkConfig control_symmetric(double lambda, double rho, std::uint64_t se
                                 traffic::BernoulliArrivals{lambda}, rho, seed);
 }
 
+phy::InterferenceGraph hidden_terminal_pair() {
+  // Links 0 and 1 conflict but cannot hear each other.
+  return phy::InterferenceGraph::from_lists(2, /*conflict_lists=*/{{1}, {0}},
+                                            /*sense_lists=*/{{}, {}});
+}
+
+phy::InterferenceGraph hidden_cells_topology(std::size_t num_links, std::size_t cell_size) {
+  assert(num_links >= 1 && cell_size >= 1);
+  std::vector<std::vector<LinkId>> conflict(num_links);
+  std::vector<std::vector<LinkId>> sense(num_links);
+  for (std::size_t a = 0; a < num_links; ++a) {
+    for (std::size_t b = 0; b < num_links; ++b) {
+      if (a == b) continue;
+      conflict[a].push_back(static_cast<LinkId>(b));
+      if (a / cell_size == b / cell_size) sense[a].push_back(static_cast<LinkId>(b));
+    }
+  }
+  return phy::InterferenceGraph::from_lists(num_links, conflict, sense);
+}
+
+phy::InterferenceGraph two_cell_topology(std::size_t cell_size, std::size_t boundary_links) {
+  assert(cell_size >= 1 && boundary_links <= cell_size);
+  const std::size_t n = 2 * cell_size;
+  std::vector<std::vector<LinkId>> conflict(n);
+  std::vector<std::vector<LinkId>> sense(n);
+  // The last `boundary_links` of each cell sit near the border.
+  const auto is_boundary = [&](std::size_t i) {
+    return i % cell_size >= cell_size - boundary_links;
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const bool same_cell = a / cell_size == b / cell_size;
+      if (same_cell || (is_boundary(a) && is_boundary(b))) {
+        conflict[a].push_back(static_cast<LinkId>(b));
+        sense[a].push_back(static_cast<LinkId>(b));
+      }
+    }
+  }
+  return phy::InterferenceGraph::from_lists(n, conflict, sense);
+}
+
+net::NetworkConfig with_topology(net::NetworkConfig cfg, phy::InterferenceGraph topology) {
+  assert(topology.num_links() == cfg.num_links());
+  cfg.topology = std::move(topology);
+  return cfg;
+}
+
 namespace {
 
 mac::DpLinkParams dp_params_from(const mac::SchemeContext& ctx, bool reordering,

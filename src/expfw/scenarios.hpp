@@ -60,6 +60,42 @@ inline constexpr double kPaperR = 10.0;
 [[nodiscard]] net::NetworkConfig control_symmetric(double lambda, double rho,
                                                    std::uint64_t seed);
 
+// ---- Interference topologies ------------------------------------------------
+//
+// The paper's experiments all run on the complete collision domain (the
+// Medium's default, equivalent to `phy::InterferenceGraph::complete(n)`).
+// These builders cover the partial-interference regimes the refactored
+// Medium opens up; attach one with `with_topology`.
+
+/// The textbook hidden-terminal pair: two links whose transmissions destroy
+/// each other (both share the receiver's neighborhood) but whose
+/// transmitters are out of carrier-sense range. Listen-before-talk never
+/// sees the other link, so every temporal overlap collides.
+[[nodiscard]] phy::InterferenceGraph hidden_terminal_pair();
+
+/// Generalized hidden terminals for `num_links` links in cells of
+/// `cell_size`: every pair of links conflicts (one shared channel at the
+/// receivers), but carrier sensing only works within a cell. Cross-cell
+/// transmissions are invisible to the backoff engines — with one cell this
+/// is exactly the complete graph; with more it scales the hidden-terminal
+/// pair up to whole groups.
+[[nodiscard]] phy::InterferenceGraph hidden_cells_topology(std::size_t num_links,
+                                                           std::size_t cell_size);
+
+/// Two spatially separated cells of `cell_size` links each with
+/// `boundary_links` per cell near the border. Links interact (conflict AND
+/// sense) within their own cell; the last `boundary_links` of each cell
+/// also conflict with and sense the other cell's boundary links. Interior
+/// links of different cells are fully independent — the spatial-reuse
+/// regime where two transmissions can genuinely succeed at once.
+[[nodiscard]] phy::InterferenceGraph two_cell_topology(std::size_t cell_size,
+                                                       std::size_t boundary_links);
+
+/// Returns `cfg` with the interference topology replaced. The graph's size
+/// must match cfg.num_links().
+[[nodiscard]] net::NetworkConfig with_topology(net::NetworkConfig cfg,
+                                               phy::InterferenceGraph topology);
+
 // ---- Scheme factories -------------------------------------------------------
 
 /// DB-DP: Algorithm 2 + eq. (14) with the paper's f and R.

@@ -7,10 +7,11 @@
 
 namespace rtmac::mac {
 
-BackoffEngine::BackoffEngine(sim::Simulator& simulator, phy::Medium& medium, Duration slot)
-    : sim_{simulator}, medium_{medium}, slot_{slot} {
+BackoffEngine::BackoffEngine(sim::Simulator& simulator, phy::Medium& medium, Duration slot,
+                             LinkId sense_node)
+    : sim_{simulator}, medium_{medium}, slot_{slot}, sense_node_{sense_node} {
   assert(slot > Duration{});
-  medium_.add_listener(this);
+  medium_.add_listener(this, sense_node_);
 }
 
 void BackoffEngine::trace(sim::TraceKind kind, std::int64_t a) {
@@ -51,7 +52,7 @@ void BackoffEngine::start(int count, std::function<void()> on_expire) {
   on_expire_ = std::move(on_expire);
   count_ = count;
   trace(sim::TraceKind::kBackoffArmed, count);
-  if (medium_.busy()) {
+  if (medium_.sense_busy(sense_node_)) {
     frozen_ = true;  // begin counting at the next idle transition
     frozen_since_ = sim_.now();
   } else {

@@ -27,7 +27,13 @@ namespace rtmac::mac {
 /// as often as needed. Not running between stop()/expiry and next start().
 class BackoffEngine final : public phy::MediumListener {
  public:
-  BackoffEngine(sim::Simulator& simulator, phy::Medium& medium, Duration slot);
+  /// `sense_node` selects which sense view drives freeze/resume: the
+  /// owning link's id for a real device (it freezes only on transmissions
+  /// it can hear — under partial topologies that is strictly less than the
+  /// global channel state), or Medium::kAllNodes for the global view (the
+  /// default, which on a complete graph is the same thing).
+  BackoffEngine(sim::Simulator& simulator, phy::Medium& medium, Duration slot,
+                LinkId sense_node = phy::Medium::kAllNodes);
 
   BackoffEngine(const BackoffEngine&) = delete;
   BackoffEngine& operator=(const BackoffEngine&) = delete;
@@ -79,6 +85,7 @@ class BackoffEngine final : public phy::MediumListener {
   sim::Simulator& sim_;
   phy::Medium& medium_;
   Duration slot_;
+  LinkId sense_node_;  ///< whose sense view this engine observes
   LinkId trace_link_ = sim::kNoLink;
 
   bool running_ = false;

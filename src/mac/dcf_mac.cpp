@@ -14,7 +14,7 @@ DcfLinkMac::DcfLinkMac(sim::Simulator& simulator, phy::Medium& medium, DcfParams
       id_{id},
       rng_{seed, /*stream_id=*/0xDCF00000000ULL + id},
       cw_{params.cw_min},
-      backoff_{simulator, medium, slot} {
+      backoff_{simulator, medium, slot, id} {
   assert(params.cw_min >= 1 && params.cw_max >= params.cw_min);
 }
 

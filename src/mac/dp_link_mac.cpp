@@ -87,7 +87,7 @@ DpLinkMac::DpLinkMac(sim::Simulator& simulator, phy::Medium& medium,
       num_links_{num_links},
       coin_rng_{seed, /*stream_id=*/0xD100000000ULL + id},
       sigma_{initial_priority},
-      backoff_{simulator, medium, params.backoff_slot} {
+      backoff_{simulator, medium, params.backoff_slot, id} {
   assert(initial_priority >= 1 && initial_priority <= num_links);
   backoff_.set_trace_link(id);
 }
@@ -166,9 +166,13 @@ void DpLinkMac::try_transmit() {
 }
 
 void DpLinkMac::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
-  // DP backoff counts are unique within the interval, so no DP transmission
-  // can ever collide; the assert documents the collision-freedom invariant.
-  assert(outcome != phy::TxOutcome::kCollision && "DP protocol must be collision-free");
+  // DP backoff counts are unique within the interval, so with complete
+  // carrier sensing (everyone freezes and resumes together) no DP
+  // transmission can ever collide; the assert documents that invariant.
+  // Under partial sensing the countdowns desynchronize — hidden terminals
+  // make collisions a genuine protocol outcome, not a bug.
+  assert((outcome != phy::TxOutcome::kCollision || !medium_.topology().complete_sensing()) &&
+         "DP protocol must be collision-free under complete sensing");
   if (kind == phy::PacketKind::kData && estimator_ != nullptr &&
       outcome != phy::TxOutcome::kCollision) {
     // Learning mode (Section II-A): the ACK outcome of every clean data
@@ -224,7 +228,8 @@ DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> p
                    std::optional<core::Permutation> initial, ReliabilityEstimator* estimator)
     : shared_seed_{mix64(ctx.seed, 0x5EEDC0DE)},
       provider_{std::move(provider)},
-      name_{std::move(name)} {
+      name_{std::move(name)},
+      sensing_complete_{ctx.medium.topology().complete_sensing()} {
   assert(provider_ != nullptr);
   const core::Permutation init =
       initial.has_value() ? *initial : core::Permutation::identity(ctx.num_links);
@@ -251,9 +256,11 @@ std::vector<int> DpScheme::end_interval() {
     delivered[n] = links_[n]->end_interval();
   }
   // Decentralized decisions must still compose into a permutation; this is
-  // the protocol's core consistency invariant.
+  // the protocol's core consistency invariant. It only holds when every
+  // device can carrier-sense every other: hidden terminals may observe
+  // asymmetric freeze records and commit one-sided swaps.
 #ifndef NDEBUG
-  {
+  if (sensing_complete_) {
     const auto sigma = priority_vector();
     std::vector<bool> seen(sigma.size(), false);
     for (PriorityIndex pr : sigma) {

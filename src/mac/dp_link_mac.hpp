@@ -181,6 +181,10 @@ class DpScheme final : public MacScheme {
   std::unique_ptr<PriorityProvider> provider_;
   std::vector<std::unique_ptr<DpLinkMac>> links_;
   std::string name_;
+  /// Swap decisions compose into a permutation only when every device hears
+  /// every transmission; under partial sensing the consistency invariant is
+  /// expected to break (hidden terminals), so the debug check is gated.
+  bool sensing_complete_ = true;
 };
 
 }  // namespace rtmac::mac

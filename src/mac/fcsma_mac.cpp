@@ -28,7 +28,7 @@ FcsmaLinkMac::FcsmaLinkMac(sim::Simulator& simulator, phy::Medium& medium,
       data_airtime_{data_airtime},
       id_{id},
       rng_{seed, /*stream_id=*/0xFC500000000ULL + id},
-      backoff_{simulator, medium, slot} {}
+      backoff_{simulator, medium, slot, id} {}
 
 void FcsmaLinkMac::begin_interval(IntervalIndex, int arrivals, TimePoint interval_end) {
   assert(arrivals >= 0);

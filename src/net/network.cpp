@@ -24,7 +24,15 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
     auto channel = config_.channel_factory();
     assert(channel != nullptr && channel->num_links() == config_.num_links() &&
            "channel model size must match the network");
-    medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), config_.seed);
+    if (config_.topology.has_value()) {
+      medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), *config_.topology,
+                                              config_.seed);
+    } else {
+      medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), config_.seed);
+    }
+  } else if (config_.topology.has_value()) {
+    medium_ = std::make_unique<phy::Medium>(sim_, config_.success_prob, *config_.topology,
+                                            config_.seed);
   } else {
     medium_ = std::make_unique<phy::Medium>(sim_, config_.success_prob, config_.seed);
   }

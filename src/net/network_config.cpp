@@ -26,6 +26,9 @@ bool NetworkConfig::validate(std::string* error) const {
   if (requirements.lambda.size() != n || requirements.rho.size() != n) {
     return fail("requirements size != number of links");
   }
+  if (topology.has_value() && topology->num_links() != n) {
+    return fail("interference topology size != number of links");
+  }
   if (interval_length <= Duration{}) return fail("interval length must be positive");
   if (phy.data_airtime <= Duration{} || phy.backoff_slot <= Duration{}) {
     return fail("airtimes and slot width must be positive");
@@ -61,6 +64,7 @@ NetworkConfig NetworkConfig::clone() const {
   copy.seed = seed;
   copy.channel_factory = channel_factory;
   if (joint_arrivals != nullptr) copy.joint_arrivals = joint_arrivals->clone();
+  copy.topology = topology;
   return copy;
 }
 

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/requirements.hpp"
 #include "core/types.hpp"
 #include "phy/channel_model.hpp"
+#include "phy/interference.hpp"
 #include "phy/phy_params.hpp"
 #include "traffic/arrival_process.hpp"
 #include "traffic/joint_arrivals.hpp"
@@ -36,6 +38,12 @@ struct NetworkConfig {
   /// replaces the per-link `arrivals` sampling; `requirements.lambda` must
   /// match its per-link means.
   std::unique_ptr<traffic::JointArrivalProcess> joint_arrivals;
+  /// Optional interference topology. When unset, the Medium uses the
+  /// paper's complete collision domain (every pair of links conflicts and
+  /// every device hears every transmission). A partial graph enables
+  /// hidden-terminal and spatial-reuse experiments; its size must equal
+  /// num_links().
+  std::optional<phy::InterferenceGraph> topology;
 
   [[nodiscard]] std::size_t num_links() const { return success_prob.size(); }
 

@@ -29,6 +29,27 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
         .set(tx > 0 ? static_cast<double>(lc.collisions) / static_cast<double>(tx) : 0.0);
     registry.gauge(link_metric("link.timely_throughput", n)).set(stats.timely_throughput(n));
     registry.gauge(link_metric("link.debt", n)).set(network.debts().debt(n));
+    // The node's carrier-sense view: fraction of sim time during which some
+    // link it can hear (itself included) was on the air. On a complete
+    // topology every node's value equals the global phy.busy_fraction; under
+    // partial sensing they diverge — the gap is what the hidden terminal
+    // cannot hear.
+    registry.gauge(node_metric("medium.busy_fraction", n))
+        .set(sim_seconds > 0.0
+                 ? network.medium().sense_busy_time(n).seconds_f() / sim_seconds
+                 : 0.0);
+    // Who this link actually collided with, from the Medium's pair ledger.
+    std::uint64_t partners = 0;
+    for (LinkId other = 0; other < n_links; ++other) {
+      const std::uint64_t pairs = network.medium().collision_pair_count(n, other);
+      if (other != n && pairs > 0) ++partners;
+      // Emit each unordered pair once (self-pairs cover same-link overlap).
+      if (other >= n && pairs > 0) {
+        registry.counter(link_metric(link_metric("phy.collision_pair", n), other)).inc(pairs);
+      }
+    }
+    registry.gauge(link_metric("link.collision_partners", n))
+        .set(static_cast<double>(partners));
   }
 
   registry.gauge("net.deficiency")

@@ -190,4 +190,11 @@ std::string link_metric(std::string_view base, std::uint32_t link) {
   return out;
 }
 
+std::string node_metric(std::string_view base, std::uint32_t node) {
+  std::string out{base};
+  out += ".node";
+  out += std::to_string(node);
+  return out;
+}
+
 }  // namespace rtmac::obs

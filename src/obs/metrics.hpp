@@ -128,4 +128,10 @@ class MetricsRegistry {
 /// components, e.g. link_metric("phy.tx_data", 3) == "phy.tx_data.link3".
 [[nodiscard]] std::string link_metric(std::string_view base, std::uint32_t link);
 
+/// "node3" etc. — the per-device naming convention for sense-view metrics,
+/// e.g. node_metric("medium.busy_fraction", 3) == "medium.busy_fraction.node3".
+/// Distinct from link_metric because a node's carrier-sense view aggregates
+/// other links' activity, not its own traffic.
+[[nodiscard]] std::string node_metric(std::string_view base, std::uint32_t node);
+
 }  // namespace rtmac::obs

@@ -1,0 +1,96 @@
+#include "phy/interference.hpp"
+
+#include <cassert>
+
+namespace rtmac::phy {
+
+InterferenceGraph::InterferenceGraph(std::size_t n, std::vector<bool> conflict,
+                                     std::vector<bool> sense)
+    : n_{n}, conflict_{std::move(conflict)}, sense_{std::move(sense)} {
+  assert(n_ >= 1);
+  assert(conflict_.size() == n_ * n_ && sense_.size() == n_ * n_);
+  finalize();
+}
+
+void InterferenceGraph::finalize() {
+  for (LinkId a = 0; a < n_; ++a) {
+    conflict_[idx(a, a)] = true;
+    sense_[idx(a, a)] = true;
+    for (LinkId b = 0; b < a; ++b) {
+      // Conflict is symmetric by model definition: a collision fails every
+      // participant, so either direction listed implies both.
+      const bool c = conflict_[idx(a, b)] || conflict_[idx(b, a)];
+      conflict_[idx(a, b)] = c;
+      conflict_[idx(b, a)] = c;
+    }
+  }
+  sensed_by_.assign(n_, {});
+  complete_conflicts_ = true;
+  complete_sensing_ = true;
+  for (LinkId link = 0; link < n_; ++link) {
+    for (LinkId node = 0; node < n_; ++node) {
+      if (sense_[idx(node, link)]) sensed_by_[link].push_back(node);
+      complete_sensing_ = complete_sensing_ && sense_[idx(node, link)];
+      complete_conflicts_ = complete_conflicts_ && conflict_[idx(node, link)];
+    }
+  }
+}
+
+InterferenceGraph InterferenceGraph::complete(std::size_t num_links) {
+  assert(num_links >= 1);
+  return InterferenceGraph{num_links, std::vector<bool>(num_links * num_links, true),
+                           std::vector<bool>(num_links * num_links, true)};
+}
+
+InterferenceGraph InterferenceGraph::from_lists(
+    std::size_t num_links, const std::vector<std::vector<LinkId>>& conflict_lists,
+    const std::vector<std::vector<LinkId>>& sense_lists) {
+  assert(num_links >= 1);
+  assert(conflict_lists.size() == num_links && sense_lists.size() == num_links);
+  std::vector<bool> conflict(num_links * num_links, false);
+  std::vector<bool> sense(num_links * num_links, false);
+  for (LinkId a = 0; a < num_links; ++a) {
+    for (LinkId b : conflict_lists[a]) {
+      assert(b < num_links && "conflict list names an unknown link");
+      conflict[static_cast<std::size_t>(a) * num_links + b] = true;
+    }
+    for (LinkId l : sense_lists[a]) {
+      assert(l < num_links && "sense list names an unknown link");
+      sense[static_cast<std::size_t>(a) * num_links + l] = true;
+    }
+  }
+  return InterferenceGraph{num_links, std::move(conflict), std::move(sense)};
+}
+
+namespace {
+
+double dist2(InterferenceGraph::Point a, InterferenceGraph::Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+InterferenceGraph InterferenceGraph::unit_disk(const std::vector<LinkPlacement>& links,
+                                               double interference_range,
+                                               double sense_range) {
+  const std::size_t n = links.size();
+  assert(n >= 1);
+  assert(interference_range >= 0.0 && sense_range >= 0.0);
+  const double ir2 = interference_range * interference_range;
+  const double sr2 = sense_range * sense_range;
+  std::vector<bool> conflict(n * n, false);
+  std::vector<bool> sense(n * n, false);
+  for (LinkId a = 0; a < n; ++a) {
+    for (LinkId b = 0; b < n; ++b) {
+      // A transmitter close enough to the other link's receiver corrupts it.
+      conflict[static_cast<std::size_t>(a) * n + b] =
+          dist2(links[a].tx, links[b].rx) <= ir2 || dist2(links[b].tx, links[a].rx) <= ir2;
+      sense[static_cast<std::size_t>(a) * n + b] = dist2(links[a].tx, links[b].tx) <= sr2;
+    }
+  }
+  return InterferenceGraph{n, std::move(conflict), std::move(sense)};
+}
+
+}  // namespace rtmac::phy

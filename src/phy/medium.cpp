@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace rtmac::phy {
@@ -9,18 +11,44 @@ namespace rtmac::phy {
 Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed)
     : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)), seed} {}
 
+Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob,
+               InterferenceGraph topology, std::uint64_t seed)
+    : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)),
+             std::move(topology), seed} {}
+
 Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
                std::uint64_t seed)
     : sim_{simulator},
       channel_{std::move(channel)},
+      graph_{InterferenceGraph::complete(channel_ != nullptr ? channel_->num_links() : 1)},
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
   assert(channel_ != nullptr && channel_->num_links() > 0);
-  link_counters_.resize(channel_->num_links());
+  const std::size_t n = channel_->num_links();
+  link_counters_.resize(n);
+  views_.resize(n);
+  marks_.assign(n + 1, 0);
+  collision_pairs_.assign(n * n, 0);
 }
 
-void Medium::add_listener(MediumListener* listener) {
+Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
+               InterferenceGraph topology, std::uint64_t seed)
+    : sim_{simulator},
+      channel_{std::move(channel)},
+      graph_{std::move(topology)},
+      loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
+  assert(channel_ != nullptr && channel_->num_links() > 0);
+  const std::size_t n = channel_->num_links();
+  assert(graph_.num_links() == n && "interference graph size must match the channel");
+  link_counters_.resize(n);
+  views_.resize(n);
+  marks_.assign(n + 1, 0);
+  collision_pairs_.assign(n * n, 0);
+}
+
+void Medium::add_listener(MediumListener* listener, LinkId node) {
   assert(listener != nullptr);
-  listeners_.push_back(listener);
+  assert(node == kAllNodes || node < num_links());
+  listeners_.push_back(ListenerEntry{listener, node});
 }
 
 void Medium::set_metrics(obs::MetricsRegistry* registry) {
@@ -33,26 +61,88 @@ void Medium::set_metrics(obs::MetricsRegistry* registry) {
           : &registry->histogram("phy.busy_period_us", obs::log_bounds(1.0, 65536.0, 2.0));
 }
 
+void Medium::mark_transitions(LinkId link, bool to_busy, TimePoint now) {
+  const std::size_t n = num_links();
+  const std::vector<LinkId>& sensing = graph_.sensed_by(link);
+  // The global view behaves like a node that senses every link.
+  for (std::size_t i = 0; i <= sensing.size(); ++i) {
+    const bool is_global = (i == sensing.size());
+    SenseView& view = is_global ? global_view_ : views_[sensing[i]];
+    const std::size_t mark_idx = is_global ? n : sensing[i];
+    if (to_busy) {
+      ++view.active;
+      if (!view.notified_busy) {
+        view.notified_busy = true;
+        view.busy_since = now;
+        marks_[mark_idx] = 1;
+        any_marked_ = true;
+      }
+    } else if (view.active == 0 && view.notified_busy) {
+      view.notified_busy = false;
+      view.busy_time += now - view.busy_since;
+      if (is_global && busy_period_hist_ != nullptr) {
+        busy_period_hist_->observe((now - view.busy_since).us_f());
+      }
+      marks_[mark_idx] = 1;
+      any_marked_ = true;
+    }
+  }
+}
+
+void Medium::dispatch_marked(bool to_busy, TimePoint now) {
+  if (!any_marked_) return;
+  const std::size_t n = num_links();
+  dispatching_listeners_ = true;
+  for (const ListenerEntry& entry : listeners_) {
+    const std::size_t mark_idx = entry.node == kAllNodes ? n : entry.node;
+    if (marks_[mark_idx] == 0) continue;
+    if (to_busy) {
+      entry.listener->on_medium_busy(now);
+    } else {
+      entry.listener->on_medium_idle(now);
+    }
+  }
+  dispatching_listeners_ = false;
+  std::fill(marks_.begin(), marks_.end(), std::uint8_t{0});
+  any_marked_ = false;
+}
+
 void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done) {
   assert(link < channel_->num_links());
   assert(airtime > Duration{} && "zero-airtime transmission");
+  if (dispatching_listeners_) {
+    // Re-entrancy rule (see MediumListener): transmitting synchronously from
+    // a busy/idle callback would let later listeners observe transitions out
+    // of order. Always enforced — the cost is one branch per transmission.
+    std::fprintf(stderr,
+                 "rtmac: Medium::start_transmission called synchronously from a "
+                 "MediumListener callback (link %u); schedule through the Simulator "
+                 "instead\n",
+                 link);
+    std::abort();
+  }
 
   const TimePoint now = sim_.now();
-  const bool was_idle = (active_count_ == 0);
 
   // Transmissions occupy half-open intervals [start, start+airtime): an
   // active record whose end instant equals `now` is merely awaiting its
   // same-timestamp completion event and does NOT overlap the newcomer.
-  bool overlaps = false;
+  // Only overlaps on CONFLICTING links collide.
+  bool collided = false;
   for (auto& tx : active_) {
-    if (tx.start + tx.airtime > now) {
+    if (tx.start + tx.airtime > now && graph_.conflicts(link, tx.link)) {
       tx.collided = true;
-      overlaps = true;
+      collided = true;
+      const std::size_t n = num_links();
+      ++collision_pairs_[static_cast<std::size_t>(link) * n + tx.link];
+      if (tx.link != link) {
+        ++collision_pairs_[static_cast<std::size_t>(tx.link) * n + link];
+      }
     }
   }
 
   const std::uint64_t tx_id = next_tx_id_++;
-  active_.push_back(ActiveTx{link, kind, now, airtime, overlaps, std::move(done), tx_id});
+  active_.push_back(ActiveTx{link, kind, now, airtime, collided, std::move(done), tx_id});
   ++active_count_;
 
   if (kind == PacketKind::kData) {
@@ -70,12 +160,8 @@ void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, 
                     kind == PacketKind::kEmpty ? 1 : 0);
   }
 
-  (void)was_idle;
-  if (!notified_busy_) {
-    notified_busy_ = true;
-    busy_since_ = now;
-    for (auto* l : listeners_) l->on_medium_busy(now);
-  }
+  mark_transitions(link, /*to_busy=*/true, now);
+  dispatch_marked(/*to_busy=*/true, now);
 }
 
 void Medium::finish_transmission(std::uint64_t tx_id) {
@@ -88,6 +174,8 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
   ActiveTx tx = std::move(*it);
   active_.erase(it);
   --active_count_;
+  --global_view_.active;
+  for (LinkId node : graph_.sensed_by(tx.link)) --views_[node].active;
 
   counters_.busy_time += tx.airtime;
   link_counters_[tx.link].airtime += tx.airtime;
@@ -119,15 +207,12 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
   }
 
   // Notify the transmitter first (it may chain the next packet of a burst,
-  // keeping the medium busy with no idle gap), then carrier-sense listeners
-  // if the medium actually went idle.
+  // keeping its sense views busy with no idle gap), then carrier-sense
+  // listeners of every view that actually went idle.
   if (tx.done) tx.done(outcome);
 
-  if (active_count_ == 0 && notified_busy_) {
-    notified_busy_ = false;
-    if (busy_period_hist_ != nullptr) busy_period_hist_->observe((now - busy_since_).us_f());
-    for (auto* l : listeners_) l->on_medium_idle(now);
-  }
+  mark_transitions(tx.link, /*to_busy=*/false, now);
+  dispatch_marked(/*to_busy=*/false, now);
 }
 
 }  // namespace rtmac::phy

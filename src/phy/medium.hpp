@@ -1,15 +1,20 @@
-// The shared wireless medium: a single fully-interfering collision domain.
+// The shared wireless medium: a channel core over a pluggable interference
+// topology.
 //
-// This models exactly the channel of the paper's Section II-A:
-//   * the conflict graph is complete — any two overlapping transmissions
-//     collide and ALL overlapping transmissions fail;
+// The channel core owns the loss process and transmission bookkeeping; the
+// InterferenceGraph decides which overlaps collide and who hears what:
+//   * a transmission collides only with overlapping transmissions on
+//     CONFLICTING links (the complete graph reproduces the paper's
+//     Section II-A rule: every overlap collides);
+//   * carrier sensing is a per-node view — node n's medium is busy iff some
+//     link n senses is transmitting. With complete sensing every view
+//     coincides with the global one, which is exactly the paper's model;
 //   * an interference-free transmission on link n is delivered with
 //     probability p_n (i.i.d. across transmissions, the "unreliable
 //     transmissions" of the title);
-//   * every device can carrier-sense the medium (busy/idle) but cannot
-//     decode other devices' packets.
+//   * devices sense busy/idle but cannot decode other devices' packets.
 // Transmission intervals are half-open [start, start+airtime): a packet
-// ending at t does not collide with one starting at t.
+// ending at t does not collide with one starting at t, on any topology.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,7 @@
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "phy/channel_model.hpp"
+#include "phy/interference.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
@@ -30,7 +36,7 @@ namespace rtmac::phy {
 enum class TxOutcome : std::uint8_t {
   kDelivered,    ///< interference-free and passed the Bernoulli(p_n) draw
   kChannelLoss,  ///< interference-free but lost to the unreliable channel
-  kCollision,    ///< overlapped with at least one other transmission
+  kCollision,    ///< overlapped with at least one conflicting transmission
 };
 
 /// What is being transmitted. Empty packets claim priority in the DP
@@ -38,20 +44,22 @@ enum class TxOutcome : std::uint8_t {
 enum class PacketKind : std::uint8_t { kData, kEmpty };
 
 /// Observer interface for carrier sensing. Devices register to learn about
-/// busy/idle transitions of the medium; that is all a paper-compliant
-/// device may learn about other links.
+/// busy/idle transitions of one sense view (their own node's, or the global
+/// any-transmission view); that is all a paper-compliant device may learn
+/// about other links.
 ///
 /// Re-entrancy rule: listener callbacks must NOT call
 /// Medium::start_transmission synchronously (other listeners would observe
 /// transitions out of order). Schedule the transmission through the
 /// Simulator instead — protocol timing always implies at least a zero-delay
-/// event boundary.
+/// event boundary. The Medium enforces this: a synchronous
+/// start_transmission from inside a listener callback aborts the process.
 class MediumListener {
  public:
   virtual ~MediumListener() = default;
-  /// The medium transitioned idle -> busy at virtual time `t`.
+  /// The observed sense view transitioned idle -> busy at virtual time `t`.
   virtual void on_medium_busy(TimePoint t) = 0;
-  /// The medium transitioned busy -> idle at virtual time `t`.
+  /// The observed sense view transitioned busy -> idle at virtual time `t`.
   virtual void on_medium_idle(TimePoint t) = 0;
 };
 
@@ -61,9 +69,9 @@ struct MediumCounters {
   std::uint64_t empty_tx = 0;        ///< empty (priority-claim) transmissions
   std::uint64_t delivered = 0;       ///< data packets delivered
   std::uint64_t channel_losses = 0;  ///< clean data tx lost to Bernoulli(p)
-  std::uint64_t collisions = 0;      ///< transmissions that overlapped
-  Duration busy_time;                ///< total time the medium was busy
-  Duration collided_time;            ///< busy time wasted in collisions
+  std::uint64_t collisions = 0;      ///< transmissions that collided
+  Duration busy_time;                ///< total airtime (any link transmitting)
+  Duration collided_time;            ///< airtime wasted in collisions
 };
 
 /// Per-link slice of the channel accounting (airtime-fairness analysis).
@@ -75,37 +83,72 @@ struct LinkCounters {
   Duration airtime;  ///< total airtime used by this link (all outcomes)
 };
 
-/// The shared channel. Owns the loss process; notifies listeners of
-/// busy/idle transitions; reports each transmission's outcome to its
-/// initiator via callback at the end of the airtime.
+/// The shared channel. Owns the loss process; notifies listeners of their
+/// sense view's busy/idle transitions; reports each transmission's outcome
+/// to its initiator via callback at the end of the airtime.
 class Medium {
  public:
   using TxDone = std::function<void(TxOutcome)>;
 
+  /// Sentinel node id selecting the global any-transmission view (senses
+  /// every link, whatever the topology). Same value as sim::kNoLink.
+  static constexpr LinkId kAllNodes = static_cast<LinkId>(-1);
+
   /// `success_prob[n]` is the paper's p_n for link n (i.i.d. Bernoulli loss).
+  /// Without an explicit topology the graph is complete (the paper's model).
   Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed);
+  Medium(sim::Simulator& simulator, ProbabilityVector success_prob, InterferenceGraph topology,
+         std::uint64_t seed);
 
   /// Custom loss process (e.g. GilbertElliottChannel). The model also
   /// provides the long-run p_n reported by success_prob().
   Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel, std::uint64_t seed);
+  Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
+         InterferenceGraph topology, std::uint64_t seed);
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
 
   /// Begins a transmission on `link` lasting `airtime`. `done` fires exactly
   /// once, at now()+airtime, with the outcome. Overlap with any concurrent
-  /// transmission marks every participant collided.
+  /// transmission on a conflicting link marks every participant collided.
   void start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done);
 
-  /// Carrier-sense: is any transmission in flight right now?
+  /// Carrier-sense, global view: is any transmission in flight right now?
   [[nodiscard]] bool busy() const { return active_count_ > 0; }
 
-  /// Registers a carrier-sense observer (not owned; must outlive the run).
-  void add_listener(MediumListener* listener);
+  /// Carrier-sense as seen from `node`: is any link that `node` senses
+  /// transmitting? `kAllNodes` selects the global view.
+  [[nodiscard]] bool sense_busy(LinkId node) const {
+    return node == kAllNodes ? busy() : views_[node].active > 0;
+  }
+
+  /// Registers a carrier-sense observer of the global view (not owned; must
+  /// outlive the run).
+  void add_listener(MediumListener* listener) { add_listener(listener, kAllNodes); }
+
+  /// Registers an observer of `node`'s sense view. Listeners are notified
+  /// in registration order whenever their view transitions.
+  void add_listener(MediumListener* listener, LinkId node);
+
+  [[nodiscard]] const InterferenceGraph& topology() const { return graph_; }
 
   [[nodiscard]] const MediumCounters& counters() const { return counters_; }
   [[nodiscard]] const LinkCounters& link_counters(LinkId link) const {
     return link_counters_[link];
+  }
+
+  /// Cumulative time `node`'s sense view has been busy (closed busy periods;
+  /// an in-flight busy period is not included until it ends). `kAllNodes`
+  /// reports the global view.
+  [[nodiscard]] Duration sense_busy_time(LinkId node) const {
+    return node == kAllNodes ? global_view_.busy_time : views_[node].busy_time;
+  }
+
+  /// Number of pairwise collision events between links a and b (each
+  /// conflicting overlap of one transmission pair counts once, symmetric).
+  [[nodiscard]] std::uint64_t collision_pair_count(LinkId a, LinkId b) const {
+    return collision_pairs_[static_cast<std::size_t>(a) * num_links() + b];
   }
 
   /// Attaches a protocol tracer (not owned; null detaches). The medium is
@@ -141,22 +184,49 @@ class Medium {
     std::uint64_t id;
   };
 
+  /// One sense view's state. A completion callback may chain the next
+  /// packet of a burst with zero idle gap; in that case `notified_busy`
+  /// stays set, no idle/busy pair is emitted, and listeners correctly
+  /// perceive one continuous busy period.
+  struct SenseView {
+    std::size_t active = 0;      ///< sensed transmissions in flight
+    bool notified_busy = false;  ///< inside a (possibly chained) busy period
+    TimePoint busy_since;        ///< start of the period (valid while notified_busy)
+    Duration busy_time;          ///< total closed busy-period time
+  };
+
+  struct ListenerEntry {
+    MediumListener* listener;
+    LinkId node;  ///< kAllNodes = global view
+  };
+
   void finish_transmission(std::uint64_t tx_id);
+  [[nodiscard]] SenseView& view_of(LinkId node) {
+    return node == kAllNodes ? global_view_ : views_[node];
+  }
+  /// Marks views of `link`'s sensing nodes (plus the global view) that
+  /// transition in the given direction, updating their busy accounting.
+  void mark_transitions(LinkId link, bool to_busy, TimePoint now);
+  /// Notifies listeners (in registration order) whose view is marked, then
+  /// clears the marks. Aborts re-entrant start_transmission while running.
+  void dispatch_marked(bool to_busy, TimePoint now);
 
   sim::Simulator& sim_;
   std::unique_ptr<ChannelModel> channel_;
+  InterferenceGraph graph_;
   Rng loss_rng_;
   std::vector<ActiveTx> active_;  // small: rarely more than a handful in flight
   std::size_t active_count_ = 0;
-  // Listeners' view of the channel. A completion callback may chain the next
-  // packet of a burst with zero idle gap; in that case no idle/busy pair is
-  // emitted and listeners correctly perceive one continuous busy period.
-  bool notified_busy_ = false;
-  TimePoint busy_since_;  ///< start of the current busy period (valid while notified_busy_)
+  std::vector<SenseView> views_;  ///< one per node (= per link)
+  SenseView global_view_;         ///< the kAllNodes view; feeds busy-period hist
+  std::vector<std::uint8_t> marks_;  ///< per-view transition scratch; [n_] = global
+  bool any_marked_ = false;
+  bool dispatching_listeners_ = false;  ///< re-entrancy guard (always enforced)
   std::uint64_t next_tx_id_ = 1;
-  std::vector<MediumListener*> listeners_;
+  std::vector<ListenerEntry> listeners_;
   MediumCounters counters_;
   std::vector<LinkCounters> link_counters_;
+  std::vector<std::uint64_t> collision_pairs_;  ///< n x n pairwise collision events
   sim::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Histogram* busy_period_hist_ = nullptr;  ///< cached handle, null when detached

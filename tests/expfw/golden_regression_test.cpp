@@ -1,0 +1,84 @@
+// Byte-identity regression against golden figure CSVs.
+//
+// The interference-topology refactor promises that the default complete
+// collision domain reproduces the pre-refactor Medium exactly — same RNG
+// draw order, same listener notification order, same numbers. These tests
+// re-run the fig3/fig9 smoke sweeps in-process and compare the CSV output
+// byte-for-byte against goldens captured before the refactor
+// (tests/golden/). Any diff means the complete-graph fast path changed
+// observable behavior, which is a bug even if the new numbers look
+// plausible.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "expfw/report.hpp"
+#include "expfw/runner.hpp"
+#include "expfw/scenarios.hpp"
+
+#ifndef RTMAC_TEST_DATA_DIR
+#error "RTMAC_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace rtmac::expfw {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Replays a figure bench's --smoke invocation: 3 grid points, 25 intervals,
+/// single replication, default thread count.
+std::string smoke_csv(const std::vector<SchemeSpec>& schemes, const ConfigAt& config_at,
+                      const std::vector<double>& grid, const std::string& x_name) {
+  const auto results = run_sweeps(schemes, config_at, grid, /*intervals=*/25,
+                                  total_deficiency_metric(), {"deficiency"}, SweepOptions{});
+  const std::string path =
+      testing::TempDir() + "golden_regression_" + x_name + ".csv";
+  EXPECT_TRUE(write_sweep_csv(path, x_name, results));
+  const std::string contents = read_file(path);
+  std::remove(path.c_str());
+  return contents;
+}
+
+TEST(GoldenRegressionTest, Fig3SmokeCsvIsByteIdenticalToPreRefactorBaseline) {
+  const std::string csv = smoke_csv(
+      {{"LDF", ldf_factory()}, {"DB-DP", dbdp_factory()}, {"FCSMA", fcsma_factory()}},
+      [](double alpha) { return video_symmetric(alpha, 0.9, 1001); },
+      linspace(0.40, 0.80, 3), "alpha");
+  EXPECT_EQ(csv, read_file(std::string{RTMAC_TEST_DATA_DIR} + "/golden/fig3_smoke.csv"));
+}
+
+TEST(GoldenRegressionTest, Fig9SmokeCsvIsByteIdenticalToPreRefactorBaseline) {
+  const std::string csv = smoke_csv(
+      {{"LDF", ldf_factory()}, {"DB-DP", dbdp_factory()}, {"FCSMA", fcsma_factory()}},
+      [](double l) { return control_symmetric(l, 0.99, 1009); },
+      linspace(0.60, 1.00, 3), "lambda");
+  EXPECT_EQ(csv, read_file(std::string{RTMAC_TEST_DATA_DIR} + "/golden/fig9_smoke.csv"));
+}
+
+TEST(GoldenRegressionTest, ExplicitCompleteTopologyMatchesDefaultByteForByte) {
+  // Attaching InterferenceGraph::complete(n) explicitly must not perturb a
+  // single byte either.
+  const auto base = [](double alpha) { return video_symmetric(alpha, 0.9, 1001); };
+  const auto with_complete = [&](double alpha) {
+    return with_topology(base(alpha),
+                         phy::InterferenceGraph::complete(VideoScenario::kNumLinks));
+  };
+  const std::vector<SchemeSpec> schemes{{"LDF", ldf_factory()},
+                                        {"DB-DP", dbdp_factory()},
+                                        {"FCSMA", fcsma_factory()}};
+  const auto grid = linspace(0.40, 0.80, 3);
+  EXPECT_EQ(smoke_csv(schemes, with_complete, grid, "alpha"),
+            read_file(std::string{RTMAC_TEST_DATA_DIR} + "/golden/fig3_smoke.csv"));
+}
+
+}  // namespace
+}  // namespace rtmac::expfw

@@ -193,5 +193,46 @@ TEST(BackoffEngineTest, RemainingReportsLiveCountdown) {
   f.sim.run();
 }
 
+TEST(BackoffEngineTest, PerNodeViewIgnoresUnsensedTransmissions) {
+  // Hidden pair: node 1 cannot hear link 0. An engine observing node 1's
+  // sense view counts straight through link 0's transmission, while an
+  // engine on the global view freezes for its whole duration.
+  sim::Simulator sim;
+  phy::Medium medium{sim, {1.0, 1.0},
+                     phy::InterferenceGraph::from_lists(2, {{1}, {0}}, {{}, {}}), 99};
+  BackoffEngine deaf{sim, medium, kSlot, /*sense_node=*/1};
+  BackoffEngine global{sim, medium, kSlot};
+  TimePoint deaf_fired;
+  TimePoint global_fired;
+  sim.schedule_in(Duration{}, [&] {
+    deaf.start(5, [&] { deaf_fired = sim.now(); });
+    global.start(5, [&] { global_fired = sim.now(); });
+    medium.start_transmission(0, Duration::microseconds(100), phy::PacketKind::kData,
+                              nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(deaf_fired, TimePoint::origin() + 5 * kSlot);
+  EXPECT_EQ(global_fired, TimePoint::origin() + Duration::microseconds(100) + 5 * kSlot);
+  EXPECT_EQ(deaf.total_frozen_time(), Duration{});
+  EXPECT_EQ(global.total_frozen_time(), Duration::microseconds(100));
+}
+
+TEST(BackoffEngineTest, PerNodeViewFreezesOnSensedTransmissions) {
+  // The same engine does freeze for a transmission its node senses.
+  sim::Simulator sim;
+  phy::Medium medium{sim, {1.0, 1.0},
+                     phy::InterferenceGraph::from_lists(2, {{}, {}}, {{1}, {0}}), 99};
+  BackoffEngine engine{sim, medium, kSlot, /*sense_node=*/1};
+  TimePoint fired;
+  sim.schedule_in(Duration{}, [&] {
+    engine.start(5, [&] { fired = sim.now(); });
+    medium.start_transmission(0, Duration::microseconds(100), phy::PacketKind::kData,
+                              nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::origin() + Duration::microseconds(100) + 5 * kSlot);
+  EXPECT_TRUE(engine.was_frozen_at(5));
+}
+
 }  // namespace
 }  // namespace rtmac::mac

@@ -1,0 +1,117 @@
+#include "phy/interference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtmac::phy {
+namespace {
+
+TEST(InterferenceGraphTest, CompleteGraphConflictsAndSensesEverywhere) {
+  const auto g = InterferenceGraph::complete(4);
+  EXPECT_EQ(g.num_links(), 4u);
+  for (LinkId a = 0; a < 4; ++a) {
+    for (LinkId b = 0; b < 4; ++b) {
+      EXPECT_TRUE(g.conflicts(a, b));
+      EXPECT_TRUE(g.senses(a, b));
+    }
+  }
+  EXPECT_TRUE(g.complete_conflicts());
+  EXPECT_TRUE(g.complete_sensing());
+  EXPECT_TRUE(g.is_complete());
+}
+
+TEST(InterferenceGraphTest, SingleLinkIsComplete) {
+  const auto g = InterferenceGraph::complete(1);
+  EXPECT_TRUE(g.is_complete());
+  EXPECT_TRUE(g.conflicts(0, 0));
+  EXPECT_TRUE(g.senses(0, 0));
+}
+
+TEST(InterferenceGraphTest, SelfRelationsAreForced) {
+  // Empty lists: every link still conflicts with and senses itself.
+  const auto g = InterferenceGraph::from_lists(3, {{}, {}, {}}, {{}, {}, {}});
+  for (LinkId n = 0; n < 3; ++n) {
+    EXPECT_TRUE(g.conflicts(n, n));
+    EXPECT_TRUE(g.senses(n, n));
+    ASSERT_EQ(g.sensed_by(n).size(), 1u);
+    EXPECT_EQ(g.sensed_by(n)[0], n);
+  }
+  EXPECT_FALSE(g.conflicts(0, 1));
+  EXPECT_FALSE(g.senses(0, 1));
+  EXPECT_FALSE(g.complete_conflicts());
+  EXPECT_FALSE(g.complete_sensing());
+}
+
+TEST(InterferenceGraphTest, ConflictIsSymmetrized) {
+  // b listed under a only: the conflict must hold in both directions.
+  const auto g = InterferenceGraph::from_lists(2, {{1}, {}}, {{}, {}});
+  EXPECT_TRUE(g.conflicts(0, 1));
+  EXPECT_TRUE(g.conflicts(1, 0));
+}
+
+TEST(InterferenceGraphTest, SensingMayBeAsymmetric) {
+  // Node 0 hears link 1, node 1 does not hear link 0 (power asymmetry).
+  const auto g = InterferenceGraph::from_lists(2, {{}, {}}, {{1}, {}});
+  EXPECT_TRUE(g.senses(0, 1));
+  EXPECT_FALSE(g.senses(1, 0));
+  // sensed_by inverts the relation: link 1 is heard by nodes 0 and 1.
+  ASSERT_EQ(g.sensed_by(1).size(), 2u);
+  EXPECT_EQ(g.sensed_by(1)[0], 0u);
+  EXPECT_EQ(g.sensed_by(1)[1], 1u);
+  ASSERT_EQ(g.sensed_by(0).size(), 1u);
+  EXPECT_EQ(g.sensed_by(0)[0], 0u);
+}
+
+TEST(InterferenceGraphTest, HiddenTerminalIsConflictWithoutSensing) {
+  const auto g = InterferenceGraph::from_lists(2, {{1}, {0}}, {{}, {}});
+  EXPECT_TRUE(g.conflicts(0, 1));
+  EXPECT_FALSE(g.senses(0, 1));
+  EXPECT_FALSE(g.senses(1, 0));
+  EXPECT_TRUE(g.complete_conflicts());
+  EXPECT_FALSE(g.complete_sensing());
+  EXPECT_FALSE(g.is_complete());
+}
+
+TEST(InterferenceGraphTest, UnitDiskBuildsExpectedRelations) {
+  // Two link pairs far apart, one in the middle conflicting with both.
+  //   link 0: tx (0,0)  rx (1,0)
+  //   link 1: tx (10,0) rx (11,0)
+  //   link 2: tx (5,0)  rx (6,0)
+  const std::vector<InterferenceGraph::LinkPlacement> links{
+      {{0.0, 0.0}, {1.0, 0.0}},
+      {{10.0, 0.0}, {11.0, 0.0}},
+      {{5.0, 0.0}, {6.0, 0.0}},
+  };
+  const auto g = InterferenceGraph::unit_disk(links, /*interference_range=*/5.0,
+                                              /*sense_range=*/5.0);
+  // 0 and 1: tx-rx distances 10 and 11 — independent.
+  EXPECT_FALSE(g.conflicts(0, 1));
+  EXPECT_FALSE(g.senses(0, 1));
+  // 0 and 2: tx0 (0,0) to rx2 (6,0) = 6 > 5, but tx2 (5,0) to rx0 (1,0) = 4.
+  EXPECT_TRUE(g.conflicts(0, 2));
+  EXPECT_TRUE(g.conflicts(2, 0));
+  // Sensing: tx0-tx2 distance 5, inclusive comparison.
+  EXPECT_TRUE(g.senses(0, 2));
+  EXPECT_TRUE(g.senses(2, 0));
+  // tx1 (10,0) to tx2 (5,0) = 5: also in range.
+  EXPECT_TRUE(g.senses(1, 2));
+  EXPECT_FALSE(g.is_complete());
+}
+
+TEST(InterferenceGraphTest, SensedByIsSortedAndIncludesSelf) {
+  const auto g = InterferenceGraph::complete(5);
+  for (LinkId l = 0; l < 5; ++l) {
+    const auto& nodes = g.sensed_by(l);
+    ASSERT_EQ(nodes.size(), 5u);
+    for (LinkId n = 0; n < 5; ++n) EXPECT_EQ(nodes[n], n);
+  }
+}
+
+TEST(InterferenceGraphTest, CopyableValueType) {
+  const auto g = InterferenceGraph::from_lists(2, {{1}, {}}, {{}, {}});
+  const InterferenceGraph copy = g;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.conflicts(1, 0));
+  EXPECT_EQ(copy.num_links(), 2u);
+}
+
+}  // namespace
+}  // namespace rtmac::phy

@@ -253,5 +253,206 @@ TEST(MediumTest, ThreeWayCollision) {
   EXPECT_EQ(collisions, 3);
 }
 
+// ---- Interference topology --------------------------------------------------
+
+/// 3 links where only 0 and 1 conflict (and sense each other); link 2 is
+/// spatially independent of both.
+InterferenceGraph pair_plus_independent() {
+  return InterferenceGraph::from_lists(3, {{1}, {0}, {}}, {{1}, {0}, {}});
+}
+
+/// 2 links that conflict but cannot hear each other.
+InterferenceGraph hidden_pair() {
+  return InterferenceGraph::from_lists(2, {{1}, {0}}, {{}, {}});
+}
+
+TEST(MediumTopologyTest, OnlyConflictingLinksCollide) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0, 1.0}, pair_plus_independent(), 3};
+  std::vector<TxOutcome> outcomes(3, TxOutcome::kDelivered);
+  for (LinkId n = 0; n < 3; ++n) {
+    sim.schedule_in(Duration::microseconds(n), [&, n] {
+      medium.start_transmission(n, Duration::microseconds(50), PacketKind::kData,
+                                [&, n](TxOutcome o) { outcomes[n] = o; });
+    });
+  }
+  sim.run();
+  // 0 and 1 overlap and conflict; 2 overlaps both but conflicts with neither.
+  EXPECT_EQ(outcomes[0], TxOutcome::kCollision);
+  EXPECT_EQ(outcomes[1], TxOutcome::kCollision);
+  EXPECT_EQ(outcomes[2], TxOutcome::kDelivered);
+  EXPECT_EQ(medium.counters().collisions, 2u);
+}
+
+TEST(MediumTopologyTest, HiddenTerminalsCollideDespiteNotSensing) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, hidden_pair(), 3};
+  std::vector<TxOutcome> outcomes;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.schedule_in(Duration::microseconds(50), [&] {
+    // Node 1 cannot hear link 0's ongoing transmission...
+    EXPECT_FALSE(medium.sense_busy(1));
+    // ...but the global view can.
+    EXPECT_TRUE(medium.busy());
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], TxOutcome::kCollision);
+  EXPECT_EQ(outcomes[1], TxOutcome::kCollision);
+}
+
+TEST(MediumTopologyTest, AdjacentTransmissionsDoNotConflictOnPartialTopology) {
+  // The half-open interval rule must hold on every topology: a packet
+  // ending at t does not conflict with one starting at t, even between
+  // hidden terminals that cannot defer to each other.
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, hidden_pair(), 3};
+  std::vector<TxOutcome> outcomes;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.schedule_in(Duration::microseconds(100), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], TxOutcome::kDelivered);
+  EXPECT_EQ(outcomes[1], TxOutcome::kDelivered);
+  EXPECT_EQ(medium.counters().collisions, 0u);
+}
+
+TEST(MediumTopologyTest, PerNodeListenersOnlyHearSensedLinks) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0, 1.0}, pair_plus_independent(), 3};
+  RecordingListener node0;
+  RecordingListener node2;
+  RecordingListener global;
+  medium.add_listener(&node0, 0);
+  medium.add_listener(&node2, 2);
+  medium.add_listener(&global);
+  sim.schedule_in(Duration::microseconds(10), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.run();
+  // Node 0 senses link 1; node 2 does not; the global view always does.
+  ASSERT_EQ(node0.events.size(), 2u);
+  EXPECT_EQ(node0.events[0], std::make_pair('B', std::int64_t{10'000}));
+  EXPECT_EQ(node0.events[1], std::make_pair('I', std::int64_t{110'000}));
+  EXPECT_TRUE(node2.events.empty());
+  ASSERT_EQ(global.events.size(), 2u);
+}
+
+TEST(MediumTopologyTest, SenseViewBusyPeriodsMergeAcrossSensedLinks) {
+  // Links 0 and 1 transmit with a partial overlap: a node sensing both sees
+  // one continuous busy period; a node sensing only link 1 sees a shorter
+  // one.
+  sim::Simulator sim;
+  const auto graph = InterferenceGraph::from_lists(3, {{}, {}, {}}, {{1}, {}, {}});
+  Medium medium{sim, {1.0, 1.0, 1.0}, graph, 3};
+  RecordingListener node0;   // senses links 0 and 1
+  RecordingListener node1;   // senses only link 1
+  medium.add_listener(&node0, 0);
+  medium.add_listener(&node1, 1);
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(50), [&] {
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.run();
+  ASSERT_EQ(node0.events.size(), 2u);
+  EXPECT_EQ(node0.events[0], std::make_pair('B', std::int64_t{0}));
+  EXPECT_EQ(node0.events[1], std::make_pair('I', std::int64_t{150'000}));
+  ASSERT_EQ(node1.events.size(), 2u);
+  EXPECT_EQ(node1.events[0], std::make_pair('B', std::int64_t{50'000}));
+  EXPECT_EQ(node1.events[1], std::make_pair('I', std::int64_t{150'000}));
+  EXPECT_EQ(medium.sense_busy_time(0), Duration::microseconds(150));
+  EXPECT_EQ(medium.sense_busy_time(1), Duration::microseconds(100));
+  EXPECT_EQ(medium.sense_busy_time(Medium::kAllNodes), Duration::microseconds(150));
+}
+
+TEST(MediumTopologyTest, CollisionPairCountsTrackPartners) {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0, 1.0}, InterferenceGraph::complete(3), 3};
+  // Two separate collision events: (0,1) then (0,2).
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(50), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(10), [&] {
+    medium.start_transmission(1, Duration::microseconds(40), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(100), [&] {
+    medium.start_transmission(0, Duration::microseconds(50), PacketKind::kData, nullptr);
+  });
+  sim.schedule_in(Duration::microseconds(110), [&] {
+    medium.start_transmission(2, Duration::microseconds(40), PacketKind::kData, nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(medium.collision_pair_count(0, 1), 1u);
+  EXPECT_EQ(medium.collision_pair_count(1, 0), 1u);
+  EXPECT_EQ(medium.collision_pair_count(0, 2), 1u);
+  EXPECT_EQ(medium.collision_pair_count(1, 2), 0u);
+  EXPECT_EQ(medium.collision_pair_count(0, 0), 0u);
+}
+
+TEST(MediumTopologyTest, CompleteTopologyCtorMatchesDefault) {
+  // The explicit complete graph must behave exactly like the default ctor.
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, InterferenceGraph::complete(2), 3};
+  EXPECT_TRUE(medium.topology().is_complete());
+  std::vector<TxOutcome> outcomes;
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.schedule_in(Duration::microseconds(50), [&] {
+    EXPECT_TRUE(medium.sense_busy(1));
+    medium.start_transmission(1, Duration::microseconds(100), PacketKind::kData,
+                              [&](TxOutcome o) { outcomes.push_back(o); });
+  });
+  sim.run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0], TxOutcome::kCollision);
+  EXPECT_EQ(outcomes[1], TxOutcome::kCollision);
+}
+
+// ---- Listener re-entrancy enforcement ---------------------------------------
+
+class TransmitOnBusyListener final : public MediumListener {
+ public:
+  explicit TransmitOnBusyListener(Medium& medium) : medium_{medium} {}
+  void on_medium_busy(TimePoint) override {
+    medium_.start_transmission(1, Duration::microseconds(10), PacketKind::kData, nullptr);
+  }
+  void on_medium_idle(TimePoint) override {}
+
+ private:
+  Medium& medium_;
+};
+
+void transmit_synchronously_from_listener() {
+  sim::Simulator sim;
+  Medium medium{sim, {1.0, 1.0}, 1};
+  TransmitOnBusyListener bad{medium};
+  medium.add_listener(&bad);
+  sim.schedule_in(Duration{}, [&] {
+    medium.start_transmission(0, Duration::microseconds(100), PacketKind::kData, nullptr);
+  });
+  sim.run();
+}
+
+TEST(MediumDeathTest, SynchronousTransmitFromListenerAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(transmit_synchronously_from_listener(),
+               "called synchronously from a MediumListener callback");
+}
+
 }  // namespace
 }  // namespace rtmac::phy
