@@ -35,7 +35,10 @@ int main(int argc, char** argv) {
     expfw::RunObserver observer{args.sweep.metrics_dir,
                                 ms == deadlines.front() ? args.sweep.trace_out
                                                         : std::string{}};
-    observer.attach(net, "d" + std::to_string(ms) + "ms");
+    std::string run_label = "d";  // two-step append: gcc 12 -O2 misfires -Wrestrict on "d" + to_string(ms)
+    run_label += std::to_string(ms);
+    run_label += "ms";
+    observer.attach(net, run_label);
     net.run(args.intervals);
     observer.finish();
     const auto& c = net.medium().counters();

@@ -1,18 +1,19 @@
 #include "analysis/interval_mdp.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace rtmac::analysis {
 
 IntervalMdp::IntervalMdp(ProbabilityVector success_prob, std::vector<double> weights,
                          int slots)
     : p_{std::move(success_prob)}, w_{std::move(weights)}, slots_{slots} {
-  assert(p_.size() == w_.size());
-  assert(!p_.empty());
-  assert(slots >= 0);
+  RTMAC_REQUIRE(p_.size() == w_.size());
+  RTMAC_REQUIRE(!p_.empty());
+  RTMAC_REQUIRE(slots >= 0);
   for (double p : p_) {
-    assert(p > 0.0 && p <= 1.0);
+    RTMAC_REQUIRE(p > 0.0 && p <= 1.0);
     (void)p;
   }
 }
@@ -43,12 +44,12 @@ double IntervalMdp::value(const std::vector<int>& caps, std::vector<int>& buffer
 }
 
 double IntervalMdp::optimal_value(const std::vector<int>& initial_buffers) const {
-  assert(initial_buffers.size() == p_.size());
+  RTMAC_REQUIRE(initial_buffers.size() == p_.size());
   std::vector<int> caps = initial_buffers;
   std::vector<std::uint64_t> strides(p_.size());
   std::uint64_t stride = static_cast<std::uint64_t>(slots_) + 1;
   for (std::size_t n = 0; n < p_.size(); ++n) {
-    assert(initial_buffers[n] >= 0);
+    RTMAC_REQUIRE(initial_buffers[n] >= 0);
     strides[n] = stride;
     stride *= static_cast<std::uint64_t>(caps[n]) + 1;
   }
@@ -58,8 +59,8 @@ double IntervalMdp::optimal_value(const std::vector<int>& initial_buffers) const
 }
 
 int IntervalMdp::optimal_action(const std::vector<int>& buffers, int slots_left) const {
-  assert(buffers.size() == p_.size());
-  assert(slots_left >= 0 && slots_left <= slots_);
+  RTMAC_ASSERT(buffers.size() == p_.size());
+  RTMAC_ASSERT(slots_left >= 0 && slots_left <= slots_);
   if (slots_left == 0) return -1;
 
   std::vector<int> caps = buffers;

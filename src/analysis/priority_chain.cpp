@@ -1,20 +1,20 @@
 #include "analysis/priority_chain.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rtmac::analysis {
 
 PriorityChain::PriorityChain(std::vector<double> mu, double transmit_prob)
     : mu_{std::move(mu)}, transmit_prob_{transmit_prob} {
-  assert(mu_.size() >= 2 && mu_.size() <= 7 && "exact chain intended for small N");
+  RTMAC_REQUIRE(mu_.size() >= 2 && mu_.size() <= 7, "exact chain intended for small N");
   for (double m : mu_) {
-    assert(m > 0.0 && m < 1.0);
+    RTMAC_REQUIRE(m > 0.0 && m < 1.0);
     (void)m;
   }
-  assert(transmit_prob_ > 0.0 && transmit_prob_ <= 1.0);
+  RTMAC_ASSERT(transmit_prob_ > 0.0 && transmit_prob_ <= 1.0);
 
   const std::size_t n = mu_.size();
   states_ = core::Permutation::all(n);
@@ -78,7 +78,7 @@ std::vector<double> PriorityChain::stationary_numeric(int iterations, double tol
 }
 
 double PriorityChain::detailed_balance_residual(const std::vector<double>& pi) const {
-  assert(pi.size() == states_.size());
+  RTMAC_ASSERT(pi.size() == states_.size());
   double residual = 0.0;
   for (std::size_t a = 0; a < states_.size(); ++a) {
     for (std::size_t b = 0; b < states_.size(); ++b) {
@@ -89,7 +89,7 @@ double PriorityChain::detailed_balance_residual(const std::vector<double>& pi) c
 }
 
 double PriorityChain::tv_from_start(const core::Permutation& start, int steps) const {
-  assert(start.size() == mu_.size());
+  RTMAC_REQUIRE(start.size() == mu_.size());
   const std::size_t s = states_.size();
   std::vector<double> dist(s, 0.0);
   dist[start.rank()] = 1.0;
@@ -165,14 +165,14 @@ double PriorityChain::mixing_time_bound(double eps) const {
   for (double p : pi) pi_min = std::min(pi_min, p);
   const double slem = second_eigenvalue_modulus();
   const double gap = 1.0 - slem;
-  assert(gap > 0.0);
+  RTMAC_REQUIRE(gap > 0.0);
   return std::log(1.0 / (eps * pi_min)) / gap;
 }
 
 std::vector<double> dbdp_stationary_law(const core::DebtMu& formula,
                                         const std::vector<double>& debts,
                                         const ProbabilityVector& p) {
-  assert(debts.size() == p.size());
+  RTMAC_REQUIRE(debts.size() == p.size());
   const std::size_t n = debts.size();
   const auto states = core::Permutation::all(n);
   std::vector<double> pi(states.size());

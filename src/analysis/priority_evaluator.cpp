@@ -1,10 +1,10 @@
 #include "analysis/priority_evaluator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rtmac::analysis {
@@ -15,9 +15,9 @@ double EvaluationResult::total() const {
 
 PriorityEvaluator::PriorityEvaluator(ProbabilityVector success_prob, int slots_per_interval)
     : p_{std::move(success_prob)}, slots_{slots_per_interval} {
-  assert(slots_ >= 0);
+  RTMAC_REQUIRE(slots_ >= 0);
   for (double p : p_) {
-    assert(p > 0.0 && p <= 1.0);
+    RTMAC_REQUIRE(p > 0.0 && p <= 1.0);
     (void)p;
   }
 }
@@ -68,8 +68,8 @@ double PriorityEvaluator::serve_link(std::vector<double>& slot_dist,
 EvaluationResult PriorityEvaluator::evaluate(
     const std::vector<LinkId>& ordering,
     const std::vector<std::vector<double>>& arrival_pmfs) const {
-  assert(ordering.size() == p_.size());
-  assert(arrival_pmfs.size() == p_.size());
+  RTMAC_REQUIRE(ordering.size() == p_.size());
+  RTMAC_REQUIRE(arrival_pmfs.size() == p_.size());
 
   std::vector<double> slot_dist(static_cast<std::size_t>(slots_) + 1, 0.0);
   slot_dist[static_cast<std::size_t>(slots_)] = 1.0;
@@ -77,7 +77,7 @@ EvaluationResult PriorityEvaluator::evaluate(
   EvaluationResult result;
   result.expected_deliveries.assign(p_.size(), 0.0);
   for (LinkId link : ordering) {
-    assert(link < p_.size());
+    RTMAC_REQUIRE(link < p_.size());
     result.expected_deliveries[link] = serve_link(slot_dist, arrival_pmfs[link], p_[link]);
   }
   return result;
@@ -85,10 +85,10 @@ EvaluationResult PriorityEvaluator::evaluate(
 
 EvaluationResult PriorityEvaluator::evaluate_fixed(const std::vector<LinkId>& ordering,
                                                    const std::vector<int>& arrivals) const {
-  assert(arrivals.size() == p_.size());
+  RTMAC_REQUIRE(arrivals.size() == p_.size());
   std::vector<std::vector<double>> pmfs(arrivals.size());
   for (std::size_t n = 0; n < arrivals.size(); ++n) {
-    assert(arrivals[n] >= 0);
+    RTMAC_REQUIRE(arrivals[n] >= 0);
     pmfs[n].assign(static_cast<std::size_t>(arrivals[n]) + 1, 0.0);
     pmfs[n].back() = 1.0;
   }
@@ -97,7 +97,7 @@ EvaluationResult PriorityEvaluator::evaluate_fixed(const std::vector<LinkId>& or
 
 double PriorityEvaluator::objective(const EvaluationResult& result,
                                     const std::vector<double>& weights) {
-  assert(weights.size() == result.expected_deliveries.size());
+  RTMAC_REQUIRE(weights.size() == result.expected_deliveries.size());
   double obj = 0.0;
   for (std::size_t n = 0; n < weights.size(); ++n) {
     obj += weights[n] * result.expected_deliveries[n];
@@ -106,7 +106,7 @@ double PriorityEvaluator::objective(const EvaluationResult& result,
 }
 
 std::vector<LinkId> PriorityEvaluator::eldf_ordering(const std::vector<double>& weights) const {
-  assert(weights.size() == p_.size());
+  RTMAC_REQUIRE(weights.size() == p_.size());
   std::vector<LinkId> order(p_.size());
   std::iota(order.begin(), order.end(), LinkId{0});
   std::stable_sort(order.begin(), order.end(), [&](LinkId a, LinkId b) {

@@ -1,9 +1,10 @@
 #include "analysis/region.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "util/check.hpp"
 
 namespace rtmac::analysis {
 
@@ -12,8 +13,8 @@ namespace {
 /// Largest s >= 0 with s*q on or below the segment a--b extended by its
 /// axis-aligned downward closure. Helper for both public methods.
 double scale_to_boundary(const RegionPoint& a, const RegionPoint& b, const RegionPoint& q) {
-  assert(q.q0 >= 0.0 && q.q1 >= 0.0);
-  assert(q.q0 > 0.0 || q.q1 > 0.0);
+  RTMAC_REQUIRE(q.q0 >= 0.0 && q.q1 >= 0.0);
+  RTMAC_REQUIRE(q.q0 > 0.0 || q.q1 > 0.0);
   // The region is { (x,y) >= 0 : exists t in [0,1] with x <= a0 + t(b0-a0),
   // y <= a1 + t(b1-a1) }. Ray r(s) = s*q exits through either the segment
   // or one of the two rectangle edges at the extreme points.
@@ -59,7 +60,7 @@ double TwoLinkRegion::boundary_scale(const RegionPoint& q) const {
 TwoLinkRegion two_link_region(const ProbabilityVector& p,
                               const std::vector<std::vector<double>>& arrival_pmfs,
                               int slots) {
-  assert(p.size() == 2 && arrival_pmfs.size() == 2);
+  RTMAC_REQUIRE(p.size() == 2 && arrival_pmfs.size() == 2);
   PriorityEvaluator eval{p, slots};
   const auto first = eval.evaluate({0, 1}, arrival_pmfs);
   const auto second = eval.evaluate({1, 0}, arrival_pmfs);

@@ -1,23 +1,24 @@
 #include "core/debt.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace rtmac::core {
 
 DebtTracker::DebtTracker(RateVector q) : q_{std::move(q)}, d_(q_.size(), 0.0) {
-  assert(!q_.empty());
+  RTMAC_REQUIRE(!q_.empty());
   for (double qn : q_) {
-    assert(qn >= 0.0 && "requirements are nonnegative");
+    RTMAC_REQUIRE(qn >= 0.0, "requirements are nonnegative");
     (void)qn;
   }
 }
 
 void DebtTracker::on_interval_end(const std::vector<int>& delivered) {
-  assert(delivered.size() == d_.size());
+  RTMAC_REQUIRE(delivered.size() == d_.size());
   for (std::size_t n = 0; n < d_.size(); ++n) {
-    assert(delivered[n] >= 0);
+    RTMAC_REQUIRE(delivered[n] >= 0);
     d_[n] += q_[n] - static_cast<double>(delivered[n]);
   }
   ++k_;

@@ -1,8 +1,9 @@
 #include "core/influence.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+
+#include "util/check.hpp"
 
 namespace rtmac::core {
 
@@ -11,14 +12,14 @@ Influence Influence::identity() {
 }
 
 Influence Influence::power(double m) {
-  assert(m >= 0.0);
+  RTMAC_REQUIRE(m >= 0.0);
   char name[32];
   std::snprintf(name, sizeof name, "x^%g", m);
   return Influence{name, [m](double x) { return std::pow(x, m); }};
 }
 
 Influence Influence::log(double base) {
-  assert(base > 1.0);
+  RTMAC_REQUIRE(base > 1.0);
   char name[32];
   std::snprintf(name, sizeof name, "log_%g(1+x)", base);
   const double inv_ln_base = 1.0 / std::log(base);
@@ -26,7 +27,7 @@ Influence Influence::log(double base) {
 }
 
 Influence Influence::paper_log(double scale) {
-  assert(scale > 0.0);
+  RTMAC_REQUIRE(scale > 0.0);
   char name[48];
   std::snprintf(name, sizeof name, "ln(max{1,%g(x+1)})", scale);
   return Influence{name, [scale](double x) {

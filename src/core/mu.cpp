@@ -1,11 +1,11 @@
 #include "core/mu.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::core {
 
 DebtMu::DebtMu(Influence influence, double r) : f_{std::move(influence)}, r_{r} {
-  assert(r > 0.0);
+  RTMAC_REQUIRE(r > 0.0);
 }
 
 double DebtMu::weight(double debt, double p) const {

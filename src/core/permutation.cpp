@@ -1,9 +1,9 @@
 #include "core/permutation.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rtmac::core {
@@ -16,14 +16,14 @@ Permutation Permutation::identity(std::size_t n) {
 
 Permutation Permutation::from_priorities(std::vector<PriorityIndex> sigma) {
   Permutation p{std::move(sigma)};
-  assert(p.valid() && "not a bijection onto {1..N}");
+  RTMAC_REQUIRE(p.valid(), "not a bijection onto {1..N}");
   return p;
 }
 
 Permutation Permutation::from_ordering(const std::vector<LinkId>& order) {
   std::vector<PriorityIndex> sigma(order.size(), 0);
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    assert(order[pos] < order.size());
+    RTMAC_REQUIRE(order[pos] < order.size());
     sigma[order[pos]] = static_cast<PriorityIndex>(pos + 1);
   }
   return from_priorities(std::move(sigma));
@@ -40,12 +40,11 @@ Permutation Permutation::random(std::size_t n, Rng& rng) {
 }
 
 LinkId Permutation::link_with_priority(PriorityIndex m) const {
-  assert(m >= 1 && m <= sigma_.size());
+  RTMAC_REQUIRE(m >= 1 && m <= sigma_.size());
   for (std::size_t n = 0; n < sigma_.size(); ++n) {
     if (sigma_[n] == m) return static_cast<LinkId>(n);
   }
-  assert(false && "invalid permutation");
-  return 0;
+  RTMAC_UNREACHABLE("invalid permutation");
 }
 
 std::vector<LinkId> Permutation::ordering() const {
@@ -57,14 +56,14 @@ std::vector<LinkId> Permutation::ordering() const {
 }
 
 void Permutation::swap_adjacent_priorities(PriorityIndex m) {
-  assert(m >= 1 && m < sigma_.size());
+  RTMAC_REQUIRE(m >= 1 && m < sigma_.size());
   const LinkId a = link_with_priority(m);
   const LinkId b = link_with_priority(m + 1);
   std::swap(sigma_[a], sigma_[b]);
 }
 
 std::vector<LinkId> Permutation::symmetric_difference(const Permutation& other) const {
-  assert(size() == other.size());
+  RTMAC_REQUIRE(size() == other.size());
   std::vector<LinkId> diff;
   for (std::size_t n = 0; n < sigma_.size(); ++n) {
     if (sigma_[n] != other.sigma_[n]) diff.push_back(static_cast<LinkId>(n));
@@ -109,7 +108,7 @@ std::uint64_t Permutation::rank() const {
 Permutation Permutation::unrank(std::size_t n, std::uint64_t rank) {
   std::uint64_t fact = 1;
   for (std::size_t i = 2; i <= n; ++i) fact *= i;
-  assert(rank < fact);
+  RTMAC_REQUIRE(rank < fact);
   std::vector<PriorityIndex> available(n);
   for (std::size_t i = 0; i < n; ++i) available[i] = static_cast<PriorityIndex>(i + 1);
   std::vector<PriorityIndex> sigma;
@@ -125,7 +124,7 @@ Permutation Permutation::unrank(std::size_t n, std::uint64_t rank) {
 }
 
 std::vector<Permutation> Permutation::all(std::size_t n) {
-  assert(n <= 8 && "N! blowup: exact enumeration intended for small N");
+  RTMAC_REQUIRE(n <= 8, "N! blowup: exact enumeration intended for small N");
   std::uint64_t fact = 1;
   for (std::size_t i = 2; i <= n; ++i) fact *= i;
   std::vector<Permutation> perms;

@@ -1,14 +1,14 @@
 #include "core/requirements.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::core {
 
 RateVector Requirements::q() const {
-  assert(lambda.size() == rho.size());
+  RTMAC_REQUIRE(lambda.size() == rho.size());
   RateVector out(lambda.size());
   for (std::size_t n = 0; n < lambda.size(); ++n) {
-    assert(rho[n] >= 0.0 && rho[n] <= 1.0 && "delivery ratio must be in [0,1]");
+    RTMAC_REQUIRE(rho[n] >= 0.0 && rho[n] <= 1.0, "delivery ratio must be in [0,1]");
     out[n] = rho[n] * lambda[n];
   }
   return out;
@@ -20,11 +20,11 @@ Requirements Requirements::symmetric(std::size_t n, double lambda_each, double r
 
 double workload_utilization(const RateVector& q, const ProbabilityVector& p,
                             std::int64_t transmissions_per_interval) {
-  assert(q.size() == p.size());
-  assert(transmissions_per_interval > 0);
+  RTMAC_REQUIRE(q.size() == p.size());
+  RTMAC_REQUIRE(transmissions_per_interval > 0);
   double load = 0.0;
   for (std::size_t n = 0; n < q.size(); ++n) {
-    assert(p[n] > 0.0);
+    RTMAC_ASSERT(p[n] > 0.0);
     load += q[n] / p[n];
   }
   return load / static_cast<double>(transmissions_per_interval);

@@ -1,12 +1,12 @@
 #include "expfw/scenarios.hpp"
 
-#include <cassert>
 #include <memory>
 
 #include "mac/centralized_scheduler.hpp"
 #include "mac/priority_provider.hpp"
 #include "mac/reliability_estimator.hpp"
 #include "traffic/arrival_process.hpp"
+#include "util/check.hpp"
 
 namespace rtmac::expfw {
 
@@ -37,7 +37,7 @@ net::NetworkConfig video_asymmetric(double alpha_star, double rho, std::uint64_t
 }
 
 std::vector<LinkId> asymmetric_group(int group) {
-  assert(group == 1 || group == 2);
+  RTMAC_REQUIRE(group == 1 || group == 2);
   std::vector<LinkId> links;
   for (LinkId n = 0; n < 10; ++n) links.push_back(group == 1 ? n : n + 10);
   return links;
@@ -57,7 +57,7 @@ phy::InterferenceGraph hidden_terminal_pair() {
 }
 
 phy::InterferenceGraph hidden_cells_topology(std::size_t num_links, std::size_t cell_size) {
-  assert(num_links >= 1 && cell_size >= 1);
+  RTMAC_REQUIRE(num_links >= 1 && cell_size >= 1);
   std::vector<std::vector<LinkId>> conflict(num_links);
   std::vector<std::vector<LinkId>> sense(num_links);
   for (std::size_t a = 0; a < num_links; ++a) {
@@ -71,7 +71,7 @@ phy::InterferenceGraph hidden_cells_topology(std::size_t num_links, std::size_t 
 }
 
 phy::InterferenceGraph two_cell_topology(std::size_t cell_size, std::size_t boundary_links) {
-  assert(cell_size >= 1 && boundary_links <= cell_size);
+  RTMAC_REQUIRE(cell_size >= 1 && boundary_links <= cell_size);
   const std::size_t n = 2 * cell_size;
   std::vector<std::vector<LinkId>> conflict(n);
   std::vector<std::vector<LinkId>> sense(n);
@@ -93,7 +93,7 @@ phy::InterferenceGraph two_cell_topology(std::size_t cell_size, std::size_t boun
 }
 
 net::NetworkConfig with_topology(net::NetworkConfig cfg, phy::InterferenceGraph topology) {
-  assert(topology.num_links() == cfg.num_links());
+  RTMAC_REQUIRE(topology.num_links() == cfg.num_links());
   cfg.topology = std::move(topology);
   return cfg;
 }
@@ -152,7 +152,7 @@ mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu) {
 
 mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu, int max_swap_pairs) {
   return [mu = std::move(mu), max_swap_pairs](const mac::SchemeContext& ctx) {
-    assert(mu.size() == ctx.num_links);
+    RTMAC_ASSERT(mu.size() == ctx.num_links);
     auto provider = std::make_unique<mac::FixedMuProvider>(mu);
     return std::make_unique<mac::DpScheme>(
         ctx, std::move(provider), dp_params_from(ctx, /*reordering=*/true, max_swap_pairs),

@@ -1,16 +1,17 @@
 #include "mac/backoff_engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
 BackoffEngine::BackoffEngine(sim::Simulator& simulator, phy::Medium& medium, Duration slot,
                              LinkId sense_node)
     : sim_{simulator}, medium_{medium}, slot_{slot}, sense_node_{sense_node} {
-  assert(slot > Duration{});
+  RTMAC_REQUIRE(slot > Duration{});
   medium_.add_listener(this, sense_node_);
 }
 
@@ -44,7 +45,7 @@ void BackoffEngine::account_freeze(Duration frozen_for) {
 }
 
 void BackoffEngine::start(int count, std::function<void()> on_expire) {
-  assert(count >= 0);
+  RTMAC_ASSERT(count >= 0);
   stop();
   running_ = true;
   expired_ = false;

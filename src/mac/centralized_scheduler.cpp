@@ -1,8 +1,9 @@
 #include "mac/centralized_scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
@@ -20,7 +21,7 @@ CentralizedScheme::CentralizedScheme(const SchemeContext& ctx, CentralizedParams
 
 void CentralizedScheme::begin_interval(IntervalIndex, const std::vector<int>& arrivals,
                                        TimePoint interval_end) {
-  assert(arrivals.size() == buffer_.size());
+  RTMAC_REQUIRE(arrivals.size() == buffer_.size());
   interval_end_ = interval_end;
   buffer_ = arrivals;
   std::fill(delivered_.begin(), delivered_.end(), 0);
@@ -56,7 +57,7 @@ void CentralizedScheme::serve_next() {
 }
 
 void CentralizedScheme::on_tx_done(phy::TxOutcome outcome) {
-  assert(outcome != phy::TxOutcome::kCollision && "centralized schedule cannot collide");
+  RTMAC_ASSERT(outcome != phy::TxOutcome::kCollision, "centralized schedule cannot collide");
   const LinkId link = ordering_[serving_];
   if (outcome == phy::TxOutcome::kDelivered) {
     --buffer_[link];

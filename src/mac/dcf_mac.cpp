@@ -1,7 +1,8 @@
 #include "mac/dcf_mac.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
@@ -15,7 +16,7 @@ DcfLinkMac::DcfLinkMac(sim::Simulator& simulator, phy::Medium& medium, DcfParams
       rng_{seed, /*stream_id=*/0xDCF00000000ULL + id},
       cw_{params.cw_min},
       backoff_{simulator, medium, slot, id} {
-  assert(params.cw_min >= 1 && params.cw_max >= params.cw_min);
+  RTMAC_REQUIRE(params.cw_min >= 1 && params.cw_max >= params.cw_min);
 }
 
 void DcfLinkMac::begin_interval(IntervalIndex, int arrivals, TimePoint interval_end) {
@@ -65,7 +66,7 @@ DcfScheme::DcfScheme(const SchemeContext& ctx, DcfParams params, std::string nam
 
 void DcfScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
                                TimePoint interval_end) {
-  assert(arrivals.size() == links_.size());
+  RTMAC_REQUIRE(arrivals.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) {
     links_[n]->begin_interval(k, arrivals[n], interval_end);
   }

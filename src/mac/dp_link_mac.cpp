@@ -1,8 +1,9 @@
 #include "mac/dp_link_mac.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
@@ -10,8 +11,8 @@ namespace rtmac::mac {
 
 std::vector<PriorityIndex> SharedSeed::candidate_set(IntervalIndex k, std::size_t num_links,
                                                      int max_pairs) const {
-  assert(num_links >= 2);
-  assert(max_pairs >= 1);
+  RTMAC_REQUIRE(num_links >= 2);
+  RTMAC_REQUIRE(max_pairs >= 1);
   if (max_pairs == 1) return {candidate(k, num_links)};
 
   // Deterministic shuffle of {1..N-1}, then greedy acceptance of
@@ -64,7 +65,7 @@ int dp_backoff_count(PriorityIndex sigma, const std::vector<PriorityIndex>& pair
     if (sigma == m || sigma == m + 1) candidate = true;
   }
   if (candidate) {
-    assert(xi == 1 || xi == -1);
+    RTMAC_ASSERT(xi == 1 || xi == -1);
     return static_cast<int>(sigma) - xi + shift;
   }
   return static_cast<int>(sigma) - 1 + shift;
@@ -88,12 +89,12 @@ DpLinkMac::DpLinkMac(sim::Simulator& simulator, phy::Medium& medium,
       coin_rng_{seed, /*stream_id=*/0xD100000000ULL + id},
       sigma_{initial_priority},
       backoff_{simulator, medium, params.backoff_slot, id} {
-  assert(initial_priority >= 1 && initial_priority <= num_links);
+  RTMAC_REQUIRE(initial_priority >= 1 && initial_priority <= num_links);
   backoff_.set_trace_link(id);
 }
 
 void DpLinkMac::begin_interval(IntervalIndex k, int arrivals, TimePoint interval_end) {
-  assert(arrivals >= 0);
+  RTMAC_REQUIRE(arrivals >= 0);
   interval_end_ = interval_end;
   buffer_ = arrivals;
   delivered_ = 0;
@@ -171,8 +172,9 @@ void DpLinkMac::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
   // transmission can ever collide; the assert documents that invariant.
   // Under partial sensing the countdowns desynchronize — hidden terminals
   // make collisions a genuine protocol outcome, not a bug.
-  assert((outcome != phy::TxOutcome::kCollision || !medium_.topology().complete_sensing()) &&
-         "DP protocol must be collision-free under complete sensing");
+  RTMAC_ASSERT(outcome != phy::TxOutcome::kCollision || !medium_.topology().complete_sensing(),
+               "DP protocol must be collision-free under complete sensing: link ", id_,
+               " collided at sigma=", sigma_);
   if (kind == phy::PacketKind::kData && estimator_ != nullptr &&
       outcome != phy::TxOutcome::kCollision) {
     // Learning mode (Section II-A): the ACK outcome of every clean data
@@ -230,10 +232,10 @@ DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> p
       provider_{std::move(provider)},
       name_{std::move(name)},
       sensing_complete_{ctx.medium.topology().complete_sensing()} {
-  assert(provider_ != nullptr);
+  RTMAC_REQUIRE(provider_ != nullptr);
   const core::Permutation init =
       initial.has_value() ? *initial : core::Permutation::identity(ctx.num_links);
-  assert(init.size() == ctx.num_links);
+  RTMAC_REQUIRE(init.size() == ctx.num_links);
   links_.reserve(ctx.num_links);
   for (LinkId n = 0; n < ctx.num_links; ++n) {
     links_.push_back(std::make_unique<DpLinkMac>(ctx.simulator, ctx.medium, shared_seed_,
@@ -244,7 +246,7 @@ DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> p
 
 void DpScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
                               TimePoint interval_end) {
-  assert(arrivals.size() == links_.size());
+  RTMAC_REQUIRE(arrivals.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) {
     links_[n]->begin_interval(k, arrivals[n], interval_end);
   }
@@ -259,17 +261,18 @@ std::vector<int> DpScheme::end_interval() {
   // the protocol's core consistency invariant. It only holds when every
   // device can carrier-sense every other: hidden terminals may observe
   // asymmetric freeze records and commit one-sided swaps.
-#ifndef NDEBUG
-  if (sensing_complete_) {
-    const auto sigma = priority_vector();
-    std::vector<bool> seen(sigma.size(), false);
-    for (PriorityIndex pr : sigma) {
-      assert(pr >= 1 && pr <= sigma.size() && !seen[pr - 1] &&
-             "priority state diverged: swap decisions inconsistent");
-      seen[pr - 1] = true;
+  if constexpr (kChecksEnabled) {
+    if (sensing_complete_) {
+      const auto sigma = priority_vector();
+      std::vector<bool> seen(sigma.size(), false);
+      for (PriorityIndex pr : sigma) {
+        RTMAC_ASSERT(pr >= 1 && pr <= sigma.size() && !seen[pr - 1],
+                     "priority state diverged: swap decisions inconsistent (priority ", pr,
+                     " among N=", sigma.size(), ")");
+        seen[pr - 1] = true;
+      }
     }
   }
-#endif
   return delivered;
 }
 

@@ -1,13 +1,14 @@
 #include "mac/fcsma_mac.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
 int fcsma_window_for_weight(double weight, const FcsmaParams& params) {
-  assert(!params.window_sizes.empty());
-  assert(params.section_width > 0.0);
+  RTMAC_REQUIRE(!params.window_sizes.empty());
+  RTMAC_REQUIRE(params.section_width > 0.0);
   const auto section = static_cast<std::size_t>(
       std::max(0.0, std::floor(weight / params.section_width)));
   const std::size_t clamped = std::min(section, params.window_sizes.size() - 1);
@@ -31,7 +32,7 @@ FcsmaLinkMac::FcsmaLinkMac(sim::Simulator& simulator, phy::Medium& medium,
       backoff_{simulator, medium, slot, id} {}
 
 void FcsmaLinkMac::begin_interval(IntervalIndex, int arrivals, TimePoint interval_end) {
-  assert(arrivals >= 0);
+  RTMAC_REQUIRE(arrivals >= 0);
   interval_end_ = interval_end;
   buffer_ = arrivals;
   delivered_ = 0;
@@ -84,7 +85,7 @@ FcsmaScheme::FcsmaScheme(const SchemeContext& ctx, FcsmaParams params, std::stri
 
 void FcsmaScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
                                  TimePoint interval_end) {
-  assert(arrivals.size() == links_.size());
+  RTMAC_REQUIRE(arrivals.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) {
     links_[n]->begin_interval(k, arrivals[n], interval_end);
   }

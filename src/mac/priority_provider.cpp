@@ -1,18 +1,17 @@
 #include "mac/priority_provider.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
 FixedMuProvider::FixedMuProvider(std::vector<double> mu) : mu_{std::move(mu)} {
-  for (double m : mu_) {
-    assert(m > 0.0 && m < 1.0 && "mu must lie strictly inside (0,1)");
-    (void)m;
+  for (const double m : mu_) {
+    RTMAC_REQUIRE(m > 0.0 && m < 1.0, "mu must lie strictly inside (0,1), got ", m);
   }
 }
 
 double FixedMuProvider::mu(LinkId n, IntervalIndex) const {
-  assert(n < mu_.size());
+  RTMAC_REQUIRE(n < mu_.size());
   return mu_[n];
 }
 
@@ -21,7 +20,7 @@ DebtMuProvider::DebtMuProvider(core::DebtMu formula, const core::DebtTracker& de
     : formula_{std::move(formula)}, debts_{debts}, p_{success_prob} {}
 
 double DebtMuProvider::mu(LinkId n, IntervalIndex) const {
-  assert(n < debts_.size() && n < p_.size());
+  RTMAC_REQUIRE(n < debts_.size() && n < p_.size());
   return formula_.mu(debts_.debt(n), p_[n]);
 }
 

@@ -1,6 +1,6 @@
 #include "mac/reliability_estimator.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::mac {
 
@@ -10,19 +10,19 @@ ReliabilityEstimator::ReliabilityEstimator(std::size_t num_links, double initial
       prior_weight_{prior_weight},
       attempts_(num_links, 0),
       successes_(num_links, 0) {
-  assert(num_links > 0);
-  assert(initial > 0.0 && initial <= 1.0);
-  assert(prior_weight > 0.0);
+  RTMAC_REQUIRE(num_links > 0);
+  RTMAC_REQUIRE(initial > 0.0 && initial <= 1.0);
+  RTMAC_REQUIRE(prior_weight > 0.0);
 }
 
 void ReliabilityEstimator::record(LinkId link, bool success) {
-  assert(link < attempts_.size());
+  RTMAC_ASSERT(link < attempts_.size());
   ++attempts_[link];
   if (success) ++successes_[link];
 }
 
 double ReliabilityEstimator::estimate(LinkId link) const {
-  assert(link < attempts_.size());
+  RTMAC_ASSERT(link < attempts_.size());
   return (static_cast<double>(successes_[link]) + prior_successes_) /
          (static_cast<double>(attempts_[link]) + prior_weight_);
 }

@@ -1,11 +1,11 @@
 #include "net/network.hpp"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "stats/deficiency.hpp"
+#include "util/check.hpp"
 
 namespace rtmac::net {
 
@@ -22,8 +22,7 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
   }
   if (config_.channel_factory) {
     auto channel = config_.channel_factory();
-    assert(channel != nullptr && channel->num_links() == config_.num_links() &&
-           "channel model size must match the network");
+    RTMAC_REQUIRE(channel != nullptr && channel->num_links() == config_.num_links(), "channel model size must match the network");
     if (config_.topology.has_value()) {
       medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), *config_.topology,
                                               config_.seed);
@@ -45,7 +44,7 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
                                debts_,
                                config_.seed};
   scheme_ = scheme_factory(ctx);
-  assert(scheme_ != nullptr);
+  RTMAC_REQUIRE(scheme_ != nullptr);
 }
 
 void Network::add_observer(IntervalObserver observer) {
@@ -90,7 +89,7 @@ void Network::run(IntervalIndex intervals) {
     const TimePoint start = TimePoint::origin() +
                             static_cast<std::int64_t>(k) * config_.interval_length;
     const TimePoint end = start + config_.interval_length;
-    assert(sim_.now() == start && "interval boundaries drifted");
+    RTMAC_ASSERT(sim_.now() == start, "interval boundaries drifted");
 
     if (config_.joint_arrivals != nullptr) {
       arrivals = config_.joint_arrivals->sample(arrival_rng_);
@@ -106,7 +105,7 @@ void Network::run(IntervalIndex intervals) {
     }
     scheme_->begin_interval(k, arrivals, end);
     sim_.run_until(end);
-    assert(!medium_->busy() && "a transmission overran the interval boundary (gap rule)");
+    RTMAC_ASSERT(!medium_->busy(), "a transmission overran the interval boundary (gap rule)");
 
     const std::vector<int> delivered = scheme_->end_interval();
     if (tracer_ != nullptr) {

@@ -2,6 +2,7 @@
 
 #include "net/network.hpp"
 #include "stats/deficiency.hpp"
+#include "util/check.hpp"
 
 namespace rtmac::obs {
 
@@ -15,7 +16,17 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
   registry.counter("phy.delivered").inc(counters.delivered);
   registry.counter("phy.collisions").inc(counters.collisions);
   registry.counter("phy.channel_losses").inc(counters.channel_losses);
+  // Occupancy must come from the global sense view (union of busy periods):
+  // counters.busy_time sums per-transmission airtime, so overlapping
+  // (colliding) transmissions double-count and the "fraction" exceeds 1.
   registry.gauge("phy.busy_fraction")
+      .set(sim_seconds > 0.0
+               ? network.medium().sense_busy_time(phy::Medium::kAllNodes).seconds_f() /
+                     sim_seconds
+               : 0.0);
+  // Summed airtime over sim time: > busy_fraction measures overlap, and the
+  // empty-packet share of it is the DP priority-claim overhead.
+  registry.gauge("phy.airtime_fraction")
       .set(sim_seconds > 0.0 ? counters.busy_time.seconds_f() / sim_seconds : 0.0);
   registry.gauge("phy.collided_fraction")
       .set(sim_seconds > 0.0 ? counters.collided_time.seconds_f() / sim_seconds : 0.0);
@@ -57,6 +68,10 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
   registry.gauge("net.intervals").set(static_cast<double>(stats.intervals()));
   registry.counter("sim.events_executed").inc(network.simulator().events_executed());
   registry.gauge("sim.virtual_seconds").set(sim_seconds);
+  // Contract-failure count (util/check.hpp). Almost always zero — a failure
+  // aborts unless a test handler intervened — but exporting it means any run
+  // that *did* survive a handled failure is visibly tainted in its metrics.
+  registry.counter("checks.failed").inc(check_failures());
 }
 
 }  // namespace rtmac::obs

@@ -1,12 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "util/check.hpp"
 
 namespace rtmac::obs {
 
@@ -95,7 +95,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
     e.counter = std::make_unique<Counter>();
     it = entries_.emplace(std::string{name}, std::move(e)).first;
   }
-  assert(it->second.type == Type::kCounter && "metric re-registered as a different type");
+  RTMAC_REQUIRE(it->second.type == Type::kCounter, "metric re-registered as a different type");
   return *it->second.counter;
 }
 
@@ -107,7 +107,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
     e.gauge = std::make_unique<Gauge>();
     it = entries_.emplace(std::string{name}, std::move(e)).first;
   }
-  assert(it->second.type == Type::kGauge && "metric re-registered as a different type");
+  RTMAC_REQUIRE(it->second.type == Type::kGauge, "metric re-registered as a different type");
   return *it->second.gauge;
 }
 
@@ -119,7 +119,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double>
     e.histogram = std::make_unique<Histogram>(std::move(bounds));
     it = entries_.emplace(std::string{name}, std::move(e)).first;
   }
-  assert(it->second.type == Type::kHistogram && "metric re-registered as a different type");
+  RTMAC_REQUIRE(it->second.type == Type::kHistogram, "metric re-registered as a different type");
   return *it->second.histogram;
 }
 

@@ -1,36 +1,36 @@
 #include "phy/channel_model.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::phy {
 
 StaticChannel::StaticChannel(ProbabilityVector p) : p_{std::move(p)} {
-  assert(!p_.empty());
+  RTMAC_REQUIRE(!p_.empty());
   for (double pn : p_) {
-    assert(pn > 0.0 && pn <= 1.0);
+    RTMAC_REQUIRE(pn > 0.0 && pn <= 1.0);
     (void)pn;
   }
 }
 
 bool StaticChannel::attempt_succeeds(LinkId link, Rng& rng) {
-  assert(link < p_.size());
+  RTMAC_REQUIRE(link < p_.size());
   return rng.bernoulli(p_[link]);
 }
 
 GilbertElliottChannel::GilbertElliottChannel(std::vector<GilbertElliottParams> params)
     : params_{std::move(params)}, good_(params_.size(), true) {
-  assert(!params_.empty());
+  RTMAC_REQUIRE(!params_.empty());
   for (const auto& p : params_) {
-    assert(p.p_good >= 0.0 && p.p_good <= 1.0);
-    assert(p.p_bad >= 0.0 && p.p_bad <= 1.0);
-    assert(p.good_to_bad > 0.0 && p.good_to_bad < 1.0);
-    assert(p.bad_to_good > 0.0 && p.bad_to_good < 1.0);
+    RTMAC_REQUIRE(p.p_good >= 0.0 && p.p_good <= 1.0);
+    RTMAC_REQUIRE(p.p_bad >= 0.0 && p.p_bad <= 1.0);
+    RTMAC_REQUIRE(p.good_to_bad > 0.0 && p.good_to_bad < 1.0);
+    RTMAC_REQUIRE(p.bad_to_good > 0.0 && p.bad_to_good < 1.0);
     (void)p;
   }
 }
 
 bool GilbertElliottChannel::attempt_succeeds(LinkId link, Rng& rng) {
-  assert(link < params_.size());
+  RTMAC_REQUIRE(link < params_.size());
   const auto& p = params_[link];
   // Step the state chain first, then draw the attempt in the new state
   // (order is a modeling convention; the stationary mean is unaffected).
@@ -43,7 +43,7 @@ bool GilbertElliottChannel::attempt_succeeds(LinkId link, Rng& rng) {
 }
 
 double GilbertElliottChannel::mean_success(LinkId link) const {
-  assert(link < params_.size());
+  RTMAC_REQUIRE(link < params_.size());
   return params_[link].mean_success();
 }
 

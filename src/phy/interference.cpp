@@ -1,14 +1,14 @@
 #include "phy/interference.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::phy {
 
 InterferenceGraph::InterferenceGraph(std::size_t n, std::vector<bool> conflict,
                                      std::vector<bool> sense)
     : n_{n}, conflict_{std::move(conflict)}, sense_{std::move(sense)} {
-  assert(n_ >= 1);
-  assert(conflict_.size() == n_ * n_ && sense_.size() == n_ * n_);
+  RTMAC_ASSERT(n_ >= 1);
+  RTMAC_ASSERT(conflict_.size() == n_ * n_ && sense_.size() == n_ * n_);
   finalize();
 }
 
@@ -37,7 +37,7 @@ void InterferenceGraph::finalize() {
 }
 
 InterferenceGraph InterferenceGraph::complete(std::size_t num_links) {
-  assert(num_links >= 1);
+  RTMAC_REQUIRE(num_links >= 1);
   return InterferenceGraph{num_links, std::vector<bool>(num_links * num_links, true),
                            std::vector<bool>(num_links * num_links, true)};
 }
@@ -45,17 +45,17 @@ InterferenceGraph InterferenceGraph::complete(std::size_t num_links) {
 InterferenceGraph InterferenceGraph::from_lists(
     std::size_t num_links, const std::vector<std::vector<LinkId>>& conflict_lists,
     const std::vector<std::vector<LinkId>>& sense_lists) {
-  assert(num_links >= 1);
-  assert(conflict_lists.size() == num_links && sense_lists.size() == num_links);
+  RTMAC_REQUIRE(num_links >= 1);
+  RTMAC_REQUIRE(conflict_lists.size() == num_links && sense_lists.size() == num_links);
   std::vector<bool> conflict(num_links * num_links, false);
   std::vector<bool> sense(num_links * num_links, false);
   for (LinkId a = 0; a < num_links; ++a) {
     for (LinkId b : conflict_lists[a]) {
-      assert(b < num_links && "conflict list names an unknown link");
+      RTMAC_REQUIRE(b < num_links, "conflict list names an unknown link");
       conflict[static_cast<std::size_t>(a) * num_links + b] = true;
     }
     for (LinkId l : sense_lists[a]) {
-      assert(l < num_links && "sense list names an unknown link");
+      RTMAC_REQUIRE(l < num_links, "sense list names an unknown link");
       sense[static_cast<std::size_t>(a) * num_links + l] = true;
     }
   }
@@ -76,8 +76,8 @@ InterferenceGraph InterferenceGraph::unit_disk(const std::vector<LinkPlacement>&
                                                double interference_range,
                                                double sense_range) {
   const std::size_t n = links.size();
-  assert(n >= 1);
-  assert(interference_range >= 0.0 && sense_range >= 0.0);
+  RTMAC_REQUIRE(n >= 1);
+  RTMAC_REQUIRE(interference_range >= 0.0 && sense_range >= 0.0);
   const double ir2 = interference_range * interference_range;
   const double sr2 = sense_range * sense_range;
   std::vector<bool> conflict(n * n, false);

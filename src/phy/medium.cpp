@@ -1,10 +1,11 @@
 #include "phy/medium.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace rtmac::phy {
 
@@ -22,7 +23,7 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
       channel_{std::move(channel)},
       graph_{InterferenceGraph::complete(channel_ != nullptr ? channel_->num_links() : 1)},
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
-  assert(channel_ != nullptr && channel_->num_links() > 0);
+  RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
   const std::size_t n = channel_->num_links();
   link_counters_.resize(n);
   views_.resize(n);
@@ -36,9 +37,9 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
       channel_{std::move(channel)},
       graph_{std::move(topology)},
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
-  assert(channel_ != nullptr && channel_->num_links() > 0);
+  RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
   const std::size_t n = channel_->num_links();
-  assert(graph_.num_links() == n && "interference graph size must match the channel");
+  RTMAC_ASSERT(graph_.num_links() == n, "interference graph size must match the channel");
   link_counters_.resize(n);
   views_.resize(n);
   marks_.assign(n + 1, 0);
@@ -46,8 +47,8 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
 }
 
 void Medium::add_listener(MediumListener* listener, LinkId node) {
-  assert(listener != nullptr);
-  assert(node == kAllNodes || node < num_links());
+  RTMAC_REQUIRE(listener != nullptr);
+  RTMAC_REQUIRE(node == kAllNodes || node < num_links());
   listeners_.push_back(ListenerEntry{listener, node});
 }
 
@@ -108,8 +109,8 @@ void Medium::dispatch_marked(bool to_busy, TimePoint now) {
 }
 
 void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done) {
-  assert(link < channel_->num_links());
-  assert(airtime > Duration{} && "zero-airtime transmission");
+  RTMAC_REQUIRE(link < channel_->num_links());
+  RTMAC_REQUIRE(airtime > Duration{}, "zero-airtime transmission");
   if (dispatching_listeners_) {
     // Re-entrancy rule (see MediumListener): transmitting synchronously from
     // a busy/idle callback would let later listeners observe transitions out
@@ -167,7 +168,7 @@ void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, 
 void Medium::finish_transmission(std::uint64_t tx_id) {
   const auto it = std::find_if(active_.begin(), active_.end(),
                                [tx_id](const ActiveTx& tx) { return tx.id == tx_id; });
-  assert(it != active_.end() && "unknown transmission id");
+  RTMAC_ASSERT(it != active_.end(), "unknown transmission id");
 
   // Move the record out before invoking user code: the completion callback
   // may immediately start another transmission (back-to-back bursts).

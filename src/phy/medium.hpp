@@ -70,7 +70,9 @@ struct MediumCounters {
   std::uint64_t delivered = 0;       ///< data packets delivered
   std::uint64_t channel_losses = 0;  ///< clean data tx lost to Bernoulli(p)
   std::uint64_t collisions = 0;      ///< transmissions that collided
-  Duration busy_time;                ///< total airtime (any link transmitting)
+  Duration busy_time;                ///< summed transmission airtime; overlapping
+                                     ///< transmissions double-count (use
+                                     ///< sense_busy_time(kAllNodes) for occupancy)
   Duration collided_time;            ///< airtime wasted in collisions
 };
 

@@ -1,7 +1,8 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace rtmac::sim {
 
@@ -31,13 +32,13 @@ void EventQueue::skim_tombstones() {
 
 TimePoint EventQueue::next_time() {
   skim_tombstones();
-  assert(!heap_.empty() && "next_time() on empty queue");
+  RTMAC_REQUIRE(!heap_.empty(), "next_time() on empty queue");
   return heap_.top().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   skim_tombstones();
-  assert(!heap_.empty() && "pop() on empty queue");
+  RTMAC_REQUIRE(!heap_.empty(), "pop() on empty queue");
   // priority_queue::top() is const&; move out via const_cast, which is safe
   // because we pop the entry immediately after and never compare by callback.
   Entry& top = const_cast<Entry&>(heap_.top());

@@ -1,22 +1,23 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "util/check.hpp"
 
 namespace rtmac::sim {
 
 EventId Simulator::schedule_at(TimePoint at, EventQueue::Callback cb) {
-  assert(at >= now_ && "cannot schedule into the past");
+  RTMAC_REQUIRE(at >= now_, "cannot schedule into the past");
   return queue_.push(at, std::move(cb));
 }
 
 EventId Simulator::schedule_in(Duration delay, EventQueue::Callback cb) {
-  assert(!delay.is_negative() && "negative delay");
+  RTMAC_REQUIRE(!delay.is_negative(), "negative delay");
   return queue_.push(now_ + delay, std::move(cb));
 }
 
 void Simulator::dispatch(EventQueue::Popped popped) {
-  assert(popped.time >= now_ && "event queue returned an out-of-order event");
+  RTMAC_ASSERT(popped.time >= now_, "event queue returned an out-of-order event");
   now_ = popped.time;
   ++executed_;
   popped.callback();
@@ -30,7 +31,7 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(TimePoint horizon) {
-  assert(horizon >= now_ && "horizon is in the past");
+  RTMAC_REQUIRE(horizon >= now_, "horizon is in the past");
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
     dispatch(queue_.pop());

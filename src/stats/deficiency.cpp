@@ -1,13 +1,12 @@
 #include "stats/deficiency.hpp"
 
-#include <cassert>
-
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rtmac::stats {
 
 std::vector<double> per_link_deficiency(const LinkStatsCollector& stats, const RateVector& q) {
-  assert(q.size() == stats.num_links());
+  RTMAC_REQUIRE(q.size() == stats.num_links());
   std::vector<double> out(q.size());
   for (LinkId n = 0; n < q.size(); ++n) {
     out[n] = positive_part(q[n] - stats.timely_throughput(n));
@@ -23,10 +22,10 @@ double total_deficiency(const LinkStatsCollector& stats, const RateVector& q) {
 
 double group_deficiency(const LinkStatsCollector& stats, const RateVector& q,
                         const std::vector<LinkId>& group) {
-  assert(q.size() == stats.num_links());
+  RTMAC_REQUIRE(q.size() == stats.num_links());
   double total = 0.0;
   for (LinkId n : group) {
-    assert(n < q.size());
+    RTMAC_REQUIRE(n < q.size());
     total += positive_part(q[n] - stats.timely_throughput(n));
   }
   return total;

@@ -12,14 +12,14 @@ double jain_index(std::span<const double> xs) {
     sum += x;
     sum_sq += x * x;
   }
-  if (sum_sq == 0.0) return 1.0;
+  if (sum_sq == 0.0) return 1.0;  // lint-ok: float-equality exact-zero guard (all-idle input)
   return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
 }
 
 double min_max_ratio(std::span<const double> xs) {
   if (xs.empty()) return 1.0;
   const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
-  if (*mx == 0.0) return 1.0;
+  if (*mx == 0.0) return 1.0;  // lint-ok: float-equality exact-zero guard (division by max)
   return *mn / *mx;
 }
 

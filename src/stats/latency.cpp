@@ -1,8 +1,9 @@
 #include "stats/latency.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace rtmac::stats {
 
@@ -30,8 +31,8 @@ Duration LatencySample::max() const {
 }
 
 Duration LatencySample::quantile(double q) const {
-  assert(!samples_.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  RTMAC_REQUIRE(!samples_.empty());
+  RTMAC_REQUIRE(q >= 0.0 && q <= 1.0);
   ensure_sorted();
   const auto rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(samples_.size())));
@@ -40,7 +41,7 @@ Duration LatencySample::quantile(double q) const {
 }
 
 LatencySample delivery_latencies(const sim::Tracer& tracer, Duration interval_length) {
-  assert(interval_length > Duration{});
+  RTMAC_REQUIRE(interval_length > Duration{});
   LatencySample sample;
   for (const auto& e : tracer.events()) {
     if (e.kind != sim::TraceKind::kTxEnd) continue;

@@ -1,22 +1,22 @@
 #include "stats/link_stats.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace rtmac::stats {
 
 LinkStatsCollector::LinkStatsCollector(std::size_t num_links)
     : total_arrivals_(num_links, 0), total_delivered_(num_links, 0) {
-  assert(num_links > 0);
+  RTMAC_REQUIRE(num_links > 0);
 }
 
 void LinkStatsCollector::record(const std::vector<int>& arrivals,
                                 const std::vector<int>& delivered) {
-  assert(arrivals.size() == total_arrivals_.size());
-  assert(delivered.size() == total_delivered_.size());
+  RTMAC_REQUIRE(arrivals.size() == total_arrivals_.size());
+  RTMAC_REQUIRE(delivered.size() == total_delivered_.size());
   for (std::size_t n = 0; n < arrivals.size(); ++n) {
-    assert(delivered[n] >= 0 && delivered[n] <= arrivals[n] &&
-           "cannot deliver more than arrived (S_n(k) <= A_n(k))");
+    RTMAC_ASSERT(delivered[n] >= 0 && delivered[n] <= arrivals[n], "cannot deliver more than arrived (S_n(k) <= A_n(k))");
     total_arrivals_[n] += static_cast<std::uint64_t>(arrivals[n]);
     total_delivered_[n] += static_cast<std::uint64_t>(delivered[n]);
   }

@@ -1,7 +1,8 @@
 #include "stats/time_series.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace rtmac::stats {
 
@@ -16,7 +17,7 @@ std::vector<double> TimeSeries::cumulative_mean() const {
 }
 
 std::vector<double> TimeSeries::moving_average(std::size_t window) const {
-  assert(window >= 1);
+  RTMAC_REQUIRE(window >= 1);
   std::vector<double> out(values_.size());
   double running = 0.0;
   for (std::size_t k = 0; k < values_.size(); ++k) {

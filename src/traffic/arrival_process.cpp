@@ -1,9 +1,9 @@
 #include "traffic/arrival_process.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
+#include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rtmac::traffic {
@@ -11,7 +11,7 @@ namespace rtmac::traffic {
 // ---- BernoulliArrivals ------------------------------------------------------
 
 BernoulliArrivals::BernoulliArrivals(double lambda) : lambda_{lambda} {
-  assert(lambda >= 0.0 && lambda <= 1.0);
+  RTMAC_REQUIRE(lambda >= 0.0 && lambda <= 1.0);
 }
 
 int BernoulliArrivals::sample(Rng& rng) const { return rng.bernoulli(lambda_) ? 1 : 0; }
@@ -26,8 +26,8 @@ std::unique_ptr<ArrivalProcess> BernoulliArrivals::clone() const {
 
 UniformBurstyArrivals::UniformBurstyArrivals(double alpha, int lo, int hi)
     : alpha_{alpha}, lo_{lo}, hi_{hi} {
-  assert(alpha >= 0.0 && alpha <= 1.0);
-  assert(0 <= lo && lo <= hi);
+  RTMAC_REQUIRE(alpha >= 0.0 && alpha <= 1.0);
+  RTMAC_REQUIRE(0 <= lo && lo <= hi);
 }
 
 int UniformBurstyArrivals::sample(Rng& rng) const {
@@ -53,7 +53,7 @@ std::unique_ptr<ArrivalProcess> UniformBurstyArrivals::clone() const {
 
 // ---- ConstantArrivals -------------------------------------------------------
 
-ConstantArrivals::ConstantArrivals(int count) : count_{count} { assert(count >= 0); }
+ConstantArrivals::ConstantArrivals(int count) : count_{count} { RTMAC_REQUIRE(count >= 0); }
 
 int ConstantArrivals::sample(Rng&) const { return count_; }
 
@@ -71,13 +71,13 @@ std::unique_ptr<ArrivalProcess> ConstantArrivals::clone() const {
 
 GeneralDiscreteArrivals::GeneralDiscreteArrivals(std::vector<double> pmf)
     : pmf_{std::move(pmf)} {
-  assert(!pmf_.empty());
+  RTMAC_REQUIRE(!pmf_.empty());
   for (double p : pmf_) {
-    assert(p >= 0.0);
+    RTMAC_REQUIRE(p >= 0.0);
     (void)p;
   }
   const double total = normalize(pmf_);
-  assert(total > 0.0 && "pmf must have positive mass");
+  RTMAC_REQUIRE(total > 0.0, "pmf must have positive mass");
   (void)total;
   cdf_.resize(pmf_.size());
   std::partial_sum(pmf_.begin(), pmf_.end(), cdf_.begin());

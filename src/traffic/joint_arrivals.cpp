@@ -1,15 +1,15 @@
 #include "traffic/joint_arrivals.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace rtmac::traffic {
 
 IndependentArrivals::IndependentArrivals(
     std::vector<std::unique_ptr<ArrivalProcess>> marginals)
     : marginals_{std::move(marginals)} {
-  assert(!marginals_.empty());
+  RTMAC_REQUIRE(!marginals_.empty());
   for (const auto& m : marginals_) {
-    assert(m != nullptr);
+    RTMAC_REQUIRE(m != nullptr);
     (void)m;
   }
 }
@@ -36,10 +36,10 @@ std::unique_ptr<JointArrivalProcess> IndependentArrivals::clone() const {
 CommonShockBurstyArrivals::CommonShockBurstyArrivals(std::size_t num_links, double alpha,
                                                      double shock, int lo, int hi)
     : num_links_{num_links}, alpha_{alpha}, shock_{shock}, lo_{lo}, hi_{hi} {
-  assert(num_links >= 1);
-  assert(alpha >= 0.0 && alpha <= 1.0);
-  assert(shock >= 0.0 && shock <= alpha);
-  assert(0 <= lo && lo <= hi);
+  RTMAC_REQUIRE(num_links >= 1);
+  RTMAC_REQUIRE(alpha >= 0.0 && alpha <= 1.0);
+  RTMAC_REQUIRE(shock >= 0.0 && shock <= alpha);
+  RTMAC_REQUIRE(0 <= lo && lo <= hi);
   residual_alpha_ = shock_ >= 1.0 ? 0.0 : (alpha_ - shock_) / (1.0 - shock_);
 }
 

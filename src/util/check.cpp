@@ -1,0 +1,38 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtmac {
+
+namespace {
+
+std::atomic<std::uint64_t> g_failures{0};
+std::atomic<CheckFailureHandler> g_handler{nullptr};
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+std::uint64_t check_failures() { return g_failures.load(std::memory_order_relaxed); }
+
+namespace check_detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& message) {
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+  if (CheckFailureHandler handler = g_handler.load(std::memory_order_acquire);
+      handler != nullptr) {
+    handler(kind, expr, file, line, message);  // may throw: test path
+  }
+  std::fprintf(stderr, "%s:%d: %s(%s) failed%s%s\n", file, line, kind, expr,
+               message.empty() ? "" : ": ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_detail
+}  // namespace rtmac

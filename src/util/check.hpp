@@ -1,0 +1,116 @@
+// Contracts layer: RTMAC_ASSERT / RTMAC_REQUIRE / RTMAC_UNREACHABLE.
+//
+// Replaces <cassert> throughout the library so protocol invariants (DP
+// collision-freedom, permutation validity, interval-boundary gap rules) are
+// checkable outside Debug builds: defining RTMAC_CHECKED (cmake
+// -DRTMAC_CHECKED=ON) keeps every check active even under NDEBUG, which is
+// how Release CI exercises them against the golden figure CSVs.
+//
+// Semantics:
+//   RTMAC_REQUIRE(cond, ...)     precondition — the *caller* passed garbage
+//   RTMAC_ASSERT(cond, ...)      invariant — *this component's* state is broken
+//   RTMAC_UNREACHABLE(...)       control flow that must never be reached
+//                                (always active, even with checks disabled)
+//
+// Extra arguments are streamed into the failure message, e.g.
+//   RTMAC_ASSERT(pr >= 1, "priority ", pr, " out of range for N=", n);
+// A failure prints "file:line: RTMAC_ASSERT(expr) failed: message", bumps the
+// process-wide counter exported by the obs layer as `checks.failed`, then
+// aborts — unless a test installed a throwing handler via
+// set_check_failure_handler().
+//
+// When checks are disabled the condition and message arguments are parsed
+// but never evaluated (dead `if (false)` branch), so checks cannot bit-rot
+// in configurations that skip them and cannot perturb results in ones that
+// don't: a check has no observable side effect unless it fails.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#if !defined(NDEBUG) || defined(RTMAC_CHECKED)
+#define RTMAC_CHECKS_ENABLED 1
+#else
+#define RTMAC_CHECKS_ENABLED 0
+#endif
+
+namespace rtmac {
+
+/// True when RTMAC_ASSERT/RTMAC_REQUIRE are compiled in (Debug, or any build
+/// configured with RTMAC_CHECKED). Lets code skip building expensive state
+/// that exists only to be checked: `if constexpr (kChecksEnabled) { ... }`.
+inline constexpr bool kChecksEnabled = RTMAC_CHECKS_ENABLED != 0;
+
+/// Called on contract failure *instead of* the default print-and-abort.
+/// The handler may throw (tests use this to observe failures without dying);
+/// if it returns normally, the failure still aborts.
+using CheckFailureHandler = void (*)(const char* kind, const char* expr, const char* file,
+                                     int line, const std::string& message);
+
+/// Installs `handler` and returns the previous one (nullptr = default abort).
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Process-wide count of contract failures. Exported by the obs layer as the
+/// `checks.failed` counter; nonzero only when a throwing handler suppressed
+/// the abort (the default path never survives to report).
+[[nodiscard]] std::uint64_t check_failures();
+
+namespace check_detail {
+
+/// Out-of-line failure path: count, hand to the handler (which may throw),
+/// otherwise print and abort. Never returns normally.
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file, int line,
+                       const std::string& message);
+
+template <typename... Args>
+std::string format(Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+  }
+}
+
+/// Swallows arguments unevaluated when checks are compiled out.
+template <typename... Args>
+constexpr void discard(Args&&...) {}
+
+}  // namespace check_detail
+}  // namespace rtmac
+
+#define RTMAC_CHECK_IMPL_(kind, cond, ...)                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::rtmac::check_detail::fail(kind, #cond, __FILE__, __LINE__,      \
+                                  ::rtmac::check_detail::format(__VA_ARGS__)); \
+    }                                                                   \
+  } while (false)
+
+#define RTMAC_CHECK_DISCARD_(cond, ...)                                          \
+  do {                                                                           \
+    if (false) {                                                                 \
+      ::rtmac::check_detail::discard(!(cond)__VA_OPT__(, ) __VA_ARGS__);         \
+    }                                                                            \
+  } while (false)
+
+#if RTMAC_CHECKS_ENABLED
+/// Internal invariant: this component's own state must satisfy `cond`.
+#define RTMAC_ASSERT(cond, ...) RTMAC_CHECK_IMPL_("RTMAC_ASSERT", cond, __VA_ARGS__)
+/// Precondition: the caller must supply arguments satisfying `cond`.
+#define RTMAC_REQUIRE(cond, ...) RTMAC_CHECK_IMPL_("RTMAC_REQUIRE", cond, __VA_ARGS__)
+#else
+#define RTMAC_ASSERT(cond, ...) RTMAC_CHECK_DISCARD_(cond, __VA_ARGS__)
+#define RTMAC_REQUIRE(cond, ...) RTMAC_CHECK_DISCARD_(cond, __VA_ARGS__)
+#endif
+
+/// Marks control flow that must never execute. Always active (the cost is
+/// zero on the paths that matter: it only runs when the program is already
+/// broken), so switch defaults and exhausted lookups fail loudly even in
+/// plain Release builds.
+#define RTMAC_UNREACHABLE(...)                                                  \
+  ::rtmac::check_detail::fail("RTMAC_UNREACHABLE", "reached", __FILE__, __LINE__, \
+                              ::rtmac::check_detail::format(__VA_ARGS__))

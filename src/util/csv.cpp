@@ -1,7 +1,8 @@
 #include "util/csv.hpp"
 
-#include <cassert>
 #include <cstdio>
+
+#include "util/check.hpp"
 
 namespace rtmac {
 
@@ -24,7 +25,7 @@ std::string csv_escape(std::string_view value, char separator) {
 CsvWriter::CsvWriter(std::ostream& out, char separator) : out_{out}, sep_{separator} {}
 
 void CsvWriter::header(const std::vector<std::string>& columns) {
-  assert(!header_written_ && rows_ == 0 && "header must precede all rows");
+  RTMAC_REQUIRE(!header_written_ && rows_ == 0, "header must precede all rows");
   header_written_ = true;
   bool first = true;
   for (const auto& c : columns) {
@@ -36,7 +37,7 @@ void CsvWriter::header(const std::vector<std::string>& columns) {
 }
 
 void CsvWriter::comment(std::string_view text) {
-  assert(!row_open_ && "comment must not split a row");
+  RTMAC_REQUIRE(!row_open_, "comment must not split a row");
   out_ << "# " << text << '\n';
 }
 

@@ -1,7 +1,8 @@
 #include "util/math.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace rtmac {
 
@@ -21,7 +22,7 @@ double sample_variance(std::span<const double> xs) {
 }
 
 double total_variation(std::span<const double> p, std::span<const double> q) {
-  assert(p.size() == q.size());
+  RTMAC_REQUIRE(p.size() == q.size());
   double s = 0.0;
   for (std::size_t i = 0; i < p.size(); ++i) s += std::abs(p[i] - q[i]);
   return 0.5 * s;

@@ -1,15 +1,16 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+
+#include "util/check.hpp"
 
 namespace rtmac {
 
 TablePrinter::TablePrinter(std::vector<std::string> columns) : columns_{std::move(columns)} {}
 
 void TablePrinter::add_row(std::vector<std::string> cells) {
-  assert(cells.size() == columns_.size() && "row arity must match header");
+  RTMAC_REQUIRE(cells.size() == columns_.size(), "row arity must match header");
   rows_.push_back(std::move(cells));
 }
 

@@ -96,7 +96,9 @@ TEST(RegistryTest, HandlesAreStableAndGetOrCreate) {
   c1.inc(3);
   // Same name -> same instrument; creating others must not invalidate it.
   for (int i = 0; i < 100; ++i) {
-    reg.gauge("g" + std::to_string(i));
+    std::string name = "g";  // two-step append: gcc 12 -O2 misfires -Wrestrict on "g" + to_string(i)
+    name += std::to_string(i);
+    reg.gauge(name);
   }
   Counter& c2 = reg.counter("a.count");
   EXPECT_EQ(&c1, &c2);
@@ -221,6 +223,29 @@ TEST(ObservabilityTest, CollectWorksWithoutLiveAttachment) {
   }
   EXPECT_GE(registry.gauge("net.deficiency").value(), 0.0);
   EXPECT_DOUBLE_EQ(registry.gauge("net.intervals").value(), 20.0);
+}
+
+// Regression: phy.busy_fraction must be channel occupancy (union of busy
+// periods), not summed airtime over sim time. Under a colliding scheme the
+// summed airtime double-counts overlaps and can exceed the sim duration, so
+// the old computation reported a "fraction" above 1.
+TEST(ObservabilityTest, BusyFractionStaysAFractionUnderCollisions) {
+  net::Network network{expfw::video_symmetric(0.9, 0.9, 79), expfw::fcsma_factory()};
+  network.run(40);
+  ASSERT_GT(network.medium().counters().collisions, 0u)
+      << "scenario must actually collide to exercise the overlap accounting";
+
+  MetricsRegistry registry;
+  collect_network_metrics(registry, network);
+  const double busy = registry.gauge("phy.busy_fraction").value();
+  const double airtime = registry.gauge("phy.airtime_fraction").value();
+  const double sim_seconds = network.simulator().now().seconds_f();
+  EXPECT_GT(busy, 0.0);
+  EXPECT_LE(busy, 1.0);
+  EXPECT_DOUBLE_EQ(
+      busy, network.medium().sense_busy_time(phy::Medium::kAllNodes).seconds_f() / sim_seconds);
+  // Overlap is exactly the gap between summed airtime and occupancy.
+  EXPECT_GT(airtime, busy);
 }
 
 }  // namespace

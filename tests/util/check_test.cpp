@@ -1,0 +1,120 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace rtmac {
+namespace {
+
+struct CapturedFailure {
+  std::string kind;
+  std::string expr;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+CapturedFailure g_last;
+
+struct CheckFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Handlers are plain function pointers, so the capture goes through globals.
+void throwing_handler(const char* kind, const char* expr, const char* file, int line,
+                      const std::string& message) {
+  g_last = {kind, expr, file, line, message};
+  throw CheckFailure(message);
+}
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_ = set_check_failure_handler(&throwing_handler);
+    g_last = {};
+  }
+  void TearDown() override { set_check_failure_handler(prev_); }
+
+  CheckFailureHandler prev_ = nullptr;
+};
+
+TEST_F(CheckTest, UnreachableFiresInEveryConfiguration) {
+  const auto before = check_failures();
+  EXPECT_THROW(RTMAC_UNREACHABLE("bad scheme id ", 7), CheckFailure);
+  EXPECT_EQ(check_failures(), before + 1);
+  EXPECT_EQ(g_last.kind, "RTMAC_UNREACHABLE");
+  EXPECT_EQ(g_last.message, "bad scheme id 7");
+  EXPECT_NE(g_last.file.find("check_test.cpp"), std::string::npos);
+  EXPECT_GT(g_last.line, 0);
+}
+
+TEST_F(CheckTest, PassingChecksAreSilent) {
+  const auto before = check_failures();
+  RTMAC_ASSERT(1 + 1 == 2, "never formatted");
+  RTMAC_REQUIRE(true);
+  EXPECT_EQ(check_failures(), before);
+}
+
+TEST_F(CheckTest, FailingAssertReportsKindExprAndFormattedMessage) {
+  if (!kChecksEnabled) {
+    GTEST_SKIP() << "contracts compiled out (NDEBUG without RTMAC_CHECKED)";
+  }
+  const auto before = check_failures();
+  const int pr = 9;
+  const int n = 4;
+  EXPECT_THROW(RTMAC_ASSERT(pr <= n, "priority ", pr, " out of range for N=", n), CheckFailure);
+  EXPECT_EQ(check_failures(), before + 1);
+  EXPECT_EQ(g_last.kind, "RTMAC_ASSERT");
+  EXPECT_EQ(g_last.expr, "pr <= n");
+  EXPECT_EQ(g_last.message, "priority 9 out of range for N=4");
+}
+
+TEST_F(CheckTest, FailingRequireReportsRequireKind) {
+  if (!kChecksEnabled) {
+    GTEST_SKIP() << "contracts compiled out (NDEBUG without RTMAC_CHECKED)";
+  }
+  const double mu = 1.5;
+  EXPECT_THROW(RTMAC_REQUIRE(mu < 1.0, "mu must lie in (0,1), got ", mu), CheckFailure);
+  EXPECT_EQ(g_last.kind, "RTMAC_REQUIRE");
+  EXPECT_EQ(g_last.message, "mu must lie in (0,1), got 1.5");
+}
+
+TEST_F(CheckTest, MessageWithNoArgsIsEmpty) {
+  if (!kChecksEnabled) {
+    GTEST_SKIP() << "contracts compiled out (NDEBUG without RTMAC_CHECKED)";
+  }
+  EXPECT_THROW(RTMAC_ASSERT(false), CheckFailure);
+  EXPECT_EQ(g_last.message, "");
+}
+
+TEST_F(CheckTest, ConditionEvaluatedExactlyWhenChecksEnabled) {
+  int evaluations = 0;
+  auto pred = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  RTMAC_ASSERT(pred(), "side-effect probe");
+  EXPECT_EQ(evaluations, kChecksEnabled ? 1 : 0);
+}
+
+TEST_F(CheckTest, MessageArgsNeverEvaluatedOnSuccess) {
+  // The message is formatted only on the failure path, so a passing check has
+  // zero observable cost beyond the condition itself.
+  int message_evals = 0;
+  auto expensive = [&message_evals] {
+    ++message_evals;
+    return std::string("costly");
+  };
+  RTMAC_ASSERT(true, expensive());
+  EXPECT_EQ(message_evals, 0);
+}
+
+TEST(CheckHandlerTest, SetHandlerReturnsPreviousHandler) {
+  CheckFailureHandler original = set_check_failure_handler(&throwing_handler);
+  EXPECT_EQ(set_check_failure_handler(original), &throwing_handler);
+}
+
+}  // namespace
+}  // namespace rtmac

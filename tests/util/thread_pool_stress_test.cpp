@@ -1,0 +1,195 @@
+// Stress tests for the help-executing ThreadPool. This is the suite the TSan
+// CI lane runs hot: every test hammers the submit/wait paths from multiple
+// threads at once so data races in the queue, the nested-wait help loop, or
+// the shutdown path surface as sanitizer reports rather than rare flakes.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "expfw/runner.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac {
+namespace {
+
+// Deterministic stand-in for a sweep cell: hash-mix the slot index a few
+// thousand times. Heavy enough to overlap tasks, cheap enough to run
+// thousands of them under TSan.
+std::uint64_t burn(std::uint64_t slot) {
+  std::uint64_t h = mix64(slot, slot + 1);
+  for (int i = 0; i < 2000; ++i) h = mix64(h, slot);
+  return h;
+}
+
+TEST(ThreadPoolStress, ManyPoolsManyTasksMatchSerialReference) {
+  // Pool construction/destruction itself races against worker startup if the
+  // shutdown path is wrong, so cycle whole pools, not just tasks.
+  constexpr std::size_t kTasks = 256;
+  std::vector<std::uint64_t> reference(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) reference[i] = burn(i);
+
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    for (int round = 0; round < 3; ++round) {
+      ThreadPool pool(threads);
+      std::vector<std::uint64_t> results(kTasks, 0);
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasks);
+      for (std::size_t i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([i, &results] { results[i] = burn(i); }));
+      }
+      pool.wait_all(futures);
+      EXPECT_EQ(results, reference) << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, SweepSeedsAreScheduleIndependent) {
+  // The property the whole parallel sweep engine rests on: per-cell seeds
+  // depend only on (base, scheme, x, rep), never on which worker ran the cell
+  // or in what order. Compute the full seed grid serially, then in parallel
+  // with results written to pre-assigned slots, and require equality.
+  constexpr std::uint64_t kBase = 0x9e3779b97f4a7c15ull;
+  const std::vector<std::string> schemes = {"dp", "db-dp", "fcsma", "dcf"};
+  constexpr std::size_t kXs = 16;
+  constexpr std::size_t kReps = 8;
+
+  std::vector<std::uint64_t> serial;
+  serial.reserve(schemes.size() * kXs * kReps);
+  for (const auto& scheme : schemes) {
+    for (std::size_t x = 0; x < kXs; ++x) {
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        serial.push_back(expfw::sweep_seed(kBase, scheme, x, rep));
+      }
+    }
+  }
+
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> parallel(serial.size(), 0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(serial.size());
+  std::size_t slot = 0;
+  for (const auto& scheme : schemes) {
+    for (std::size_t x = 0; x < kXs; ++x) {
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        futures.push_back(pool.submit([&parallel, slot, &scheme, x, rep] {
+          parallel[slot] = expfw::sweep_seed(kBase, scheme, x, rep);
+        }));
+        ++slot;
+      }
+    }
+  }
+  pool.wait_all(futures);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPoolStress, NestedSubmitAndWaitFromPoolThreadsDoesNotDeadlock) {
+  // Tasks that themselves fan out and wait — the shape the figure sweeps use
+  // (scheme task -> per-rep subtasks). With help-execution this must complete
+  // even when every worker is blocked inside a nested wait_all.
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kOuter = 12;
+    constexpr std::size_t kInner = 24;
+    std::vector<std::future<std::uint64_t>> outer;
+    outer.reserve(kOuter);
+    for (std::size_t o = 0; o < kOuter; ++o) {
+      outer.push_back(pool.submit([o, &pool] {
+        std::vector<std::future<std::uint64_t>> inner;
+        inner.reserve(kInner);
+        for (std::size_t i = 0; i < kInner; ++i) {
+          inner.push_back(pool.submit([o, i] { return burn(o * 1000 + i); }));
+        }
+        pool.wait_all(inner);
+        std::uint64_t acc = 0;
+        for (auto& f : inner) acc ^= f.get();
+        return acc;
+      }));
+    }
+    pool.wait_all(outer);
+    for (std::size_t o = 0; o < kOuter; ++o) {
+      std::uint64_t expected = 0;
+      for (std::size_t i = 0; i < kInner; ++i) expected ^= burn(o * 1000 + i);
+      EXPECT_EQ(outer[o].get(), expected) << "threads=" << threads << " o=" << o;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, ExceptionsPropagateUnderContention) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::future<std::uint64_t>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([i]() -> std::uint64_t {
+      if (i % 7 == 3) throw std::runtime_error("task " + std::to_string(i));
+      return burn(i);
+    }));
+  }
+  pool.wait_all(futures);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    if (i % 7 == 3) {
+      EXPECT_THROW(futures[i].get(), std::runtime_error) << i;
+    } else {
+      EXPECT_EQ(futures[i].get(), burn(i)) << i;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, DestructorDrainsEverySubmittedTask) {
+  // The destructor contract: every task already submitted runs before join.
+  // Submit from several external threads racing the pool's destruction.
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerSubmitter = 64;
+  std::atomic<std::uint64_t> executed{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&pool, &executed] {
+        for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+          pool.submit([&executed, i] {
+            burn(i);
+            executed.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    // Pool destructor runs here and must drain the queue.
+  }
+  EXPECT_EQ(executed.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(ThreadPoolStress, WaitUntilHelpsFromManyThreadsAtOnce) {
+  // Several external threads all help-execute against one pool while it is
+  // also running its own workers — the maximum-contention shape for run_one().
+  ThreadPool pool(2);
+  constexpr std::size_t kTasks = 512;
+  std::atomic<std::size_t> done{0};
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&done, i] {
+      burn(i);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::vector<std::thread> helpers;
+  for (std::size_t h = 0; h < 3; ++h) {
+    helpers.emplace_back(
+        [&pool, &done] { pool.wait_until([&done] { return done.load() == kTasks; }); });
+  }
+  pool.wait_until([&done] { return done.load() == kTasks; });
+  for (auto& t : helpers) t.join();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+}  // namespace
+}  // namespace rtmac

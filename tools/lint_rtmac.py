@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism / correctness lint for rtmac.
+
+Enforces the coding rules the repo's guarantees depend on but clang-tidy
+cannot express:
+
+  wall-clock          No wall/monotonic clock reads outside src/util/ and the
+                      quarantined profiler (expfw/runner.cpp, expfw/observe.cpp).
+                      Sweep output must be a pure function of (config, seed);
+                      a stray clock read is how nondeterminism sneaks in.
+  nondet-rng          No std::rand/srand, std::random_device, or
+                      default_random_engine anywhere. All randomness flows
+                      from util/rng.hpp streams derived from the root seed.
+  unordered-iteration No iteration over unordered containers: their order is
+                      implementation-defined, so any loop over one can leak
+                      scheduling/hash noise into results. Keyed lookups are
+                      fine; iterate a sorted or indexed container instead.
+  float-equality      No ==/!= on floating-point values in src/stats/ (the
+                      layer that aggregates results): exact comparison on
+                      accumulated doubles is almost always a latent bug.
+  raw-assert          No assert()/<cassert> in src/: use RTMAC_ASSERT /
+                      RTMAC_REQUIRE / RTMAC_UNREACHABLE (util/check.hpp) so
+                      invariants stay checkable in Release via RTMAC_CHECKED.
+  header-self-contained
+                      Every header under src/ must compile on its own
+                      (g++ -fsyntax-only), so include order never matters.
+
+Suppress a finding by appending a justification on the same line:
+
+    if (sum_sq == 0.0) return 1.0;  // lint-ok: float-equality exact zero guard
+
+The rule name is required; a human-readable reason after it is expected.
+
+Exit status: 0 clean, 1 violations, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SOURCE_GLOBS = ("*.cpp", "*.hpp")
+
+# Directories scanned for each textual rule, relative to the repo root.
+RULE_SCOPES = {
+    "wall-clock": ("src",),
+    "nondet-rng": ("src", "bench", "tests", "examples"),
+    "unordered-iteration": ("src",),
+    "float-equality": ("src/stats",),
+    "raw-assert": ("src",),
+}
+
+# Files (or directories, trailing "/") exempt from a rule. Keep this list
+# tiny and justified.
+ALLOWLISTS = {
+    "wall-clock": (
+        # util/ owns the time abstraction; anything wall-clock-shaped that
+        # ever lands there is at least behind the library's own API.
+        "src/util/",
+        # The engine profiler measures wall time by design; its output is
+        # quarantined to profile.jsonl / profile gauges, never sim-domain data.
+        "src/expfw/runner.cpp",
+        "src/expfw/observe.cpp",
+    ),
+}
+
+SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
+
+WALL_CLOCK_RE = re.compile(
+    r"steady_clock|system_clock|high_resolution_clock|file_clock"
+    r"|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b"
+    r"|\bstrftime\b|\bstd::time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+    r"|\bstd::clock\s*\("
+)
+
+NONDET_RNG_RE = re.compile(
+    r"\brandom_device\b|\bdefault_random_engine\b|\bstd::rand\b"
+    r"|(?<![\w:])s?rand\s*\("
+)
+
+RAW_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(|<cassert>")
+
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)[fF]?"
+FLOAT_EQ_LITERAL_RE = re.compile(
+    rf"(?:{FLOAT_LITERAL}\s*[=!]=)|(?:[=!]=\s*{FLOAT_LITERAL})"
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^)]*)\)")
+
+COMMENT_RE = re.compile(r"//.*$")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _suppressed(line, rule):
+    m = SUPPRESS_RE.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def _code_part(line):
+    """The line with any trailing // comment stripped (string-naive but the
+    tree keeps clock/rng identifiers out of string literals)."""
+    return COMMENT_RE.sub("", line)
+
+
+def _scan_regex(path, text, rule, regex, message):
+    out = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if regex.search(_code_part(line)) and not _suppressed(line, rule):
+            out.append(Violation(path, i, rule, message))
+    return out
+
+
+def check_wall_clock(path, text):
+    return _scan_regex(
+        path, text, "wall-clock", WALL_CLOCK_RE,
+        "wall-clock read outside util/ and the quarantined profiler "
+        "(sim results must be a pure function of the seed)")
+
+
+def check_nondet_rng(path, text):
+    return _scan_regex(
+        path, text, "nondet-rng", NONDET_RNG_RE,
+        "nondeterministically seeded / non-reproducible RNG "
+        "(use util/rng.hpp streams derived from the root seed)")
+
+
+def check_raw_assert(path, text):
+    return _scan_regex(
+        path, text, "raw-assert", RAW_ASSERT_RE,
+        "raw assert/<cassert> (use RTMAC_ASSERT/RTMAC_REQUIRE/"
+        "RTMAC_UNREACHABLE from util/check.hpp)")
+
+
+def check_float_equality(path, text):
+    out = []
+    double_names = set()
+    for line in text.splitlines():
+        for m in re.finditer(r"\b(?:double|float)\s+(\w+)\s*[={;,)]",
+                             _code_part(line)):
+            double_names.add(m.group(1))
+    name_eq = (
+        re.compile(
+            r"\b(" + "|".join(re.escape(n) for n in sorted(double_names)) +
+            r")\s*[=!]=(?!=)|[=!]=\s*\b(" +
+            "|".join(re.escape(n) for n in sorted(double_names)) + r")\b")
+        if double_names else None)
+    for i, line in enumerate(text.splitlines(), 1):
+        code = _code_part(line)
+        hit = FLOAT_EQ_LITERAL_RE.search(code)
+        if not hit and name_eq is not None:
+            hit = name_eq.search(code)
+        if hit and not _suppressed(line, "float-equality"):
+            out.append(Violation(
+                path, i, "float-equality",
+                "exact ==/!= on floating-point in stats/ "
+                "(compare against a tolerance, or suppress for exact-zero "
+                "guards with lint-ok)"))
+    return out
+
+
+def check_unordered_iteration(path, text):
+    out = []
+    names = set()
+    for line in text.splitlines():
+        for m in UNORDERED_DECL_RE.finditer(_code_part(line)):
+            names.add(m.group(1))
+    for i, line in enumerate(text.splitlines(), 1):
+        code = _code_part(line)
+        for m in RANGE_FOR_RE.finditer(code):
+            seq = m.group(2).strip()
+            seq_id = re.sub(r"^[\w.\->]*?(\w+)\s*(?:\(\s*\))?$", r"\1", seq)
+            if "unordered" in seq or seq_id in names or seq in names:
+                if not _suppressed(line, "unordered-iteration"):
+                    out.append(Violation(
+                        path, i, "unordered-iteration",
+                        f"iteration over unordered container '{seq}' "
+                        "(implementation-defined order can leak into "
+                        "results; iterate a sorted/indexed view)"))
+    return out
+
+
+TEXT_RULES = {
+    "wall-clock": check_wall_clock,
+    "nondet-rng": check_nondet_rng,
+    "unordered-iteration": check_unordered_iteration,
+    "float-equality": check_float_equality,
+    "raw-assert": check_raw_assert,
+}
+
+
+def scan_tree(root):
+    violations = []
+    for rule, scopes in RULE_SCOPES.items():
+        checker = TEXT_RULES[rule]
+        allow = ALLOWLISTS.get(rule, ())
+        allow_files = {root / p for p in allow if not p.endswith("/")}
+        allow_dirs = tuple(root / p for p in allow if p.endswith("/"))
+        for scope in scopes:
+            base = root / scope
+            if not base.is_dir():
+                continue
+            for glob in SOURCE_GLOBS:
+                for path in sorted(base.rglob(glob)):
+                    if path in allow_files or any(
+                            path.is_relative_to(d) for d in allow_dirs):
+                        continue
+                    violations.extend(
+                        checker(path.relative_to(root), path.read_text()))
+    return violations
+
+
+def find_compiler():
+    for cand in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def check_headers(root, jobs=0):
+    """Compile every header under src/ on its own; returns violations."""
+    compiler = find_compiler()
+    if compiler is None:
+        print("lint_rtmac: no C++ compiler found, skipping "
+              "header-self-contained", file=sys.stderr)
+        return []
+    headers = sorted((root / "src").rglob("*.hpp"))
+    jobs = jobs or os.cpu_count() or 1
+
+    def compile_one(header):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cpp", delete=False) as tu:
+            tu.write(f'#include "{header.relative_to(root / "src")}"\n')
+            tu_path = tu.name
+        try:
+            proc = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only",
+                 "-I", str(root / "src"), tu_path],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first_error = next(
+                    (l for l in proc.stderr.splitlines() if "error" in l),
+                    proc.stderr.strip().splitlines()[0]
+                    if proc.stderr.strip() else "compile failed")
+                return Violation(
+                    header.relative_to(root), 1, "header-self-contained",
+                    f"header does not compile standalone: {first_error}")
+            return None
+        finally:
+            os.unlink(tu_path)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        results = list(pool.map(compile_one, headers))
+    return [v for v in results if v is not None]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the repo containing "
+                             "this script)")
+    parser.add_argument("--no-headers", action="store_true",
+                        help="skip the header-self-contained compile check")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel header compiles (default: cpu count)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"lint_rtmac: {root} has no src/ directory", file=sys.stderr)
+        return 2
+
+    violations = scan_tree(root)
+    if not args.no_headers:
+        violations.extend(check_headers(root, args.jobs))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_rtmac: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_rtmac: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

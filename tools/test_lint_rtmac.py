@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_rtmac.py: each rule must catch a seeded
+violation, honor lint-ok suppressions, and respect its allowlist."""
+
+import shutil
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_rtmac  # noqa: E402
+
+
+def violations_in(checker, text, path=Path("src/fake.cpp")):
+    return checker(path, text)
+
+
+class WallClockRule(unittest.TestCase):
+    def test_catches_steady_clock(self):
+        v = violations_in(lint_rtmac.check_wall_clock,
+                          "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual([x.rule for x in v], ["wall-clock"])
+
+    def test_catches_time_nullptr(self):
+        v = violations_in(lint_rtmac.check_wall_clock,
+                          "seed = time(nullptr);\n")
+        self.assertEqual(len(v), 1)
+
+    def test_virtual_time_is_fine(self):
+        v = violations_in(lint_rtmac.check_wall_clock,
+                          "TimePoint t = sim_.now() + Duration::seconds(1);\n")
+        self.assertEqual(v, [])
+
+    def test_comment_mention_is_fine(self):
+        v = violations_in(lint_rtmac.check_wall_clock,
+                          "int x = 0;  // unlike steady_clock, virtual time\n")
+        self.assertEqual(v, [])
+
+    def test_suppression(self):
+        v = violations_in(
+            lint_rtmac.check_wall_clock,
+            "auto t = std::chrono::steady_clock::now();"
+            "  // lint-ok: wall-clock profiler only\n")
+        self.assertEqual(v, [])
+
+
+class NondetRngRule(unittest.TestCase):
+    def test_catches_random_device(self):
+        v = violations_in(lint_rtmac.check_nondet_rng,
+                          "std::mt19937 g{std::random_device{}()};\n")
+        self.assertEqual([x.rule for x in v], ["nondet-rng"])
+
+    def test_catches_rand(self):
+        v = violations_in(lint_rtmac.check_nondet_rng,
+                          "int r = rand() % 6;\nsrand(42);\n")
+        self.assertEqual(len(v), 2)
+
+    def test_repo_rng_is_fine(self):
+        v = violations_in(lint_rtmac.check_nondet_rng,
+                          "Rng rng{seed, stream_id};\n"
+                          "double u = rng.next_double();\n")
+        self.assertEqual(v, [])
+
+
+class UnorderedIterationRule(unittest.TestCase):
+    def test_catches_iteration_over_member(self):
+        text = ("std::unordered_map<int, double> weights_;\n"
+                "void f() { for (const auto& [k, w] : weights_) use(k, w); }\n")
+        v = violations_in(lint_rtmac.check_unordered_iteration, text)
+        self.assertEqual([x.rule for x in v], ["unordered-iteration"])
+
+    def test_lookup_is_fine(self):
+        text = ("std::unordered_map<int, double> weights_;\n"
+                "double g(int k) { return weights_.at(k); }\n")
+        v = violations_in(lint_rtmac.check_unordered_iteration, text)
+        self.assertEqual(v, [])
+
+    def test_vector_iteration_is_fine(self):
+        text = ("std::vector<double> xs_;\n"
+                "void f() { for (double x : xs_) use(x); }\n")
+        v = violations_in(lint_rtmac.check_unordered_iteration, text)
+        self.assertEqual(v, [])
+
+    def test_suppression(self):
+        text = ("std::unordered_set<int> seen_;\n"
+                "void f() { for (int s : seen_) total += s; }"
+                "  // lint-ok: unordered-iteration commutative sum\n")
+        v = violations_in(lint_rtmac.check_unordered_iteration, text)
+        self.assertEqual(v, [])
+
+
+class FloatEqualityRule(unittest.TestCase):
+    def test_catches_literal_comparison(self):
+        v = violations_in(lint_rtmac.check_float_equality,
+                          "if (ratio == 1.0) return;\n")
+        self.assertEqual([x.rule for x in v], ["float-equality"])
+
+    def test_catches_double_variable_comparison(self):
+        text = ("double mean = compute();\n"
+                "if (mean == target) return;\n")
+        v = violations_in(lint_rtmac.check_float_equality, text)
+        self.assertEqual(len(v), 1)
+
+    def test_integer_comparison_is_fine(self):
+        v = violations_in(lint_rtmac.check_float_equality,
+                          "if (count == 0) return;\n")
+        self.assertEqual(v, [])
+
+    def test_suppression(self):
+        v = violations_in(
+            lint_rtmac.check_float_equality,
+            "if (x == 0.0) return 1.0;  // lint-ok: float-equality guard\n")
+        self.assertEqual(v, [])
+
+
+class RawAssertRule(unittest.TestCase):
+    def test_catches_assert_and_include(self):
+        text = "#include <cassert>\nvoid f() { assert(x > 0); }\n"
+        v = violations_in(lint_rtmac.check_raw_assert, text)
+        self.assertEqual(len(v), 2)
+
+    def test_contracts_are_fine(self):
+        text = ('#include "util/check.hpp"\n'
+                "void f() { RTMAC_ASSERT(x > 0); RTMAC_REQUIRE(y >= 0); }\n")
+        v = violations_in(lint_rtmac.check_raw_assert, text)
+        self.assertEqual(v, [])
+
+    def test_static_assert_is_fine(self):
+        v = violations_in(lint_rtmac.check_raw_assert,
+                          "static_assert(sizeof(int) == 4);\n")
+        self.assertEqual(v, [])
+
+
+class TreeScanAndAllowlist(unittest.TestCase):
+    def make_tree(self):
+        root = Path(tempfile.mkdtemp(prefix="lint_rtmac_test_"))
+        self.addCleanup(shutil.rmtree, root)
+        (root / "src" / "util").mkdir(parents=True)
+        (root / "src" / "expfw").mkdir(parents=True)
+        return root
+
+    def test_allowlisted_profiler_passes_wall_clock(self):
+        root = self.make_tree()
+        (root / "src" / "expfw" / "runner.cpp").write_text(
+            "auto t = std::chrono::steady_clock::now();\n")
+        (root / "src" / "util" / "stopwatch.cpp").write_text(
+            "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(lint_rtmac.scan_tree(root), [])
+
+    def test_unquarantined_wall_clock_fails(self):
+        root = self.make_tree()
+        (root / "src" / "mac").mkdir()
+        (root / "src" / "mac" / "bad.cpp").write_text(
+            "auto t = std::chrono::steady_clock::now();\n")
+        v = lint_rtmac.scan_tree(root)
+        self.assertEqual([x.rule for x in v], ["wall-clock"])
+        self.assertIn("mac/bad.cpp", str(v[0]))
+
+
+@unittest.skipIf(lint_rtmac.find_compiler() is None, "no C++ compiler")
+class HeaderSelfContainedRule(unittest.TestCase):
+    def make_tree(self):
+        root = Path(tempfile.mkdtemp(prefix="lint_rtmac_hdr_"))
+        self.addCleanup(shutil.rmtree, root)
+        (root / "src").mkdir()
+        return root
+
+    def test_catches_missing_include(self):
+        root = self.make_tree()
+        (root / "src" / "broken.hpp").write_text(
+            "#pragma once\n"
+            "inline std::string label() { return {}; }  // needs <string>\n")
+        v = lint_rtmac.check_headers(root)
+        self.assertEqual([x.rule for x in v], ["header-self-contained"])
+
+    def test_self_contained_header_passes(self):
+        root = self.make_tree()
+        (root / "src" / "good.hpp").write_text(
+            "#pragma once\n#include <string>\n"
+            "inline std::string label() { return {}; }\n")
+        self.assertEqual(lint_rtmac.check_headers(root), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
