@@ -44,7 +44,7 @@ void BackoffEngine::account_freeze(Duration frozen_for) {
   }
 }
 
-void BackoffEngine::start(int count, std::function<void()> on_expire) {
+void BackoffEngine::start(int count, ExpiryCallback on_expire) {
   RTMAC_ASSERT(count >= 0);
   stop();
   running_ = true;

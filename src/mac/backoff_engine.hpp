@@ -14,11 +14,11 @@
 // partner's.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace rtmac::mac {
@@ -38,11 +38,15 @@ class BackoffEngine final : public phy::MediumListener {
   BackoffEngine(const BackoffEngine&) = delete;
   BackoffEngine& operator=(const BackoffEngine&) = delete;
 
+  /// Expiry callback type: inline-stored, so arming a countdown never
+  /// allocates (protocol state machines re-arm every interval).
+  using ExpiryCallback = util::InplaceFunction<void()>;
+
   /// Arms the countdown at `count` slots (count >= 0). `on_expire` fires
   /// through the event queue when the counter reaches zero (a count of 0
   /// on an idle medium expires after a zero-delay event hop, preserving the
   /// no-synchronous-transmit rule). Any previous countdown is discarded.
-  void start(int count, std::function<void()> on_expire);
+  void start(int count, ExpiryCallback on_expire);
 
   /// Disarms; freeze records are kept until the next start().
   void stop();
@@ -96,7 +100,7 @@ class BackoffEngine final : public phy::MediumListener {
   int count_at_resume_ = 0;
   sim::EventId expiry_event_;
   bool expired_ = false;
-  std::function<void()> on_expire_;
+  ExpiryCallback on_expire_;
   std::vector<int> freeze_values_;
 
   Duration total_frozen_;

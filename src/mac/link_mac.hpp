@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <functional>  // lint-ok: std-function factory type below, config-time only
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +55,8 @@ struct SchemeContext {
 };
 
 /// Factory used by the Network to instantiate the scheme under test.
-using SchemeFactory = std::function<std::unique_ptr<MacScheme>(const SchemeContext&)>;
+// Copyable by design: sweep runners hand the same factory to many Networks.
+// Setup-time only, so std::function's allocation behaviour is irrelevant.
+using SchemeFactory = std::function<std::unique_ptr<MacScheme>(const SchemeContext&)>;  // lint-ok: std-function copyable config-time factory
 
 }  // namespace rtmac::mac

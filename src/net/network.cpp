@@ -20,6 +20,9 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
     std::fprintf(stderr, "rtmac: invalid NetworkConfig: %s\n", error.c_str());
     std::abort();
   }
+  // Pre-size the engine's slot pool and heap so a steady-state run never
+  // reallocates (engine.events.reallocs proves it in the metrics export).
+  sim_.reserve_events(config_.event_capacity_hint());
   if (config_.channel_factory) {
     auto channel = config_.channel_factory();
     RTMAC_REQUIRE(channel != nullptr && channel->num_links() == config_.num_links(), "channel model size must match the network");

@@ -53,6 +53,16 @@ bool NetworkConfig::validate(std::string* error) const {
   return true;
 }
 
+std::size_t NetworkConfig::event_capacity_hint() const {
+  // Per-link per-interval transmission budget (>= 1 by validate()'s
+  // interval >= data_airtime rule), plus a couple of slots per link for the
+  // backoff expiry and completion event that can be pending simultaneously,
+  // plus fixed slack for harness events (interval boundaries, observers).
+  const auto per_link =
+      static_cast<std::size_t>(phy.transmissions_per_interval(interval_length)) + 2;
+  return num_links() * per_link + 16;
+}
+
 NetworkConfig NetworkConfig::clone() const {
   NetworkConfig copy;
   copy.interval_length = interval_length;

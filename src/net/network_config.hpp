@@ -47,6 +47,16 @@ struct NetworkConfig {
 
   [[nodiscard]] std::size_t num_links() const { return success_prob.size(); }
 
+  /// Upper bound on concurrently-pending engine events, used to pre-size the
+  /// Simulator's slot pool and heap so steady state never reallocates
+  /// (engine.events.reallocs stays 0). Derived from the interval structure:
+  /// per link at most one backoff expiry plus one in-flight completion is
+  /// pending at any instant, but we budget a full per-interval transmission
+  /// schedule per link (links x transmissions-per-interval, the paper's "up
+  /// to 60 per 20 ms"), which dominates every protocol's real working set
+  /// while staying a few kilobytes of slots.
+  [[nodiscard]] std::size_t event_capacity_hint() const;
+
   /// Validates internal consistency (sizes match, probabilities in range,
   /// declared lambda equals each arrival process's mean). Returns true and
   /// leaves `error` untouched on success.

@@ -68,6 +68,10 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
   registry.gauge("net.intervals").set(static_cast<double>(stats.intervals()));
   registry.counter("sim.events_executed").inc(network.simulator().events_executed());
   registry.gauge("sim.virtual_seconds").set(sim_seconds);
+  // Event-storage growth after the NetworkConfig-derived reserve; 0 proves
+  // the engine ran the whole experiment without touching the allocator for
+  // its own bookkeeping.
+  registry.counter("engine.events.reallocs").inc(network.simulator().event_reallocs());
   // Contract-failure count (util/check.hpp). Almost always zero — a failure
   // aborts unless a test handler intervened — but exporting it means any run
   // that *did* survive a handled failure is visibly tainted in its metrics.

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <functional>  // lint-ok: std-function factory type below, config-time only
 #include <memory>
 #include <vector>
 
@@ -77,6 +77,9 @@ class GilbertElliottChannel final : public ChannelModel {
 };
 
 /// Factory signature used by NetworkConfig to defer model construction.
-using ChannelModelFactory = std::function<std::unique_ptr<ChannelModel>()>;
+// Factories must be copyable (NetworkConfig::clone shares them), which
+// InplaceFunction deliberately is not; they run once at setup, never in the
+// event hot path.
+using ChannelModelFactory = std::function<std::unique_ptr<ChannelModel>()>;  // lint-ok: std-function copyable config-time factory
 
 }  // namespace rtmac::phy

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "core/types.hpp"
@@ -27,6 +26,7 @@
 #include "phy/interference.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "util/inplace_function.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -90,7 +90,9 @@ struct LinkCounters {
 /// to its initiator via callback at the end of the airtime.
 class Medium {
  public:
-  using TxDone = std::function<void(TxOutcome)>;
+  /// Outcome callback: inline-stored (util::InplaceFunction), so starting a
+  /// transmission never allocates. Move-only; fired exactly once.
+  using TxDone = util::InplaceFunction<void(TxOutcome)>;
 
   /// Sentinel node id selecting the global any-transmission view (senses
   /// every link, whatever the topology). Same value as sim::kNoLink.

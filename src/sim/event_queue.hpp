@@ -1,54 +1,74 @@
 // Cancellable pending-event set for the discrete-event engine.
 //
-// A binary heap keyed by (time, sequence number) gives deterministic FIFO
-// ordering among events scheduled for the same instant — essential for
-// reproducible simulations. Cancellation is lazy: cancelled entries stay in
-// the heap as tombstones and are skipped on pop, which keeps cancel() O(1)
-// (protocol state machines cancel backoff expiries constantly).
+// Two structures share the work:
+//   * a SLOT POOL holds each pending event's callback in a stable slot.
+//     Slots are recycled through a free list, and each carries a generation
+//     counter bumped on every allocate AND every release, so an EventId
+//     ({slot, generation}) from a previous occupancy can never alias the
+//     current one (ABA protection). cancel() and is_pending() are O(1)
+//     array probes — no hashing, no allocation.
+//   * a BINARY HEAP of lightweight {time, seq, slot, gen} records gives
+//     deterministic (time, insertion-order) FIFO ordering — essential for
+//     reproducible simulations. Cancellation is lazy: the heap record of a
+//     cancelled event becomes a tombstone (its generation no longer matches
+//     the slot's), skipped on pop. When tombstones outnumber live records
+//     the heap is compacted in one O(n) pass, bounding memory under the
+//     cancel-heavy churn FCSMA/DCF backoff machines generate.
+//
+// In steady state (pool and heap at working-set capacity) no operation
+// allocates: callbacks live inline in their slot (util::InplaceFunction),
+// and both vectors only grow, never shrink, until clear().
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace rtmac::sim {
 
-/// Opaque handle identifying a scheduled event; usable to cancel it.
+/// Opaque handle identifying a scheduled event; usable to cancel it. A
+/// handle outlives its event harmlessly: once the event fires or is
+/// cancelled, the slot's generation moves on and the stale handle no longer
+/// matches anything (cancel() is a no-op, is_pending() is false), even after
+/// the slot has been reused by a later event.
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  /// Generations are issued odd (live) and retired even, so a
+  /// default-constructed handle (gen 0) is never valid.
+  [[nodiscard]] constexpr bool valid() const { return (gen_ & 1U) != 0; }
   constexpr bool operator==(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t seq) : seq_{seq} {}
-  std::uint64_t seq_ = 0;  // 0 = invalid/never-scheduled
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen) : slot_{slot}, gen_{gen} {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
-/// Priority queue of timed callbacks with lazy cancellation.
+/// Priority queue of timed callbacks with O(1) cancellation.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InplaceFunction<void()>;
 
   /// Schedules `cb` at absolute time `at`. Returns a handle for cancel().
   EventId push(TimePoint at, Callback cb);
 
-  /// Cancels a pending event. Safe on already-fired or already-cancelled
-  /// handles (no effect). Returns true iff the event was still pending.
+  /// Cancels a pending event. Safe on already-fired, already-cancelled, or
+  /// stale (slot since reused) handles — no effect. Returns true iff the
+  /// event was still pending. O(1) except when it trips heap compaction.
   bool cancel(EventId id);
 
   /// True iff the handle refers to an event that has not yet fired nor been
-  /// cancelled.
+  /// cancelled. O(1).
   [[nodiscard]] bool is_pending(EventId id) const;
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] TimePoint next_time();
@@ -60,28 +80,74 @@ class EventQueue {
   };
   Popped pop();
 
-  /// Drops all pending events.
+  /// Drops all pending events (slots are retired, storage is kept).
   void clear();
 
+  /// Pre-sizes the slot pool and heap for `events` concurrently-pending
+  /// events, so a run whose working set stays under the hint never
+  /// reallocates (see reallocs()).
+  void reserve(std::size_t events);
+
+  /// Storage-growth events (slot-pool or heap vector reallocation) since
+  /// construction. Exported as the `engine.events.reallocs` metric; a
+  /// correctly-sized reserve() keeps it at zero for the whole run.
+  [[nodiscard]] std::uint64_t reallocs() const { return reallocs_; }
+
+  /// Heap records corresponding to cancelled events, not yet reclaimed by a
+  /// skim or compaction. Exposed for tests of the compaction policy.
+  [[nodiscard]] std::size_t tombstones() const { return tombstones_; }
+
  private:
-  struct Entry {
-    TimePoint time;
-    std::uint64_t seq;
+  /// One pool slot. `gen` is odd while the slot holds a live event and even
+  /// while free; it increments on every transition, so handles from earlier
+  /// occupancies can never match. `next_free` threads the free list while
+  /// the slot is unoccupied.
+  struct Slot {
     Callback callback;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  /// Lightweight heap record; callbacks stay in the pool so sift operations
+  /// move 24 bytes, not whole closures.
+  struct HeapItem {
+    TimePoint time;
+    std::uint64_t seq;  ///< global push order; ties on `time` break FIFO
+    std::uint32_t slot;
+    std::uint32_t gen;  ///< generation at push; mismatch = tombstone
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops cancelled tombstones off the heap front.
-  void skim_tombstones();
+  static constexpr std::uint32_t kNilSlot = static_cast<std::uint32_t>(-1);
+  /// Compaction only pays off once the heap is past trivial size.
+  static constexpr std::size_t kCompactMinHeap = 64;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // seqs neither fired nor cancelled
+  [[nodiscard]] bool slot_matches(EventId id) const {
+    return id.valid() && id.slot_ < pool_.size() && pool_[id.slot_].gen == id.gen_;
+  }
+  std::uint32_t allocate_slot();
+  void release_slot(std::uint32_t slot);
+  /// Pops tombstones off the heap front until the top is live (or empty).
+  void skim_tombstones();
+  /// Removes every tombstone and re-heapifies; O(heap size).
+  void compact();
+  /// Grows `v` by one element, counting the reallocation if capacity is
+  /// exhausted.
+  template <typename T>
+  void push_counted(std::vector<T>& v, T&& value);
+
+  std::vector<Slot> pool_;
+  std::vector<HeapItem> heap_;        ///< binary min-heap under Later
+  std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;        ///< events neither fired nor cancelled
+  std::size_t tombstones_ = 0;  ///< dead records still in heap_
+  std::uint64_t reallocs_ = 0;
 };
 
 }  // namespace rtmac::sim

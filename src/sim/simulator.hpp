@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
@@ -50,6 +49,15 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Pre-sizes the event queue for `events` concurrently-pending events
+  /// (e.g. a NetworkConfig-derived hint), so steady state never reallocates.
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
+
+  /// Event-storage growth events since construction; 0 for a run whose
+  /// working set stayed under the reserve_events() hint. Exported by the
+  /// obs layer as `engine.events.reallocs`.
+  [[nodiscard]] std::uint64_t event_reallocs() const { return queue_.reallocs(); }
 
  private:
   void dispatch(EventQueue::Popped popped);

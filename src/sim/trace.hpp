@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>

@@ -1,0 +1,135 @@
+// Fixed-capacity, move-only callable wrapper with inline storage.
+//
+// The discrete-event hot path (EventQueue callbacks, backoff expiries,
+// transmission-done notifications) schedules millions of small closures per
+// simulated second. std::function's type erasure costs a possible heap
+// allocation per callable and admits copyable-only semantics the engine
+// never needs. InplaceFunction stores the callable inside the object —
+// always, enforced at compile time — so scheduling an event never touches
+// the allocator, and move-only captures (unique_ptr, EventId guards) are
+// first-class.
+//
+// Design points:
+//   * capacity is a template parameter; an oversized or over-aligned capture
+//     is a static_assert with an actionable message, never a silent heap
+//     fallback;
+//   * move-only: moving transfers the callable and empties the source;
+//   * the callable must be nothrow-move-constructible (the event queue moves
+//     entries while restructuring its storage; a throwing move would tear
+//     the heap invariant);
+//   * one dispatch table pointer (invoke / move / destroy) per object —
+//     same indirection count as libstdc++'s std::function, minus the
+//     allocator round trip.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rtmac::util {
+
+/// Default inline capacity, in bytes, for engine callbacks: six pointers'
+/// worth, which comfortably fits every capture the protocol stack creates
+/// (the largest is [this, kind] plus padding) with headroom for test lambdas
+/// that capture a handful of locals by reference.
+inline constexpr std::size_t kInplaceFunctionDefaultCapacity = 48;
+
+template <typename Signature, std::size_t Capacity = kInplaceFunctionDefaultCapacity>
+class InplaceFunction;  // primary template intentionally undefined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any callable invocable as R(Args...). Intentionally implicit so
+  /// lambdas convert at call sites exactly like they did with std::function.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable too large for InplaceFunction's inline capacity: "
+                  "shrink the capture (capture pointers, not objects) or raise "
+                  "the Capacity template argument");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable over-aligned for InplaceFunction's inline storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InplaceFunction requires a nothrow-move-constructible "
+                  "callable (the event queue moves entries while compacting)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &ops_for<Fn>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : ops_{other.ops_} {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  /// Destroys the held callable, if any.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the held callable. Precondition: *this holds one.
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  ///< move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops ops_for{
+      [](void* storage, Args&&... args) -> R {
+        return (*static_cast<Fn*>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* storage) { static_cast<Fn*>(storage)->~Fn(); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rtmac::util

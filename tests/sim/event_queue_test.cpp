@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 namespace rtmac::sim {
@@ -108,6 +112,190 @@ TEST(EventQueueTest, TombstonesDoNotBlockLaterEvents) {
   q.cancel(b);
   while (!q.empty()) q.pop().callback();
   EXPECT_EQ(fired, (std::vector<int>{3}));
+}
+
+// ABA protection: a handle whose slot has been recycled by a newer event
+// must not touch that newer event. The generation counter is what makes the
+// O(1) slot probe safe.
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsInert) {
+  EventQueue q;
+  bool second_fired = false;
+  const EventId first = q.push(at_us(1), [] {});
+  ASSERT_TRUE(q.cancel(first));  // frees the slot
+  const EventId second = q.push(at_us(2), [&] { second_fired = true; });
+  // With a single-slot pool the second push reuses the first's slot; the
+  // stale handle must now be rejected by the generation check.
+  EXPECT_FALSE(q.is_pending(first));
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_TRUE(q.is_pending(second));
+  q.pop().callback();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueueTest, StaleHandleAfterPopAndSlotReuseIsInert) {
+  EventQueue q;
+  const EventId first = q.push(at_us(1), [] {});
+  q.pop().callback();  // fires: slot freed without cancel()
+  const EventId second = q.push(at_us(2), [] {});
+  EXPECT_FALSE(q.is_pending(first));
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_TRUE(q.is_pending(second));
+  EXPECT_TRUE(q.cancel(second));
+}
+
+// Many alloc/release rounds on the same slots: no old handle from any round
+// may match a later occupancy.
+TEST(EventQueueTest, GenerationsAdvanceAcrossManyReuses) {
+  EventQueue q;
+  std::vector<EventId> retired;
+  for (int round = 0; round < 100; ++round) {
+    const EventId id = q.push(at_us(round), [] {});
+    for (const EventId& old : retired) {
+      EXPECT_FALSE(q.is_pending(old));
+      EXPECT_FALSE(q.cancel(old));
+    }
+    EXPECT_TRUE(q.is_pending(id));
+    q.cancel(id);
+    retired.push_back(id);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// Randomized schedule/cancel/pop churn cross-checked against a naive ordered
+// reference model (std::multimap keyed by (time, push order)). Any divergence
+// in firing order, firing set, or size is a bug in the slot pool, tombstone
+// bookkeeping, or compaction.
+TEST(EventQueueTest, RandomizedChurnMatchesReferenceModel) {
+  EventQueue q;
+  // (time_us, seq) -> payload; iteration order == required firing order.
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, int> reference;
+  struct Live {
+    EventId id;
+    std::pair<std::int64_t, std::uint64_t> key;
+  };
+  std::vector<Live> live;
+  std::vector<EventId> stale;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  std::uint64_t seq = 0;
+  int payload = 0;
+  std::uint64_t x = 0x2545F4914F6CDD1DULL;
+  auto rng = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t r = rng();
+    const std::uint64_t action = r % 10;
+    if (action < 5 || live.empty()) {  // push (biased: keeps the set populated)
+      const auto t = static_cast<std::int64_t>(rng() % 512);
+      const int value = payload++;
+      const std::pair<std::int64_t, std::uint64_t> key{t, seq++};
+      const EventId id = q.push(at_us(t), [&fired, value] { fired.push_back(value); });
+      reference.emplace(key, value);
+      live.push_back(Live{id, key});
+    } else if (action < 8) {  // cancel a live handle
+      const std::size_t pick = rng() % live.size();
+      EXPECT_TRUE(q.cancel(live[pick].id));
+      reference.erase(reference.find(live[pick].key));
+      stale.push_back(live[pick].id);
+      live[pick] = live.back();
+      live.pop_back();
+    } else if (action == 8 && !stale.empty()) {  // re-cancel a stale handle
+      const std::size_t pick = rng() % stale.size();
+      EXPECT_FALSE(q.cancel(stale[pick]));
+      EXPECT_FALSE(q.is_pending(stale[pick]));
+    } else if (!q.empty()) {  // pop the earliest live event
+      ASSERT_FALSE(reference.empty());
+      const auto front = reference.begin();
+      EXPECT_EQ(q.next_time(), at_us(front->first.first));
+      expected.push_back(front->second);
+      const auto popped_key = front->first;
+      reference.erase(front);
+      live.erase(std::find_if(live.begin(), live.end(),
+                              [&](const Live& l) { return l.key == popped_key; }));
+      auto popped = q.pop();
+      EXPECT_EQ(popped.time, at_us(popped_key.first));
+      popped.callback();
+    }
+    ASSERT_EQ(q.size(), reference.size());
+    // Compaction policy invariant: heap = live + tombstones, and tombstones
+    // may exceed live records only while the heap is below the compaction
+    // floor (compacting tiny heaps isn't worth it).
+    ASSERT_LE(q.tombstones(), std::max<std::size_t>(63, q.size()));
+  }
+  // Drain what's left; order must match the reference exactly.
+  while (!q.empty()) {
+    ASSERT_FALSE(reference.empty());
+    expected.push_back(reference.begin()->second);
+    reference.erase(reference.begin());
+    q.pop().callback();
+  }
+  EXPECT_TRUE(reference.empty());
+  EXPECT_EQ(fired, expected);
+}
+
+// Cancel-heavy load: tombstones must be reclaimed (compaction), and the
+// surviving events must still fire in exact (time, FIFO) order.
+TEST(EventQueueTest, CompactionReclaimsTombstonesAndPreservesOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  constexpr int kKeepers = 16;
+  constexpr int kVictims = 1000;
+  for (int i = 0; i < kKeepers; ++i) {
+    q.push(at_us(500), [&fired, i] { fired.push_back(i); });  // all simultaneous: FIFO
+  }
+  std::vector<EventId> victims;
+  victims.reserve(kVictims);
+  for (int i = 0; i < kVictims; ++i) victims.push_back(q.push(at_us(1000 + i), [] {}));
+  std::size_t max_tombstones = 0;
+  for (const EventId id : victims) {
+    ASSERT_TRUE(q.cancel(id));
+    max_tombstones = std::max(max_tombstones, q.tombstones());
+  }
+  // Cancelling ~98% of the heap must trip compaction: at every step
+  // tombstones stay <= live records (the > heap/2 trigger), so the high-water
+  // mark is far below the kVictims it would reach with pure lazy deletion.
+  EXPECT_LT(max_tombstones, static_cast<std::size_t>(kVictims) * 3 / 4);
+  EXPECT_LT(q.tombstones(), static_cast<std::size_t>(kVictims) / 2);
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kKeepers));
+  while (!q.empty()) q.pop().callback();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kKeepers));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(EventQueueTest, ReserveMakesSteadyStateReallocFree) {
+  EventQueue q;
+  q.reserve(64);
+  EXPECT_EQ(q.reallocs(), 0u);
+  std::vector<EventId> ids;
+  for (int round = 0; round < 200; ++round) {
+    ids.clear();
+    for (int i = 0; i < 32; ++i) ids.push_back(q.push(at_us(round * 100 + i), [] {}));
+    for (int i = 0; i < 32; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+    while (!q.empty()) q.pop().callback();
+  }
+  // Working set (32 live + tombstone headroom) stayed under the hint.
+  EXPECT_EQ(q.reallocs(), 0u);
+}
+
+TEST(EventQueueTest, ReallocsCountsGrowthWithoutReserve) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) q.push(at_us(i), [] {});
+  EXPECT_GT(q.reallocs(), 0u);
+}
+
+TEST(EventQueueTest, ClearRetiresOutstandingHandles) {
+  EventQueue q;
+  const EventId id = q.push(at_us(1), [] {});
+  q.clear();
+  EXPECT_FALSE(q.is_pending(id));
+  EXPECT_FALSE(q.cancel(id));
+  const EventId fresh = q.push(at_us(2), [] {});
+  EXPECT_TRUE(q.is_pending(fresh));
+  EXPECT_EQ(q.size(), 1u);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering) {

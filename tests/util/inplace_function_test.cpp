@@ -1,0 +1,135 @@
+#include "util/inplace_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace rtmac::util {
+namespace {
+
+TEST(InplaceFunctionTest, DefaultConstructedIsEmpty) {
+  InplaceFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunctionTest, NullptrConstructedIsEmpty) {
+  InplaceFunction<void()> f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunctionTest, InvokesCallable) {
+  int hits = 0;
+  InplaceFunction<void()> f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunctionTest, ForwardsArgumentsAndReturnsValue) {
+  InplaceFunction<int(int, int)> f = [](int a, int b) { return a * 10 + b; };
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+TEST(InplaceFunctionTest, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  InplaceFunction<void()> a = [&hits] { ++hits; };
+  InplaceFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move) testing moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InplaceFunctionTest, MoveAssignDestroysPreviousTarget) {
+  int destroyed = 0;
+  struct CountsDestruction {
+    int* counter;
+    bool armed = true;
+    CountsDestruction(int* c) : counter{c} {}
+    CountsDestruction(CountsDestruction&& other) noexcept
+        : counter{other.counter}, armed{std::exchange(other.armed, false)} {}
+    ~CountsDestruction() {
+      if (armed) ++*counter;
+    }
+    void operator()() {}
+  };
+  InplaceFunction<void()> target = CountsDestruction{&destroyed};
+  EXPECT_EQ(destroyed, 0);
+  target = InplaceFunction<void()>{[] {}};
+  EXPECT_EQ(destroyed, 1);  // the old callable was destroyed exactly once
+  target = nullptr;
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InplaceFunctionTest, OverwriteReplacesBehaviour) {
+  int value = 0;
+  InplaceFunction<void()> f = [&value] { value = 1; };
+  f = [&value] { value = 2; };
+  f();
+  EXPECT_EQ(value, 2);
+}
+
+TEST(InplaceFunctionTest, NullptrAssignmentEmpties) {
+  InplaceFunction<void()> f = [] {};
+  EXPECT_TRUE(static_cast<bool>(f));
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunctionTest, HoldsMoveOnlyCallable) {
+  // A unique_ptr capture is move-only: std::function could never hold this.
+  auto owned = std::make_unique<int>(41);
+  InplaceFunction<int()> f = [p = std::move(owned)] { return *p + 1; };
+  EXPECT_EQ(f(), 42);
+  InplaceFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InplaceFunctionTest, CaptureOfExactlyCapacityBytesFits) {
+  // A capture payload of exactly the inline capacity must compile and work;
+  // one byte more is a static_assert (compile-time, not testable here).
+  struct Payload {
+    unsigned char bytes[kInplaceFunctionDefaultCapacity - sizeof(void*)];
+  };
+  Payload p{};
+  p.bytes[0] = 7;
+  InplaceFunction<int()> f = [p, q = static_cast<void*>(nullptr)] {
+    (void)q;
+    return static_cast<int>(p.bytes[0]);
+  };
+  static_assert(sizeof(Payload) + sizeof(void*) == kInplaceFunctionDefaultCapacity);
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(InplaceFunctionTest, DestructorRunsOnScopeExit) {
+  auto shared = std::make_shared<int>(0);
+  EXPECT_EQ(shared.use_count(), 1);
+  {
+    InplaceFunction<void()> f = [shared] {};
+    EXPECT_EQ(shared.use_count(), 2);
+  }
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(InplaceFunctionTest, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  InplaceFunction<void()> f = [&hits] { ++hits; };
+  InplaceFunction<void()>& alias = f;
+  f = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+// The engine moves callbacks while restructuring storage; the wrapper itself
+// must be nothrow-movable and fixed-size regardless of the callable.
+static_assert(std::is_nothrow_move_constructible_v<InplaceFunction<void()>>);
+static_assert(std::is_nothrow_move_assignable_v<InplaceFunction<void()>>);
+static_assert(!std::is_copy_constructible_v<InplaceFunction<void()>>);
+static_assert(!std::is_copy_assignable_v<InplaceFunction<void()>>);
+
+}  // namespace
+}  // namespace rtmac::util

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON into a committed BENCH_*.json trajectory
+point.
+
+The micro engine benchmark emits google-benchmark JSON (--benchmark_format=
+json). This tool distills it into the repo's perf-trajectory format: one
+small, sorted, schema-versioned JSON document per PR that records wall-clock
+throughput (informative — shared CI runners make absolute numbers noisy) and
+allocation counts (exact and deterministic — CI gates on them).
+
+Typical use:
+
+    ./build/bench/micro_engine_benchmark --benchmark_format=json > raw.json
+    python3 tools/bench_report.py raw.json -o BENCH_5.json --pr 5 \
+        --baseline prior_raw.json --gate-zero-alloc
+
+Gating: with --gate-zero-alloc, every benchmark whose name contains
+"SteadyStateAllocs" must report counter "allocs" == 0, or the tool exits 1.
+Malformed or empty input exits 2. A benchmark JSON that parses but carries
+error_occurred entries also exits 2 (a crashed benchmark must fail CI, not
+produce a hollow trajectory point).
+
+Output schema (rtmac.bench v1):
+
+    {"schema": "rtmac.bench", "version": 1, "pr": N,
+     "context": {<host/cpu info from google-benchmark>},
+     "benchmarks": {name: {"real_time_ns", "cpu_time_ns",
+                           "items_per_second"?, "counters": {...}}},
+     "baseline": {<same benchmarks shape, from --baseline>},
+     "speedup_vs_baseline": {name: cpu_time ratio (old/new)}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Time-unit multipliers to nanoseconds.
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Context keys worth keeping; the rest (dates, load averages) only add noise
+# to committed diffs.
+_CONTEXT_KEYS = ("host_name", "executable", "num_cpus", "mhz_per_cpu",
+                 "cpu_scaling_enabled", "library_build_type")
+
+
+class ReportError(Exception):
+    """Malformed benchmark input."""
+
+
+def _to_ns(value, unit):
+    try:
+        return float(value) * _TO_NS[unit]
+    except (KeyError, TypeError, ValueError) as e:
+        raise ReportError(f"bad time value {value!r} with unit {unit!r}") from e
+
+
+def distill(raw):
+    """google-benchmark JSON dict -> {name: {...}} benchmark map."""
+    if not isinstance(raw, dict) or not isinstance(raw.get("benchmarks"), list):
+        raise ReportError("input is not google-benchmark JSON "
+                          "(missing 'benchmarks' list)")
+    if not raw["benchmarks"]:
+        raise ReportError("'benchmarks' list is empty")
+    out = {}
+    for bench in raw["benchmarks"]:
+        if not isinstance(bench, dict) or "name" not in bench:
+            raise ReportError(f"benchmark entry without a name: {bench!r}")
+        name = bench["name"]
+        if bench.get("error_occurred"):
+            raise ReportError(
+                f"{name}: benchmark reported an error: "
+                f"{bench.get('error_message', 'unknown')}")
+        if bench.get("run_type") == "aggregate":
+            continue  # keep raw runs only; aggregates are derived
+        unit = bench.get("time_unit", "ns")
+        entry = {
+            "real_time_ns": _to_ns(bench.get("real_time"), unit),
+            "cpu_time_ns": _to_ns(bench.get("cpu_time"), unit),
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = float(bench["items_per_second"])
+        # google-benchmark flattens user counters into the benchmark object;
+        # collect everything numeric that is not a known structural field.
+        known = {"name", "run_name", "run_type", "repetitions",
+                 "repetition_index", "threads", "iterations", "real_time",
+                 "cpu_time", "time_unit", "items_per_second",
+                 "bytes_per_second", "label", "family_index",
+                 "per_family_instance_index", "error_occurred",
+                 "error_message"}
+        counters = {k: float(v) for k, v in bench.items()
+                    if k not in known and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = counters
+        out[name] = entry
+    if not out:
+        raise ReportError("no raw benchmark runs in input")
+    return out
+
+
+def gate_zero_alloc(benchmarks):
+    """Returns a list of violation strings for the zero-alloc gate."""
+    violations = []
+    gated = {n: b for n, b in benchmarks.items() if "SteadyStateAllocs" in n}
+    if not gated:
+        violations.append(
+            "no *SteadyStateAllocs* benchmark in input (the zero-alloc gate "
+            "has nothing to check; did the benchmark get renamed?)")
+    for name, bench in gated.items():
+        allocs = bench.get("counters", {}).get("allocs")
+        if allocs is None:
+            violations.append(f"{name}: missing 'allocs' counter")
+        elif allocs != 0:
+            cycles = bench.get("counters", {}).get("cycles", 0)
+            violations.append(
+                f"{name}: {allocs:.0f} heap allocations in a steady-state "
+                f"window of {cycles:.0f} cycles (must be 0)")
+    return violations
+
+
+def speedups(current, baseline):
+    out = {}
+    for name, bench in sorted(current.items()):
+        base = baseline.get(name)
+        if base and bench.get("cpu_time_ns"):
+            out[name] = round(base["cpu_time_ns"] / bench["cpu_time_ns"], 3)
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", type=Path,
+                        help="google-benchmark JSON (--benchmark_format=json)")
+    parser.add_argument("-o", "--output", type=Path, required=True,
+                        help="trajectory point to write (e.g. BENCH_5.json)")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="PR number this point belongs to")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="google-benchmark JSON of the pre-change build; "
+                             "embedded for before/after comparison")
+    parser.add_argument("--gate-zero-alloc", action="store_true",
+                        help="fail (exit 1) unless every *SteadyStateAllocs* "
+                             "benchmark reports counters.allocs == 0")
+    args = parser.parse_args(argv)
+
+    try:
+        raw = json.loads(args.input.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_report: cannot read {args.input}: {e}", file=sys.stderr)
+        return 2
+
+    try:
+        benchmarks = distill(raw)
+        doc = {"schema": "rtmac.bench", "version": 1}
+        if args.pr is not None:
+            doc["pr"] = args.pr
+        context = raw.get("context", {})
+        doc["context"] = {k: context[k] for k in _CONTEXT_KEYS if k in context}
+        doc["benchmarks"] = benchmarks
+        if args.baseline is not None:
+            base_raw = json.loads(args.baseline.read_text())
+            base = distill(base_raw)
+            doc["baseline"] = base
+            doc["speedup_vs_baseline"] = speedups(benchmarks, base)
+    except (ReportError, OSError, json.JSONDecodeError) as e:
+        print(f"bench_report: malformed input: {e}", file=sys.stderr)
+        return 2
+
+    args.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"bench_report: wrote {args.output} "
+          f"({len(benchmarks)} benchmarks)")
+
+    if args.gate_zero_alloc:
+        violations = gate_zero_alloc(benchmarks)
+        for v in violations:
+            print(f"bench_report: GATE FAILED: {v}", file=sys.stderr)
+        if violations:
+            return 1
+        print("bench_report: zero-alloc gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

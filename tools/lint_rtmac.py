@@ -21,6 +21,11 @@ cannot express:
   raw-assert          No assert()/<cassert> in src/: use RTMAC_ASSERT /
                       RTMAC_REQUIRE / RTMAC_UNREACHABLE (util/check.hpp) so
                       invariants stay checkable in Release via RTMAC_CHECKED.
+  std-function        No std::function in src/sim/, src/phy/, src/mac/ (the
+                      event hot path): it heap-allocates beyond its tiny SSO
+                      buffer and silently accepts copy-only callables. Use
+                      util::InplaceFunction, which stores callables inline
+                      and rejects oversized captures at compile time.
   header-self-contained
                       Every header under src/ must compile on its own
                       (g++ -fsyntax-only), so include order never matters.
@@ -55,6 +60,7 @@ RULE_SCOPES = {
     "unordered-iteration": ("src",),
     "float-equality": ("src/stats",),
     "raw-assert": ("src",),
+    "std-function": ("src/sim", "src/phy", "src/mac"),
 }
 
 # Files (or directories, trailing "/") exempt from a rule. Keep this list
@@ -86,6 +92,8 @@ NONDET_RNG_RE = re.compile(
 )
 
 RAW_ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(|<cassert>")
+
+STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\b|<functional>")
 
 FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)[fF]?"
 FLOAT_EQ_LITERAL_RE = re.compile(
@@ -151,6 +159,13 @@ def check_raw_assert(path, text):
         "RTMAC_UNREACHABLE from util/check.hpp)")
 
 
+def check_std_function(path, text):
+    return _scan_regex(
+        path, text, "std-function", STD_FUNCTION_RE,
+        "std::function/<functional> in the event hot path "
+        "(heap-allocates past its SSO buffer; use util::InplaceFunction)")
+
+
 def check_float_equality(path, text):
     out = []
     double_names = set()
@@ -205,6 +220,7 @@ TEXT_RULES = {
     "unordered-iteration": check_unordered_iteration,
     "float-equality": check_float_equality,
     "raw-assert": check_raw_assert,
+    "std-function": check_std_function,
 }
 
 

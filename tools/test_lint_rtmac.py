@@ -132,6 +132,45 @@ class RawAssertRule(unittest.TestCase):
         self.assertEqual(v, [])
 
 
+class StdFunctionRule(unittest.TestCase):
+    def test_catches_std_function_member(self):
+        v = violations_in(lint_rtmac.check_std_function,
+                          "std::function<void()> on_expire_;\n",
+                          path=Path("src/mac/fake.hpp"))
+        self.assertEqual([x.rule for x in v], ["std-function"])
+
+    def test_catches_functional_include(self):
+        v = violations_in(lint_rtmac.check_std_function,
+                          "#include <functional>\n",
+                          path=Path("src/sim/fake.hpp"))
+        self.assertEqual(len(v), 1)
+
+    def test_inplace_function_is_fine(self):
+        v = violations_in(
+            lint_rtmac.check_std_function,
+            '#include "util/inplace_function.hpp"\n'
+            "util::InplaceFunction<void()> on_expire_;\n")
+        self.assertEqual(v, [])
+
+    def test_comment_mention_is_fine(self):
+        v = violations_in(lint_rtmac.check_std_function,
+                          "int x;  // unlike std::function, stores inline\n")
+        self.assertEqual(v, [])
+
+    def test_suppression(self):
+        v = violations_in(
+            lint_rtmac.check_std_function,
+            "using Factory = std::function<int()>;"
+            "  // lint-ok: std-function copyable config-time factory\n")
+        self.assertEqual(v, [])
+
+    def test_scope_excludes_config_layers(self):
+        # The rule's scope is the event hot path only; net/ and expfw/ keep
+        # std::function for copyable observers and factories.
+        self.assertEqual(lint_rtmac.RULE_SCOPES["std-function"],
+                         ("src/sim", "src/phy", "src/mac"))
+
+
 class TreeScanAndAllowlist(unittest.TestCase):
     def make_tree(self):
         root = Path(tempfile.mkdtemp(prefix="lint_rtmac_test_"))
