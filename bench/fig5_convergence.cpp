@@ -35,8 +35,8 @@ int main(int argc, char** argv) {
     net::Network net{expfw::video_symmetric(0.55, 0.93, 1005), factory};
     if (observe) observer.attach(net, "dbdp");
     stats::TimeSeries series;
-    net.add_observer([&](IntervalIndex, const std::vector<int>&,
-                         const std::vector<int>& delivered) {
+    net.add_observer([&](IntervalIndex, std::span<const int>,
+                         std::span<const int> delivered) {
       series.push(static_cast<double>(delivered[kWatched]));
     });
     net.run(intervals);

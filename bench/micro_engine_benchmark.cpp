@@ -189,10 +189,10 @@ void BM_DcfVideoInterval(benchmark::State& state) {
 BENCHMARK(BM_DcfVideoInterval);
 
 // Allocations per simulated interval for a full protocol stack, after a
-// warm-up run. Informative (tracked in BENCH_*.json, not gated): the engine
-// hot path is allocation-free, but interval bookkeeping (per-interval
-// delivered vectors, observer plumbing) legitimately allocates; this counter
-// keeps that overhead visible so it can only shrink deliberately.
+// warm-up run. CI-gated at zero (tools/bench_report.py --gate-zero-alloc):
+// the whole steady-state interval path — SoA kernel, shared backoff clock,
+// burst transmissions, caller-owned delivery buffers — must never touch the
+// heap. A regression here fails the bench-perf lane, not just a dashboard.
 void BM_DbdpIntervalAllocs(benchmark::State& state) {
   constexpr IntervalIndex kWindow = 32;
   net::Network net{expfw::video_symmetric(0.55, 0.9, 1), expfw::dbdp_factory()};
@@ -208,6 +208,23 @@ void BM_DbdpIntervalAllocs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kWindow);
 }
 BENCHMARK(BM_DbdpIntervalAllocs);
+
+// Same gate for the centralized LDF scheduler (sort-based serve loop).
+void BM_LdfIntervalAllocs(benchmark::State& state) {
+  constexpr IntervalIndex kWindow = 32;
+  net::Network net{expfw::video_symmetric(0.55, 0.9, 1), expfw::ldf_factory()};
+  net.run(8);
+  double allocs_per_interval = 0.0;
+  for (auto _ : state) {
+    const std::uint64_t before = alloc_count();
+    net.run(kWindow);
+    allocs_per_interval =
+        static_cast<double>(alloc_count() - before) / static_cast<double>(kWindow);
+  }
+  state.counters["allocs_per_interval"] = allocs_per_interval;
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+BENCHMARK(BM_LdfIntervalAllocs);
 
 void BM_PriorityEvaluatorExact(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

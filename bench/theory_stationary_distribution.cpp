@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   network.run(burn_in);
   std::vector<double> counts(6, 0.0);
-  network.add_observer([&](IntervalIndex, const std::vector<int>&, const std::vector<int>&) {
+  network.add_observer([&](IntervalIndex, std::span<const int>, std::span<const int>) {
     counts[dp->priorities().rank()] += 1.0;
   });
   network.run(sample);

@@ -15,7 +15,7 @@ DebtTracker::DebtTracker(RateVector q) : q_{std::move(q)}, d_(q_.size(), 0.0) {
   }
 }
 
-void DebtTracker::on_interval_end(const std::vector<int>& delivered) {
+void DebtTracker::on_interval_end(std::span<const int> delivered) {
   RTMAC_REQUIRE(delivered.size() == d_.size());
   for (std::size_t n = 0; n < d_.size(); ++n) {
     RTMAC_REQUIRE(delivered[n] >= 0);

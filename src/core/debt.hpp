@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -21,7 +23,12 @@ class DebtTracker {
 
   /// Applies eq. (1) once: advances from interval k to k+1 given the number
   /// of on-time deliveries S(k). Precondition: delivered.size() == size().
-  void on_interval_end(const std::vector<int>& delivered);
+  void on_interval_end(std::span<const int> delivered);
+  /// Braced-list convenience for tests ({1, 0, 2}); initializer_list does
+  /// not convert to span implicitly.
+  void on_interval_end(std::initializer_list<int> delivered) {
+    on_interval_end(std::span<const int>{delivered.begin(), delivered.size()});
+  }
 
   /// Current debt of link n (may be negative when ahead of requirement).
   [[nodiscard]] double debt(LinkId n) const { return d_[n]; }

@@ -147,8 +147,8 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           if (with_metrics) network.attach_metrics(&registry);
           if (with_trace && task_index == 0) {
             network.attach_tracer(&trace_capture);
-            network.add_observer([&network](IntervalIndex k, const std::vector<int>&,
-                                            const std::vector<int>&) {
+            network.add_observer([&network](IntervalIndex k, std::span<const int>,
+                                            std::span<const int>) {
               if (k + 1 >= kTraceCaptureIntervals) network.attach_tracer(nullptr);
             });
           }

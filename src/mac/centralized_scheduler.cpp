@@ -17,26 +17,30 @@ CentralizedScheme::CentralizedScheme(const SchemeContext& ctx, CentralizedParams
       params_{std::move(params)},
       name_{std::move(name)},
       buffer_(ctx.num_links, 0),
-      delivered_(ctx.num_links, 0) {}
+      delivered_(ctx.num_links, 0),
+      weight_(ctx.num_links, 0.0),
+      ordering_(ctx.num_links, 0) {}
 
-void CentralizedScheme::begin_interval(IntervalIndex, const std::vector<int>& arrivals,
+void CentralizedScheme::begin_interval(IntervalIndex, std::span<const int> arrivals,
                                        TimePoint interval_end) {
   RTMAC_REQUIRE(arrivals.size() == buffer_.size());
   interval_end_ = interval_end;
-  buffer_ = arrivals;
+  std::copy(arrivals.begin(), arrivals.end(), buffer_.begin());
   std::fill(delivered_.begin(), delivered_.end(), 0);
 
   // Eq. (4): sort by f(d^+) * p, descending. Ties broken by link id so the
-  // ordering (and therefore the whole simulation) is deterministic.
+  // ordering (and therefore the whole simulation) is deterministic. The
+  // explicit id tie-break reproduces stable_sort's order without its
+  // temporary-buffer allocation (this path is alloc-gated in CI).
   const std::size_t n_links = buffer_.size();
-  std::vector<double> weight(n_links);
   for (LinkId n = 0; n < n_links; ++n) {
-    weight[n] = params_.influence(debts_.debt_plus(n)) * p_[n];
+    weight_[n] = params_.influence(debts_.debt_plus(n)) * p_[n];
   }
-  ordering_.resize(n_links);
   std::iota(ordering_.begin(), ordering_.end(), LinkId{0});
-  std::stable_sort(ordering_.begin(), ordering_.end(),
-                   [&weight](LinkId a, LinkId b) { return weight[a] > weight[b]; });
+  std::sort(ordering_.begin(), ordering_.end(), [this](LinkId a, LinkId b) {
+    if (weight_[a] != weight_[b]) return weight_[a] > weight_[b];
+    return a < b;
+  });
 
   serving_ = 0;
   // Kick off through the event queue (no synchronous transmission at the
@@ -66,9 +70,10 @@ void CentralizedScheme::on_tx_done(phy::TxOutcome outcome) {
   serve_next();  // retransmit on loss, advance when drained
 }
 
-std::vector<int> CentralizedScheme::end_interval() {
+void CentralizedScheme::end_interval(std::span<int> delivered) {
+  RTMAC_REQUIRE(delivered.size() == delivered_.size());
   std::fill(buffer_.begin(), buffer_.end(), 0);  // deadline flush
-  return delivered_;
+  std::copy(delivered_.begin(), delivered_.end(), delivered.begin());
 }
 
 }  // namespace rtmac::mac

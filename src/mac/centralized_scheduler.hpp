@@ -8,6 +8,7 @@
 // Choosing f(x) = x recovers plain Largest-Debt-First (LDF).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,9 @@ class CentralizedScheme final : public MacScheme {
  public:
   CentralizedScheme(const SchemeContext& ctx, CentralizedParams params, std::string name);
 
-  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+  void begin_interval(IntervalIndex k, std::span<const int> arrivals,
                       TimePoint interval_end) override;
-  std::vector<int> end_interval() override;
+  void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   /// The priority ordering used in the current interval (highest first).
@@ -47,10 +48,11 @@ class CentralizedScheme final : public MacScheme {
   CentralizedParams params_;
   std::string name_;
 
-  // Per-interval state.
+  // Per-interval state (pre-sized at construction; no steady-state allocs).
   TimePoint interval_end_;
   std::vector<int> buffer_;
   std::vector<int> delivered_;
+  std::vector<double> weight_;  ///< eq. (4) weights, recomputed per interval
   std::vector<LinkId> ordering_;
   std::size_t serving_ = 0;  ///< index into ordering_ of the link on the air
 };

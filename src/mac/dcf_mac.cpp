@@ -64,7 +64,7 @@ DcfScheme::DcfScheme(const SchemeContext& ctx, DcfParams params, std::string nam
   }
 }
 
-void DcfScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+void DcfScheme::begin_interval(IntervalIndex k, std::span<const int> arrivals,
                                TimePoint interval_end) {
   RTMAC_REQUIRE(arrivals.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) {
@@ -72,10 +72,9 @@ void DcfScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals
   }
 }
 
-std::vector<int> DcfScheme::end_interval() {
-  std::vector<int> delivered(links_.size());
+void DcfScheme::end_interval(std::span<int> delivered) {
+  RTMAC_REQUIRE(delivered.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) delivered[n] = links_[n]->end_interval();
-  return delivered;
 }
 
 }  // namespace rtmac::mac

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,9 +63,9 @@ class DcfScheme final : public MacScheme {
  public:
   DcfScheme(const SchemeContext& ctx, DcfParams params, std::string name);
 
-  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+  void begin_interval(IntervalIndex k, std::span<const int> arrivals,
                       TimePoint interval_end) override;
-  std::vector<int> end_interval() override;
+  void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:

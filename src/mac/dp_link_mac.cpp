@@ -7,133 +7,89 @@
 
 namespace rtmac::mac {
 
-// ---- SharedSeed -------------------------------------------------------------
+// ---- DpLinkAir --------------------------------------------------------------
 
-std::vector<PriorityIndex> SharedSeed::candidate_set(IntervalIndex k, std::size_t num_links,
-                                                     int max_pairs) const {
-  RTMAC_REQUIRE(num_links >= 2);
-  RTMAC_REQUIRE(max_pairs >= 1);
-  if (max_pairs == 1) return {candidate(k, num_links)};
-
-  // Deterministic shuffle of {1..N-1}, then greedy acceptance of
-  // non-conflicting pair anchors (|m - m'| >= 2 keeps pairs disjoint).
-  // Every device runs this with the same (seed, k), so the sets agree.
-  Rng rng{mix64(seed_, k)};
-  std::vector<PriorityIndex> anchors(num_links - 1);
-  for (std::size_t i = 0; i < anchors.size(); ++i) {
-    anchors[i] = static_cast<PriorityIndex>(i + 1);
-  }
-  for (std::size_t i = anchors.size(); i > 1; --i) {
-    const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
-    std::swap(anchors[i - 1], anchors[j]);
-  }
-  std::vector<PriorityIndex> chosen;
-  for (PriorityIndex m : anchors) {
-    if (static_cast<int>(chosen.size()) >= max_pairs) break;
-    bool conflicts = false;
-    for (PriorityIndex c : chosen) {
-      const auto d = m > c ? m - c : c - m;
-      if (d < 2) {
-        conflicts = true;
-        break;
-      }
-    }
-    if (!conflicts) chosen.push_back(m);
-  }
-  std::sort(chosen.begin(), chosen.end());
-  return chosen;
-}
-
-// ---- eq. (6) backoff assignment ---------------------------------------------
-
-bool dp_is_candidate(PriorityIndex sigma, const std::vector<PriorityIndex>& pairs,
-                     bool* is_lower) {
-  for (PriorityIndex m : pairs) {
-    if (sigma == m || sigma == m + 1) {
-      if (is_lower != nullptr) *is_lower = (sigma == m);
-      return true;
-    }
-  }
-  return false;
-}
-
-int dp_backoff_count(PriorityIndex sigma, const std::vector<PriorityIndex>& pairs, int xi) {
-  int shift = 0;
-  bool candidate = false;
-  for (PriorityIndex m : pairs) {
-    if (m + 1 < sigma) shift += 2;
-    if (sigma == m || sigma == m + 1) candidate = true;
-  }
-  if (candidate) {
-    RTMAC_ASSERT(xi == 1 || xi == -1);
-    return static_cast<int>(sigma) - xi + shift;
-  }
-  return static_cast<int>(sigma) - 1 + shift;
-}
-
-// ---- DpLinkMac --------------------------------------------------------------
-
-DpLinkMac::DpLinkMac(sim::Simulator& simulator, phy::Medium& medium,
-                     const SharedSeed& shared_seed, const PriorityProvider& provider,
-                     DpLinkParams params, LinkId id, std::size_t num_links,
-                     PriorityIndex initial_priority, std::uint64_t seed,
-                     ReliabilityEstimator* estimator)
+DpLinkAir::DpLinkAir(sim::Simulator& simulator, phy::Medium& medium, const DpLinkParams& params,
+                     LinkId id, ReliabilityEstimator* estimator, bool allow_burst)
     : sim_{simulator},
       medium_{medium},
-      shared_seed_{shared_seed},
-      provider_{provider},
-      estimator_{estimator},
       params_{params},
       id_{id},
-      num_links_{num_links},
-      coin_rng_{seed, /*stream_id=*/0xD100000000ULL + id},
-      sigma_{initial_priority},
-      backoff_{simulator, medium, params.backoff_slot, id} {
-  RTMAC_REQUIRE(initial_priority >= 1 && initial_priority <= num_links);
-  backoff_.set_trace_link(id);
-}
+      estimator_{estimator},
+      allow_burst_{allow_burst} {}
 
-void DpLinkMac::begin_interval(IntervalIndex k, int arrivals, TimePoint interval_end) {
+void DpLinkAir::begin(int arrivals, TimePoint interval_end, bool is_candidate) {
   RTMAC_REQUIRE(arrivals >= 0);
   interval_end_ = interval_end;
   buffer_ = arrivals;
+  is_candidate_ = is_candidate;
   delivered_ = 0;
   tx_started_ = 0;
   first_tx_started_ = false;
-  empty_claim_pending_ = false;
-  role_ = Role::kBystander;
-  xi_ = 0;
-
-  // Step 4 (eq. 6, generalized per Remark 6 to disjoint candidate pairs):
-  // every candidate pair (m, m+1) widens the backoff schedule by 2 slots so
-  // the candidates' coin-modulated choices {m-1, m, m+1, m+2} (plus the
-  // per-pair shift) never touch a bystander's slot. With a single pair the
-  // expressions reduce exactly to eq. (6).
-  int beta;
-  if (params_.reordering && num_links_ >= 2) {
-    const std::vector<PriorityIndex> pairs =
-        shared_seed_.candidate_set(k, num_links_, params_.max_swap_pairs);  // Step 1
-    bool is_lower = false;
-    if (dp_is_candidate(sigma_, pairs, &is_lower)) {
-      role_ = is_lower ? Role::kLower : Role::kUpper;
-      // Step 2: a candidate with no traffic still claims its slot on the air.
-      if (buffer_ == 0) empty_claim_pending_ = true;
-      // Step 3 (eq. 5): local biased coin.
-      xi_ = coin_rng_.bernoulli(provider_.mu(id_, k)) ? +1 : -1;
-    }
-    beta = dp_backoff_count(sigma_, pairs, xi_);
-  } else {
-    beta = static_cast<int>(sigma_) - 1;  // static priorities: plain TDMA-by-backoff
-  }
-
-  backoff_.start(beta, [this] { on_backoff_expired(); });
+  // Step 2: a candidate with no traffic still claims its slot on the air.
+  empty_claim_pending_ = is_candidate && buffer_ == 0;
 }
 
-void DpLinkMac::on_backoff_expired() { try_transmit(); }
+void DpLinkAir::on_slot_won() {
+  if (allow_burst_ && medium_.burst_available()) {
+    run_burst();
+    return;
+  }
+  try_transmit();
+}
 
-void DpLinkMac::try_transmit() {
+void DpLinkAir::run_burst() {
+  // Mirrors try_transmit()/on_tx_done() packet by packet, but simulates the
+  // whole back-to-back chain synchronously through the Medium burst API: one
+  // idle-transition event at the end instead of one completion event per
+  // packet. Legal because under complete sensing the chain holds the medium
+  // exclusively — every other device is frozen, so no event can interleave
+  // and the loss-stream draw order is exactly the per-event path's.
+  TimePoint t = sim_.now();
+  bool began = false;
+  while (true) {
+    Duration airtime;
+    phy::PacketKind kind;
+    if (buffer_ > 0) {
+      if (t + params_.data_airtime <= interval_end_) {
+        airtime = params_.data_airtime;
+        kind = phy::PacketKind::kData;
+      } else if (is_candidate_ && !first_tx_started_ &&
+                 t + params_.empty_airtime <= interval_end_) {
+        // Gap-blocked candidate claim (see try_transmit); first packet only.
+        airtime = params_.empty_airtime;
+        kind = phy::PacketKind::kEmpty;
+      } else {
+        break;
+      }
+    } else if (empty_claim_pending_ && t + params_.empty_airtime <= interval_end_) {
+      empty_claim_pending_ = false;
+      airtime = params_.empty_airtime;
+      kind = phy::PacketKind::kEmpty;
+    } else {
+      break;
+    }
+    if (!began) {
+      medium_.begin_burst(id_);
+      began = true;
+    }
+    ++tx_started_;
+    first_tx_started_ = true;
+    const phy::TxOutcome outcome = medium_.burst_tx(id_, t, airtime, kind);
+    t += airtime;
+    if (kind == phy::PacketKind::kData) {
+      if (estimator_ != nullptr) estimator_->record(id_, outcome == phy::TxOutcome::kDelivered);
+      if (outcome == phy::TxOutcome::kDelivered) {
+        ++delivered_;
+        --buffer_;
+      }
+    }
+  }
+  if (began) medium_.end_burst(t);
+}
+
+void DpLinkAir::try_transmit() {
   const TimePoint now = sim_.now();
-  const bool is_candidate = role_ != Role::kBystander;
 
   auto send = [this](Duration airtime, phy::PacketKind kind) {
     ++tx_started_;
@@ -154,7 +110,7 @@ void DpLinkMac::try_transmit() {
     // and the partner could commit a one-sided swap. (Candidates without
     // arrivals already claim via empty_claim_pending_ below; this extends
     // the same priority-claiming packet to the gap-blocked data case.)
-    if (is_candidate && !first_tx_started_ &&
+    if (is_candidate_ && !first_tx_started_ &&
         now + params_.empty_airtime <= interval_end_) {
       send(params_.empty_airtime, phy::PacketKind::kEmpty);
     }
@@ -166,7 +122,7 @@ void DpLinkMac::try_transmit() {
   }
 }
 
-void DpLinkMac::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
+void DpLinkAir::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
   // DP backoff counts are unique within the interval, so with complete
   // carrier sensing (everyone freezes and resumes together) no DP
   // transmission can ever collide; the assert documents that invariant.
@@ -174,7 +130,7 @@ void DpLinkMac::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
   // make collisions a genuine protocol outcome, not a bug.
   RTMAC_ASSERT(outcome != phy::TxOutcome::kCollision || !medium_.topology().complete_sensing(),
                "DP protocol must be collision-free under complete sensing: link ", id_,
-               " collided at sigma=", sigma_);
+               " collided");
   if (kind == phy::PacketKind::kData && estimator_ != nullptr &&
       outcome != phy::TxOutcome::kCollision) {
     // Learning mode (Section II-A): the ACK outcome of every clean data
@@ -190,90 +146,151 @@ void DpLinkMac::on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome) {
   try_transmit();
 }
 
-int DpLinkMac::end_interval() {
-  backoff_.stop();
-
-  // Step 5 (eqs. 7-8), applied at the interval boundary so the change takes
-  // effect next interval. With unique backoff counts, a freeze at remaining
-  // count 1 can only be caused by the swap partner's transmission, so the
-  // carrier-sense record alone decides the swap:
-  //  * lower candidate (priority C), coin "down" (xi=-1): moves down iff the
-  //    channel turned busy when its count stood at 1 — i.e. the upper
-  //    candidate claimed the earlier slot and transmitted in it;
-  //  * upper candidate (priority C+1), coin "up" (xi=+1): moves up iff its
-  //    count passed 1 -> 0 with the channel idle AND its claim actually went
-  //    on the air (if the gap rule suppressed the transmission, the partner
-  //    cannot have heard anything, and both sides must conclude "no swap").
-  if (role_ == Role::kLower && xi_ == -1 && backoff_.was_frozen_at(1)) {
-    if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
-      tracer->record(sim_.now(), sim::TraceKind::kSwapDown, id_, sigma_, sigma_ + 1);
-    }
-    ++sigma_;
-  } else if (role_ == Role::kUpper && xi_ == +1 && !backoff_.was_frozen_at(1) &&
-             backoff_.expired() && first_tx_started_) {
-    if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
-      tracer->record(sim_.now(), sim::TraceKind::kSwapUp, id_, sigma_, sigma_ - 1);
-    }
-    --sigma_;
-  }
-
+int DpLinkAir::finish() {
   // Step 7: flush everything that missed the deadline.
   buffer_ = 0;
   empty_claim_pending_ = false;
   return delivered_;
 }
 
+// ---- DpLinkMac (scalar reference path) --------------------------------------
+
+DpLinkMac::DpLinkMac(sim::Simulator& simulator, phy::Medium& medium, const DpLinkParams& params,
+                     LinkId id, ReliabilityEstimator* estimator)
+    : air_{simulator, medium, params, id, estimator},
+      backoff_{simulator, medium, params.backoff_slot, id} {
+  backoff_.set_trace_link(id);
+}
+
+void DpLinkMac::begin_interval(int arrivals, TimePoint interval_end, bool is_candidate,
+                               int backoff_count) {
+  air_.begin(arrivals, interval_end, is_candidate);
+  backoff_.start(backoff_count, [this] { air_.on_slot_won(); });
+}
+
 // ---- DpScheme ---------------------------------------------------------------
+
+namespace {
+
+const PriorityProvider& checked_provider(const std::unique_ptr<PriorityProvider>& provider) {
+  RTMAC_REQUIRE(provider != nullptr);
+  return *provider;
+}
+
+std::vector<PriorityIndex> initial_priority_array(
+    std::size_t num_links, const std::optional<core::Permutation>& initial) {
+  const core::Permutation init =
+      initial.has_value() ? *initial : core::Permutation::identity(num_links);
+  RTMAC_REQUIRE(init.size() == num_links);
+  std::vector<PriorityIndex> out(num_links);
+  for (LinkId n = 0; n < num_links; ++n) out[n] = init.priority_of(n);
+  return out;
+}
+
+/// Hard bound on freezes per interval: the shared clock freezes at most once
+/// per transmission, and no transmission is shorter than an empty packet.
+std::size_t freeze_capacity_hint(Duration interval_length, const DpLinkParams& params) {
+  const std::int64_t min_airtime = std::max<std::int64_t>(params.empty_airtime.ns(), 1);
+  return static_cast<std::size_t>(interval_length.ns() / min_airtime) + 2;
+}
+
+}  // namespace
 
 DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> provider,
                    DpLinkParams params, std::string name,
                    std::optional<core::Permutation> initial, ReliabilityEstimator* estimator)
-    : shared_seed_{mix64(ctx.seed, 0x5EEDC0DE)},
+    : sim_{ctx.simulator},
+      medium_{ctx.medium},
       provider_{std::move(provider)},
+      kernel_{ctx.num_links,           SharedSeed{mix64(ctx.seed, 0x5EEDC0DE)},
+              checked_provider(provider_), params.reordering,
+              params.max_swap_pairs,    initial_priority_array(ctx.num_links, initial),
+              ctx.seed},
       name_{std::move(name)},
-      sensing_complete_{ctx.medium.topology().complete_sensing()} {
-  RTMAC_REQUIRE(provider_ != nullptr);
-  const core::Permutation init =
-      initial.has_value() ? *initial : core::Permutation::identity(ctx.num_links);
-  RTMAC_REQUIRE(init.size() == ctx.num_links);
-  links_.reserve(ctx.num_links);
-  for (LinkId n = 0; n < ctx.num_links; ++n) {
-    links_.push_back(std::make_unique<DpLinkMac>(ctx.simulator, ctx.medium, shared_seed_,
-                                                 *provider_, params, n, ctx.num_links,
-                                                 init.priority_of(n), ctx.seed, estimator));
+      sensing_complete_{ctx.medium.topology().complete_sensing()},
+      batch_{sensing_complete_ && !params.force_scalar_path} {
+  if (batch_) {
+    airs_.reserve(ctx.num_links);
+    for (LinkId n = 0; n < ctx.num_links; ++n) {
+      airs_.emplace_back(ctx.simulator, ctx.medium, params, n, estimator,
+                         /*allow_burst=*/true);
+    }
+    armed_scratch_.assign(ctx.num_links, 0);
+    batch_backoff_ = std::make_unique<DpBatchBackoff>(
+        ctx.simulator, ctx.medium, params.backoff_slot, ctx.num_links,
+        freeze_capacity_hint(ctx.interval_length, params),
+        DpBatchBackoff::ExpiryHandler{[this](LinkId n) { on_slot_won(n); }});
+  } else {
+    links_.reserve(ctx.num_links);
+    for (LinkId n = 0; n < ctx.num_links; ++n) {
+      links_.push_back(
+          std::make_unique<DpLinkMac>(ctx.simulator, ctx.medium, params, n, estimator));
+    }
   }
 }
 
-void DpScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+void DpScheme::on_slot_won(LinkId n) { airs_[n].on_slot_won(); }
+
+void DpScheme::begin_interval(IntervalIndex k, std::span<const int> arrivals,
                               TimePoint interval_end) {
-  RTMAC_REQUIRE(arrivals.size() == links_.size());
-  for (std::size_t n = 0; n < links_.size(); ++n) {
-    links_[n]->begin_interval(k, arrivals[n], interval_end);
+  const std::size_t n_links = kernel_.num_links();
+  RTMAC_REQUIRE(arrivals.size() == n_links);
+  // Steps 1, 3, 4 for every link, as flat SoA passes.
+  kernel_.plan_interval(k);
+  if (!batch_) {
+    for (LinkId n = 0; n < n_links; ++n) {
+      links_[n]->begin_interval(arrivals[n], interval_end, kernel_.is_candidate(n),
+                                kernel_.backoff_count(n));
+    }
+    return;
   }
+  sim::Tracer* tracer = medium_.tracer();
+  for (LinkId n = 0; n < n_links; ++n) {
+    airs_[n].begin(arrivals[n], interval_end, kernel_.is_candidate(n));
+    armed_scratch_[n] = airs_[n].armed() ? 1 : 0;
+    if (tracer != nullptr) {
+      // Per-engine emulation: each scalar engine traces its arming.
+      tracer->record(sim_.now(), sim::TraceKind::kBackoffArmed, n, kernel_.backoff_count(n));
+    }
+  }
+  // Unarmed links can never transmit, so their expiries are observable only
+  // through the trace; schedule them only when someone is watching.
+  batch_backoff_->begin_interval(sim_.now(), kernel_.backoff_counts(), armed_scratch_,
+                                 /*include_unarmed=*/tracer != nullptr);
 }
 
-std::vector<int> DpScheme::end_interval() {
-  std::vector<int> delivered(links_.size());
-  for (std::size_t n = 0; n < links_.size(); ++n) {
-    delivered[n] = links_[n]->end_interval();
+void DpScheme::end_interval(std::span<int> delivered) {
+  const std::size_t n_links = kernel_.num_links();
+  RTMAC_REQUIRE(delivered.size() == n_links);
+  sim::Tracer* tracer = medium_.tracer();
+  if (batch_) batch_backoff_->stop();
+  for (LinkId n = 0; n < n_links; ++n) {
+    bool frozen_at_one = false;
+    bool claim_aired = false;
+    if (batch_) {
+      frozen_at_one = batch_backoff_->frozen_with_remaining(kernel_.backoff_count(n), 1);
+      claim_aired = airs_[n].aired();
+    } else {
+      links_[n]->stop_backoff();
+      frozen_at_one = links_[n]->frozen_at_one();
+      claim_aired = links_[n]->claim_aired();
+    }
+    const PriorityIndex before = kernel_.priority(n);
+    const int delta = kernel_.resolve_swap(n, frozen_at_one, claim_aired);
+    if (delta != 0 && tracer != nullptr) {
+      tracer->record(sim_.now(),
+                     delta > 0 ? sim::TraceKind::kSwapDown : sim::TraceKind::kSwapUp, n,
+                     before, static_cast<std::int64_t>(before) + delta);
+    }
+    delivered[n] = batch_ ? airs_[n].finish() : links_[n]->finish();
   }
   // Decentralized decisions must still compose into a permutation; this is
   // the protocol's core consistency invariant. It only holds when every
   // device can carrier-sense every other: hidden terminals may observe
   // asymmetric freeze records and commit one-sided swaps.
   if constexpr (kChecksEnabled) {
-    if (sensing_complete_) {
-      const auto sigma = priority_vector();
-      std::vector<bool> seen(sigma.size(), false);
-      for (PriorityIndex pr : sigma) {
-        RTMAC_ASSERT(pr >= 1 && pr <= sigma.size() && !seen[pr - 1],
-                     "priority state diverged: swap decisions inconsistent (priority ", pr,
-                     " among N=", sigma.size(), ")");
-        seen[pr - 1] = true;
-      }
-    }
+    if (sensing_complete_) kernel_.validate_permutation();
   }
-  return delivered;
 }
 
 core::Permutation DpScheme::priorities() const {
@@ -281,9 +298,8 @@ core::Permutation DpScheme::priorities() const {
 }
 
 std::vector<PriorityIndex> DpScheme::priority_vector() const {
-  std::vector<PriorityIndex> sigma(links_.size());
-  for (std::size_t n = 0; n < links_.size(); ++n) sigma[n] = links_[n]->priority();
-  return sigma;
+  const std::span<const PriorityIndex> sigma = kernel_.priority_span();
+  return {sigma.begin(), sigma.end()};
 }
 
 }  // namespace rtmac::mac

@@ -10,18 +10,30 @@
 // can always be confirmed on the air; confirmed or not, the whole interval
 // carries no collisions because backoff counts are unique.
 //
-// DpLinkMac is the per-link state machine; DpScheme wires N of them to the
-// shared Medium and implements the MacScheme contract.
+// The per-interval protocol math lives in DpBatchKernel (mac/dp_batch_kernel
+// .hpp) as flat SoA passes shared by two execution paths:
+//   * batch (default under complete sensing): one shared backoff clock
+//     (DpBatchBackoff) drives all links' DpLinkAir transmission machines —
+//     the allocation-free hot path;
+//   * scalar reference (partial sensing, or force_scalar_path): one
+//     DpLinkMac per link, each with its own BackoffEngine listening on its
+//     own sense view — the faithful per-device state machine the batch path
+//     is tested bit-identical against.
+// DpScheme wires either path to the shared Medium and implements the
+// MacScheme contract.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/permutation.hpp"
 #include "core/types.hpp"
 #include "mac/backoff_engine.hpp"
+#include "mac/dp_batch_kernel.hpp"
 #include "mac/link_mac.hpp"
 #include "mac/priority_provider.hpp"
 #include "mac/reliability_estimator.hpp"
@@ -31,49 +43,6 @@
 #include "util/rng.hpp"
 
 namespace rtmac::mac {
-
-/// The common random seed of Algorithm 2 Step 1. All devices hold the same
-/// seed (obtained e.g. from coarse time synchronization) and derive the same
-/// candidate pair(s) for every interval without exchanging messages.
-class SharedSeed {
- public:
-  explicit SharedSeed(std::uint64_t seed) : seed_{seed} {}
-
-  /// C(k): uniform on {1..N-1}, identical at every device.
-  /// Precondition: num_links >= 2.
-  [[nodiscard]] PriorityIndex candidate(IntervalIndex k, std::size_t num_links) const {
-    return static_cast<PriorityIndex>(
-        1 + mix64(seed_, k) % static_cast<std::uint64_t>(num_links - 1));
-  }
-
-  /// Remark 6 generalization: up to `max_pairs` NON-CONSECUTIVE integers
-  /// from {1..N-1}, sorted ascending — each value m marks the disjoint
-  /// candidate pair (m, m+1). max_pairs == 1 reduces to {candidate(k, N)}.
-  /// Every device derives the identical set from (seed, k) alone.
-  [[nodiscard]] std::vector<PriorityIndex> candidate_set(IntervalIndex k,
-                                                         std::size_t num_links,
-                                                         int max_pairs) const;
-
- private:
-  std::uint64_t seed_;
-};
-
-/// Pure backoff assignment of eq. (6), generalized per Remark 6.
-///
-/// `sigma` is the link's priority, `pairs` the sorted disjoint candidate
-/// anchors for the interval, `xi` the link's coin (+1/-1; ignored for
-/// bystanders). Exposed as a free function so the collision-freedom
-/// invariant — distinct links always receive distinct counts, whatever the
-/// coins — can be tested exhaustively, independent of the event engine.
-/// Returns the backoff slot count (>= 0).
-[[nodiscard]] int dp_backoff_count(PriorityIndex sigma,
-                                   const std::vector<PriorityIndex>& pairs, int xi);
-
-/// True iff `sigma` belongs to one of the candidate pairs; when it does,
-/// `*is_lower` (if non-null) reports whether it is the pair's lower index.
-[[nodiscard]] bool dp_is_candidate(PriorityIndex sigma,
-                                   const std::vector<PriorityIndex>& pairs,
-                                   bool* is_lower = nullptr);
 
 /// Static configuration of one DP link.
 struct DpLinkParams {
@@ -88,69 +57,102 @@ struct DpLinkParams {
   /// larger worst-case backoff (up to ~N + 2*pairs slots) for faster
   /// convergence of the priority chain.
   int max_swap_pairs = 1;
+  /// Debug/testing: run the per-link scalar reference path even where the
+  /// batch path applies (complete sensing). The equivalence tests assert
+  /// both paths produce bit-identical results.
+  bool force_scalar_path = false;
 };
 
-/// Per-link protocol state machine. Knows only: its own priority, its own
-/// debt-driven coin bias (via PriorityProvider), the shared seed, and the
-/// busy/idle state of the medium — nothing about other links.
-class DpLinkMac {
+/// The transmission half of one DP link: buffer, gap rule (Remark 4),
+/// priority-claim empties, retransmit-until-deadline. Driven by a backoff
+/// clock (shared or per-link) through on_slot_won(); knows nothing about
+/// priorities or coins.
+class DpLinkAir {
  public:
   /// `estimator`, when non-null, receives the outcome of every clean data
   /// transmission this link makes (the "learning p_n" mode of Section II-A).
-  DpLinkMac(sim::Simulator& simulator, phy::Medium& medium, const SharedSeed& shared_seed,
-            const PriorityProvider& provider, DpLinkParams params, LinkId id,
-            std::size_t num_links, PriorityIndex initial_priority, std::uint64_t seed,
-            ReliabilityEstimator* estimator = nullptr);
+  /// `allow_burst` opts this machine into the Medium burst fast path (one
+  /// event per back-to-back chain instead of one per packet); only the batch
+  /// execution path enables it, so the scalar reference path keeps the
+  /// per-event machinery the burst is tested bit-identical against.
+  DpLinkAir(sim::Simulator& simulator, phy::Medium& medium, const DpLinkParams& params,
+            LinkId id, ReliabilityEstimator* estimator, bool allow_burst = false);
 
-  DpLinkMac(const DpLinkMac&) = delete;
-  DpLinkMac& operator=(const DpLinkMac&) = delete;
+  /// Resets per-interval state. `is_candidate` enables the Step 2 empty
+  /// priority-claim behaviour for this interval.
+  void begin(int arrivals, TimePoint interval_end, bool is_candidate);
 
-  /// Algorithm 2 steps 1-4 for interval k; arms the backoff engine.
-  void begin_interval(IntervalIndex k, int arrivals, TimePoint interval_end);
+  /// The link's backoff window elapsed: attempt the first transmission.
+  void on_slot_won();
 
-  /// Steps 5 and 7: resolves the priority update from the carrier-sense
-  /// record, flushes the buffer, returns this interval's deliveries.
-  int end_interval();
+  /// Step 7 deadline flush; returns this interval's on-time deliveries.
+  int finish();
 
-  [[nodiscard]] LinkId id() const { return id_; }
-  [[nodiscard]] PriorityIndex priority() const { return sigma_; }
+  /// True iff this link has anything to put on the air this interval (data
+  /// or a pending priority claim) — i.e. its backoff expiry can matter.
+  [[nodiscard]] bool armed() const { return buffer_ > 0 || empty_claim_pending_; }
+
+  /// True iff the at-expiry claim actually aired (first transmission began).
+  [[nodiscard]] bool aired() const { return first_tx_started_; }
+
   /// Number of transmissions (data + empty) started this interval (R_n).
   [[nodiscard]] int transmissions_started() const { return tx_started_; }
 
+  [[nodiscard]] LinkId id() const { return id_; }
+
  private:
-  void on_backoff_expired();
   void try_transmit();
+  void run_burst();
   void on_tx_done(phy::PacketKind kind, phy::TxOutcome outcome);
 
   sim::Simulator& sim_;
   phy::Medium& medium_;
-  const SharedSeed& shared_seed_;
-  const PriorityProvider& provider_;
-  ReliabilityEstimator* estimator_;  ///< optional, not owned
   DpLinkParams params_;
   LinkId id_;
-  std::size_t num_links_;
-  Rng coin_rng_;
-
-  PriorityIndex sigma_;  ///< priority carried into the current interval
+  ReliabilityEstimator* estimator_;  ///< optional, not owned
+  bool allow_burst_ = false;
 
   // Per-interval state.
   TimePoint interval_end_;
-  int buffer_ = 0;               ///< undelivered data packets
+  int buffer_ = 0;  ///< undelivered data packets
+  bool is_candidate_ = false;
   bool empty_claim_pending_ = false;
   int delivered_ = 0;
   int tx_started_ = 0;
   bool first_tx_started_ = false;  ///< the at-expiry claim actually aired
-  enum class Role : std::uint8_t { kBystander, kLower, kUpper };
-  Role role_ = Role::kBystander;  ///< kLower = priority C(k), kUpper = C(k)+1
-  int xi_ = 0;                    ///< coin outcome, +1 or -1 (candidates only)
+};
+
+/// Scalar reference path: one link's air machine plus its own BackoffEngine
+/// (listening on the link's own sense view, so it also models partial
+/// sensing / hidden terminals). The priority math stays in DpBatchKernel.
+class DpLinkMac {
+ public:
+  DpLinkMac(sim::Simulator& simulator, phy::Medium& medium, const DpLinkParams& params,
+            LinkId id, ReliabilityEstimator* estimator = nullptr);
+
+  DpLinkMac(const DpLinkMac&) = delete;
+  DpLinkMac& operator=(const DpLinkMac&) = delete;
+
+  /// Arms the engine for interval k with the kernel-computed window.
+  void begin_interval(int arrivals, TimePoint interval_end, bool is_candidate,
+                      int backoff_count);
+
+  void stop_backoff() { backoff_.stop(); }
+  [[nodiscard]] bool frozen_at_one() const { return backoff_.was_frozen_at(1); }
+  /// Upper-candidate swap evidence: countdown expired AND the claim aired.
+  [[nodiscard]] bool claim_aired() const { return backoff_.expired() && air_.aired(); }
+  int finish() { return air_.finish(); }
+  [[nodiscard]] const DpLinkAir& air() const { return air_; }
+
+ private:
+  DpLinkAir air_;
   BackoffEngine backoff_;
 };
 
-/// MacScheme gluing N DpLinkMacs together. The per-link objects never talk
-/// to each other; the scheme only fans out interval boundaries (which in a
-/// real deployment come from the devices' own synchronized clocks) and
-/// aggregates statistics.
+/// MacScheme gluing the kernel, the backoff clock(s), and N air machines
+/// together. The per-link pieces never talk to each other; the scheme only
+/// fans out interval boundaries (which in a real deployment come from the
+/// devices' own synchronized clocks) and aggregates statistics.
 class DpScheme final : public MacScheme {
  public:
   /// The scheme owns its coin-bias provider. Initial priorities are the
@@ -163,9 +165,9 @@ class DpScheme final : public MacScheme {
            std::optional<core::Permutation> initial = std::nullopt,
            ReliabilityEstimator* estimator = nullptr);
 
-  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+  void begin_interval(IntervalIndex k, std::span<const int> arrivals,
                       TimePoint interval_end) override;
-  std::vector<int> end_interval() override;
+  void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
   /// Current priority assignment (valid between intervals). Debug/analysis.
@@ -174,16 +176,35 @@ class DpScheme final : public MacScheme {
   /// Raw per-link priority indices without the bijection check (diagnostics).
   [[nodiscard]] std::vector<PriorityIndex> priority_vector() const;
 
+  /// The SoA per-interval state (observability reads priorities / backoff
+  /// windows straight from the arrays).
+  [[nodiscard]] const DpBatchKernel& kernel() const { return kernel_; }
+
+  /// True when this scheme runs the shared-clock batch path.
+  [[nodiscard]] bool batch_path() const { return batch_; }
+
  private:
-  // Declaration order matters: links_ hold references to both members below.
-  SharedSeed shared_seed_;
+  void on_slot_won(LinkId n);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  // Declaration order matters: kernel_ dereferences provider_.
   std::unique_ptr<PriorityProvider> provider_;
-  std::vector<std::unique_ptr<DpLinkMac>> links_;
+  DpBatchKernel kernel_;
   std::string name_;
   /// Swap decisions compose into a permutation only when every device hears
   /// every transmission; under partial sensing the consistency invariant is
   /// expected to break (hidden terminals), so the debug check is gated.
   bool sensing_complete_ = true;
+  bool batch_ = true;
+
+  // Batch path: shared clock + flat air machines.
+  std::vector<DpLinkAir> airs_;
+  std::unique_ptr<DpBatchBackoff> batch_backoff_;
+  std::vector<std::uint8_t> armed_scratch_;
+
+  // Scalar reference path: per-link engines on per-node sense views.
+  std::vector<std::unique_ptr<DpLinkMac>> links_;
 };
 
 }  // namespace rtmac::mac

@@ -83,7 +83,7 @@ FcsmaScheme::FcsmaScheme(const SchemeContext& ctx, FcsmaParams params, std::stri
   }
 }
 
-void FcsmaScheme::begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+void FcsmaScheme::begin_interval(IntervalIndex k, std::span<const int> arrivals,
                                  TimePoint interval_end) {
   RTMAC_REQUIRE(arrivals.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) {
@@ -91,10 +91,9 @@ void FcsmaScheme::begin_interval(IntervalIndex k, const std::vector<int>& arriva
   }
 }
 
-std::vector<int> FcsmaScheme::end_interval() {
-  std::vector<int> delivered(links_.size());
+void FcsmaScheme::end_interval(std::span<int> delivered) {
+  RTMAC_REQUIRE(delivered.size() == links_.size());
   for (std::size_t n = 0; n < links_.size(); ++n) delivered[n] = links_[n]->end_interval();
-  return delivered;
 }
 
 }  // namespace rtmac::mac

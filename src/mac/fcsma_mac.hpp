@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,9 +88,9 @@ class FcsmaScheme final : public MacScheme {
  public:
   FcsmaScheme(const SchemeContext& ctx, FcsmaParams params, std::string name);
 
-  void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+  void begin_interval(IntervalIndex k, std::span<const int> arrivals,
                       TimePoint interval_end) override;
-  std::vector<int> end_interval() override;
+  void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:

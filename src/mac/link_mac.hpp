@@ -11,8 +11,8 @@
 #include <cstdint>
 #include <functional>  // lint-ok: std-function factory type below, config-time only
 #include <memory>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "core/debt.hpp"
 #include "core/types.hpp"
@@ -28,14 +28,19 @@ class MacScheme {
   virtual ~MacScheme() = default;
 
   /// Starts interval k. `arrivals[n]` packets appear in link n's buffer,
-  /// all with absolute deadline `interval_end`. Called at time kT.
-  virtual void begin_interval(IntervalIndex k, const std::vector<int>& arrivals,
+  /// all with absolute deadline `interval_end`. Called at time kT. The
+  /// caller owns the buffer (pre-sized from NetworkConfig); the view is
+  /// valid only for the duration of the call.
+  virtual void begin_interval(IntervalIndex k, std::span<const int> arrivals,
                               TimePoint interval_end) = 0;
 
   /// Closes the interval at time (k+1)T after the medium has gone idle.
-  /// Returns S(k): on-time deliveries per link. Implementations must drop
-  /// all undelivered packets (deadline expiry) and quiesce.
-  virtual std::vector<int> end_interval() = 0;
+  /// Writes S(k) — on-time deliveries — into `delivered[n]` for EVERY link
+  /// (caller-owned, sized num_links; no element may be left stale).
+  /// Implementations must drop all undelivered packets (deadline expiry)
+  /// and quiesce. Neither interval call may allocate in steady state: the
+  /// per-interval hot path is gated allocation-free (BM_DbdpIntervalAllocs).
+  virtual void end_interval(std::span<int> delivered) = 0;
 
   /// Human-readable scheme name for reports.
   [[nodiscard]] virtual std::string name() const = 0;

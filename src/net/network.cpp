@@ -14,7 +14,9 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
       medium_{nullptr},
       debts_{config_.requirements.q()},
       stats_{config_.num_links()},
-      arrival_rng_{config_.seed, /*stream_id=*/0xA221BA15ULL} {
+      arrival_rng_{config_.seed, /*stream_id=*/0xA221BA15ULL},
+      arrivals_(config_.interval_buffer_hint(), 0),
+      delivered_(config_.interval_buffer_hint(), 0) {
   std::string error;
   if (!config_.validate(&error)) {
     std::fprintf(stderr, "rtmac: invalid NetworkConfig: %s\n", error.c_str());
@@ -85,7 +87,8 @@ void Network::attach_metrics(obs::MetricsRegistry* registry) {
 
 void Network::run(IntervalIndex intervals) {
   const std::size_t n_links = config_.num_links();
-  std::vector<int> arrivals(n_links);
+  const std::span<int> arrivals{arrivals_};
+  const std::span<int> delivered{delivered_};
 
   for (IntervalIndex i = 0; i < intervals; ++i) {
     const IntervalIndex k = next_interval_++;
@@ -95,7 +98,7 @@ void Network::run(IntervalIndex intervals) {
     RTMAC_ASSERT(sim_.now() == start, "interval boundaries drifted");
 
     if (config_.joint_arrivals != nullptr) {
-      arrivals = config_.joint_arrivals->sample(arrival_rng_);
+      config_.joint_arrivals->sample_into(arrival_rng_, arrivals);
     } else {
       for (std::size_t n = 0; n < n_links; ++n) {
         arrivals[n] = config_.arrivals[n]->sample(arrival_rng_);
@@ -110,7 +113,7 @@ void Network::run(IntervalIndex intervals) {
     sim_.run_until(end);
     RTMAC_ASSERT(!medium_->busy(), "a transmission overran the interval boundary (gap rule)");
 
-    const std::vector<int> delivered = scheme_->end_interval();
+    scheme_->end_interval(delivered);
     if (tracer_ != nullptr) {
       tracer_->record(end, sim::TraceKind::kIntervalEnd, sim::kNoLink,
                       static_cast<std::int64_t>(k));

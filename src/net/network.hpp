@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/debt.hpp"
@@ -23,9 +24,10 @@
 namespace rtmac::net {
 
 /// Observer invoked after every interval with (k, arrivals, deliveries);
-/// used by convergence/starvation experiments to record time series.
+/// used by convergence/starvation experiments to record time series. The
+/// spans view the Network's interval buffers — valid only during the call.
 using IntervalObserver =
-    std::function<void(IntervalIndex, const std::vector<int>&, const std::vector<int>&)>;
+    std::function<void(IntervalIndex, std::span<const int>, std::span<const int>)>;
 
 /// Owns the full simulation stack for one run of one scheme.
 class Network {
@@ -59,6 +61,7 @@ class Network {
   [[nodiscard]] const core::DebtTracker& debts() const { return debts_; }
   [[nodiscard]] const phy::Medium& medium() const { return *medium_; }
   [[nodiscard]] mac::MacScheme& scheme() { return *scheme_; }
+  [[nodiscard]] const mac::MacScheme& scheme() const { return *scheme_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
   [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
 
@@ -76,6 +79,12 @@ class Network {
   std::vector<IntervalObserver> observers_;
   sim::Tracer* tracer_ = nullptr;
   IntervalIndex next_interval_ = 0;
+
+  // Caller-owned interval buffers (buffer-ownership convention, DESIGN §4g):
+  // pre-sized from NetworkConfig at construction so the per-interval loop
+  // never allocates; schemes and observers see spans over them.
+  std::vector<int> arrivals_;
+  std::vector<int> delivered_;
 
   // Metric handles cached at attach time; all null when detached.
   obs::MetricsRegistry* metrics_ = nullptr;

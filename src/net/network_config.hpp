@@ -57,6 +57,12 @@ struct NetworkConfig {
   /// while staying a few kilobytes of slots.
   [[nodiscard]] std::size_t event_capacity_hint() const;
 
+  /// Size of the caller-owned per-interval buffers (arrivals in, deliveries
+  /// out) the Network pre-allocates so the interval hot loop never touches
+  /// the heap: one int slot per link. Split out from num_links() so any
+  /// future padding/alignment tweak of the SoA buffers has one home.
+  [[nodiscard]] std::size_t interval_buffer_hint() const { return num_links(); }
+
   /// Validates internal consistency (sizes match, probabilities in range,
   /// declared lambda equals each arrival process's mean). Returns true and
   /// leaves `error` untouched on success.

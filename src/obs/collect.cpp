@@ -1,5 +1,6 @@
 #include "obs/collect.hpp"
 
+#include "mac/dp_link_mac.hpp"
 #include "net/network.hpp"
 #include "stats/deficiency.hpp"
 #include "util/check.hpp"
@@ -61,6 +62,21 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
     }
     registry.gauge(link_metric("link.collision_partners", n))
         .set(static_cast<double>(partners));
+  }
+
+  // DP-specific state, read straight from the batch kernel's SoA arrays
+  // (DESIGN §4g): the current priority permutation and the last interval's
+  // backoff counts, plus whether the batch path (vs the scalar reference
+  // path) served the run.
+  if (const auto* dp = dynamic_cast<const mac::DpScheme*>(&network.scheme())) {
+    registry.gauge("mac.dp.batch_path").set(dp->batch_path() ? 1.0 : 0.0);
+    const mac::DpBatchKernel& kernel = dp->kernel();
+    for (LinkId n = 0; n < n_links; ++n) {
+      registry.gauge(link_metric("mac.dp.priority", n))
+          .set(static_cast<double>(kernel.priority(n)));
+      registry.gauge(link_metric("mac.dp.backoff_slots", n))
+          .set(static_cast<double>(kernel.backoff_count(n)));
+    }
   }
 
   registry.gauge("net.deficiency")

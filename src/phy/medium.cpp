@@ -25,6 +25,8 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
   RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
   const std::size_t n = channel_->num_links();
+  complete_sensing_ = graph_.complete_sensing();
+  num_links_ = n;
   link_counters_.resize(n);
   views_.resize(n);
   marks_.assign(n + 1, 0);
@@ -40,6 +42,8 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
   RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
   const std::size_t n = channel_->num_links();
   RTMAC_ASSERT(graph_.num_links() == n, "interference graph size must match the channel");
+  complete_sensing_ = graph_.complete_sensing();
+  num_links_ = n;
   link_counters_.resize(n);
   views_.resize(n);
   marks_.assign(n + 1, 0);
@@ -90,6 +94,18 @@ void Medium::mark_transitions(LinkId link, bool to_busy, TimePoint now) {
   }
 }
 
+void Medium::notify_all(bool to_busy, TimePoint now) {
+  dispatching_listeners_ = true;
+  for (const ListenerEntry& entry : listeners_) {
+    if (to_busy) {
+      entry.listener->on_medium_busy(now);
+    } else {
+      entry.listener->on_medium_idle(now);
+    }
+  }
+  dispatching_listeners_ = false;
+}
+
 void Medium::dispatch_marked(bool to_busy, TimePoint now) {
   if (!any_marked_) return;
   const std::size_t n = num_links();
@@ -111,6 +127,7 @@ void Medium::dispatch_marked(bool to_busy, TimePoint now) {
 void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done) {
   RTMAC_REQUIRE(link < channel_->num_links());
   RTMAC_REQUIRE(airtime > Duration{}, "zero-airtime transmission");
+  RTMAC_ASSERT(!burst_active_, "start_transmission while a burst holds the medium");
   if (dispatching_listeners_) {
     // Re-entrancy rule (see MediumListener): transmitting synchronously from
     // a busy/idle callback would let later listeners observe transitions out
@@ -161,8 +178,21 @@ void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, 
                     kind == PacketKind::kEmpty ? 1 : 0);
   }
 
-  mark_transitions(link, /*to_busy=*/true, now);
-  dispatch_marked(/*to_busy=*/true, now);
+  if (complete_sensing_) {
+    // Fast path: one shared view, maintained inline; listeners are visited
+    // only on an actual busy edge (chained back-to-back packets keep the
+    // view busy and skip the whole notification machinery).
+    SenseView& view = global_view_;
+    ++view.active;
+    if (!view.notified_busy) {
+      view.notified_busy = true;
+      view.busy_since = now;
+      notify_all(/*to_busy=*/true, now);
+    }
+  } else {
+    mark_transitions(link, /*to_busy=*/true, now);
+    dispatch_marked(/*to_busy=*/true, now);
+  }
 }
 
 void Medium::finish_transmission(std::uint64_t tx_id) {
@@ -176,7 +206,9 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
   active_.erase(it);
   --active_count_;
   --global_view_.active;
-  for (LinkId node : graph_.sensed_by(tx.link)) --views_[node].active;
+  if (!complete_sensing_) {
+    for (LinkId node : graph_.sensed_by(tx.link)) --views_[node].active;
+  }
 
   counters_.busy_time += tx.airtime;
   link_counters_[tx.link].airtime += tx.airtime;
@@ -212,8 +244,101 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
   // listeners of every view that actually went idle.
   if (tx.done) tx.done(outcome);
 
-  mark_transitions(tx.link, /*to_busy=*/false, now);
-  dispatch_marked(/*to_busy=*/false, now);
+  if (complete_sensing_) {
+    SenseView& view = global_view_;
+    if (view.active == 0 && view.notified_busy) {
+      view.notified_busy = false;
+      const Duration period = now - view.busy_since;
+      view.busy_time += period;
+      if (busy_period_hist_ != nullptr) busy_period_hist_->observe(period.us_f());
+      notify_all(/*to_busy=*/false, now);
+    }
+  } else {
+    mark_transitions(tx.link, /*to_busy=*/false, now);
+    dispatch_marked(/*to_busy=*/false, now);
+  }
+}
+
+void Medium::begin_burst(LinkId link) {
+  RTMAC_REQUIRE(link < num_links_);
+  RTMAC_ASSERT(burst_available(), "begin_burst without burst_available()");
+  burst_active_ = true;
+  ++active_count_;
+  ++global_view_.active;
+}
+
+TxOutcome Medium::burst_tx(LinkId link, TimePoint at, Duration airtime, PacketKind kind) {
+  RTMAC_ASSERT(burst_active_, "burst_tx outside a burst");
+  RTMAC_REQUIRE(airtime > Duration{}, "zero-airtime transmission");
+
+  if (kind == PacketKind::kData) {
+    ++counters_.data_tx;
+    ++link_counters_[link].data_tx;
+  } else {
+    ++counters_.empty_tx;
+    ++link_counters_[link].empty_tx;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(at, sim::TraceKind::kTxStart, link, airtime.ns(),
+                    kind == PacketKind::kEmpty ? 1 : 0);
+  }
+
+  // First packet of the burst: emit the busy edge, exactly where the
+  // per-event path does (after the kTxStart record, before the outcome).
+  SenseView& view = global_view_;
+  if (!view.notified_busy) {
+    view.notified_busy = true;
+    view.busy_since = at;
+    notify_all(/*to_busy=*/true, at);
+  }
+
+  counters_.busy_time += airtime;
+  link_counters_[link].airtime += airtime;
+
+  // No collision branch: the burst holds the medium exclusively, so the
+  // outcome depends only on the channel — drawn from the same loss stream,
+  // in the same order, as the per-event path would at the completion event.
+  TxOutcome outcome;
+  if (kind == PacketKind::kData && channel_->attempt_succeeds(link, loss_rng_)) {
+    outcome = TxOutcome::kDelivered;
+    ++counters_.delivered;
+    ++link_counters_[link].delivered;
+  } else if (kind == PacketKind::kEmpty) {
+    outcome = TxOutcome::kDelivered;
+  } else {
+    outcome = TxOutcome::kChannelLoss;
+    ++counters_.channel_losses;
+  }
+
+  if (tracer_ != nullptr) {
+    tracer_->record(at + airtime, sim::TraceKind::kTxEnd, link,
+                    static_cast<std::int64_t>(outcome), kind == PacketKind::kEmpty ? 1 : 0);
+  }
+  return outcome;
+}
+
+void Medium::end_burst(TimePoint end) {
+  RTMAC_ASSERT(burst_active_, "end_burst outside a burst");
+  RTMAC_ASSERT(end >= sim_.now(), "burst ends in the past");
+  // The idle transition runs synchronously with the burst-end timestamp
+  // rather than through an event at `end`: the burst froze every other
+  // device at its busy edge (the shared backoff clock cancelled its expiry),
+  // so the event queue holds nothing that could observe the medium before
+  // `end` — asserted below. Listeners receive the future timestamp and
+  // schedule their resumed expiries at absolute times >= `end`, which is
+  // exactly what they would have computed inside an event at `end`.
+  RTMAC_ASSERT(sim_.no_event_before(end), "event pending inside the burst window");
+  burst_active_ = false;
+  --active_count_;
+  SenseView& view = global_view_;
+  --view.active;
+  if (view.active == 0 && view.notified_busy) {
+    view.notified_busy = false;
+    const Duration period = end - view.busy_since;
+    view.busy_time += period;
+    if (busy_period_hist_ != nullptr) busy_period_hist_->observe(period.us_f());
+    notify_all(/*to_busy=*/false, end);
+  }
 }
 
 }  // namespace rtmac::phy

@@ -118,13 +118,47 @@ class Medium {
   /// transmission on a conflicting link marks every participant collided.
   void start_transmission(LinkId link, Duration airtime, PacketKind kind, TxDone done);
 
+  // ---- burst fast path ------------------------------------------------------
+  // A link that wins the channel under complete sensing transmits its whole
+  // back-to-back chain with exclusive use of the medium: every other device
+  // senses busy and freezes, so no event can interleave until the chain
+  // ends. The burst API exploits that: the caller simulates the chain
+  // synchronously (one burst_tx per packet, outcomes returned immediately
+  // in the same loss-stream order the per-event path would draw them) and
+  // the medium schedules a single idle-transition event at the end, instead
+  // of one completion event per packet. Semantically identical to chained
+  // start_transmission calls — the equivalence tests assert it bit-for-bit.
+
+  /// True when the burst path may be used right now: complete sensing, the
+  /// medium idle, and not inside a listener callback.
+  [[nodiscard]] bool burst_available() const {
+    return complete_sensing_ && active_count_ == 0 && !dispatching_listeners_;
+  }
+
+  /// Opens an exclusive burst at now(). Precondition: burst_available().
+  void begin_burst(LinkId link);
+
+  /// Transmits one packet of the open burst occupying [at, at+airtime);
+  /// returns its outcome immediately. The first packet emits the busy
+  /// transition to listeners (after its kTxStart trace record, exactly like
+  /// the per-event path).
+  TxOutcome burst_tx(LinkId link, TimePoint at, Duration airtime, PacketKind kind);
+
+  /// Closes the burst: performs the idle transition with timestamp `end`
+  /// (>= now()) synchronously — no event is needed, because the burst froze
+  /// everything else and the queue holds no event before `end` (asserted).
+  void end_burst(TimePoint end);
+
   /// Carrier-sense, global view: is any transmission in flight right now?
   [[nodiscard]] bool busy() const { return active_count_ > 0; }
 
   /// Carrier-sense as seen from `node`: is any link that `node` senses
-  /// transmitting? `kAllNodes` selects the global view.
+  /// transmitting? `kAllNodes` selects the global view. Under complete
+  /// sensing every per-node view coincides with the global one, so the
+  /// Medium maintains only the global view and routes per-node queries to
+  /// it (the fast path the batch DP kernel relies on).
   [[nodiscard]] bool sense_busy(LinkId node) const {
-    return node == kAllNodes ? busy() : views_[node].active > 0;
+    return (node == kAllNodes || complete_sensing_) ? busy() : views_[node].active > 0;
   }
 
   /// Registers a carrier-sense observer of the global view (not owned; must
@@ -146,7 +180,8 @@ class Medium {
   /// an in-flight busy period is not included until it ends). `kAllNodes`
   /// reports the global view.
   [[nodiscard]] Duration sense_busy_time(LinkId node) const {
-    return node == kAllNodes ? global_view_.busy_time : views_[node].busy_time;
+    return (node == kAllNodes || complete_sensing_) ? global_view_.busy_time
+                                                    : views_[node].busy_time;
   }
 
   /// Number of pairwise collision events between links a and b (each
@@ -171,7 +206,9 @@ class Medium {
   /// exported from MediumCounters by obs::collect_network_metrics.
   void set_metrics(obs::MetricsRegistry* registry);
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
-  [[nodiscard]] std::size_t num_links() const { return channel_->num_links(); }
+  /// Cached at construction: the channel's answer never changes, and this is
+  /// queried from per-transmission hot paths (a virtual call would show up).
+  [[nodiscard]] std::size_t num_links() const { return num_links_; }
   /// Long-run reliability p_n (what policies are configured with).
   [[nodiscard]] double success_prob(LinkId link) const {
     return channel_->mean_success(link);
@@ -214,10 +251,18 @@ class Medium {
   /// Notifies listeners (in registration order) whose view is marked, then
   /// clears the marks. Aborts re-entrant start_transmission while running.
   void dispatch_marked(bool to_busy, TimePoint now);
+  /// Complete-sensing fast path: every view coincides with the global one,
+  /// so a global-view edge notifies every listener unconditionally.
+  void notify_all(bool to_busy, TimePoint now);
 
   sim::Simulator& sim_;
   std::unique_ptr<ChannelModel> channel_;
   InterferenceGraph graph_;
+  /// Cached graph_.complete_sensing(): selects the single-view fast path
+  /// (per-node views are never touched; all listeners share the global
+  /// view's transitions, which is exactly what a complete graph implies).
+  bool complete_sensing_ = false;
+  std::size_t num_links_ = 0;  ///< cached channel_->num_links()
   Rng loss_rng_;
   std::vector<ActiveTx> active_;  // small: rarely more than a handful in flight
   std::size_t active_count_ = 0;
@@ -226,6 +271,7 @@ class Medium {
   std::vector<std::uint8_t> marks_;  ///< per-view transition scratch; [n_] = global
   bool any_marked_ = false;
   bool dispatching_listeners_ = false;  ///< re-entrancy guard (always enforced)
+  bool burst_active_ = false;           ///< inside a begin_burst/end_burst pair
   std::uint64_t next_tx_id_ = 1;
   std::vector<ListenerEntry> listeners_;
   MediumCounters counters_;

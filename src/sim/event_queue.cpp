@@ -1,25 +1,12 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <utility>
 
 #include "util/check.hpp"
 
 namespace rtmac::sim {
 
-template <typename T>
-void EventQueue::push_counted(std::vector<T>& v, T&& value) {
-  if (v.size() == v.capacity()) ++reallocs_;
-  v.push_back(std::move(value));
-}
-
-std::uint32_t EventQueue::allocate_slot() {
-  if (free_head_ != kNilSlot) {
-    const std::uint32_t slot = free_head_;
-    free_head_ = pool_[slot].next_free;
-    ++pool_[slot].gen;  // even -> odd: occupied
-    return slot;
-  }
+std::uint32_t EventQueue::allocate_slot_slow() {
   RTMAC_ASSERT(pool_.size() < kNilSlot, "event slot pool exhausted");
   const auto slot = static_cast<std::uint32_t>(pool_.size());
   push_counted(pool_, Slot{});
@@ -27,38 +14,7 @@ std::uint32_t EventQueue::allocate_slot() {
   return slot;
 }
 
-void EventQueue::release_slot(std::uint32_t slot) {
-  Slot& s = pool_[slot];
-  s.callback.reset();
-  ++s.gen;  // odd -> even: free; stale handles can never match again
-  s.next_free = free_head_;
-  free_head_ = slot;
-}
-
-EventId EventQueue::push(TimePoint at, Callback cb) {
-  const std::uint32_t slot = allocate_slot();
-  pool_[slot].callback = std::move(cb);
-  push_counted(heap_, HeapItem{at, next_seq_++, slot, pool_[slot].gen});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_;
-  return EventId{slot, pool_[slot].gen};
-}
-
-bool EventQueue::cancel(EventId id) {
-  if (!slot_matches(id)) return false;
-  release_slot(id.slot_);
-  --live_;
-  // The heap record is now a tombstone (its generation no longer matches);
-  // compact once dead records outnumber live ones, so cancel-heavy phases
-  // cannot grow the heap without bound.
-  ++tombstones_;
-  if (tombstones_ > heap_.size() / 2 && heap_.size() >= kCompactMinHeap) compact();
-  return true;
-}
-
-bool EventQueue::is_pending(EventId id) const { return slot_matches(id); }
-
-void EventQueue::skim_tombstones() {
+void EventQueue::skim_tombstones_slow() {
   while (!heap_.empty()) {
     const HeapItem& top = heap_.front();
     if (pool_[top.slot].gen == top.gen) return;  // live
@@ -75,24 +31,6 @@ void EventQueue::compact() {
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   tombstones_ = 0;
-}
-
-TimePoint EventQueue::next_time() {
-  skim_tombstones();
-  RTMAC_REQUIRE(!heap_.empty(), "next_time() on empty queue");
-  return heap_.front().time;
-}
-
-EventQueue::Popped EventQueue::pop() {
-  skim_tombstones();
-  RTMAC_REQUIRE(!heap_.empty(), "pop() on empty queue");
-  const HeapItem top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
-  Popped out{top.time, std::move(pool_[top.slot].callback)};
-  release_slot(top.slot);
-  --live_;
-  return out;
 }
 
 void EventQueue::clear() {

@@ -20,9 +20,12 @@
 // and both vectors only grow, never shrink, until clear().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
@@ -53,6 +56,10 @@ class EventQueue {
  public:
   using Callback = util::InplaceFunction<void()>;
 
+  // push/cancel/pop/next_time are defined inline below the class: they run
+  // once or twice per simulated transmission, and the cross-TU call (plus
+  // the callback moves it forces) is measurable in the interval hot path.
+
   /// Schedules `cb` at absolute time `at`. Returns a handle for cancel().
   EventId push(TimePoint at, Callback cb);
 
@@ -63,7 +70,7 @@ class EventQueue {
 
   /// True iff the handle refers to an event that has not yet fired nor been
   /// cancelled. O(1).
-  [[nodiscard]] bool is_pending(EventId id) const;
+  [[nodiscard]] bool is_pending(EventId id) const { return slot_matches(id); }
 
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const { return live_ == 0; }
@@ -130,10 +137,31 @@ class EventQueue {
   [[nodiscard]] bool slot_matches(EventId id) const {
     return id.valid() && id.slot_ < pool_.size() && pool_[id.slot_].gen == id.gen_;
   }
-  std::uint32_t allocate_slot();
-  void release_slot(std::uint32_t slot);
+  std::uint32_t allocate_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = pool_[slot].next_free;
+      ++pool_[slot].gen;  // even -> odd: occupied
+      return slot;
+    }
+    return allocate_slot_slow();
+  }
+  std::uint32_t allocate_slot_slow();
+  void release_slot(std::uint32_t slot) {
+    Slot& s = pool_[slot];
+    s.callback.reset();
+    ++s.gen;  // odd -> even: free; stale handles can never match again
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
   /// Pops tombstones off the heap front until the top is live (or empty).
-  void skim_tombstones();
+  /// Inline fast path: next_time()+pop() both skim, so the common "top is
+  /// already live" case must cost one compare, not a function call.
+  void skim_tombstones() {
+    if (heap_.empty() || pool_[heap_.front().slot].gen == heap_.front().gen) return;
+    skim_tombstones_slow();
+  }
+  void skim_tombstones_slow();
   /// Removes every tombstone and re-heapifies; O(heap size).
   void compact();
   /// Grows `v` by one element, counting the reallocation if capacity is
@@ -149,5 +177,50 @@ class EventQueue {
   std::size_t tombstones_ = 0;  ///< dead records still in heap_
   std::uint64_t reallocs_ = 0;
 };
+
+inline EventId EventQueue::push(TimePoint at, Callback cb) {
+  const std::uint32_t slot = allocate_slot();
+  pool_[slot].callback = std::move(cb);
+  push_counted(heap_, HeapItem{at, next_seq_++, slot, pool_[slot].gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventId{slot, pool_[slot].gen};
+}
+
+inline bool EventQueue::cancel(EventId id) {
+  if (!slot_matches(id)) return false;
+  release_slot(id.slot_);
+  --live_;
+  // The heap record is now a tombstone (its generation no longer matches);
+  // compact once dead records outnumber live ones, so cancel-heavy phases
+  // cannot grow the heap without bound.
+  ++tombstones_;
+  if (tombstones_ > heap_.size() / 2 && heap_.size() >= kCompactMinHeap) compact();
+  return true;
+}
+
+inline TimePoint EventQueue::next_time() {
+  skim_tombstones();
+  RTMAC_REQUIRE(!heap_.empty(), "next_time() on empty queue");
+  return heap_.front().time;
+}
+
+inline EventQueue::Popped EventQueue::pop() {
+  skim_tombstones();
+  RTMAC_REQUIRE(!heap_.empty(), "pop() on empty queue");
+  const HeapItem top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Popped out{top.time, std::move(pool_[top.slot].callback)};
+  release_slot(top.slot);
+  --live_;
+  return out;
+}
+
+template <typename T>
+void EventQueue::push_counted(std::vector<T>& v, T&& value) {
+  if (v.size() == v.capacity()) ++reallocs_;
+  v.push_back(std::move(value));
+}
 
 }  // namespace rtmac::sim

@@ -1,27 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <utility>
-
 #include "util/check.hpp"
 
 namespace rtmac::sim {
-
-EventId Simulator::schedule_at(TimePoint at, EventQueue::Callback cb) {
-  RTMAC_REQUIRE(at >= now_, "cannot schedule into the past");
-  return queue_.push(at, std::move(cb));
-}
-
-EventId Simulator::schedule_in(Duration delay, EventQueue::Callback cb) {
-  RTMAC_REQUIRE(!delay.is_negative(), "negative delay");
-  return queue_.push(now_ + delay, std::move(cb));
-}
-
-void Simulator::dispatch(EventQueue::Popped popped) {
-  RTMAC_ASSERT(popped.time >= now_, "event queue returned an out-of-order event");
-  now_ = popped.time;
-  ++executed_;
-  popped.callback();
-}
 
 void Simulator::run() {
   stopped_ = false;

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "sim/event_queue.hpp"
+#include "util/check.hpp"
 #include "util/time.hpp"
 
 namespace rtmac::sim {
@@ -27,15 +29,32 @@ class Simulator {
   /// Current virtual time. Starts at the origin (t = 0).
   [[nodiscard]] TimePoint now() const { return now_; }
 
+  // Scheduling is inline: it happens once per simulated transmission and
+  // backoff expiry, and a cross-TU call forces an extra move of the inline
+  // callback storage.
+
   /// Schedules `cb` at absolute virtual time `at`.
   /// Precondition: at >= now() (events cannot be scheduled in the past).
-  EventId schedule_at(TimePoint at, EventQueue::Callback cb);
+  EventId schedule_at(TimePoint at, EventQueue::Callback cb) {
+    RTMAC_REQUIRE(at >= now_, "cannot schedule into the past");
+    return queue_.push(at, std::move(cb));
+  }
 
   /// Schedules `cb` after `delay` from now. Precondition: delay >= 0.
-  EventId schedule_in(Duration delay, EventQueue::Callback cb);
+  EventId schedule_in(Duration delay, EventQueue::Callback cb) {
+    RTMAC_REQUIRE(!delay.is_negative(), "negative delay");
+    return queue_.push(now_ + delay, std::move(cb));
+  }
 
   /// Cancels a pending event; no effect on fired/cancelled handles.
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// True when no pending event fires strictly before `t`. Used by debug
+  /// invariant checks (e.g. the Medium burst fast path); non-const because
+  /// inspecting the queue front skims cancelled events.
+  [[nodiscard]] bool no_event_before(TimePoint t) {
+    return queue_.empty() || queue_.next_time() >= t;
+  }
   [[nodiscard]] bool is_pending(EventId id) const { return queue_.is_pending(id); }
 
   /// Runs until the event queue is exhausted or stop() is called.
@@ -60,7 +79,12 @@ class Simulator {
   [[nodiscard]] std::uint64_t event_reallocs() const { return queue_.reallocs(); }
 
  private:
-  void dispatch(EventQueue::Popped popped);
+  void dispatch(EventQueue::Popped popped) {
+    RTMAC_ASSERT(popped.time >= now_, "event queue returned an out-of-order event");
+    now_ = popped.time;
+    ++executed_;
+    popped.callback();
+  }
 
   EventQueue queue_;
   TimePoint now_ = TimePoint::origin();

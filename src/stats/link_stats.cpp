@@ -11,8 +11,8 @@ LinkStatsCollector::LinkStatsCollector(std::size_t num_links)
   RTMAC_REQUIRE(num_links > 0);
 }
 
-void LinkStatsCollector::record(const std::vector<int>& arrivals,
-                                const std::vector<int>& delivered) {
+void LinkStatsCollector::record(std::span<const int> arrivals,
+                                std::span<const int> delivered) {
   RTMAC_REQUIRE(arrivals.size() == total_arrivals_.size());
   RTMAC_REQUIRE(delivered.size() == total_delivered_.size());
   for (std::size_t n = 0; n < arrivals.size(); ++n) {

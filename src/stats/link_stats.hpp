@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -14,7 +16,13 @@ class LinkStatsCollector {
   explicit LinkStatsCollector(std::size_t num_links);
 
   /// Records one completed interval.
-  void record(const std::vector<int>& arrivals, const std::vector<int>& delivered);
+  void record(std::span<const int> arrivals, std::span<const int> delivered);
+  /// Braced-list convenience for tests; initializer_list does not convert
+  /// to span implicitly.
+  void record(std::initializer_list<int> arrivals, std::initializer_list<int> delivered) {
+    record(std::span<const int>{arrivals.begin(), arrivals.size()},
+           std::span<const int>{delivered.begin(), delivered.size()});
+  }
 
   [[nodiscard]] std::size_t num_links() const { return total_delivered_.size(); }
   [[nodiscard]] IntervalIndex intervals() const { return intervals_; }

@@ -14,10 +14,9 @@ IndependentArrivals::IndependentArrivals(
   }
 }
 
-std::vector<int> IndependentArrivals::sample(Rng& rng) const {
-  std::vector<int> out(marginals_.size());
+void IndependentArrivals::sample_into(Rng& rng, std::span<int> out) const {
+  RTMAC_REQUIRE(out.size() == marginals_.size());
   for (std::size_t n = 0; n < marginals_.size(); ++n) out[n] = marginals_[n]->sample(rng);
-  return out;
 }
 
 RateVector IndependentArrivals::mean() const {
@@ -43,15 +42,13 @@ CommonShockBurstyArrivals::CommonShockBurstyArrivals(std::size_t num_links, doub
   residual_alpha_ = shock_ >= 1.0 ? 0.0 : (alpha_ - shock_) / (1.0 - shock_);
 }
 
-std::vector<int> CommonShockBurstyArrivals::sample(Rng& rng) const {
-  std::vector<int> out(num_links_, 0);
+void CommonShockBurstyArrivals::sample_into(Rng& rng, std::span<int> out) const {
+  RTMAC_REQUIRE(out.size() == num_links_);
   const bool shock = rng.bernoulli(shock_);
   for (std::size_t n = 0; n < num_links_; ++n) {
-    if (shock || rng.bernoulli(residual_alpha_)) {
-      out[n] = static_cast<int>(rng.uniform_int(lo_, hi_));
-    }
+    const bool burst = shock || rng.bernoulli(residual_alpha_);
+    out[n] = burst ? static_cast<int>(rng.uniform_int(lo_, hi_)) : 0;
   }
-  return out;
 }
 
 RateVector CommonShockBurstyArrivals::mean() const {

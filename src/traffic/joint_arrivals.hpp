@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -21,8 +22,17 @@ class JointArrivalProcess {
  public:
   virtual ~JointArrivalProcess() = default;
 
-  /// Samples A(k) for all links.
-  [[nodiscard]] virtual std::vector<int> sample(Rng& rng) const = 0;
+  /// Samples A(k) for all links into `out` (size num_links()). The primary
+  /// entry point: the Network's interval loop calls it with a pre-sized
+  /// buffer, so implementations must not allocate.
+  virtual void sample_into(Rng& rng, std::span<int> out) const = 0;
+
+  /// Allocating convenience wrapper (tests, analysis tooling).
+  [[nodiscard]] std::vector<int> sample(Rng& rng) const {
+    std::vector<int> out(num_links());
+    sample_into(rng, out);
+    return out;
+  }
 
   /// Per-link means lambda_n.
   [[nodiscard]] virtual RateVector mean() const = 0;
@@ -38,7 +48,7 @@ class JointArrivalProcess {
 class IndependentArrivals final : public JointArrivalProcess {
  public:
   explicit IndependentArrivals(std::vector<std::unique_ptr<ArrivalProcess>> marginals);
-  [[nodiscard]] std::vector<int> sample(Rng& rng) const override;
+  void sample_into(Rng& rng, std::span<int> out) const override;
   [[nodiscard]] RateVector mean() const override;
   [[nodiscard]] std::size_t num_links() const override { return marginals_.size(); }
   [[nodiscard]] std::unique_ptr<JointArrivalProcess> clone() const override;
@@ -57,7 +67,7 @@ class CommonShockBurstyArrivals final : public JointArrivalProcess {
  public:
   CommonShockBurstyArrivals(std::size_t num_links, double alpha, double shock, int lo = 1,
                             int hi = 6);
-  [[nodiscard]] std::vector<int> sample(Rng& rng) const override;
+  void sample_into(Rng& rng, std::span<int> out) const override;
   [[nodiscard]] RateVector mean() const override;
   [[nodiscard]] std::size_t num_links() const override { return num_links_; }
   [[nodiscard]] std::unique_ptr<JointArrivalProcess> clone() const override;

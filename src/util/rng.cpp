@@ -2,12 +2,6 @@
 
 namespace rtmac {
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm{seed};
   for (auto& s : s_) s = sm.next();
@@ -15,51 +9,5 @@ Rng::Rng(std::uint64_t seed) {
 
 Rng::Rng(std::uint64_t root_seed, std::uint64_t stream_id)
     : Rng{mix64(root_seed, stream_id)} {}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::next_double() {
-  // 53 high-quality bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  __extension__ using uint128 = unsigned __int128;  // GCC/Clang builtin
-  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
-  // Lemire's unbiased bounded sampling.
-  std::uint64_t x = next_u64();
-  uint128 m = static_cast<uint128>(x) * range;
-  std::uint64_t l = static_cast<std::uint64_t>(m);
-  if (l < range) {
-    const std::uint64_t t = (0 - range) % range;
-    while (l < t) {
-      x = next_u64();
-      m = static_cast<uint128>(x) * range;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return lo + static_cast<std::int64_t>(m >> 64);
-}
-
-double Rng::uniform_real(double lo, double hi) {
-  return lo + (hi - lo) * next_double();
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
-}
 
 }  // namespace rtmac

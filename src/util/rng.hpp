@@ -53,18 +53,63 @@ class Rng {
   static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
 
   result_type operator()() { return next_u64(); }
-  std::uint64_t next_u64();
+
+  // The draw methods are defined inline: every transmission and arrival
+  // draws from an Rng, so a cross-TU call per draw is measurable in the
+  // interval hot path.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform real in [0, 1).
-  double next_double();
+  double next_double() {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
   /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    __extension__ using uint128 = unsigned __int128;  // GCC/Clang builtin
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+    // Lemire's unbiased bounded sampling.
+    std::uint64_t x = next_u64();
+    uint128 m = static_cast<uint128>(x) * range;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < range) {
+      const std::uint64_t t = (0 - range) % range;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<uint128>(x) * range;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
   /// Uniform real in [lo, hi).
-  double uniform_real(double lo, double hi);
+  double uniform_real(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
   /// Bernoulli trial with success probability `p` (clamped to [0,1]).
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

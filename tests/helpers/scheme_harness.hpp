@@ -33,14 +33,18 @@ class SchemeHarness {
   }
 
   /// Runs one full interval: arrivals in, deliveries out. Does NOT update
-  /// debts (tests control the ledger explicitly via debts()).
+  /// debts (tests control the ledger explicitly via debts()). Keeps the
+  /// vector-in/vector-out convenience shape; the scheme itself only sees
+  /// the span interface.
   std::vector<int> run_interval(mac::MacScheme& scheme, const std::vector<int>& arrivals) {
     const TimePoint start = sim_.now();
     const TimePoint end = start + interval_length_;
     scheme.begin_interval(next_k_++, arrivals, end);
     sim_.run_until(end);
     assert(!medium_.busy());
-    return scheme.end_interval();
+    std::vector<int> delivered(success_prob_.size(), 0);
+    scheme.end_interval(delivered);
+    return delivered;
   }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }

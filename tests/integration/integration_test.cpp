@@ -168,10 +168,10 @@ TEST(IntegrationTest, IdenticalSeedsAcrossSchemesShareArrivalSequence) {
   net::Network b{video_symmetric(0.5, 0.9, 1234), expfw::fcsma_factory()};
   std::vector<int> arrivals_a;
   std::vector<int> arrivals_b;
-  a.add_observer([&](IntervalIndex, const std::vector<int>& arr, const std::vector<int>&) {
+  a.add_observer([&](IntervalIndex, std::span<const int> arr, std::span<const int>) {
     for (int x : arr) arrivals_a.push_back(x);
   });
-  b.add_observer([&](IntervalIndex, const std::vector<int>& arr, const std::vector<int>&) {
+  b.add_observer([&](IntervalIndex, std::span<const int> arr, std::span<const int>) {
     for (int x : arr) arrivals_b.push_back(x);
   });
   a.run(50);

@@ -165,7 +165,7 @@ TEST(PaperConformance, SectionIVC_AtMostTwoEmptyPacketsPerInterval) {
                                     traffic::BernoulliArrivals{0.2}, 0.5, 92);
   net::Network net{std::move(cfg), expfw::dbdp_factory()};
   std::uint64_t prev_empty = 0;
-  net.add_observer([&](IntervalIndex, const std::vector<int>&, const std::vector<int>&) {
+  net.add_observer([&](IntervalIndex, std::span<const int>, std::span<const int>) {
     const std::uint64_t now_empty = net.medium().counters().empty_tx;
     EXPECT_LE(now_empty - prev_empty, 2u);
     prev_empty = now_empty;

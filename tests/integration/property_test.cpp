@@ -63,7 +63,7 @@ TEST_P(StationaryLawTest, SimulatedChainMatchesAnalyticLaw) {
   constexpr IntervalIndex kSample = 30000;
   network.run(kBurnIn);
   std::vector<double> counts(6, 0.0);
-  network.add_observer([&](IntervalIndex, const std::vector<int>&, const std::vector<int>&) {
+  network.add_observer([&](IntervalIndex, std::span<const int>, std::span<const int>) {
     counts[dp->priorities().rank()] += 1.0;
   });
   network.run(kSample);
@@ -93,7 +93,7 @@ TEST_P(SwapRateTest, EmpiricalSwapRateMatchesEquation9) {
   // Count transitions out of each of the two states.
   std::map<std::pair<std::uint64_t, std::uint64_t>, int> transitions;
   std::uint64_t prev = dp->priorities().rank();
-  network.add_observer([&](IntervalIndex, const std::vector<int>&, const std::vector<int>&) {
+  network.add_observer([&](IntervalIndex, std::span<const int>, std::span<const int>) {
     const std::uint64_t cur = dp->priorities().rank();
     transitions[{prev, cur}]++;
     prev = cur;

@@ -207,7 +207,7 @@ TEST(MultiPairDpTest, StationaryLawUnchangedByMultiPairDynamics) {
   ASSERT_NE(dp, nullptr);
   network.run(2000);
   std::vector<double> counts(24, 0.0);
-  network.add_observer([&](IntervalIndex, const std::vector<int>&, const std::vector<int>&) {
+  network.add_observer([&](IntervalIndex, std::span<const int>, std::span<const int>) {
     counts[dp->priorities().rank()] += 1.0;
   });
   network.run(60000);

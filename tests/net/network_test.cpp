@@ -88,8 +88,8 @@ TEST(NetworkTest, RunIsResumable) {
 TEST(NetworkTest, ObserverSeesEveryInterval) {
   Network net{small_config(), expfw::ldf_factory()};
   int calls = 0;
-  net.add_observer([&](IntervalIndex k, const std::vector<int>& arrivals,
-                       const std::vector<int>& delivered) {
+  net.add_observer([&](IntervalIndex k, std::span<const int> arrivals,
+                       std::span<const int> delivered) {
     EXPECT_EQ(k, static_cast<IntervalIndex>(calls));
     EXPECT_EQ(arrivals.size(), 4u);
     EXPECT_EQ(delivered.size(), 4u);

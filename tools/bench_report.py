@@ -15,10 +15,17 @@ Typical use:
         --baseline prior_raw.json --gate-zero-alloc
 
 Gating: with --gate-zero-alloc, every benchmark whose name contains
-"SteadyStateAllocs" must report counter "allocs" == 0, or the tool exits 1.
-Malformed or empty input exits 2. A benchmark JSON that parses but carries
-error_occurred entries also exits 2 (a crashed benchmark must fail CI, not
-produce a hollow trajectory point).
+"Allocs" must report all of its allocation counters ("allocs",
+"allocs_per_interval", ...) as exactly 0, or the tool exits 1. The gate also
+requires the two sentinel benchmarks BM_EventQueueSteadyStateAllocs and
+BM_DbdpIntervalAllocs to be present, so renaming or dropping them cannot
+silently disable it. Malformed or empty input exits 2. A benchmark JSON that
+parses but carries error_occurred entries also exits 2 (a crashed benchmark
+must fail CI, not produce a hollow trajectory point).
+
+--baseline accepts either raw google-benchmark JSON or an already-distilled
+rtmac.bench document (e.g. the committed BENCH_N.json of the previous PR),
+detected by its "schema" field.
 
 Output schema (rtmac.bench v1):
 
@@ -100,24 +107,43 @@ def distill(raw):
     return out
 
 
+# Benchmarks the zero-alloc gate insists on seeing: the engine churn window
+# and the full DB-DP interval path. Their absence means the gate would pass
+# vacuously, so it is treated as a violation.
+_GATE_SENTINELS = ("BM_EventQueueSteadyStateAllocs", "BM_DbdpIntervalAllocs")
+
+
 def gate_zero_alloc(benchmarks):
     """Returns a list of violation strings for the zero-alloc gate."""
     violations = []
-    gated = {n: b for n, b in benchmarks.items() if "SteadyStateAllocs" in n}
-    if not gated:
-        violations.append(
-            "no *SteadyStateAllocs* benchmark in input (the zero-alloc gate "
-            "has nothing to check; did the benchmark get renamed?)")
-    for name, bench in gated.items():
-        allocs = bench.get("counters", {}).get("allocs")
-        if allocs is None:
-            violations.append(f"{name}: missing 'allocs' counter")
-        elif allocs != 0:
-            cycles = bench.get("counters", {}).get("cycles", 0)
+    gated = {n: b for n, b in benchmarks.items() if "Allocs" in n}
+    for sentinel in _GATE_SENTINELS:
+        if sentinel not in gated:
             violations.append(
-                f"{name}: {allocs:.0f} heap allocations in a steady-state "
-                f"window of {cycles:.0f} cycles (must be 0)")
+                f"{sentinel} missing from input (the zero-alloc gate would "
+                f"pass vacuously; did the benchmark get renamed?)")
+    for name, bench in sorted(gated.items()):
+        counters = {k: v for k, v in bench.get("counters", {}).items()
+                    if k == "allocs" or k.startswith("allocs")}
+        if not counters:
+            violations.append(f"{name}: no allocation counter to gate on")
+        for counter, value in sorted(counters.items()):
+            if value != 0:
+                violations.append(
+                    f"{name}: {counter} = {value:g} heap allocations in the "
+                    f"steady-state window (must be 0)")
     return violations
+
+
+def load_benchmarks(raw):
+    """Benchmark map from raw google-benchmark JSON or a distilled
+    rtmac.bench document (committed BENCH_N.json), detected by schema."""
+    if isinstance(raw, dict) and raw.get("schema") == "rtmac.bench":
+        benchmarks = raw.get("benchmarks")
+        if not isinstance(benchmarks, dict) or not benchmarks:
+            raise ReportError("rtmac.bench document without a benchmark map")
+        return benchmarks
+    return distill(raw)
 
 
 def speedups(current, baseline):
@@ -138,11 +164,12 @@ def main(argv=None):
     parser.add_argument("--pr", type=int, default=None,
                         help="PR number this point belongs to")
     parser.add_argument("--baseline", type=Path, default=None,
-                        help="google-benchmark JSON of the pre-change build; "
-                             "embedded for before/after comparison")
+                        help="pre-change benchmarks: raw google-benchmark "
+                             "JSON or a distilled BENCH_N.json; embedded for "
+                             "before/after comparison")
     parser.add_argument("--gate-zero-alloc", action="store_true",
-                        help="fail (exit 1) unless every *SteadyStateAllocs* "
-                             "benchmark reports counters.allocs == 0")
+                        help="fail (exit 1) unless every *Allocs* benchmark "
+                             "reports all allocation counters == 0")
     args = parser.parse_args(argv)
 
     try:
@@ -161,7 +188,7 @@ def main(argv=None):
         doc["benchmarks"] = benchmarks
         if args.baseline is not None:
             base_raw = json.loads(args.baseline.read_text())
-            base = distill(base_raw)
+            base = load_benchmarks(base_raw)
             doc["baseline"] = base
             doc["speedup_vs_baseline"] = speedups(benchmarks, base)
     except (ReportError, OSError, json.JSONDecodeError) as e:

@@ -26,6 +26,15 @@ cannot express:
                       buffer and silently accepts copy-only callables. Use
                       util::InplaceFunction, which stores callables inline
                       and rejects oversized captures at compile time.
+  interval-interface-alloc
+                      No allocating containers (std::vector, std::string,
+                      std::map, ...) in begin_interval/end_interval
+                      signatures under src/mac/ and src/net/. The interval
+                      hot path runs once per simulated interval for every
+                      scheme; its interfaces take std::span views in and
+                      fill caller-owned spans out, so the steady state stays
+                      allocation-free (BM_DbdpIntervalAllocs == 0 is
+                      CI-gated).
   header-self-contained
                       Every header under src/ must compile on its own
                       (g++ -fsyntax-only), so include order never matters.
@@ -61,6 +70,7 @@ RULE_SCOPES = {
     "float-equality": ("src/stats",),
     "raw-assert": ("src",),
     "std-function": ("src/sim", "src/phy", "src/mac"),
+    "interval-interface-alloc": ("src/mac", "src/net"),
 }
 
 # Files (or directories, trailing "/") exempt from a rule. Keep this list
@@ -99,6 +109,12 @@ FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)[fF]?"
 FLOAT_EQ_LITERAL_RE = re.compile(
     rf"(?:{FLOAT_LITERAL}\s*[=!]=)|(?:[=!]=\s*{FLOAT_LITERAL})"
 )
+
+INTERVAL_IFACE_RE = re.compile(r"\b(?:begin|end)_interval\s*\(")
+
+ALLOC_CONTAINER_RE = re.compile(
+    r"\bstd\s*::\s*(?:vector|deque|list|forward_list|map|set|multimap"
+    r"|multiset|unordered_\w+|string|basic_string)\b")
 
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)"
@@ -193,6 +209,49 @@ def check_float_equality(path, text):
     return out
 
 
+def check_interval_interface(path, text):
+    """Flags begin_interval/end_interval signatures (declarations, defs, or
+    return types) that mention an allocating container. The signature may
+    span lines; the whole parenthesized stretch is inspected."""
+    out = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        first = _code_part(lines[i])
+        if INTERVAL_IFACE_RE.search(first) is None:
+            i += 1
+            continue
+        # Accumulate until the parameter list's parentheses balance out.
+        depth = 0
+        opened = False
+        j = i
+        parts = []
+        while j < len(lines):
+            chunk = _code_part(lines[j])
+            parts.append(chunk)
+            for ch in chunk:
+                if ch == "(":
+                    depth += 1
+                    opened = True
+                elif ch == ")":
+                    depth -= 1
+            if opened and depth <= 0:
+                break
+            j += 1
+        j = min(j, len(lines) - 1)
+        signature = " ".join(parts)
+        suppressed = any(_suppressed(lines[k], "interval-interface-alloc")
+                         for k in range(i, j + 1))
+        if ALLOC_CONTAINER_RE.search(signature) and not suppressed:
+            out.append(Violation(
+                path, i + 1, "interval-interface-alloc",
+                "allocating container in an interval hot-path interface "
+                "(take std::span views in and fill caller-owned spans out; "
+                "the per-interval steady state must not allocate)"))
+        i = j + 1
+    return out
+
+
 def check_unordered_iteration(path, text):
     out = []
     names = set()
@@ -221,6 +280,7 @@ TEXT_RULES = {
     "float-equality": check_float_equality,
     "raw-assert": check_raw_assert,
     "std-function": check_std_function,
+    "interval-interface-alloc": check_interval_interface,
 }
 
 

@@ -171,6 +171,58 @@ class StdFunctionRule(unittest.TestCase):
                          ("src/sim", "src/phy", "src/mac"))
 
 
+class IntervalInterfaceAllocRule(unittest.TestCase):
+    def test_catches_vector_parameter(self):
+        v = violations_in(
+            lint_rtmac.check_interval_interface,
+            "void begin_interval(IntervalIndex k,"
+            " const std::vector<int>& arrivals);\n",
+            path=Path("src/mac/fake.hpp"))
+        self.assertEqual([x.rule for x in v], ["interval-interface-alloc"])
+
+    def test_catches_multiline_signature(self):
+        text = ("void begin_interval(IntervalIndex k,\n"
+                "                    std::vector<int> arrivals,\n"
+                "                    TimePoint interval_end);\n")
+        v = violations_in(lint_rtmac.check_interval_interface, text,
+                          path=Path("src/mac/fake.hpp"))
+        self.assertEqual(len(v), 1)
+        self.assertEqual(v[0].line, 1)
+
+    def test_catches_allocating_return_type(self):
+        v = violations_in(lint_rtmac.check_interval_interface,
+                          "std::vector<int> end_interval();\n",
+                          path=Path("src/mac/fake.hpp"))
+        self.assertEqual(len(v), 1)
+
+    def test_span_interface_is_fine(self):
+        text = ("void begin_interval(IntervalIndex k,"
+                " std::span<const int> arrivals, TimePoint end);\n"
+                "void end_interval(std::span<int> delivered);\n")
+        v = violations_in(lint_rtmac.check_interval_interface, text,
+                          path=Path("src/mac/fake.hpp"))
+        self.assertEqual(v, [])
+
+    def test_call_site_is_fine(self):
+        v = violations_in(
+            lint_rtmac.check_interval_interface,
+            "links_[n]->begin_interval(arrivals[n], interval_end);\n",
+            path=Path("src/mac/fake.cpp"))
+        self.assertEqual(v, [])
+
+    def test_suppression_on_any_signature_line(self):
+        text = ("void begin_interval(  // lint-ok: interval-interface-alloc"
+                " config-time copy\n"
+                "    std::vector<int> arrivals);\n")
+        v = violations_in(lint_rtmac.check_interval_interface, text,
+                          path=Path("src/mac/fake.hpp"))
+        self.assertEqual(v, [])
+
+    def test_scope_is_hot_path_layers(self):
+        self.assertEqual(lint_rtmac.RULE_SCOPES["interval-interface-alloc"],
+                         ("src/mac", "src/net"))
+
+
 class TreeScanAndAllowlist(unittest.TestCase):
     def make_tree(self):
         root = Path(tempfile.mkdtemp(prefix="lint_rtmac_test_"))
