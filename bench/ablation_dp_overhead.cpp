@@ -32,9 +32,14 @@ int main(int argc, char** argv) {
                                       traffic::BernoulliArrivals{1.0}, 0.5, 1012);
     net::Network net{std::move(cfg), expfw::dbdp_factory()};
     // One metrics file per deadline point; the trace captures the first.
+    // Stream only the first deadline point: one --metrics-stream flag, one
+    // file, and the remaining points would otherwise truncate it.
     expfw::RunObserver observer{args.sweep.metrics_dir,
                                 ms == deadlines.front() ? args.sweep.trace_out
-                                                        : std::string{}};
+                                                        : std::string{},
+                                ms == deadlines.front() ? args.sweep.stream_path
+                                                        : std::string{},
+                                args.sweep.stream_every};
     std::string run_label = "d";  // two-step append: gcc 12 -O2 misfires -Wrestrict on "d" + to_string(ms)
     run_label += std::to_string(ms);
     run_label += "ms";

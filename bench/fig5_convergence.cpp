@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
       "alpha* = 0.55, rho = 0.93",
       "both schemes converge to q ~ 1.79; DB-DP convergence comparable to LDF");
 
-  expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out};
+  expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out,
+                              args.sweep.stream_path, args.sweep.stream_every};
   auto run_series = [&](const mac::SchemeFactory& factory, bool observe) {
     net::Network net{expfw::video_symmetric(0.55, 0.93, 1005), factory};
     if (observe) observer.attach(net, "dbdp");

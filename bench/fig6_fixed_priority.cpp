@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
 
   net::Network net{expfw::video_symmetric(0.6, 0.9, 1006),
                    expfw::dp_static_priority_factory()};
-  expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out};
+  expfw::RunObserver observer{args.sweep.metrics_dir, args.sweep.trace_out,
+                              args.sweep.stream_path, args.sweep.stream_every};
   observer.attach(net, "static");
   net.run(args.intervals);
   observer.finish();

@@ -26,8 +26,10 @@
 #include "analysis/priority_evaluator.hpp"
 #include "expfw/scenarios.hpp"
 #include "net/network.hpp"
+#include "obs/sketch.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/arrival_process.hpp"
+#include "util/rng.hpp"
 
 // ---- counting allocator hook ------------------------------------------------
 // Global operator new/delete replacements that count every heap allocation in
@@ -226,6 +228,59 @@ void BM_LdfIntervalAllocs(benchmark::State& state) {
 }
 BENCHMARK(BM_LdfIntervalAllocs);
 
+// Quantile-sketch update throughput: the per-interval observability cost of
+// the sketch-backed series (debt, deliveries, busy periods, latency).
+void BM_SketchUpdate(benchmark::State& state) {
+  obs::QuantileSketch sketch;
+  Rng rng{11};
+  for (auto _ : state) {
+    sketch.update(rng.next_double());
+  }
+  benchmark::DoNotOptimize(sketch.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchUpdate);
+
+// The sketch's zero-steady-state-allocation contract, CI-gated at zero like
+// the event queue's: compactor levels are pre-sized at construction, so a
+// window of 1e6 updates (with many compaction cascades) must never touch
+// the heap.
+void BM_SketchUpdateAllocs(benchmark::State& state) {
+  constexpr std::uint64_t kWindow = 1'000'000;
+  obs::QuantileSketch sketch;
+  Rng rng{12};
+  double window_allocs = 0.0;
+  for (auto _ : state) {
+    const std::uint64_t before = alloc_count();
+    for (std::uint64_t i = 0; i < kWindow; ++i) sketch.update(rng.next_double());
+    window_allocs = static_cast<double>(alloc_count() - before);
+  }
+  state.counters["allocs"] = window_allocs;
+  state.counters["updates"] = static_cast<double>(kWindow);
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+BENCHMARK(BM_SketchUpdateAllocs);
+
+// Merge cost for the fan-in path (one sketch per task folded at export).
+void BM_SketchMerge(benchmark::State& state) {
+  const auto parts = static_cast<std::size_t>(state.range(0));
+  std::vector<obs::QuantileSketch> inputs;
+  Rng rng{13};
+  for (std::size_t p = 0; p < parts; ++p) {
+    obs::QuantileSketch s{{/*k=*/256, /*exact_threshold=*/2048,
+                           /*seed=*/0x5eed0000ULL + p}};
+    for (int i = 0; i < 100'000; ++i) s.update(rng.next_double());
+    inputs.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    obs::QuantileSketch total;
+    for (const auto& s : inputs) total.merge(s);
+    benchmark::DoNotOptimize(total.quantile(0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(parts));
+}
+BENCHMARK(BM_SketchMerge)->Arg(4)->Arg(16);
+
 void BM_PriorityEvaluatorExact(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   analysis::PriorityEvaluator eval{ProbabilityVector(n, 0.7), 60};
@@ -251,7 +306,7 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
-  static char filter[] = "--benchmark_filter=BM_EventQueue.*";
+  static char filter[] = "--benchmark_filter=BM_EventQueue.*|BM_Sketch.*";
   if (smoke) args.push_back(filter);
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, args.data());

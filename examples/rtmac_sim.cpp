@@ -33,7 +33,8 @@ void usage() {
       "                 [--profile video|control] [--links N] [--alpha A | --lambda L]\n"
       "                 [--rho R] [--p P] [--intervals K] [--seed S]\n"
       "                 [--pairs k] [--learned-p] [--csv FILE]\n"
-      "                 [--metrics-out DIR] [--trace-out FILE]\n";
+      "                 [--metrics-out DIR] [--trace-out FILE]\n"
+      "                 [--metrics-stream FILE] [--stream-every N]\n";
 }
 
 }  // namespace
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known{"scheme",    "profile", "links", "alpha",
                                        "lambda",    "rho",     "p",     "intervals",
                                        "seed",      "pairs",   "learned-p", "csv",
-                                       "metrics-out", "trace-out", "help"};
+                                       "metrics-out", "trace-out", "metrics-stream",
+                                       "stream-every", "help"};
   if (args.has("help")) {
     usage();
     return 0;
@@ -101,8 +103,10 @@ int main(int argc, char** argv) {
   }
 
   net::Network network{std::move(cfg), factory};
-  expfw::RunObserver observer{args.get("metrics-out", std::string{}),
-                              args.get("trace-out", std::string{})};
+  expfw::RunObserver observer{
+      args.get("metrics-out", std::string{}), args.get("trace-out", std::string{}),
+      args.get("metrics-stream", std::string{}),
+      static_cast<std::uint64_t>(args.get("stream-every", std::int64_t{10}))};
   observer.attach(network, scheme_name);
   network.run(intervals);
   if (!observer.finish()) return 1;

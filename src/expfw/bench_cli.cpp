@@ -22,20 +22,25 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
     out << "usage: " << (argc > 0 ? argv[0] : "bench")
         << " [--intervals N] [--reps N] [--jobs N] [--smoke]\n"
         << "             [--metrics-out DIR] [--trace-out FILE]\n"
+        << "             [--metrics-stream FILE] [--stream-every N] [--progress]\n"
         << "  --intervals N    deadline intervals per simulation (default "
         << default_intervals << ")\n"
         << "  --reps N         replications per grid point (default 1)\n"
         << "  --jobs N         sweep worker threads (default 0 = all cores)\n"
         << "  --smoke          tiny grid + short horizon for CI\n"
         << "  --metrics-out D  write JSONL metrics + engine profile under D\n"
-        << "  --trace-out F    write a Perfetto-loadable Chrome trace to F\n";
+        << "  --trace-out F    write a Perfetto-loadable Chrome trace to F\n"
+        << "  --metrics-stream F  stream in-run metric snapshots (JSONL) to F\n"
+        << "  --stream-every N    snapshot cadence in intervals (default 10)\n"
+        << "  --progress       live heartbeat on stderr (tasks, rates, ETA)\n";
   };
   if (args.has("help")) {
     usage(std::cout);
     std::exit(0);
   }
-  const auto unknown = args.unknown_flags(
-      {"intervals", "reps", "jobs", "smoke", "metrics-out", "trace-out", "help"});
+  const auto unknown = args.unknown_flags({"intervals", "reps", "jobs", "smoke",
+                                           "metrics-out", "trace-out", "metrics-stream",
+                                           "stream-every", "progress", "help"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag --" << unknown.front() << "\n";
     usage(std::cerr);
@@ -83,12 +88,21 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
   out.sweep.jobs = static_cast<std::size_t>(jobs);
   out.sweep.metrics_dir = args.get("metrics-out", std::string{});
   out.sweep.trace_out = args.get("trace-out", std::string{});
+  out.sweep.stream_path = args.get("metrics-stream", std::string{});
   if ((args.has("metrics-out") && out.sweep.metrics_dir.empty()) ||
-      (args.has("trace-out") && out.sweep.trace_out.empty())) {
-    std::cerr << "--metrics-out/--trace-out expect a path\n";
+      (args.has("trace-out") && out.sweep.trace_out.empty()) ||
+      (args.has("metrics-stream") && out.sweep.stream_path.empty())) {
+    std::cerr << "--metrics-out/--trace-out/--metrics-stream expect a path\n";
     usage(std::cerr);
     std::exit(2);
   }
+  const std::int64_t stream_every = require_int("stream-every", 10);
+  if (stream_every < 1) {
+    std::cerr << "--stream-every must be >= 1\n";
+    std::exit(2);
+  }
+  out.sweep.stream_every = static_cast<std::uint64_t>(stream_every);
+  out.sweep.progress = args.get("progress", false);
   return out;
 }
 

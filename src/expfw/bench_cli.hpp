@@ -14,6 +14,11 @@
 //                     directory D; default output stays byte-identical
 //   --trace-out F     write a Chrome trace-event timeline of the first
 //                     task's opening intervals to file F (Perfetto-loadable)
+//   --metrics-stream F  stream whole-registry metric snapshots (JSONL, sim-time
+//                     stamped, byte-identical across --jobs) to file F
+//   --stream-every N  snapshot cadence in intervals (default 10)
+//   --progress        live heartbeat on stderr: tasks/grid points done,
+//                     events/s, intervals/s, ETA (wall-clock; stderr only)
 //
 // Unknown flags print a usage line and exit(2), so typos cannot silently
 // run a multi-minute sweep with default settings.

@@ -11,11 +11,24 @@ std::vector<SweepResult> run_figure_sweep(std::ostream& out, const FigureSpec& s
                                           const BenchArgs& args) {
   print_figure_banner(out, spec.figure_id, spec.description, spec.expected_shape);
 
+  // Metrics-free sweeps write the CSV incrementally (rows land on disk as
+  // grid points complete — satellite observability for long sweeps). With
+  // --metrics-out the buffered writer runs instead: its per-task profile
+  // comments are only known at the end. Either path emits identical bytes
+  // for the same results.
+  const std::string csv_path = bench_output_dir() + "/" + spec.csv_basename;
+  SweepOptions sweep = args.sweep;
+  const bool stream_csv = sweep.metrics_dir.empty();
+  if (stream_csv) {
+    sweep.csv_path = csv_path;
+    sweep.csv_x = spec.csv_column;
+  }
+
   const auto results = run_sweeps(spec.schemes, config_at, grid, args.intervals, spec.metric,
-                                  spec.metric_names, args.sweep);
+                                  spec.metric_names, sweep);
 
   print_sweep_table(out, spec.x_label, results);
-  write_sweep_csv(bench_output_dir() + "/" + spec.csv_basename, spec.csv_column, results);
+  if (!stream_csv) write_sweep_csv(csv_path, spec.csv_column, results);
   out << "\n(" << args.intervals << " intervals/point; paper used " << spec.paper_intervals
       << ")\n";
   return results;

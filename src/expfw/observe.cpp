@@ -22,8 +22,12 @@ double wall_now() {
 
 }  // namespace
 
-RunObserver::RunObserver(std::string metrics_dir, std::string trace_path)
-    : metrics_dir_{std::move(metrics_dir)}, trace_path_{std::move(trace_path)} {}
+RunObserver::RunObserver(std::string metrics_dir, std::string trace_path,
+                         std::string stream_path, std::uint64_t stream_every)
+    : metrics_dir_{std::move(metrics_dir)},
+      trace_path_{std::move(trace_path)},
+      stream_path_{std::move(stream_path)},
+      stream_every_{stream_every} {}
 
 RunObserver::~RunObserver() {
   if (network_ != nullptr) {
@@ -36,7 +40,19 @@ void RunObserver::attach(net::Network& network, const std::string& label) {
   if (!enabled()) return;
   network_ = &network;
   label_ = label;
-  if (!metrics_dir_.empty()) network.attach_metrics(&registry_);
+  if (!metrics_dir_.empty() || !stream_path_.empty()) network.attach_metrics(&registry_);
+  if (!stream_path_.empty()) {
+    stream_sink_ = std::make_unique<obs::FileStreamSink>(stream_path_);
+    if (!stream_sink_->ok()) {
+      std::fprintf(stderr, "observability: cannot write %s\n", stream_path_.c_str());
+      stream_sink_.reset();
+    } else {
+      obs::write_stream_header(stream_sink_->stream());
+      const std::string context =
+          label_.empty() ? std::string{} : "\"label\":" + obs::json_quote(label_);
+      registry_.stream_to(stream_sink_.get(), stream_every_, context);
+    }
+  }
   if (!trace_path_.empty()) network.attach_tracer(&tracer_);
   wall_start_ = wall_now();
 }
@@ -50,6 +66,11 @@ bool RunObserver::finish() {
   network_ = nullptr;
 
   bool ok = true;
+  if (stream_sink_ != nullptr) {
+    registry_.stream_to(nullptr);
+    stream_sink_->flush();
+    stream_sink_.reset();
+  }
   if (!metrics_dir_.empty()) {
     obs::collect_network_metrics(registry_, network);
     // Wall-clock profile of the observed span (attach -> finish). Gauges,

@@ -12,10 +12,13 @@
 // the observer unconditionally without perturbing default runs.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "sim/trace.hpp"
 
 namespace rtmac::expfw {
@@ -26,8 +29,11 @@ class RunObserver {
  public:
   /// `metrics_dir`: directory for the JSONL metrics file ("" = disabled;
   /// created on finish). `trace_path`: Chrome trace-event output file
-  /// ("" = disabled).
-  RunObserver(std::string metrics_dir, std::string trace_path);
+  /// ("" = disabled). `stream_path`: in-run JSONL metric snapshots, one
+  /// whole-registry snapshot every `stream_every` intervals, written live
+  /// during the run ("" = disabled; works without metrics_dir).
+  RunObserver(std::string metrics_dir, std::string trace_path,
+              std::string stream_path = {}, std::uint64_t stream_every = 10);
 
   RunObserver(const RunObserver&) = delete;
   RunObserver& operator=(const RunObserver&) = delete;
@@ -44,14 +50,19 @@ class RunObserver {
   /// Safe to call once per attach; no-op when nothing is attached.
   bool finish();
 
-  [[nodiscard]] bool enabled() const { return !metrics_dir_.empty() || !trace_path_.empty(); }
+  [[nodiscard]] bool enabled() const {
+    return !metrics_dir_.empty() || !trace_path_.empty() || !stream_path_.empty();
+  }
 
  private:
   std::string metrics_dir_;
   std::string trace_path_;
+  std::string stream_path_;
+  std::uint64_t stream_every_ = 10;
   std::string label_;
   net::Network* network_ = nullptr;
   obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::FileStreamSink> stream_sink_;  // open while streaming
   sim::Tracer tracer_{0};  // unbounded: single runs are user-scoped
   double wall_start_ = 0.0;
 };

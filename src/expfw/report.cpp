@@ -5,7 +5,6 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace rtmac::expfw {
@@ -66,6 +65,28 @@ TaskProfile profile_total(const std::vector<SweepResult>& results) {
 }
 
 }  // namespace
+
+std::vector<std::string> sweep_csv_columns(const std::string& x_name,
+                                           const std::vector<SweepResult>& results) {
+  std::vector<std::string> cols{x_name};
+  for (auto& c : series_columns(results)) cols.push_back(std::move(c));
+  return cols;
+}
+
+void write_sweep_csv_row(CsvWriter& csv, const std::vector<SweepResult>& results,
+                         std::size_t i) {
+  csv.field(results.front().xs[i]);
+  for (const auto& r : results) {
+    for (std::size_t m = 0; m < r.metric_names.size(); ++m) {
+      csv.field(r.mean(i, m));
+      if (r.reps > 1) {
+        csv.field(r.stddev(i, m));
+        csv.field(r.ci95(i, m));
+      }
+    }
+  }
+  csv.end_row();
+}
 
 void print_figure_banner(std::ostream& out, const std::string& figure_id,
                          const std::string& description, const std::string& expected_shape) {
@@ -141,23 +162,9 @@ bool write_sweep_csv(const std::string& path, const std::string& x_name,
       }
     }
   }
-  std::vector<std::string> cols{x_name};
-  for (auto& c : series_columns(results)) cols.push_back(std::move(c));
-  csv.header(cols);
+  csv.header(sweep_csv_columns(x_name, results));
   const std::size_t rows = results.front().xs.size();
-  for (std::size_t i = 0; i < rows; ++i) {
-    csv.field(results.front().xs[i]);
-    for (const auto& r : results) {
-      for (std::size_t m = 0; m < r.metric_names.size(); ++m) {
-        csv.field(r.mean(i, m));
-        if (r.reps > 1) {
-          csv.field(r.stddev(i, m));
-          csv.field(r.ci95(i, m));
-        }
-      }
-    }
-    csv.end_row();
-  }
+  for (std::size_t i = 0; i < rows; ++i) write_sweep_csv_row(csv, results, i);
   return true;
 }
 

@@ -11,8 +11,22 @@
 #include <vector>
 
 #include "expfw/runner.hpp"
+#include "util/csv.hpp"
 
 namespace rtmac::expfw {
+
+/// Column labels of the CSV series: the grid variable first, then one mean
+/// column per (scheme, metric), plus `:sd`/`:ci95` columns for results
+/// carrying replications. Shared by the buffered writer and the sweep
+/// engine's incremental CSV stream so both emit identical headers.
+[[nodiscard]] std::vector<std::string> sweep_csv_columns(
+    const std::string& x_name, const std::vector<SweepResult>& results);
+
+/// Writes grid-point row `i` (x value, then mean[/sd/ci95] per series).
+/// The single row-formatting path of both CSV writers — what makes a
+/// streamed CSV byte-identical to a buffered one.
+void write_sweep_csv_row(CsvWriter& csv, const std::vector<SweepResult>& results,
+                         std::size_t i);
 
 /// Prints a figure header with the paper reference and expected shape.
 void print_figure_banner(std::ostream& out, const std::string& figure_id,

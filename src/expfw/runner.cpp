@@ -2,17 +2,21 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "expfw/report.hpp"
 #include "obs/collect.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace_export.hpp"
 #include "sim/trace.hpp"
 #include "stats/deficiency.hpp"
@@ -90,9 +94,19 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
   if (grid.empty()) throw std::invalid_argument{"run_sweeps: empty grid"};
   if (opts.reps == 0) throw std::invalid_argument{"run_sweeps: reps must be >= 1"};
   if (metric_names.empty()) throw std::invalid_argument{"run_sweeps: no metric names"};
+  if (opts.stream_every == 0) {
+    throw std::invalid_argument{"run_sweeps: stream_every must be >= 1"};
+  }
 
   const bool with_metrics = !opts.metrics_dir.empty();
   const bool with_trace = !opts.trace_out.empty();
+  const bool with_stream = !opts.stream_path.empty();
+  const bool with_csv = !opts.csv_path.empty();
+  if (with_csv && with_metrics) {
+    throw std::invalid_argument{
+        "run_sweeps: csv_path is incompatible with metrics_dir (profile comments "
+        "are only known at the end of the run; use write_sweep_csv instead)"};
+  }
 
   std::vector<SweepResult> results;
   results.reserve(schemes.size());
@@ -124,9 +138,51 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
   // across --jobs, the latter cannot be.
   std::vector<std::string> metric_blocks(with_metrics ? tasks : 0);
   std::vector<std::string> profile_blocks(with_metrics ? tasks : 0);
+  // In-run metric snapshots, same per-task-slot scheme as metric_blocks:
+  // each task streams into its own string sink and the blocks concatenate
+  // in task order, so the streamed file is byte-identical across --jobs.
+  std::vector<std::string> stream_blocks(with_stream ? tasks : 0);
   // The first task additionally records a protocol trace of its first
   // kTraceCaptureIntervals intervals for the timeline export.
   sim::Tracer trace_capture{0};
+
+  // Incremental CSV: header up front, each grid-point row flushed (in
+  // ascending grid order) once all tasks_per_point tasks for it finished.
+  // Shares write_sweep_csv's column/row formatting, so the bytes match the
+  // buffered writer exactly.
+  const std::size_t tasks_per_point = schemes.size() * opts.reps;
+  std::optional<std::ofstream> csv_file;
+  std::optional<CsvWriter> csv;
+  if (with_csv) {
+    if (const auto parent = std::filesystem::path{opts.csv_path}.parent_path();
+        !parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+    csv_file.emplace(opts.csv_path);
+    if (!*csv_file) {
+      throw std::runtime_error{"run_sweeps: cannot write csv to " + opts.csv_path};
+    }
+    csv.emplace(*csv_file);
+    if (opts.reps > 1) {
+      csv->comment("reps=" + std::to_string(opts.reps) +
+                   "; ci95 = 1.96*sd/sqrt(reps) (normal approximation)");
+    }
+    csv->header(sweep_csv_columns(opts.csv_x, results));
+    csv_file->flush();
+  }
+
+  // Completion bookkeeping behind one mutex: per-point done counters (CSV
+  // row flushing + the heartbeat's grid-point count) and the wall-clock
+  // progress aggregates. The mutex also orders each task's sample writes
+  // before any CSV row that reads them.
+  std::mutex completion_mutex;
+  std::vector<std::size_t> point_done(with_csv || opts.progress ? grid.size() : 0, 0);
+  std::size_t next_flush = 0;
+  std::size_t points_done = 0;
+  std::size_t tasks_done = 0;
+  std::uint64_t events_done = 0;
+  const auto sweep_start = std::chrono::steady_clock::now();
 
   std::vector<std::future<void>> futures;
   futures.reserve(tasks);
@@ -143,8 +199,20 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           config.seed = sweep_seed(config.seed, schemes[s].name, i, rep);
           net::Network network{std::move(config), schemes[s].factory};
 
+          // Shared provenance fields of every observability line this task
+          // emits (metrics.jsonl records and streamed snapshots alike).
+          std::string context;
+          if (with_metrics || with_stream) {
+            context = "\"scheme\":" + obs::json_quote(schemes[s].name) +
+                      ",\"x\":" + obs::json_number(grid[i]) +
+                      ",\"x_index\":" + std::to_string(i) +
+                      ",\"rep\":" + std::to_string(rep);
+          }
+
           obs::MetricsRegistry registry;
-          if (with_metrics) network.attach_metrics(&registry);
+          obs::StringStreamSink stream_sink;
+          if (with_metrics || with_stream) network.attach_metrics(&registry);
+          if (with_stream) registry.stream_to(&stream_sink, opts.stream_every, context);
           if (with_trace && task_index == 0) {
             network.attach_tracer(&trace_capture);
             network.add_observer([&network](IntervalIndex k, std::span<const int>,
@@ -167,16 +235,13 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           }
           results[s].samples[i][rep] = std::move(sample);
 
+          if (with_stream) stream_blocks[task_index] = stream_sink.str();
           if (with_metrics) {
             network.attach_metrics(nullptr);
             obs::collect_network_metrics(registry, network);
             const TaskProfile profile{network.simulator().events_executed(), wall_seconds};
             results[s].profiles[i][rep] = profile;
 
-            const std::string context = "\"scheme\":" + obs::json_quote(schemes[s].name) +
-                                        ",\"x\":" + obs::json_number(grid[i]) +
-                                        ",\"x_index\":" + std::to_string(i) +
-                                        ",\"rep\":" + std::to_string(rep);
             std::ostringstream block;
             registry.write_jsonl(block, context);
             metric_blocks[task_index] = std::move(block).str();
@@ -193,13 +258,61 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
                     .str() +
                 "\n";
           }
+
+          if (with_csv || opts.progress) {
+            const std::lock_guard lock{completion_mutex};
+            ++point_done[i];
+            if (point_done[i] == tasks_per_point) ++points_done;
+            if (with_csv) {
+              while (next_flush < grid.size() &&
+                     point_done[next_flush] == tasks_per_point) {
+                write_sweep_csv_row(*csv, results, next_flush);
+                csv_file->flush();
+                ++next_flush;
+              }
+            }
+            if (opts.progress) {
+              ++tasks_done;
+              events_done += network.simulator().events_executed();
+              const double elapsed =
+                  std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                sweep_start)
+                      .count();
+              const double inv = elapsed > 0.0 ? 1.0 / elapsed : 0.0;
+              const double eta =
+                  static_cast<double>(tasks - tasks_done) * elapsed /
+                  static_cast<double>(tasks_done);
+              // Heartbeat only: wall-clock rates on stderr, overwritten in
+              // place; never written to any deterministic output.
+              std::fprintf(stderr,
+                           "\rsweep: %zu/%zu tasks, %zu/%zu points, %.3g events/s, "
+                           "%.3g intervals/s, eta %.1fs   ",
+                           tasks_done, tasks, points_done, grid.size(),
+                           static_cast<double>(events_done) * inv,
+                           static_cast<double>(tasks_done) *
+                               static_cast<double>(intervals) * inv,
+                           eta);
+              std::fflush(stderr);
+            }
+          }
         }));
       }
     }
   }
   pool.wait_all(futures);
   for (auto& f : futures) f.get();  // surface the first task failure
+  if (opts.progress) std::fprintf(stderr, "\n");
 
+  if (with_stream) {
+    obs::FileStreamSink stream_file{opts.stream_path};
+    if (!stream_file.ok()) {
+      throw std::runtime_error{"run_sweeps: cannot write metrics stream to " +
+                               opts.stream_path};
+    }
+    obs::write_stream_header(stream_file.stream());
+    for (const auto& block : stream_blocks) stream_file.stream() << block;
+    stream_file.flush();
+  }
   if (with_metrics) {
     std::error_code ec;
     std::filesystem::create_directories(opts.metrics_dir, ec);

@@ -49,6 +49,32 @@ struct SweepOptions {
   /// intervals and the sweep writes a Chrome trace-event timeline here
   /// (loadable in Perfetto / chrome://tracing).
   std::string trace_out;
+
+  /// When non-empty, every task streams a whole-registry metrics snapshot
+  /// every `stream_every` intervals and the sweep concatenates the per-task
+  /// JSONL blocks here in deterministic task order — the in-run time series
+  /// behind --metrics-stream. Snapshots carry sim-time stamps only, so the
+  /// file is byte-identical across --jobs. Works with or without
+  /// metrics_dir (a registry is attached either way).
+  std::string stream_path;
+  /// Snapshot cadence in intervals for stream_path (>= 1).
+  std::uint64_t stream_every = 10;
+
+  /// Prints a live heartbeat to stderr (tasks done, grid points done,
+  /// events/s, intervals/s, ETA) as tasks finish — the --progress flag.
+  /// Wall-clock by nature; never touches any deterministic output file.
+  bool progress = false;
+
+  /// When non-empty, the sweep writes the figure CSV incrementally to this
+  /// path: the header goes out up front and each grid-point row is flushed
+  /// as soon as every (scheme, rep) task for that point has finished, in
+  /// ascending grid order. Byte-identical to write_sweep_csv for the same
+  /// results. Incompatible with metrics_dir (the buffered writer prepends
+  /// per-task profile comments that only exist at the end of the run);
+  /// run_sweeps throws std::invalid_argument if both are set.
+  std::string csv_path;
+  /// First-column label of the incremental CSV (the grid variable name).
+  std::string csv_x = "x";
 };
 
 /// How many intervals of the traced task a sweep captures (bounds the trace

@@ -65,23 +65,29 @@ void Network::attach_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   medium_->set_metrics(registry);
   debt_gauges_.clear();
+  debt_sketches_.clear();
   if (registry == nullptr) {
     debt_linf_gauge_ = nullptr;
-    debt_linf_hist_ = nullptr;
-    deliveries_hist_ = nullptr;
+    debt_linf_sketch_ = nullptr;
+    deliveries_sketch_ = nullptr;
     return;
   }
   debt_linf_gauge_ = &registry->gauge("core.debt_linf");
-  // Debt grows by at most max(q) per interval and the interesting dynamic
-  // range spans "converged" (< 1) to "badly starved" (hundreds).
-  debt_linf_hist_ =
-      &registry->histogram("core.debt_linf_per_interval", obs::log_bounds(0.125, 4096.0, 2.0));
-  deliveries_hist_ = &registry->histogram(
-      "net.deliveries_per_interval",
-      std::vector<double>{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128});
+  // Per-interval distributions are quantile sketches: bounded memory with a
+  // distribution-independent rank guarantee, so they survive any horizon
+  // and any debt scale without hand-picked bucket bounds.
+  debt_linf_sketch_ = &registry->sketch("core.debt_linf_per_interval");
+  deliveries_sketch_ = &registry->sketch("net.deliveries_per_interval");
   debt_gauges_.reserve(config_.num_links());
+  debt_sketches_.reserve(config_.num_links());
+  // Per-link debt series use a smaller compactor: one sketch per link must
+  // stay cheap at large N, and per-link debt spans a narrower range than
+  // the network-wide L-inf series.
+  const obs::SketchOptions per_link{/*k=*/64, /*exact_threshold=*/256};
   for (LinkId n = 0; n < config_.num_links(); ++n) {
     debt_gauges_.push_back(&registry->gauge(obs::link_metric("core.debt", n)));
+    debt_sketches_.push_back(
+        &registry->sketch(obs::link_metric("core.debt_per_interval", n), per_link));
   }
 }
 
@@ -96,6 +102,7 @@ void Network::run(IntervalIndex intervals) {
                             static_cast<std::int64_t>(k) * config_.interval_length;
     const TimePoint end = start + config_.interval_length;
     RTMAC_ASSERT(sim_.now() == start, "interval boundaries drifted");
+    medium_->note_interval_start(start);  // anchors the delivery-latency series
 
     if (config_.joint_arrivals != nullptr) {
       config_.joint_arrivals->sample_into(arrival_rng_, arrivals);
@@ -124,11 +131,17 @@ void Network::run(IntervalIndex intervals) {
       int total_delivered = 0;
       for (std::size_t n = 0; n < n_links; ++n) {
         total_delivered += delivered[n];
-        debt_gauges_[n]->set(debts_.debt(static_cast<LinkId>(n)));
+        const double debt = debts_.debt(static_cast<LinkId>(n));
+        debt_gauges_[n]->set(debt);
+        debt_sketches_[n]->update(debt);
       }
       debt_linf_gauge_->set(debts_.linf());
-      debt_linf_hist_->observe(debts_.linf());
-      deliveries_hist_->observe(static_cast<double>(total_delivered));
+      debt_linf_sketch_->update(debts_.linf());
+      deliveries_sketch_->update(static_cast<double>(total_delivered));
+      // In-run time-series export: one whole-registry snapshot every
+      // cadence intervals, stamped with sim time only (stream_tick is a
+      // single branch when no stream sink is attached).
+      metrics_->stream_tick(k, end.ns());
     }
     for (const auto& obs : observers_) obs(k, arrivals, delivered);
   }

@@ -86,12 +86,17 @@ class Network {
   std::vector<int> arrivals_;
   std::vector<int> delivered_;
 
-  // Metric handles cached at attach time; all null when detached.
+  // Metric handles cached at attach time; all null when detached. The
+  // per-interval series (debt L-inf, total deliveries, per-link debt) are
+  // quantile sketches rather than fixed-bucket histograms: no hand-picked
+  // bounds, bounded memory on arbitrary horizons, and mergeable across
+  // replications (DESIGN §4h).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Gauge* debt_linf_gauge_ = nullptr;
-  obs::Histogram* debt_linf_hist_ = nullptr;
-  obs::Histogram* deliveries_hist_ = nullptr;
-  std::vector<obs::Gauge*> debt_gauges_;  ///< one per link
+  obs::QuantileSketch* debt_linf_sketch_ = nullptr;
+  obs::QuantileSketch* deliveries_sketch_ = nullptr;
+  std::vector<obs::Gauge*> debt_gauges_;             ///< one per link
+  std::vector<obs::QuantileSketch*> debt_sketches_;  ///< one per link
 };
 
 }  // namespace rtmac::net

@@ -1,0 +1,88 @@
+#include "obs/flight_recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace rtmac::obs {
+
+namespace {
+
+/// The armed recorder. util/check's dump hook is a plain function pointer,
+/// so the instance travels through this (single-threaded failure path; the
+/// hook itself is already serialized by check_detail::fail).
+FlightRecorder* g_armed = nullptr;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string dump_path, std::size_t ring_capacity)
+    : dump_path_{std::move(dump_path)}, ring_{ring_capacity} {}
+
+FlightRecorder::~FlightRecorder() { disarm(); }
+
+void FlightRecorder::arm() {
+  RTMAC_REQUIRE(g_armed == nullptr || g_armed == this,
+                "another FlightRecorder is already armed");
+  g_armed = this;
+  set_check_dump_hook(&FlightRecorder::dump_hook);
+}
+
+void FlightRecorder::disarm() {
+  if (g_armed != this) return;
+  g_armed = nullptr;
+  set_check_dump_hook(nullptr);
+}
+
+bool FlightRecorder::armed() const { return g_armed == this; }
+
+void FlightRecorder::dump_hook(const char* kind, const char* expr, const char* file,
+                               int line, const std::string& message) {
+  if (g_armed != nullptr) g_armed->dump(kind, expr, file, line, message);
+}
+
+bool FlightRecorder::dump(const char* kind, const char* expr, const char* file, int line,
+                          const std::string& message) const {
+  if (const auto parent = std::filesystem::path{dump_path_}.parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out{dump_path_};
+  if (!out) return false;
+
+  out << JsonObject{}
+             .field("schema", "rtmac.flightrec")
+             .field("version", kFlightRecorderSchemaVersion)
+             .str()
+      << '\n';
+  out << JsonObject{}
+             .field("record", "failure")
+             .field("kind", kind)
+             .field("expr", expr)
+             .field("file", file)
+             .field("line", line)
+             .field("message", message)
+             .field("trace_events", static_cast<std::uint64_t>(ring_.events().size()))
+             .field("trace_dropped", static_cast<std::uint64_t>(ring_.dropped()))
+             .str()
+      << '\n';
+  for (const sim::TraceEvent& e : ring_.events()) {
+    out << JsonObject{}
+               .field("record", "trace")
+               .field("t_ns", e.time.ns())
+               .field("kind", sim::to_string(e.kind))
+               .field("link", e.link == sim::kNoLink ? std::int64_t{-1}
+                                                     : static_cast<std::int64_t>(e.link))
+               .field("a", e.a)
+               .field("b", e.b)
+               .str()
+        << '\n';
+  }
+  if (registry_ != nullptr) registry_->write_jsonl(out, "\"record\":\"metric\"");
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rtmac::obs

@@ -1,0 +1,79 @@
+// Crash flight recorder: a postmortem artifact for contract failures.
+//
+// A billion-interval run that trips RTMAC_REQUIRE/RTMAC_ASSERT hours in
+// leaves nothing but an abort message; the flight recorder turns that into
+// a JSONL dump of (a) the failing contract, (b) a fixed-capacity ring of
+// the most recent protocol trace events, and (c) the latest metrics
+// snapshot. It plugs into util/check's dump hook, which runs before the
+// failure handler throws or the process aborts, so the artifact is written
+// in both the test path and the production abort path.
+//
+// Lifecycle:
+//   obs::FlightRecorder recorder{"crash/flightrec.jsonl"};
+//   network.attach_tracer(&recorder.ring());   // recent-event ring
+//   recorder.watch(&registry);                 // latest metrics snapshot
+//   recorder.arm();                            // installs the dump hook
+//   network.run(huge_horizon);                 // a failure dumps + aborts
+//   recorder.disarm();                         // clean end: no artifact
+//
+// One recorder may be armed at a time (the hook is process-wide); the
+// destructor disarms, so scope-bound usage cannot leak the hook.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace rtmac::obs {
+
+/// Version of the flight-recorder dump schema; the header line carries it:
+/// {"schema":"rtmac.flightrec","version":N}.
+inline constexpr int kFlightRecorderSchemaVersion = 1;
+
+/// Default ring bound: enough recent protocol history to see the few
+/// intervals leading into a failure without unbounded memory.
+inline constexpr std::size_t kFlightRecorderRingCapacity = 4096;
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::string dump_path,
+                          std::size_t ring_capacity = kFlightRecorderRingCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();  ///< disarms if still armed
+
+  /// The recent-event ring; attach it via Network::attach_tracer (or feed
+  /// it directly). Bounded, so arbitrarily long runs keep only the tail.
+  [[nodiscard]] sim::Tracer& ring() { return ring_; }
+
+  /// Registry whose current state is snapshotted into the dump (not owned;
+  /// nullptr = no metrics section). Must outlive the armed window.
+  void watch(const MetricsRegistry* registry) { registry_ = registry; }
+
+  /// Installs this recorder as the process-wide check dump hook.
+  /// Precondition: no other FlightRecorder is armed.
+  void arm();
+  /// Uninstalls the hook; safe to call when not armed.
+  void disarm();
+  [[nodiscard]] bool armed() const;
+
+  /// Writes the dump file: schema header, the failure record, the ring
+  /// events (oldest first), then one line per metric. Returns false when
+  /// the file cannot be written (never throws — this runs on the failure
+  /// path). Also callable directly, e.g. from a signal-adjacent wrapper.
+  bool dump(const char* kind, const char* expr, const char* file, int line,
+            const std::string& message) const;
+
+  [[nodiscard]] const std::string& dump_path() const { return dump_path_; }
+
+ private:
+  static void dump_hook(const char* kind, const char* expr, const char* file, int line,
+                        const std::string& message);
+
+  std::string dump_path_;
+  sim::Tracer ring_;
+  const MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace rtmac::obs

@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "obs/stream.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace rtmac::obs {
 
@@ -52,7 +54,9 @@ double Histogram::mean() const {
 }
 
 double Histogram::quantile(double q) const {
-  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  // NaN q would otherwise survive std::clamp (both comparisons are false)
+  // and reach the integer rank cast, which is undefined behaviour.
+  if (count_ == 0 || std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   if (q == 0.0) return min_;
   if (q == 1.0) return max_;
@@ -123,6 +127,28 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double>
   return *it->second.histogram;
 }
 
+QuantileSketch& MetricsRegistry::sketch(std::string_view name, const SketchOptions& opts) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    // Mix the instrument name into the coin seed: distinct sketches get
+    // independent streams, while the result stays a pure function of
+    // (options, name) — deterministic across runs and thread counts.
+    std::uint64_t name_hash = 1469598103934665603ULL;  // FNV-1a
+    for (const char c : name) {
+      name_hash ^= static_cast<unsigned char>(c);
+      name_hash *= 1099511628211ULL;
+    }
+    SketchOptions seeded = opts;
+    seeded.seed = mix64(opts.seed, name_hash);
+    Entry e;
+    e.type = Type::kSketch;
+    e.sketch = std::make_unique<QuantileSketch>(seeded);
+    it = entries_.emplace(std::string{name}, std::move(e)).first;
+  }
+  RTMAC_REQUIRE(it->second.type == Type::kSketch, "metric re-registered as a different type");
+  return *it->second.sketch;
+}
+
 namespace {
 
 std::string json_array(const std::vector<double>& xs) {
@@ -170,6 +196,21 @@ void MetricsRegistry::write_jsonl(std::ostream& out, std::string_view context) c
             .raw("counts", json_array(h.bucket_counts()));
         break;
       }
+      case Type::kSketch: {
+        const QuantileSketch& s = *entry.sketch;
+        line.field("type", "sketch")
+            .field("count", s.count())
+            .field("sum", s.sum())
+            .field("min", s.min())
+            .field("max", s.max())
+            .field("p50", s.quantile(0.50))
+            .field("p90", s.quantile(0.90))
+            .field("p99", s.quantile(0.99))
+            .field("k", static_cast<std::uint64_t>(s.options().k))
+            .field("retained", static_cast<std::uint64_t>(s.retained()))
+            .field("exact", static_cast<std::int64_t>(s.exact() ? 1 : 0));
+        break;
+      }
     }
     std::string text = line.str();
     if (!context.empty()) {
@@ -181,6 +222,30 @@ void MetricsRegistry::write_jsonl(std::ostream& out, std::string_view context) c
     }
     out << text << '\n';
   }
+}
+
+void MetricsRegistry::stream_to(StreamSink* sink, std::uint64_t every, std::string context) {
+  if (every == 0) throw std::invalid_argument{"stream_to: cadence must be >= 1"};
+  stream_sink_ = sink;
+  stream_every_ = every;
+  stream_ticks_ = 0;
+  stream_context_ = std::move(context);
+}
+
+void MetricsRegistry::stream_tick(std::uint64_t k, std::int64_t t_ns) {
+  if (stream_sink_ == nullptr) return;
+  if (++stream_ticks_ % stream_every_ != 0) return;
+  std::string context;
+  if (!stream_context_.empty()) {
+    context = stream_context_;
+    context += ',';
+  }
+  context += "\"k\":";
+  context += json_number(k);
+  context += ",\"t_ns\":";
+  context += json_number(t_ns);
+  write_jsonl(stream_sink_->stream(), context);
+  stream_sink_->flush();
 }
 
 std::string link_metric(std::string_view base, std::uint32_t link) {

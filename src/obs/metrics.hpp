@@ -17,12 +17,17 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sketch.hpp"
+
 namespace rtmac::obs {
+
+class StreamSink;
 
 /// Version of the JSONL metrics schema; bumped on any format change so
 /// downstream parsers can detect drift. The header line of every export
 /// carries it: {"schema":"rtmac.metrics","version":N}.
-inline constexpr int kMetricsSchemaVersion = 1;
+/// v2: added the "sketch" record type (mergeable quantile sketches).
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// Writes the schema header line (callers emit it once per JSONL file).
 void write_metrics_header(std::ostream& out);
@@ -100,8 +105,28 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Quantile sketch instrument. The instrument name is mixed into
+  /// `opts.seed` so distinct sketches draw independent compaction-coin
+  /// streams while staying deterministic across runs and --jobs. A sketch
+  /// re-registered with different options keeps the original options.
+  QuantileSketch& sketch(std::string_view name, const SketchOptions& opts = {});
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Starts streaming in-run snapshots: every `every`-th stream_tick()
+  /// writes one full write_jsonl() snapshot (plus `context` and the tick's
+  /// "k"/"t_ns" stamps on every line) into `sink`, followed by a flush.
+  /// `sink` is not owned and must outlive the streaming window; nullptr
+  /// detaches. `every` must be >= 1 (throws std::invalid_argument).
+  void stream_to(StreamSink* sink, std::uint64_t every = 1, std::string context = {});
+  [[nodiscard]] bool streaming() const { return stream_sink_ != nullptr; }
+
+  /// Cadence gate, called by the interval loop at every interval boundary
+  /// with the interval index and its sim-time end stamp. Emits a snapshot
+  /// on every `every`-th call since stream_to(); no-op (one branch) when
+  /// detached. Sim-time stamps only: wall-clock never enters the stream,
+  /// so streamed files diff clean across --jobs.
+  void stream_tick(std::uint64_t k, std::int64_t t_ns);
 
   /// One JSONL line per metric, in name order (deterministic). `context`,
   /// when non-empty, is a raw JSON fragment of extra fields — e.g.
@@ -111,17 +136,24 @@ class MetricsRegistry {
   void write_jsonl(std::ostream& out, std::string_view context = {}) const;
 
  private:
-  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram, kSketch };
   struct Entry {
     Type type;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<QuantileSketch> sketch;
   };
 
   // std::map keeps export order independent of registration order, which
   // keeps JSONL diffs stable when instrumentation points move around.
   std::map<std::string, Entry, std::less<>> entries_;
+
+  // Streaming state (see stream_to/stream_tick).
+  StreamSink* stream_sink_ = nullptr;
+  std::uint64_t stream_every_ = 1;
+  std::uint64_t stream_ticks_ = 0;
+  std::string stream_context_;
 };
 
 /// "link3" etc. — the per-link naming convention used by all instrumented

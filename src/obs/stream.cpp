@@ -1,0 +1,25 @@
+#include "obs/stream.hpp"
+
+#include <filesystem>
+
+#include "obs/json.hpp"
+
+namespace rtmac::obs {
+
+void write_stream_header(std::ostream& out) {
+  out << JsonObject{}
+             .field("schema", "rtmac.metrics-stream")
+             .field("version", kMetricsStreamSchemaVersion)
+             .str()
+      << '\n';
+}
+
+FileStreamSink::FileStreamSink(const std::string& path) {
+  if (const auto parent = std::filesystem::path{path}.parent_path(); !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  out_.open(path);
+}
+
+}  // namespace rtmac::obs

@@ -1,0 +1,81 @@
+// Streaming sinks for in-run time-series metric export.
+//
+// MetricsRegistry::stream_to() points the registry at one of these; every
+// cadence interval the network's interval loop triggers a schema-versioned
+// JSONL snapshot of the whole registry into the sink. Sinks carry only
+// sim-domain bytes (wall-clock profiling stays quarantined in
+// profile.jsonl), so a streamed file is byte-identical across --jobs when
+// the per-task blocks are concatenated in deterministic task order — the
+// same contract metrics.jsonl already meets.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <streambuf>
+#include <string>
+
+namespace rtmac::obs {
+
+/// Version of the streamed time-series schema; the header line of every
+/// stream file carries it: {"schema":"rtmac.metrics-stream","version":N}.
+inline constexpr int kMetricsStreamSchemaVersion = 1;
+
+/// Writes the stream schema header line (once per stream file).
+void write_stream_header(std::ostream& out);
+
+/// Destination for streamed snapshots. Implementations own their buffering;
+/// flush() is called after every snapshot so in-flight runs stay readable.
+class StreamSink {
+ public:
+  StreamSink() = default;
+  StreamSink(const StreamSink&) = delete;
+  StreamSink& operator=(const StreamSink&) = delete;
+  virtual ~StreamSink() = default;
+
+  [[nodiscard]] virtual std::ostream& stream() = 0;
+  virtual void flush() {}
+};
+
+/// Buffered file sink. Creates parent directories; check ok() after
+/// construction (a failed open degrades to dropping output, not throwing,
+/// so observability can never kill a run).
+class FileStreamSink final : public StreamSink {
+ public:
+  explicit FileStreamSink(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+  [[nodiscard]] std::ostream& stream() override { return out_; }
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// In-memory sink; the sweep engine gives each task one of these and
+/// concatenates the blocks in deterministic task order afterwards.
+class StringStreamSink final : public StreamSink {
+ public:
+  [[nodiscard]] std::ostream& stream() override { return out_; }
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+/// Discards everything; lets callers keep streaming wired unconditionally.
+class NullStreamSink final : public StreamSink {
+ public:
+  NullStreamSink() : out_{&buf_} {}
+  [[nodiscard]] std::ostream& stream() override { return out_; }
+
+ private:
+  struct DiscardBuf final : std::streambuf {
+    int overflow(int c) override { return c == traits_type::eof() ? 0 : c; }
+    std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+  };
+  DiscardBuf buf_;
+  std::ostream out_;
+};
+
+}  // namespace rtmac::obs

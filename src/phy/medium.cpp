@@ -58,12 +58,17 @@ void Medium::add_listener(MediumListener* listener, LinkId node) {
 
 void Medium::set_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
+  if (registry == nullptr) {
+    busy_period_sketch_ = nullptr;
+    delivery_latency_sketch_ = nullptr;
+    return;
+  }
   // Busy periods span microseconds (one claim packet) to a whole interval
-  // (tens of ms of back-to-back traffic): log-spaced buckets cover the range.
-  busy_period_hist_ =
-      registry == nullptr
-          ? nullptr
-          : &registry->histogram("phy.busy_period_us", obs::log_bounds(1.0, 65536.0, 2.0));
+  // (tens of ms of back-to-back traffic); delivery latency spans the same
+  // range, measured from the interval's release instant. Both are quantile
+  // sketches: no bucket bounds to pick, bounded memory on any horizon.
+  busy_period_sketch_ = &registry->sketch("phy.busy_period_us");
+  delivery_latency_sketch_ = &registry->sketch("phy.delivery_latency_us");
 }
 
 void Medium::mark_transitions(LinkId link, bool to_busy, TimePoint now) {
@@ -85,8 +90,8 @@ void Medium::mark_transitions(LinkId link, bool to_busy, TimePoint now) {
     } else if (view.active == 0 && view.notified_busy) {
       view.notified_busy = false;
       view.busy_time += now - view.busy_since;
-      if (is_global && busy_period_hist_ != nullptr) {
-        busy_period_hist_->observe((now - view.busy_since).us_f());
+      if (is_global && busy_period_sketch_ != nullptr) {
+        busy_period_sketch_->update((now - view.busy_since).us_f());
       }
       marks_[mark_idx] = 1;
       any_marked_ = true;
@@ -223,6 +228,9 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
     outcome = TxOutcome::kDelivered;
     ++counters_.delivered;
     ++link_counters_[tx.link].delivered;
+    if (delivery_latency_sketch_ != nullptr) {
+      delivery_latency_sketch_->update((sim_.now() - interval_start_).us_f());
+    }
   } else if (tx.kind == PacketKind::kEmpty) {
     // Empty packets carry no payload; a clean empty transmission counts as
     // delivered for protocol purposes (the claim was heard as channel
@@ -250,7 +258,7 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
       view.notified_busy = false;
       const Duration period = now - view.busy_since;
       view.busy_time += period;
-      if (busy_period_hist_ != nullptr) busy_period_hist_->observe(period.us_f());
+      if (busy_period_sketch_ != nullptr) busy_period_sketch_->update(period.us_f());
       notify_all(/*to_busy=*/false, now);
     }
   } else {
@@ -303,6 +311,11 @@ TxOutcome Medium::burst_tx(LinkId link, TimePoint at, Duration airtime, PacketKi
     outcome = TxOutcome::kDelivered;
     ++counters_.delivered;
     ++link_counters_[link].delivered;
+    // Virtual burst timestamp: the packet completes at `at + airtime`, the
+    // same instant the per-event path would observe at its completion event.
+    if (delivery_latency_sketch_ != nullptr) {
+      delivery_latency_sketch_->update((at + airtime - interval_start_).us_f());
+    }
   } else if (kind == PacketKind::kEmpty) {
     outcome = TxOutcome::kDelivered;
   } else {
@@ -336,7 +349,7 @@ void Medium::end_burst(TimePoint end) {
     view.notified_busy = false;
     const Duration period = end - view.busy_since;
     view.busy_time += period;
-    if (busy_period_hist_ != nullptr) busy_period_hist_->observe(period.us_f());
+    if (busy_period_sketch_ != nullptr) busy_period_sketch_->update(period.us_f());
     notify_all(/*to_busy=*/false, end);
   }
 }

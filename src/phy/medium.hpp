@@ -206,6 +206,11 @@ class Medium {
   /// exported from MediumCounters by obs::collect_network_metrics.
   void set_metrics(obs::MetricsRegistry* registry);
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// Interval anchor for the delivery-latency series: the Network stamps
+  /// every interval start here so delivered data packets can be measured
+  /// against their interval's release time (the medium itself has no
+  /// notion of the interval structure). One store per interval.
+  void note_interval_start(TimePoint t) { interval_start_ = t; }
   /// Cached at construction: the channel's answer never changes, and this is
   /// queried from per-transmission hot paths (a virtual call would show up).
   [[nodiscard]] std::size_t num_links() const { return num_links_; }
@@ -279,7 +284,12 @@ class Medium {
   std::vector<std::uint64_t> collision_pairs_;  ///< n x n pairwise collision events
   sim::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
-  obs::Histogram* busy_period_hist_ = nullptr;  ///< cached handle, null when detached
+  // Cached instrument handles, null when detached. Quantile sketches, not
+  // fixed-bucket histograms: busy periods and delivery latencies span four
+  // orders of magnitude and the sketches stay memory-bounded on any horizon.
+  obs::QuantileSketch* busy_period_sketch_ = nullptr;
+  obs::QuantileSketch* delivery_latency_sketch_ = nullptr;
+  TimePoint interval_start_;  ///< anchor for delivery latency (note_interval_start)
 };
 
 }  // namespace rtmac::phy

@@ -10,11 +10,16 @@ namespace {
 
 std::atomic<std::uint64_t> g_failures{0};
 std::atomic<CheckFailureHandler> g_handler{nullptr};
+std::atomic<CheckDumpHook> g_dump_hook{nullptr};
 
 }  // namespace
 
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
   return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+CheckDumpHook set_check_dump_hook(CheckDumpHook hook) {
+  return g_dump_hook.exchange(hook, std::memory_order_acq_rel);
 }
 
 std::uint64_t check_failures() { return g_failures.load(std::memory_order_relaxed); }
@@ -24,6 +29,14 @@ namespace check_detail {
 void fail(const char* kind, const char* expr, const char* file, int line,
           const std::string& message) {
   g_failures.fetch_add(1, std::memory_order_relaxed);
+  // Crash-artifact dump first, while nothing has thrown or aborted yet. The
+  // hook is swapped out for the duration so a failure inside the dump path
+  // cannot recurse into it.
+  if (CheckDumpHook hook = g_dump_hook.exchange(nullptr, std::memory_order_acq_rel);
+      hook != nullptr) {
+    hook(kind, expr, file, line, message);
+    g_dump_hook.store(hook, std::memory_order_release);
+  }
   if (CheckFailureHandler handler = g_handler.load(std::memory_order_acquire);
       handler != nullptr) {
     handler(kind, expr, file, line, message);  // may throw: test path

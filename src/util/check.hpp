@@ -52,6 +52,17 @@ using CheckFailureHandler = void (*)(const char* kind, const char* expr, const c
 /// Installs `handler` and returns the previous one (nullptr = default abort).
 CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
 
+/// Called on contract failure BEFORE the failure handler (and before any
+/// abort/throw), so crash artifacts can be written while the process state
+/// is still intact — this is the obs flight recorder's entry point. The
+/// hook must not throw; it is temporarily uninstalled while it runs, so a
+/// contract failure inside the hook cannot recurse into it.
+using CheckDumpHook = void (*)(const char* kind, const char* expr, const char* file,
+                               int line, const std::string& message);
+
+/// Installs `hook` and returns the previous one (nullptr = none).
+CheckDumpHook set_check_dump_hook(CheckDumpHook hook);
+
 /// Process-wide count of contract failures. Exported by the obs layer as the
 /// `checks.failed` counter; nonzero only when a throwing handler suppressed
 /// the abort (the default path never survives to report).

@@ -1,0 +1,126 @@
+// The sweep engine's streaming outputs:
+//  - the --metrics-stream file is byte-identical for ANY --jobs (per-task
+//    string sinks concatenated in deterministic task order, sim-time
+//    stamps only);
+//  - the incrementally streamed CSV is byte-identical to the buffered
+//    write_sweep_csv for the same results;
+//  - validation: stream_every >= 1, csv_path xor metrics_dir.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "expfw/report.hpp"
+#include "expfw/runner.hpp"
+#include "expfw/scenarios.hpp"
+#include "obs/json.hpp"
+#include "obs/stream.hpp"
+
+namespace rtmac::expfw {
+namespace {
+
+std::string file_contents(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<SweepResult> small_sweep(const SweepOptions& opts) {
+  return run_sweeps(
+      {{"LDF", ldf_factory()}, {"FCSMA", fcsma_factory()}},
+      [](double a) { return video_symmetric(a, 0.9, 42); }, {0.4, 0.55, 0.7},
+      /*intervals=*/15, total_deficiency_metric(), {"deficiency"}, opts);
+}
+
+TEST(StreamSweepTest, StreamedMetricsAreByteIdenticalAcrossJobCounts) {
+  const std::string p1 = temp_path("rtmac_stream_jobs1.jsonl");
+  const std::string pn = temp_path("rtmac_stream_jobsN.jsonl");
+
+  SweepOptions opts;
+  opts.reps = 2;
+  opts.stream_every = 5;
+  opts.jobs = 1;
+  opts.stream_path = p1;
+  (void)small_sweep(opts);
+  opts.jobs = 4;
+  opts.stream_path = pn;
+  (void)small_sweep(opts);
+
+  const std::string serial = file_contents(p1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, file_contents(pn));
+
+  // Spot-check the shape: schema header first, then parseable snapshot
+  // lines carrying the task context and sim-time stamps.
+  std::istringstream in{serial};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto header = obs::parse_flat_json(line);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->at("schema"), "\"rtmac.metrics-stream\"");
+  std::size_t snapshot_lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = obs::parse_flat_json(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_TRUE(parsed->count("scheme"));
+    EXPECT_TRUE(parsed->count("k"));
+    EXPECT_TRUE(parsed->count("t_ns"));
+    ++snapshot_lines;
+  }
+  // 15 intervals at cadence 5 -> 3 snapshots per task, 12 tasks, many
+  // metric lines per snapshot.
+  EXPECT_GT(snapshot_lines, 0u);
+
+  std::remove(p1.c_str());
+  std::remove(pn.c_str());
+}
+
+TEST(StreamSweepTest, StreamedCsvMatchesBufferedWriterByteForByte) {
+  const std::string streamed_path = temp_path("rtmac_streamed.csv");
+  const std::string buffered_path = temp_path("rtmac_buffered.csv");
+
+  SweepOptions opts;
+  opts.reps = 2;  // exercises the "# reps=" comment + sd/ci95 columns
+  opts.jobs = 3;
+  opts.csv_path = streamed_path;
+  opts.csv_x = "alpha";
+  const auto results = small_sweep(opts);
+  ASSERT_TRUE(write_sweep_csv(buffered_path, "alpha", results));
+
+  const std::string streamed = file_contents(streamed_path);
+  ASSERT_FALSE(streamed.empty());
+  EXPECT_EQ(streamed, file_contents(buffered_path));
+
+  std::remove(streamed_path.c_str());
+  std::remove(buffered_path.c_str());
+}
+
+TEST(StreamSweepTest, ValidationRejectsBadStreamingOptions) {
+  const auto config_at = [](double a) { return video_symmetric(a, 0.9, 1); };
+  const auto metric = total_deficiency_metric();
+
+  SweepOptions zero_cadence;
+  zero_cadence.stream_every = 0;
+  EXPECT_THROW(run_sweeps({{"LDF", ldf_factory()}}, config_at, {0.4}, 1, metric, {"d"},
+                          zero_cadence),
+               std::invalid_argument);
+
+  SweepOptions csv_and_metrics;
+  csv_and_metrics.csv_path = temp_path("rtmac_never_written.csv");
+  csv_and_metrics.metrics_dir = temp_path("rtmac_never_written_dir");
+  EXPECT_THROW(run_sweeps({{"LDF", ldf_factory()}}, config_at, {0.4}, 1, metric, {"d"},
+                          csv_and_metrics),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtmac::expfw

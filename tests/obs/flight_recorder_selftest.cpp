@@ -1,0 +1,37 @@
+// Forced-failure selftest for the flight recorder, run by CI as a plain
+// binary (not gtest): arms a recorder around a short real run, then trips
+// RTMAC_UNREACHABLE — which is active in every build configuration — so the
+// process must exit abnormally AND leave the dump artifact behind. CI
+// asserts the nonzero exit, validates the artifact, and uploads it.
+//
+//   usage: flight_recorder_selftest <dump-path>
+#include <cstdio>
+#include <cstdlib>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmac;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <dump-path>\n", argv[0]);
+    return 2;
+  }
+
+  obs::FlightRecorder recorder{argv[1]};
+  obs::MetricsRegistry registry;
+  net::Network network{expfw::video_symmetric(0.55, 0.9, 4242), expfw::dbdp_factory()};
+  network.attach_metrics(&registry);
+  network.attach_tracer(&recorder.ring());
+  recorder.watch(&registry);
+  recorder.arm();
+  network.run(10);
+
+  // The default failure handler aborts after the hook dumps; the selftest
+  // therefore must NOT reach the return below.
+  RTMAC_UNREACHABLE("flight recorder selftest: forced contract failure");
+  return 0;  // unreachable; reaching it would make the selftest pass wrongly
+}

@@ -1,0 +1,150 @@
+// The crash flight recorder: an armed recorder dumps a valid JSONL
+// postmortem (schema header, failure record, ring tail, metrics snapshot)
+// from the check-failure path before the handler runs; arm/disarm manage
+// the process-wide hook; direct dump() works without a failure.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace rtmac::obs {
+namespace {
+
+struct CheckFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void throwing_handler(const char*, const char*, const char*, int,
+                      const std::string& message) {
+  throw CheckFailure(message);
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::map<std::string, std::string>> read_jsonl(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in.is_open()) << path;
+  std::string line;
+  std::vector<std::map<std::string, std::string>> out;
+  while (std::getline(in, line)) {
+    auto parsed = parse_flat_json(line);
+    EXPECT_TRUE(parsed.has_value()) << line;
+    if (parsed.has_value()) out.push_back(std::move(*parsed));
+  }
+  return out;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { prev_ = set_check_failure_handler(&throwing_handler); }
+  void TearDown() override { set_check_failure_handler(prev_); }
+  CheckFailureHandler prev_ = nullptr;
+};
+
+TEST_F(FlightRecorderTest, ArmDisarmLifecycle) {
+  FlightRecorder rec{temp_path("rtmac_fr_lifecycle.jsonl")};
+  EXPECT_FALSE(rec.armed());
+  rec.arm();
+  EXPECT_TRUE(rec.armed());
+  rec.arm();  // re-arming the same recorder is fine
+  rec.disarm();
+  EXPECT_FALSE(rec.armed());
+  rec.disarm();  // idempotent
+}
+
+TEST_F(FlightRecorderTest, DirectDumpWritesValidJsonl) {
+  const std::string path = temp_path("rtmac_fr_direct.jsonl");
+  FlightRecorder rec{path, /*ring_capacity=*/8};
+  rec.ring().record(TimePoint::origin(), sim::TraceKind::kIntervalStart, sim::kNoLink, 0);
+  MetricsRegistry reg;
+  reg.counter("c").inc(3);
+  rec.watch(&reg);
+  ASSERT_TRUE(rec.dump("RTMAC_ASSERT", "x > 0", "fake.cpp", 42, "x was -1"));
+
+  const auto lines = read_jsonl(path);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].at("schema"), "\"rtmac.flightrec\"");
+  EXPECT_EQ(lines[0].at("version"), std::to_string(kFlightRecorderSchemaVersion));
+  EXPECT_EQ(lines[1].at("record"), "\"failure\"");
+  EXPECT_EQ(lines[1].at("kind"), "\"RTMAC_ASSERT\"");
+  EXPECT_EQ(lines[1].at("expr"), "\"x > 0\"");
+  EXPECT_EQ(lines[1].at("line"), "42");
+  EXPECT_EQ(lines[1].at("message"), "\"x was -1\"");
+  EXPECT_EQ(lines[1].at("trace_events"), "1");
+  EXPECT_EQ(lines[2].at("record"), "\"trace\"");
+  EXPECT_EQ(lines[2].at("kind"), "\"interval-start\"");
+  EXPECT_EQ(lines[2].at("link"), "-1");
+  EXPECT_EQ(lines[3].at("record"), "\"metric\"");
+  EXPECT_EQ(lines[3].at("name"), "\"c\"");
+  std::remove(path.c_str());
+}
+
+// The end-to-end failure path: run a real network with the recorder's ring
+// attached, then trip a contract. The hook must write the dump before the
+// throwing handler unwinds, and the dump must carry the run's trace tail.
+TEST_F(FlightRecorderTest, CheckFailureDumpsBeforeHandlerRuns) {
+  const std::string path = temp_path("rtmac_fr_failure.jsonl");
+  std::remove(path.c_str());
+
+  FlightRecorder rec{path, /*ring_capacity=*/256};
+  MetricsRegistry reg;
+  net::Network network{expfw::video_symmetric(0.55, 0.9, 93), expfw::dbdp_factory()};
+  network.attach_metrics(&reg);
+  network.attach_tracer(&rec.ring());
+  rec.watch(&reg);
+  rec.arm();
+  network.run(5);
+
+  EXPECT_THROW(RTMAC_UNREACHABLE("forced failure for the flight recorder"),
+               CheckFailure);
+  rec.disarm();
+
+  const auto lines = read_jsonl(path);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].at("schema"), "\"rtmac.flightrec\"");
+  EXPECT_EQ(lines[1].at("record"), "\"failure\"");
+  EXPECT_EQ(lines[1].at("kind"), "\"RTMAC_UNREACHABLE\"");
+  EXPECT_EQ(lines[1].at("message"), "\"forced failure for the flight recorder\"");
+  std::size_t traces = 0;
+  std::size_t metrics = 0;
+  for (const auto& line : lines) {
+    const auto it = line.find("record");
+    if (it == line.end()) continue;
+    if (it->second == "\"trace\"") ++traces;
+    if (it->second == "\"metric\"") ++metrics;
+  }
+  EXPECT_GT(traces, 0u) << "ring tail missing from the dump";
+  EXPECT_LE(traces, 256u) << "ring bound not respected";
+  EXPECT_GT(metrics, 0u) << "metrics snapshot missing from the dump";
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, DisarmedRecorderWritesNothing) {
+  const std::string path = temp_path("rtmac_fr_disarmed.jsonl");
+  std::remove(path.c_str());
+  {
+    FlightRecorder rec{path};
+    rec.arm();
+    // Scope exit disarms via the destructor.
+  }
+  EXPECT_THROW(RTMAC_UNREACHABLE("no recorder armed"), CheckFailure);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace rtmac::obs

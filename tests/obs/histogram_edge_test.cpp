@@ -1,0 +1,60 @@
+// Histogram::quantile edge cases (satellite regression coverage): NaN
+// quantile requests, the all-samples-in-overflow layout, extreme-q
+// clamping, and single-sample collapse. The NaN-q case is a genuine fixed
+// bug: NaN survives std::clamp unchanged, so the old code fell through to
+// the rank computation and cast NaN to an integer rank (UB).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace rtmac::obs {
+namespace {
+
+TEST(HistogramEdgeTest, NanQuantileRequestReturnsNan) {
+  Histogram h{{1.0, 2.0}};
+  h.observe(1.5);
+  EXPECT_TRUE(std::isnan(h.quantile(std::nan(""))));
+}
+
+TEST(HistogramEdgeTest, EmptyHistogramReturnsNanForAnyQ) {
+  Histogram h{{1.0}};
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(std::nan(""))));
+}
+
+TEST(HistogramEdgeTest, AllSamplesInOverflowBucket) {
+  // Every observation beyond the last bound: the quantile walk must land in
+  // the overflow bucket and stay inside the observed range.
+  Histogram h{{1.0, 2.0}};
+  for (int i = 0; i < 10; ++i) h.observe(100.0 + i);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 109.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 109.0);
+}
+
+TEST(HistogramEdgeTest, ExtremeQClampsToObservedRange) {
+  Histogram h{{1.0, 2.0, 4.0}};
+  h.observe(0.5);
+  h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-10.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(10.0), 3.0);
+}
+
+TEST(HistogramEdgeTest, SingleSampleCollapsesEveryQuantile) {
+  Histogram h{{10.0}};
+  h.observe(3.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.0) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace rtmac::obs

@@ -17,9 +17,9 @@ Typical use:
 Gating: with --gate-zero-alloc, every benchmark whose name contains
 "Allocs" must report all of its allocation counters ("allocs",
 "allocs_per_interval", ...) as exactly 0, or the tool exits 1. The gate also
-requires the two sentinel benchmarks BM_EventQueueSteadyStateAllocs and
-BM_DbdpIntervalAllocs to be present, so renaming or dropping them cannot
-silently disable it. Malformed or empty input exits 2. A benchmark JSON that
+requires the sentinel benchmarks BM_EventQueueSteadyStateAllocs,
+BM_DbdpIntervalAllocs, and BM_SketchUpdateAllocs to be present, so renaming
+or dropping them cannot silently disable it. Malformed or empty input exits 2. A benchmark JSON that
 parses but carries error_occurred entries also exits 2 (a crashed benchmark
 must fail CI, not produce a hollow trajectory point).
 
@@ -107,10 +107,12 @@ def distill(raw):
     return out
 
 
-# Benchmarks the zero-alloc gate insists on seeing: the engine churn window
-# and the full DB-DP interval path. Their absence means the gate would pass
-# vacuously, so it is treated as a violation.
-_GATE_SENTINELS = ("BM_EventQueueSteadyStateAllocs", "BM_DbdpIntervalAllocs")
+# Benchmarks the zero-alloc gate insists on seeing: the engine churn window,
+# the full DB-DP interval path, and the quantile-sketch update path. Their
+# absence means the gate would pass vacuously, so it is treated as a
+# violation.
+_GATE_SENTINELS = ("BM_EventQueueSteadyStateAllocs", "BM_DbdpIntervalAllocs",
+                   "BM_SketchUpdateAllocs")
 
 
 def gate_zero_alloc(benchmarks):

@@ -248,6 +248,30 @@ class TreeScanAndAllowlist(unittest.TestCase):
         self.assertEqual([x.rule for x in v], ["wall-clock"])
         self.assertIn("mac/bad.cpp", str(v[0]))
 
+    def test_obs_sketch_wall_clock_fails(self):
+        # The streaming-observability files are NOT allowlisted: a sketch or
+        # stream that ever timestamps with a wall clock would silently break
+        # the byte-identical-across-jobs export guarantee, so the lint must
+        # catch it there.
+        root = self.make_tree()
+        (root / "src" / "obs").mkdir()
+        (root / "src" / "obs" / "sketch.cpp").write_text(
+            "auto t = std::chrono::steady_clock::now();\n")
+        v = lint_rtmac.scan_tree(root)
+        self.assertEqual([x.rule for x in v], ["wall-clock"])
+        self.assertIn("obs/sketch.cpp", str(v[0]))
+
+    def test_obs_stream_nondet_rng_fails(self):
+        # Same guarantee, RNG flavor: compaction coins must come from the
+        # seeded util Rng, never from rand()/random_device.
+        root = self.make_tree()
+        (root / "src" / "obs").mkdir()
+        (root / "src" / "obs" / "stream.cpp").write_text(
+            "int coin = rand() & 1;\n")
+        v = lint_rtmac.scan_tree(root)
+        self.assertEqual([x.rule for x in v], ["nondet-rng"])
+        self.assertIn("obs/stream.cpp", str(v[0]))
+
 
 @unittest.skipIf(lint_rtmac.find_compiler() is None, "no C++ compiler")
 class HeaderSelfContainedRule(unittest.TestCase):
