@@ -1,0 +1,157 @@
+// City-scale sharded-engine benchmark (DESIGN §4i).
+//
+// Phase 1 — scale: a city_unit_disk_topology of 12500 clusters x 8 links
+// (10^5 links; smoke: 1250 x 8 = 10^4) built through the sparse O(n)
+// unit-disk pipeline. The dense n x n InterferenceGraph is unaffordable at
+// this size, so only the sharded engine can run it: the partitioner
+// recovers every cluster as its own cell with small per-cell event heaps
+// and media. Records events/sec and peak RSS.
+//
+// Phase 2 — speedup: a dense disconnected_cells_topology at 10^4 links
+// (625 cells of 16; smoke: 2048 links) small enough for the legacy
+// single-engine path, timed on both engines. The sharded engine replaces
+// one 10^4-link binary heap with 625 16-link heaps, so its events/sec must
+// beat the legacy engine well beyond the 2x acceptance bar even on one
+// core. Both phases land in bench_out/city_scale.json for BENCH_8 merging.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "expfw/bench_cli.hpp"
+#include "expfw/report.hpp"
+#include "expfw/scenarios.hpp"
+#include "net/network.hpp"
+#include "net/network_config.hpp"
+#include "traffic/arrival_process.hpp"
+
+namespace {
+
+using namespace rtmac;
+
+struct Timing {
+  std::uint64_t events = 0;
+  std::size_t cells = 0;
+  std::size_t groups = 0;
+  std::uint64_t delivered = 0;
+  double wall_seconds = 0.0;
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+};
+
+Timing run_once(net::NetworkConfig cfg, IntervalIndex intervals) {
+  net::Network network{std::move(cfg), expfw::dcf_factory()};
+  const auto t0 = std::chrono::steady_clock::now();
+  network.run(intervals);
+  const auto t1 = std::chrono::steady_clock::now();
+  Timing t;
+  t.events = network.events_executed();
+  t.cells = network.cell_count();
+  t.groups = network.group_count();
+  t.delivered = network.medium_counters().delivered;
+  t.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return t;
+}
+
+net::NetworkConfig control_config(std::size_t num_links, std::uint64_t seed) {
+  return net::symmetric_network(num_links, Duration::milliseconds(2),
+                                phy::PhyParams::control_80211a(), 0.7,
+                                traffic::BernoulliArrivals{0.8}, 0.9, seed);
+}
+
+/// Linux ru_maxrss is in kilobytes.
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+void write_timing(std::ostream& out, const Timing& t, IntervalIndex intervals,
+                  std::size_t links) {
+  out << "{\"links\":" << links << ",\"intervals\":" << intervals
+      << ",\"cells\":" << t.cells << ",\"groups\":" << t.groups
+      << ",\"events\":" << t.events << ",\"delivered\":" << t.delivered
+      << ",\"wall_seconds\":" << t.wall_seconds
+      << ",\"events_per_sec\":" << t.events_per_sec() << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = expfw::parse_bench_args(argc, argv, /*default_intervals=*/25,
+                                            /*smoke_intervals=*/5);
+
+  // ---- Phase 1: city-scale sparse unit disk (sharded only) -----------------
+  const std::size_t city_cells = args.smoke ? 1250 : 12500;
+  constexpr std::size_t kLinksPerCell = 8;
+  const std::size_t city_links = city_cells * kLinksPerCell;
+  std::cout << "City scale: " << city_links << " links in " << city_cells
+            << " unit-disk clusters, DCF, " << args.intervals << " intervals\n";
+
+  auto city_cfg = expfw::with_sparse_topology(
+      control_config(city_links, 90210),
+      expfw::city_unit_disk_topology(city_cells, kLinksPerCell, /*seed=*/1889));
+  city_cfg.shards = city_cells;  // one cell per cluster; groups capped below
+  city_cfg.shard_jobs = args.sweep.shard_jobs > 0
+                            ? static_cast<std::size_t>(args.sweep.shard_jobs)
+                            : 0;
+  const Timing city = run_once(std::move(city_cfg), args.intervals);
+  const long city_rss_kb = peak_rss_kb();
+  std::cout << "  " << city.cells << " cells, " << city.groups << " groups: "
+            << city.events << " events in " << city.wall_seconds << " s = "
+            << static_cast<std::uint64_t>(city.events_per_sec())
+            << " events/s, peak RSS " << city_rss_kb << " KB\n";
+
+  // ---- Phase 2: legacy vs sharded on the same dense topology ---------------
+  const std::size_t speedup_links = args.smoke ? 2048 : 10000;
+  constexpr std::size_t kSpeedupCellSize = 16;
+  const IntervalIndex speedup_intervals = args.intervals;
+  std::cout << "Speedup: " << speedup_links << " links in cells of "
+            << kSpeedupCellSize << ", legacy vs 4-group sharded\n";
+
+  const auto speedup_config = [&](std::size_t shards) {
+    auto cfg = control_config(speedup_links, 77);
+    cfg.topology =
+        expfw::disconnected_cells_topology(speedup_links, kSpeedupCellSize);
+    cfg.shards = shards;
+    return cfg;
+  };
+  const Timing legacy = run_once(speedup_config(0), speedup_intervals);
+  const Timing sharded = run_once(speedup_config(4), speedup_intervals);
+  const double ratio =
+      legacy.events_per_sec() > 0.0 ? sharded.events_per_sec() / legacy.events_per_sec() : 0.0;
+  std::cout << "  legacy:  " << static_cast<std::uint64_t>(legacy.events_per_sec())
+            << " events/s\n"
+            << "  sharded: " << static_cast<std::uint64_t>(sharded.events_per_sec())
+            << " events/s (" << sharded.cells << " cells)\n"
+            << "  speedup: " << ratio << "x\n";
+  if (legacy.delivered != sharded.delivered) {
+    std::cout << "FAIL: engines disagree on delivered packets (" << legacy.delivered
+              << " vs " << sharded.delivered << ")\n";
+    return 1;
+  }
+
+  // ---- JSON for tools/bench_report.py --extra ------------------------------
+  const std::string json_path = expfw::bench_output_dir() + "/city_scale.json";
+  std::ofstream json{json_path};
+  json << "{\"schema\":\"rtmac.city_scale\",\"version\":1,\"smoke\":"
+       << (args.smoke ? "true" : "false") << ",\n \"city\":";
+  write_timing(json, city, args.intervals, city_links);
+  json << ",\n \"city_peak_rss_kb\":" << city_rss_kb << ",\n \"speedup\":{\"legacy\":";
+  write_timing(json, legacy, speedup_intervals, speedup_links);
+  json << ",\"sharded\":";
+  write_timing(json, sharded, speedup_intervals, speedup_links);
+  json << ",\"events_per_sec_ratio\":" << ratio << "}}\n";
+  json.close();
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!args.smoke && ratio < 2.0) {
+    std::cout << "FAIL: sharded events/sec below the 2x acceptance bar\n";
+    return 1;
+  }
+  return 0;
+}

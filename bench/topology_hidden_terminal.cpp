@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
   const auto args = expfw::parse_bench_args(argc, argv, 2000);
 
   const expfw::MetricFn metric = [](const net::Network& network) {
-    const auto& c = network.medium().counters();
+    // Facade accessor so the bench also runs under --shards (the hidden-cells
+    // topology is union-connected, so sharding it exercises the cut path).
+    const auto c = network.medium_counters();
     const auto attempts = std::max<std::uint64_t>(1, c.data_tx + c.empty_tx);
     return std::vector<double>{network.total_deficiency(),
                                static_cast<double>(c.collisions) / attempts};

@@ -21,12 +21,18 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
   const auto usage = [&](std::ostream& out) {
     out << "usage: " << (argc > 0 ? argv[0] : "bench")
         << " [--intervals N] [--reps N] [--jobs N] [--smoke]\n"
+        << "             [--shards N] [--shard-jobs N]\n"
         << "             [--metrics-out DIR] [--trace-out FILE]\n"
         << "             [--metrics-stream FILE] [--stream-every N] [--progress]\n"
         << "  --intervals N    deadline intervals per simulation (default "
         << default_intervals << ")\n"
         << "  --reps N         replications per grid point (default 1)\n"
         << "  --jobs N         sweep worker threads (default 0 = all cores)\n"
+        << "  --shards N       partition each network into N shards (0 forces the\n"
+        << "                   legacy engine; default: whatever the bench's configs\n"
+        << "                   say). Results are byte-identical for any value.\n"
+        << "  --shard-jobs N   worker threads per sharded network (default: one\n"
+        << "                   per parallel group, capped at the core count)\n"
         << "  --smoke          tiny grid + short horizon for CI\n"
         << "  --metrics-out D  write JSONL metrics + engine profile under D\n"
         << "  --trace-out F    write a Perfetto-loadable Chrome trace to F\n"
@@ -39,6 +45,7 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
     std::exit(0);
   }
   const auto unknown = args.unknown_flags({"intervals", "reps", "jobs", "smoke",
+                                           "shards", "shard-jobs",
                                            "metrics-out", "trace-out", "metrics-stream",
                                            "stream-every", "progress", "help"});
   if (!unknown.empty()) {
@@ -86,6 +93,18 @@ BenchArgs parse_bench_args(int argc, const char* const* argv,
   }
   out.sweep.reps = static_cast<std::size_t>(reps);
   out.sweep.jobs = static_cast<std::size_t>(jobs);
+  const std::int64_t shards = require_int("shards", -1);
+  const std::int64_t shard_jobs = require_int("shard-jobs", -1);
+  if (args.has("shards") && shards < 0) {
+    std::cerr << "--shards must be >= 0 (0 forces the legacy engine)\n";
+    std::exit(2);
+  }
+  if (args.has("shard-jobs") && shard_jobs < 0) {
+    std::cerr << "--shard-jobs must be >= 0 (0 = one per group)\n";
+    std::exit(2);
+  }
+  out.sweep.shards = static_cast<int>(shards);
+  out.sweep.shard_jobs = static_cast<int>(shard_jobs);
   out.sweep.metrics_dir = args.get("metrics-out", std::string{});
   out.sweep.trace_out = args.get("trace-out", std::string{});
   out.sweep.stream_path = args.get("metrics-stream", std::string{});

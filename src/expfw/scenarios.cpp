@@ -1,5 +1,6 @@
 #include "expfw/scenarios.hpp"
 
+#include <cmath>
 #include <memory>
 
 #include "mac/centralized_scheduler.hpp"
@@ -7,6 +8,7 @@
 #include "mac/reliability_estimator.hpp"
 #include "traffic/arrival_process.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace rtmac::expfw {
 
@@ -92,9 +94,59 @@ phy::InterferenceGraph two_cell_topology(std::size_t cell_size, std::size_t boun
   return phy::InterferenceGraph::from_lists(n, conflict, sense);
 }
 
+phy::InterferenceGraph disconnected_cells_topology(std::size_t num_links,
+                                                   std::size_t cell_size) {
+  RTMAC_REQUIRE(num_links >= 1 && cell_size >= 1);
+  std::vector<std::vector<LinkId>> conflict(num_links);
+  std::vector<std::vector<LinkId>> sense(num_links);
+  for (std::size_t a = 0; a < num_links; ++a) {
+    for (std::size_t b = 0; b < num_links; ++b) {
+      if (a == b || a / cell_size != b / cell_size) continue;
+      conflict[a].push_back(static_cast<LinkId>(b));
+      sense[a].push_back(static_cast<LinkId>(b));
+    }
+  }
+  return phy::InterferenceGraph::from_lists(num_links, conflict, sense);
+}
+
+phy::SparseTopology city_unit_disk_topology(std::size_t num_cells, std::size_t links_per_cell,
+                                            std::uint64_t seed) {
+  RTMAC_REQUIRE(num_cells >= 1 && links_per_cell >= 1);
+  // Cluster centers on a square grid with spacing far beyond both ranges;
+  // links jitter within +-0.5 of the center, receivers within 0.25 of their
+  // transmitter. Ranges of 3.0 cover any intra-cluster pair (diameter < 2.5)
+  // and never reach the next cluster (spacing 10.0), so each cluster is one
+  // complete collision domain and clusters are independent.
+  constexpr double kSpacing = 10.0;
+  constexpr double kRange = 3.0;
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(num_cells))));
+  Rng rng{seed, /*stream_id=*/0xC17BED5ULL};
+  std::vector<phy::InterferenceGraph::LinkPlacement> links;
+  links.reserve(num_cells * links_per_cell);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    const double cx = static_cast<double>(c % side) * kSpacing;
+    const double cy = static_cast<double>(c / side) * kSpacing;
+    for (std::size_t l = 0; l < links_per_cell; ++l) {
+      phy::InterferenceGraph::LinkPlacement p;
+      p.tx.x = cx + rng.next_double() - 0.5;
+      p.tx.y = cy + rng.next_double() - 0.5;
+      p.rx.x = p.tx.x + 0.5 * (rng.next_double() - 0.5);
+      p.rx.y = p.tx.y + 0.5 * (rng.next_double() - 0.5);
+      links.push_back(p);
+    }
+  }
+  return phy::sparse_unit_disk(links, kRange, kRange);
+}
+
 net::NetworkConfig with_topology(net::NetworkConfig cfg, phy::InterferenceGraph topology) {
   RTMAC_REQUIRE(topology.num_links() == cfg.num_links());
   cfg.topology = std::move(topology);
+  return cfg;
+}
+
+net::NetworkConfig with_sparse_topology(net::NetworkConfig cfg, phy::SparseTopology topology) {
+  RTMAC_REQUIRE(topology.num_links == cfg.num_links());
+  cfg.sparse_topology = std::make_shared<const phy::SparseTopology>(std::move(topology));
   return cfg;
 }
 
@@ -152,8 +204,13 @@ mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu) {
 
 mac::SchemeFactory dp_fixed_mu_factory(std::vector<double> mu, int max_swap_pairs) {
   return [mu = std::move(mu), max_swap_pairs](const mac::SchemeContext& ctx) {
-    RTMAC_ASSERT(mu.size() == ctx.num_links);
-    auto provider = std::make_unique<mac::FixedMuProvider>(mu);
+    // mu is indexed by GLOBAL link id; slice it for shard cells (identity
+    // mapping on the legacy path).
+    RTMAC_ASSERT(mu.size() == ctx.priority_space());
+    std::vector<double> local;
+    local.reserve(ctx.num_links);
+    for (std::size_t n = 0; n < ctx.num_links; ++n) local.push_back(mu[ctx.global_id(n)]);
+    auto provider = std::make_unique<mac::FixedMuProvider>(std::move(local));
     return std::make_unique<mac::DpScheme>(
         ctx, std::move(provider), dp_params_from(ctx, /*reordering=*/true, max_swap_pairs),
         "DP(fixed-mu)");

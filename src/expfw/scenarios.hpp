@@ -91,10 +91,34 @@ inline constexpr double kPaperR = 10.0;
 [[nodiscard]] phy::InterferenceGraph two_cell_topology(std::size_t cell_size,
                                                        std::size_t boundary_links);
 
+/// Fully disconnected cells: links interact (conflict AND sense, complete
+/// within the cell) only with the other links of their own cell of
+/// `cell_size`; cells are independent collision domains. The canonical
+/// sharding benchmark topology — the partitioner recovers the cells exactly
+/// and the cut sets are empty, so sharded results are byte-identical to the
+/// single-engine run by construction.
+[[nodiscard]] phy::InterferenceGraph disconnected_cells_topology(std::size_t num_links,
+                                                                 std::size_t cell_size);
+
+/// City-scale unit-disk placement: `num_cells` clusters on a widely spaced
+/// grid, `links_per_cell` links jittered around each cluster center
+/// (deterministic in `seed`). Ranges are chosen so each cluster is one
+/// collision domain and clusters never interact — expected O(n)
+/// construction via the grid-bucketed sparse builder, usable at 10^5-10^6
+/// links where the dense InterferenceGraph cannot be materialized.
+[[nodiscard]] phy::SparseTopology city_unit_disk_topology(std::size_t num_cells,
+                                                          std::size_t links_per_cell,
+                                                          std::uint64_t seed);
+
 /// Returns `cfg` with the interference topology replaced. The graph's size
 /// must match cfg.num_links().
 [[nodiscard]] net::NetworkConfig with_topology(net::NetworkConfig cfg,
                                                phy::InterferenceGraph topology);
+
+/// Returns `cfg` with a sparse (adjacency-list) topology attached; requires
+/// the sharded engine (cfg.shards >= 1 or cfg.auto_shard).
+[[nodiscard]] net::NetworkConfig with_sparse_topology(net::NetworkConfig cfg,
+                                                      phy::SparseTopology topology);
 
 // ---- Scheme factories -------------------------------------------------------
 

@@ -33,6 +33,10 @@ class CentralizedScheme final : public MacScheme {
   void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
 
+  /// The genie sorts ALL links by global debt knowledge — it cannot run on
+  /// a cell that only sees a subset.
+  [[nodiscard]] bool shardable() const override { return false; }
+
   /// The priority ordering used in the current interval (highest first).
   [[nodiscard]] const std::vector<LinkId>& current_ordering() const { return ordering_; }
 

@@ -7,13 +7,14 @@
 namespace rtmac::mac {
 
 DcfLinkMac::DcfLinkMac(sim::Simulator& simulator, phy::Medium& medium, DcfParams params,
-                       Duration data_airtime, Duration slot, LinkId id, std::uint64_t seed)
+                       Duration data_airtime, Duration slot, LinkId id, std::uint64_t seed,
+                       LinkId stream_link)
     : sim_{simulator},
       medium_{medium},
       params_{params},
       data_airtime_{data_airtime},
       id_{id},
-      rng_{seed, /*stream_id=*/0xDCF00000000ULL + id},
+      rng_{seed, /*stream_id=*/0xDCF00000000ULL + (stream_link == kSameAsId ? id : stream_link)},
       cw_{params.cw_min},
       backoff_{simulator, medium, slot, id} {
   RTMAC_REQUIRE(params.cw_min >= 1 && params.cw_max >= params.cw_min);
@@ -60,7 +61,7 @@ DcfScheme::DcfScheme(const SchemeContext& ctx, DcfParams params, std::string nam
   for (LinkId n = 0; n < ctx.num_links; ++n) {
     links_.push_back(std::make_unique<DcfLinkMac>(ctx.simulator, ctx.medium, params,
                                                   ctx.phy.data_airtime, ctx.phy.backoff_slot,
-                                                  n, ctx.seed));
+                                                  n, ctx.seed, ctx.global_id(n)));
   }
 }
 

@@ -25,11 +25,18 @@ struct DcfParams {
   int cw_max = 1024;
 };
 
-/// Per-link DCF state machine.
+/// Per-link DCF state machine. `id` indexes the Medium (cell-local under
+/// sharding); `stream_link` keys the backoff RNG stream and defaults to
+/// `id` — a shard cell passes the link's global id so the draw sequence is
+/// identical to the unsharded run.
 class DcfLinkMac {
  public:
   DcfLinkMac(sim::Simulator& simulator, phy::Medium& medium, DcfParams params,
-             Duration data_airtime, Duration slot, LinkId id, std::uint64_t seed);
+             Duration data_airtime, Duration slot, LinkId id, std::uint64_t seed,
+             LinkId stream_link = kSameAsId);
+
+  /// Sentinel for `stream_link`: use `id`.
+  static constexpr LinkId kSameAsId = static_cast<LinkId>(-1);
 
   DcfLinkMac(const DcfLinkMac&) = delete;
   DcfLinkMac& operator=(const DcfLinkMac&) = delete;

@@ -87,38 +87,45 @@ int dp_backoff_count(PriorityIndex sigma, std::span<const PriorityIndex> pairs, 
 DpBatchKernel::DpBatchKernel(std::size_t num_links, SharedSeed shared_seed,
                              const PriorityProvider& provider, bool reordering, int max_pairs,
                              std::span<const PriorityIndex> initial_priorities,
-                             std::uint64_t seed)
+                             std::uint64_t seed, std::size_t priority_space,
+                             std::span<const LinkId> stream_ids)
     : shared_seed_{shared_seed},
       provider_{provider},
       reordering_{reordering},
       max_pairs_{max_pairs},
+      priority_space_{priority_space == 0 ? num_links : priority_space},
       sigma_(num_links),
       role_(num_links, 0),
       xi_(num_links, 0),
       beta_(num_links, 0),
-      perm_scratch_(num_links, 0) {
+      perm_scratch_(priority_space_, 0) {
   RTMAC_REQUIRE(num_links >= 1);
   RTMAC_REQUIRE(max_pairs >= 1);
+  RTMAC_REQUIRE(priority_space_ >= num_links);
   RTMAC_REQUIRE(initial_priorities.size() == num_links);
+  RTMAC_REQUIRE(stream_ids.empty() || stream_ids.size() == num_links);
   coin_rng_.reserve(num_links);
   for (LinkId n = 0; n < num_links; ++n) {
     const PriorityIndex pr = initial_priorities[n];
-    RTMAC_REQUIRE(pr >= 1 && pr <= num_links);
+    RTMAC_REQUIRE(pr >= 1 && pr <= priority_space_);
     sigma_[n] = pr;
     // Same stream derivation as the scalar DpLinkMac, so coin draws agree.
-    coin_rng_.emplace_back(seed, /*stream_id=*/0xD100000000ULL + n);
+    // A shard cell keys by global id so its draws match the unsharded run.
+    const LinkId stream = stream_ids.empty() ? n : stream_ids[n];
+    coin_rng_.emplace_back(seed, /*stream_id=*/0xD100000000ULL + stream);
   }
   pairs_.reserve(static_cast<std::size_t>(max_pairs));
-  if (num_links >= 2) anchors_scratch_.reserve(num_links - 1);
+  if (priority_space_ >= 2) anchors_scratch_.reserve(priority_space_ - 1);
 }
 
 void DpBatchKernel::plan_interval(IntervalIndex k) {
   const std::size_t n_links = sigma_.size();
-  const bool reorder = reordering_ && n_links >= 2;
+  const bool reorder = reordering_ && priority_space_ >= 2;
   pairs_.clear();
   if (reorder) {
-    // Step 1: shared candidate draw, once per domain instead of once per link.
-    shared_seed_.candidate_set_into(k, n_links, max_pairs_, anchors_scratch_, pairs_);
+    // Step 1: shared candidate draw over the GLOBAL priority space — every
+    // cell of a sharded domain derives the identical set.
+    shared_seed_.candidate_set_into(k, priority_space_, max_pairs_, anchors_scratch_, pairs_);
   }
 
   // Steps 3-4 (eqs. 5-6, generalized per Remark 6): one flat pass. Every
@@ -172,12 +179,12 @@ int DpBatchKernel::resolve_swap(LinkId n, bool frozen_at_one, bool claim_aired) 
 
 void DpBatchKernel::validate_permutation() {
   const std::size_t n_links = sigma_.size();
-  perm_scratch_.assign(n_links, 0);
+  perm_scratch_.assign(priority_space_, 0);
   for (LinkId n = 0; n < n_links; ++n) {
     const PriorityIndex pr = sigma_[n];
-    RTMAC_ASSERT(pr >= 1 && pr <= n_links && perm_scratch_[pr - 1] == 0,
+    RTMAC_ASSERT(pr >= 1 && pr <= priority_space_ && perm_scratch_[pr - 1] == 0,
                  "priority state diverged: swap decisions inconsistent (priority ", pr,
-                 " among N=", n_links, ")");
+                 " among N=", priority_space_, ")");
     perm_scratch_[pr - 1] = 1;
   }
 }

@@ -95,13 +95,21 @@ class DpBatchKernel {
  public:
   enum class Role : std::uint8_t { kBystander = 0, kLower = 1, kUpper = 2 };
 
-  /// `initial_priorities[n]` is link n's sigma in {1..N}; must be a
-  /// permutation of {1..N}. `provider` must outlive the kernel. Per-link
-  /// coin streams are derived from `seed` exactly as the scalar path does,
-  /// so batch and scalar draws coincide.
+  /// `initial_priorities[n]` is link n's sigma in {1..P} where P is the
+  /// priority space (defaults to num_links, in which case the priorities
+  /// must form a permutation of {1..N}). `provider` must outlive the kernel.
+  /// Per-link coin streams are derived from `seed` exactly as the scalar
+  /// path does, so batch and scalar draws coincide.
+  ///
+  /// Sharding: a cell kernel holds only its own links but their priorities
+  /// live in the GLOBAL space — pass `priority_space` = total links so the
+  /// shared candidate draw and backoff formulas match the unsharded run,
+  /// and `stream_ids[n]` = link n's global id so coin streams match too
+  /// (empty span = identity, the unsharded default).
   DpBatchKernel(std::size_t num_links, SharedSeed shared_seed, const PriorityProvider& provider,
                 bool reordering, int max_pairs,
-                std::span<const PriorityIndex> initial_priorities, std::uint64_t seed);
+                std::span<const PriorityIndex> initial_priorities, std::uint64_t seed,
+                std::size_t priority_space = 0, std::span<const LinkId> stream_ids = {});
 
   /// Algorithm 2 Steps 1, 3, 4 as one flat pass: draws the shared candidate
   /// set, assigns roles, tosses the candidates' coins (from per-link streams,
@@ -122,6 +130,9 @@ class DpBatchKernel {
   void validate_permutation();
 
   [[nodiscard]] std::size_t num_links() const { return sigma_.size(); }
+  /// Size of the priority space the sigmas live in (== num_links unless
+  /// this kernel is a shard cell of a larger domain).
+  [[nodiscard]] std::size_t priority_space() const { return priority_space_; }
   [[nodiscard]] PriorityIndex priority(LinkId n) const { return sigma_[n]; }
   [[nodiscard]] Role role(LinkId n) const { return static_cast<Role>(role_[n]); }
   [[nodiscard]] bool is_candidate(LinkId n) const {
@@ -141,6 +152,7 @@ class DpBatchKernel {
   const PriorityProvider& provider_;
   bool reordering_;
   int max_pairs_;
+  std::size_t priority_space_;
   std::vector<Rng> coin_rng_;  ///< one stream per link, same derivation as scalar
 
   // SoA per-interval state, indexed by LinkId.

@@ -156,10 +156,10 @@ int DpLinkAir::finish() {
 // ---- DpLinkMac (scalar reference path) --------------------------------------
 
 DpLinkMac::DpLinkMac(sim::Simulator& simulator, phy::Medium& medium, const DpLinkParams& params,
-                     LinkId id, ReliabilityEstimator* estimator)
+                     LinkId id, ReliabilityEstimator* estimator, LinkId trace_link)
     : air_{simulator, medium, params, id, estimator},
       backoff_{simulator, medium, params.backoff_slot, id} {
-  backoff_.set_trace_link(id);
+  backoff_.set_trace_link(trace_link == kSameAsId ? id : trace_link);
 }
 
 void DpLinkMac::begin_interval(int arrivals, TimePoint interval_end, bool is_candidate,
@@ -178,12 +178,16 @@ const PriorityProvider& checked_provider(const std::unique_ptr<PriorityProvider>
 }
 
 std::vector<PriorityIndex> initial_priority_array(
-    std::size_t num_links, const std::optional<core::Permutation>& initial) {
+    const SchemeContext& ctx, const std::optional<core::Permutation>& initial) {
+  // Priorities live in the GLOBAL space: a shard cell slices the domain-wide
+  // permutation by its links' global ids, so the sigma each link carries is
+  // the one it would hold in the unsharded run.
+  const std::size_t space = ctx.priority_space();
   const core::Permutation init =
-      initial.has_value() ? *initial : core::Permutation::identity(num_links);
-  RTMAC_REQUIRE(init.size() == num_links);
-  std::vector<PriorityIndex> out(num_links);
-  for (LinkId n = 0; n < num_links; ++n) out[n] = init.priority_of(n);
+      initial.has_value() ? *initial : core::Permutation::identity(space);
+  RTMAC_REQUIRE(init.size() == space);
+  std::vector<PriorityIndex> out(ctx.num_links);
+  for (LinkId n = 0; n < ctx.num_links; ++n) out[n] = init.priority_of(ctx.global_id(n));
   return out;
 }
 
@@ -204,8 +208,9 @@ DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> p
       provider_{std::move(provider)},
       kernel_{ctx.num_links,           SharedSeed{mix64(ctx.seed, 0x5EEDC0DE)},
               checked_provider(provider_), params.reordering,
-              params.max_swap_pairs,    initial_priority_array(ctx.num_links, initial),
-              ctx.seed},
+              params.max_swap_pairs,    initial_priority_array(ctx, initial),
+              ctx.seed,                 ctx.priority_space(),
+              ctx.link_ids},
       name_{std::move(name)},
       sensing_complete_{ctx.medium.topology().complete_sensing()},
       batch_{sensing_complete_ && !params.force_scalar_path} {
@@ -223,8 +228,8 @@ DpScheme::DpScheme(const SchemeContext& ctx, std::unique_ptr<PriorityProvider> p
   } else {
     links_.reserve(ctx.num_links);
     for (LinkId n = 0; n < ctx.num_links; ++n) {
-      links_.push_back(
-          std::make_unique<DpLinkMac>(ctx.simulator, ctx.medium, params, n, estimator));
+      links_.push_back(std::make_unique<DpLinkMac>(ctx.simulator, ctx.medium, params, n,
+                                                   estimator, ctx.global_id(n)));
     }
   }
 }

@@ -127,8 +127,16 @@ class DpLinkAir {
 /// sensing / hidden terminals). The priority math stays in DpBatchKernel.
 class DpLinkMac {
  public:
+  /// `id` indexes the Medium (cell-local under sharding); `trace_link` is
+  /// the label used for traces and freeze metrics and defaults to `id` — a
+  /// shard cell passes the link's global id so merged metrics line up with
+  /// the unsharded run.
   DpLinkMac(sim::Simulator& simulator, phy::Medium& medium, const DpLinkParams& params,
-            LinkId id, ReliabilityEstimator* estimator = nullptr);
+            LinkId id, ReliabilityEstimator* estimator = nullptr,
+            LinkId trace_link = kSameAsId);
+
+  /// Sentinel for `trace_link`: use `id`.
+  static constexpr LinkId kSameAsId = static_cast<LinkId>(-1);
 
   DpLinkMac(const DpLinkMac&) = delete;
   DpLinkMac& operator=(const DpLinkMac&) = delete;

@@ -20,7 +20,7 @@ int fcsma_window_for_weight(double weight, const FcsmaParams& params) {
 FcsmaLinkMac::FcsmaLinkMac(sim::Simulator& simulator, phy::Medium& medium,
                            const core::DebtTracker& debts, const ProbabilityVector& p,
                            const FcsmaParams& params, Duration data_airtime, Duration slot,
-                           LinkId id, std::uint64_t seed)
+                           LinkId id, std::uint64_t seed, LinkId stream_link)
     : sim_{simulator},
       medium_{medium},
       debts_{debts},
@@ -28,7 +28,7 @@ FcsmaLinkMac::FcsmaLinkMac(sim::Simulator& simulator, phy::Medium& medium,
       params_{params},
       data_airtime_{data_airtime},
       id_{id},
-      rng_{seed, /*stream_id=*/0xFC500000000ULL + id},
+      rng_{seed, /*stream_id=*/0xFC500000000ULL + (stream_link == kSameAsId ? id : stream_link)},
       backoff_{simulator, medium, slot, id} {}
 
 void FcsmaLinkMac::begin_interval(IntervalIndex, int arrivals, TimePoint interval_end) {
@@ -79,7 +79,7 @@ FcsmaScheme::FcsmaScheme(const SchemeContext& ctx, FcsmaParams params, std::stri
     links_.push_back(std::make_unique<FcsmaLinkMac>(ctx.simulator, ctx.medium, ctx.debts,
                                                     ctx.success_prob, params_,
                                                     ctx.phy.data_airtime, ctx.phy.backoff_slot,
-                                                    n, ctx.seed));
+                                                    n, ctx.seed, ctx.global_id(n)));
   }
 }
 

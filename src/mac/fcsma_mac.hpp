@@ -48,9 +48,16 @@ struct FcsmaParams {
 /// Per-link FCSMA state machine (contend, transmit one packet, redraw).
 class FcsmaLinkMac {
  public:
+  /// `id` indexes the Medium/debts/p (cell-local under sharding);
+  /// `stream_link` keys the backoff RNG stream and defaults to `id` — a
+  /// shard cell passes the link's global id so the draw sequence matches
+  /// the unsharded run.
   FcsmaLinkMac(sim::Simulator& simulator, phy::Medium& medium, const core::DebtTracker& debts,
                const ProbabilityVector& p, const FcsmaParams& params, Duration data_airtime,
-               Duration slot, LinkId id, std::uint64_t seed);
+               Duration slot, LinkId id, std::uint64_t seed, LinkId stream_link = kSameAsId);
+
+  /// Sentinel for `stream_link`: use `id`.
+  static constexpr LinkId kSameAsId = static_cast<LinkId>(-1);
 
   FcsmaLinkMac(const FcsmaLinkMac&) = delete;
   FcsmaLinkMac& operator=(const FcsmaLinkMac&) = delete;

@@ -44,6 +44,12 @@ class MacScheme {
 
   /// Human-readable scheme name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Can this scheme run on a shard cell (a subset of the links with only
+  /// local carrier-sense information)? True for every decentralized scheme;
+  /// the centralized genie needs global knowledge and must override to
+  /// false. The sharded Network refuses non-shardable schemes up front.
+  [[nodiscard]] virtual bool shardable() const { return true; }
 };
 
 /// Everything a scheme implementation may depend on, owned by the Network.
@@ -57,6 +63,25 @@ struct SchemeContext {
   const ProbabilityVector& success_prob;   ///< p_n, known to transmitters (paper SII-A)
   const core::DebtTracker& debts;          ///< updated by the Network between intervals
   std::uint64_t seed;                      ///< root seed for scheme-local randomness
+
+  // Shard-cell identity. On the legacy single-engine path these keep their
+  // defaults and global_id() is the identity, so every existing
+  // brace-initialization site stays valid. On a shard cell, `num_links`,
+  // `medium`, `debts` etc. are cell-local, while `link_ids` maps local
+  // indices back to the network-wide ids that RNG streams, trace labels and
+  // the DP priority space are keyed by — results must not depend on the
+  // partition.
+  std::span<const LinkId> link_ids{};      ///< local -> global map; empty = identity
+  std::size_t global_num_links = 0;        ///< network-wide N; 0 = num_links
+
+  /// Global id of local link n.
+  [[nodiscard]] LinkId global_id(LinkId n) const {
+    return link_ids.empty() ? n : link_ids[n];
+  }
+  /// The network-wide link count (the DP priority space).
+  [[nodiscard]] std::size_t priority_space() const {
+    return global_num_links == 0 ? num_links : global_num_links;
+  }
 };
 
 /// Factory used by the Network to instantiate the scheme under test.

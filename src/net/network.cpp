@@ -1,13 +1,180 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <string>
+#include <utility>
 
+#include "sim/shard_partitioner.hpp"
+#include "sim/sharded_simulator.hpp"
 #include "stats/deficiency.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rtmac::net {
+
+// ---- CutState ---------------------------------------------------------------
+
+/// Cross-shard conflict resolver and collision ledger. Cut-link records are
+/// appended only at serial coordinator barriers; during the parallel phase
+/// cells read them concurrently (immutable between barriers) and each cell
+/// writes pair counts only into its own per-cell buffer, so the resolver is
+/// race-free without locks.
+class Network::CutState final : public phy::CutResolver {
+ public:
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+
+  void build(const sim::ShardPlan& plan) {
+    edges_ = plan.cut_conflicts;
+    slot_of_.assign(plan.num_links(), kNoSlot);
+    auto slot = [this, &plan](LinkId g) {
+      if (slot_of_[g] == kNoSlot) {
+        slot_of_[g] = static_cast<std::uint32_t>(partners_.size());
+        partners_.emplace_back();
+        records_.emplace_back();
+        owner_cell_.push_back(plan.cell_of[g]);
+      }
+      return slot_of_[g];
+    };
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      const sim::CutEdge e = edges_[i];
+      const std::uint32_t sa = slot(e.a);
+      partners_[sa].push_back(PairRef{e.b, i});
+      const std::uint32_t sb = slot(e.b);
+      partners_[sb].push_back(PairRef{e.a, i});
+    }
+    pair_counts_.assign(plan.cells.size(), std::vector<std::uint64_t>(edges_.size(), 0));
+  }
+
+  /// Barrier phase (serial): remember one exported cut transmission.
+  /// Records of sense-only speakers (no cut conflict edge) are not needed
+  /// for resolution and are dropped here.
+  void add_record(const sim::CutTxRecord& r) {
+    const std::uint32_t slot = slot_of_[r.link];
+    if (slot != kNoSlot) records_[slot].push_back(r);
+  }
+
+  /// Interval boundary (serial): the gap rule guarantees no transmission
+  /// crosses it, so all records are dead.
+  void clear_records() {
+    for (auto& v : records_) v.clear();
+  }
+
+  // phy::CutResolver. Called by a cell's Medium when a cut-link completion
+  // executes; the conservative window protocol guarantees every overlapping
+  // remote transmission has already been recorded, so the answer is exact.
+  [[nodiscard]] bool resolve_cut_tx(LinkId link, TimePoint start, TimePoint end) override {
+    const std::uint32_t slot = slot_of_[link];
+    RTMAC_ASSERT(slot != kNoSlot, "cut resolution for a non-cut link");
+    bool collided = false;
+    std::vector<std::uint64_t>& counts = pair_counts_[owner_cell_[slot]];
+    for (const PairRef& pr : partners_[slot]) {
+      for (const sim::CutTxRecord& r : records_[slot_of_[pr.partner]]) {
+        if (r.start < end && start < r.end) {
+          collided = true;
+          // Each overlapping transmission pair is counted exactly once: by
+          // the lower-id side's completion (the other side sees the mirror
+          // overlap and skips).
+          if (link < pr.partner) ++counts[pr.pair_idx];
+        }
+      }
+    }
+    return collided;
+  }
+
+  /// Cross-cell pairwise collision events (GLOBAL ids; 0 for non-cut pairs).
+  [[nodiscard]] std::uint64_t pair_count(LinkId a, LinkId b) const {
+    const sim::CutEdge e{std::min(a, b), std::max(a, b)};
+    const auto it = std::lower_bound(
+        edges_.begin(), edges_.end(), e, [](const sim::CutEdge& x, const sim::CutEdge& y) {
+          return x.a != y.a ? x.a < y.a : x.b < y.b;
+        });
+    if (it == edges_.end() || !(*it == e)) return 0;
+    const std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
+    std::uint64_t total = 0;
+    for (const auto& counts : pair_counts_) total += counts[idx];
+    return total;
+  }
+
+ private:
+  struct PairRef {
+    LinkId partner;         ///< the other endpoint (global id)
+    std::size_t pair_idx;   ///< index into edges_ / pair_counts_ rows
+  };
+
+  std::vector<sim::CutEdge> edges_;                   ///< sorted cut conflicts
+  std::vector<std::uint32_t> slot_of_;                ///< global link -> slot
+  std::vector<std::vector<PairRef>> partners_;        ///< per slot
+  std::vector<std::vector<sim::CutTxRecord>> records_;  ///< per slot, in drain order
+  std::vector<std::uint32_t> owner_cell_;             ///< per slot
+  std::vector<std::vector<std::uint64_t>> pair_counts_;  ///< [cell][pair] — no races
+};
+
+// ---- Cell -------------------------------------------------------------------
+
+/// One shard cell: a full engine stack (Simulator + Medium + scheme + debt
+/// slice) over the induced subgraph of one partition cell. Member order is
+/// load-bearing: the scheme holds references to success_prob and debts.
+struct Network::Cell final : public sim::ShardCell {
+  Network& net;
+  std::uint32_t index;
+  std::vector<LinkId> links;       ///< global ids, ascending
+  ProbabilityVector success_prob;  ///< sliced by global id
+  core::DebtTracker debts;         ///< sliced; mirrors the global ledger
+  sim::Simulator sim;
+  std::unique_ptr<phy::Medium> medium;
+  std::unique_ptr<mac::MacScheme> scheme;
+  std::unique_ptr<obs::MetricsRegistry> registry;  ///< private per-cell instruments
+  std::vector<int> arrivals;
+  std::vector<int> delivered;
+  std::vector<phy::CutTxExport> outbox_scratch;
+
+  Cell(Network& n, std::uint32_t idx, std::vector<LinkId> ls, RateVector q_slice,
+       ProbabilityVector p_slice)
+      : net{n},
+        index{idx},
+        links{std::move(ls)},
+        success_prob{std::move(p_slice)},
+        debts{std::move(q_slice)},
+        arrivals(links.size(), 0),
+        delivered(links.size(), 0) {}
+
+  // sim::ShardCell:
+  [[nodiscard]] TimePoint clock() const override { return sim.now(); }
+  void drain_outbox(std::vector<sim::CutTxRecord>& into) override;
+  void deliver_remote(const sim::CutTxRecord& record) override {
+    medium->inject_remote_activity(record.link, record.start, record.end);
+  }
+  void begin_window(TimePoint bound) override { medium->set_resolution_horizon(bound); }
+  void run_window(TimePoint horizon) override { sim.run_until(horizon); }
+};
+
+// ---- Shard ------------------------------------------------------------------
+
+/// Everything the sharded engine owns beyond the legacy members.
+struct Network::Shard {
+  sim::ShardPlan plan;
+  std::vector<LinkId> local_of;  ///< global id -> index within its cell
+  std::unique_ptr<CutState> cut;
+  std::vector<std::unique_ptr<Cell>> cells;
+  std::vector<sim::ShardCell*> cell_ptrs;
+  std::unique_ptr<ThreadPool> pool;                  ///< null = serial groups
+  std::unique_ptr<sim::ShardCoordinator> coordinator;  ///< null = cut-free fast path
+};
+
+void Network::Cell::drain_outbox(std::vector<sim::CutTxRecord>& into) {
+  outbox_scratch.clear();
+  medium->drain_cut_outbox(outbox_scratch);
+  for (const phy::CutTxExport& e : outbox_scratch) {
+    const sim::CutTxRecord r{e.link, index, e.start, e.end};
+    net.shard_->cut->add_record(r);
+    into.push_back(r);
+  }
+}
+
+// ---- construction -----------------------------------------------------------
 
 Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
     : config_{std::move(config)},
@@ -21,6 +188,27 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
   if (!config_.validate(&error)) {
     std::fprintf(stderr, "rtmac: invalid NetworkConfig: %s\n", error.c_str());
     std::abort();
+  }
+  const std::size_t target =
+      config_.shards > 0
+          ? config_.shards
+          : (config_.auto_shard ? ThreadPool::hardware_threads() : 0);
+  if (target >= 1 &&
+      (config_.topology.has_value() || config_.sparse_topology != nullptr)) {
+    build_shard(target, scheme_factory);
+  }
+  if (shard_ != nullptr) return;
+
+  // Legacy single-engine path. A sparse topology whose partition came out
+  // trivial (one cell, no cuts) is densified so the single Medium can serve
+  // it — behavior is identical by construction.
+  if (config_.sparse_topology != nullptr && !config_.topology.has_value()) {
+    config_.topology = phy::InterferenceGraph::from_lists(
+        config_.num_links(), config_.sparse_topology->conflict, config_.sparse_topology->sense);
+  }
+  identity_links_.resize(config_.num_links());
+  for (std::size_t i = 0; i < identity_links_.size(); ++i) {
+    identity_links_[i] = static_cast<LinkId>(i);
   }
   // Pre-size the engine's slot pool and heap so a steady-state run never
   // reallocates (engine.events.reallocs proves it in the metrics export).
@@ -52,18 +240,187 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
   RTMAC_REQUIRE(scheme_ != nullptr);
 }
 
+Network::~Network() = default;
+
+void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& scheme_factory) {
+  const std::size_t n = config_.num_links();
+  sim::AdjacencyLists conflict;
+  sim::AdjacencyLists sense;
+  if (config_.sparse_topology != nullptr) {
+    conflict = config_.sparse_topology->conflict;
+    sense = config_.sparse_topology->sense;
+  } else {
+    const phy::InterferenceGraph& g = *config_.topology;
+    conflict.resize(n);
+    sense.resize(n);
+    for (LinkId a = 0; a < n; ++a) {
+      for (LinkId b = 0; b < n; ++b) {
+        if (a == b) continue;
+        if (g.conflicts(a, b)) conflict[a].push_back(b);
+        if (g.senses(a, b)) sense[a].push_back(b);
+      }
+    }
+  }
+  sim::ShardPlan plan = sim::partition_topology(conflict, sense, target_shards);
+  if (plan.trivial()) return;  // caller falls back to the legacy engine
+
+  shard_ = std::make_unique<Shard>();
+  Shard& sh = *shard_;
+  sh.plan = std::move(plan);
+  const std::size_t num_cells = sh.plan.cells.size();
+  sh.local_of.assign(n, 0);
+  for (std::size_t ci = 0; ci < num_cells; ++ci) {
+    const std::vector<LinkId>& links = sh.plan.cells[ci];
+    for (std::size_t j = 0; j < links.size(); ++j) {
+      sh.local_of[links[j]] = static_cast<LinkId>(j);
+    }
+  }
+  sh.cut = std::make_unique<CutState>();
+  sh.cut->build(sh.plan);
+
+  std::vector<std::uint8_t> has_cut_conflict(n, 0);
+  std::vector<std::uint8_t> is_cut_speaker(n, 0);
+  for (const sim::CutEdge& e : sh.plan.cut_conflicts) {
+    has_cut_conflict[e.a] = 1;
+    has_cut_conflict[e.b] = 1;
+  }
+  for (const sim::CutSense& s : sh.plan.cut_senses) is_cut_speaker[s.speaker] = 1;
+
+  // Remote-sense registrations grouped per listening cell: (speaker global
+  // id, local listener node).
+  std::vector<std::vector<std::pair<LinkId, LinkId>>> remote(num_cells);
+  for (const sim::CutSense& s : sh.plan.cut_senses) {
+    remote[sh.plan.cell_of[s.listener]].emplace_back(s.speaker, sh.local_of[s.listener]);
+  }
+
+  const RateVector q = config_.requirements.q();
+  const auto tpi = static_cast<std::size_t>(
+      config_.phy.transmissions_per_interval(config_.interval_length));
+  sh.cells.reserve(num_cells);
+  for (std::size_t ci = 0; ci < num_cells; ++ci) {
+    const std::vector<LinkId>& links = sh.plan.cells[ci];
+    RateVector q_slice;
+    ProbabilityVector p_slice;
+    q_slice.reserve(links.size());
+    p_slice.reserve(links.size());
+    for (const LinkId g : links) {
+      q_slice.push_back(q[g]);
+      p_slice.push_back(config_.success_prob[g]);
+    }
+    auto cell = std::make_unique<Cell>(*this, static_cast<std::uint32_t>(ci), links,
+                                       std::move(q_slice), std::move(p_slice));
+
+    phy::InterferenceGraph cell_graph =
+        config_.sparse_topology != nullptr
+            ? phy::induced_subgraph(*config_.sparse_topology, cell->links)
+            : config_.topology->induced(cell->links);
+    cell->medium = std::make_unique<phy::Medium>(cell->sim, cell->success_prob,
+                                                 std::move(cell_graph), config_.seed);
+
+    phy::ShardMediumConfig smc;
+    smc.global_ids = cell->links;
+    smc.conflict_cut.resize(links.size(), 0);
+    smc.exported.resize(links.size(), 0);
+    for (std::size_t j = 0; j < links.size(); ++j) {
+      smc.conflict_cut[j] = has_cut_conflict[links[j]];
+      smc.exported[j] =
+          static_cast<std::uint8_t>(has_cut_conflict[links[j]] | is_cut_speaker[links[j]]);
+    }
+    smc.resolver = sh.cut.get();
+    cell->medium->configure_shard(std::move(smc));
+
+    std::vector<std::pair<LinkId, LinkId>>& regs = remote[ci];
+    std::sort(regs.begin(), regs.end());
+    std::size_t num_speakers = 0;
+    for (std::size_t i = 0; i < regs.size();) {
+      const LinkId speaker = regs[i].first;
+      std::vector<LinkId> nodes;
+      for (; i < regs.size() && regs[i].first == speaker; ++i) nodes.push_back(regs[i].second);
+      cell->medium->register_remote_sense(speaker, std::move(nodes));
+      ++num_speakers;
+    }
+    // Local transmission budget plus two events (busy + idle edge) per
+    // remote injection per interval.
+    cell->sim.reserve_events(links.size() * (tpi + 2) + 16 + 2 * num_speakers * tpi);
+
+    const mac::SchemeContext ctx{cell->sim,
+                                 *cell->medium,
+                                 config_.phy,
+                                 config_.interval_length,
+                                 links.size(),
+                                 cell->success_prob,
+                                 cell->debts,
+                                 config_.seed,
+                                 std::span<const LinkId>{cell->links},
+                                 n};
+    cell->scheme = scheme_factory(ctx);
+    RTMAC_REQUIRE(cell->scheme != nullptr);
+    RTMAC_REQUIRE(cell->scheme->shardable(),
+                  "scheme requires global knowledge and cannot run on shard cells");
+    sh.cells.push_back(std::move(cell));
+  }
+  sh.cell_ptrs.reserve(num_cells);
+  for (const auto& cell : sh.cells) sh.cell_ptrs.push_back(cell.get());
+
+  std::size_t jobs =
+      config_.shard_jobs != 0 ? config_.shard_jobs : ThreadPool::hardware_threads();
+  jobs = std::min(jobs, sh.plan.groups.size());
+  if (jobs > 1) sh.pool = std::make_unique<ThreadPool>(jobs);
+
+  if (!sh.plan.cut_conflicts.empty() || !sh.plan.cut_senses.empty()) {
+    // Cells coupled by ANY cut relation bound each other's windows. Sense
+    // cuts only require listener-waits-for-speaker, but the symmetric form
+    // is simpler and merely conservative.
+    std::vector<std::vector<std::uint32_t>> cut_neighbors(num_cells);
+    auto couple = [&sh, &cut_neighbors](LinkId x, LinkId y) {
+      const std::uint32_t cx = sh.plan.cell_of[x];
+      const std::uint32_t cy = sh.plan.cell_of[y];
+      if (cx != cy) {
+        cut_neighbors[cx].push_back(cy);
+        cut_neighbors[cy].push_back(cx);
+      }
+    };
+    for (const sim::CutEdge& e : sh.plan.cut_conflicts) couple(e.a, e.b);
+    for (const sim::CutSense& s : sh.plan.cut_senses) couple(s.listener, s.speaker);
+    for (auto& v : cut_neighbors) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    sh.coordinator = std::make_unique<sim::ShardCoordinator>(
+        sh.cell_ptrs, std::move(cut_neighbors), sh.plan.groups, sh.pool.get());
+  }
+}
+
+// ---- interval loop ----------------------------------------------------------
+
 void Network::add_observer(IntervalObserver observer) {
   observers_.push_back(std::move(observer));
 }
 
 void Network::attach_tracer(sim::Tracer* tracer) {
+  RTMAC_REQUIRE(tracer == nullptr || !sharded(),
+                "protocol tracing requires the single-engine path");
   tracer_ = tracer;
-  medium_->set_tracer(tracer);
+  if (medium_ != nullptr) medium_->set_tracer(tracer);
 }
 
 void Network::attach_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
-  medium_->set_metrics(registry);
+  if (shard_ != nullptr) {
+    // Each cell's medium/MAC instruments go to a private registry so the
+    // parallel phase never shares one; merge_cell_metrics_into folds them.
+    for (auto& cell : shard_->cells) {
+      if (registry != nullptr) {
+        cell->registry = std::make_unique<obs::MetricsRegistry>();
+        cell->medium->set_metrics(cell->registry.get());
+      } else {
+        cell->medium->set_metrics(nullptr);
+        cell->registry.reset();
+      }
+    }
+  } else {
+    medium_->set_metrics(registry);
+  }
   debt_gauges_.clear();
   debt_sketches_.clear();
   if (registry == nullptr) {
@@ -94,16 +451,15 @@ void Network::attach_metrics(obs::MetricsRegistry* registry) {
 void Network::run(IntervalIndex intervals) {
   const std::size_t n_links = config_.num_links();
   const std::span<int> arrivals{arrivals_};
-  const std::span<int> delivered{delivered_};
 
   for (IntervalIndex i = 0; i < intervals; ++i) {
     const IntervalIndex k = next_interval_++;
     const TimePoint start = TimePoint::origin() +
                             static_cast<std::int64_t>(k) * config_.interval_length;
     const TimePoint end = start + config_.interval_length;
-    RTMAC_ASSERT(sim_.now() == start, "interval boundaries drifted");
-    medium_->note_interval_start(start);  // anchors the delivery-latency series
 
+    // Arrivals are sampled centrally in global link order on BOTH engines,
+    // so the sampled sequence is independent of the partition.
     if (config_.joint_arrivals != nullptr) {
       config_.joint_arrivals->sample_into(arrival_rng_, arrivals);
     } else {
@@ -112,38 +468,232 @@ void Network::run(IntervalIndex intervals) {
       }
     }
 
-    if (tracer_ != nullptr) {
-      tracer_->record(start, sim::TraceKind::kIntervalStart, sim::kNoLink,
-                      static_cast<std::int64_t>(k));
+    if (shard_ != nullptr) {
+      run_sharded_interval(k, start, end);
+    } else {
+      run_legacy_interval(k, start, end);
     }
-    scheme_->begin_interval(k, arrivals, end);
-    sim_.run_until(end);
-    RTMAC_ASSERT(!medium_->busy(), "a transmission overran the interval boundary (gap rule)");
+    finish_interval(k, end);
+  }
+}
 
-    scheme_->end_interval(delivered);
-    if (tracer_ != nullptr) {
-      tracer_->record(end, sim::TraceKind::kIntervalEnd, sim::kNoLink,
-                      static_cast<std::int64_t>(k));
+void Network::run_legacy_interval(IntervalIndex k, TimePoint start, TimePoint end) {
+  RTMAC_ASSERT(sim_.now() == start, "interval boundaries drifted");
+  medium_->note_interval_start(start);  // anchors the delivery-latency series
+  if (tracer_ != nullptr) {
+    tracer_->record(start, sim::TraceKind::kIntervalStart, sim::kNoLink,
+                    static_cast<std::int64_t>(k));
+  }
+  scheme_->begin_interval(k, arrivals_, end);
+  sim_.run_until(end);
+  RTMAC_ASSERT(!medium_->busy(), "a transmission overran the interval boundary (gap rule)");
+  scheme_->end_interval(delivered_);
+  if (tracer_ != nullptr) {
+    tracer_->record(end, sim::TraceKind::kIntervalEnd, sim::kNoLink,
+                    static_cast<std::int64_t>(k));
+  }
+}
+
+void Network::run_sharded_interval(IntervalIndex k, TimePoint start, TimePoint end) {
+  Shard& sh = *shard_;
+  for (auto& cell : sh.cells) {
+    for (std::size_t j = 0; j < cell->links.size(); ++j) {
+      cell->arrivals[j] = arrivals_[cell->links[j]];
     }
-    debts_.on_interval_end(delivered);
-    stats_.record(arrivals, delivered);
-    if (metrics_ != nullptr) {
-      int total_delivered = 0;
-      for (std::size_t n = 0; n < n_links; ++n) {
-        total_delivered += delivered[n];
-        const double debt = debts_.debt(static_cast<LinkId>(n));
-        debt_gauges_[n]->set(debt);
-        debt_sketches_[n]->update(debt);
+  }
+
+  if (sh.coordinator != nullptr) {
+    // Cut path: serial interval-edge work, windowed parallel advancement.
+    for (auto& cell : sh.cells) {
+      RTMAC_ASSERT(cell->sim.now() == start, "interval boundaries drifted");
+      cell->medium->note_interval_start(start);
+      cell->scheme->begin_interval(k, cell->arrivals, end);
+    }
+    sh.coordinator->advance_to(end);
+    for (auto& cell : sh.cells) {
+      RTMAC_ASSERT(!cell->medium->busy(),
+                   "a transmission overran the interval boundary (gap rule)");
+      cell->scheme->end_interval(cell->delivered);
+      cell->debts.on_interval_end(cell->delivered);
+    }
+    sh.cut->clear_records();
+  } else {
+    // Cut-free fast path: cells are fully independent, so the whole interval
+    // (begin / run / end / debts) folds into one task per group.
+    auto run_group = [&](const std::vector<std::uint32_t>& group) {
+      for (const std::uint32_t ci : group) {
+        Cell& cell = *sh.cells[ci];
+        RTMAC_ASSERT(cell.sim.now() == start, "interval boundaries drifted");
+        cell.medium->note_interval_start(start);
+        cell.scheme->begin_interval(k, cell.arrivals, end);
+        cell.sim.run_until(end);
+        RTMAC_ASSERT(!cell.medium->busy(),
+                     "a transmission overran the interval boundary (gap rule)");
+        cell.scheme->end_interval(cell.delivered);
+        cell.debts.on_interval_end(cell.delivered);
       }
-      debt_linf_gauge_->set(debts_.linf());
-      debt_linf_sketch_->update(debts_.linf());
-      deliveries_sketch_->update(static_cast<double>(total_delivered));
-      // In-run time-series export: one whole-registry snapshot every
-      // cadence intervals, stamped with sim time only (stream_tick is a
-      // single branch when no stream sink is attached).
-      metrics_->stream_tick(k, end.ns());
+    };
+    if (sh.pool != nullptr && sh.plan.groups.size() > 1) {
+      std::vector<std::future<void>> futures;
+      futures.reserve(sh.plan.groups.size());
+      for (const auto& group : sh.plan.groups) {
+        futures.push_back(sh.pool->submit([&run_group, &group] { run_group(group); }));
+      }
+      sh.pool->wait_all(futures);
+      for (auto& f : futures) f.get();  // surface worker exceptions
+    } else {
+      for (const auto& group : sh.plan.groups) run_group(group);
     }
-    for (const auto& obs : observers_) obs(k, arrivals, delivered);
+  }
+
+  for (auto& cell : sh.cells) {
+    for (std::size_t j = 0; j < cell->links.size(); ++j) {
+      delivered_[cell->links[j]] = cell->delivered[j];
+    }
+  }
+}
+
+void Network::finish_interval(IntervalIndex k, TimePoint end) {
+  const std::size_t n_links = config_.num_links();
+  debts_.on_interval_end(delivered_);
+  stats_.record(arrivals_, delivered_);
+  if (metrics_ != nullptr) {
+    int total_delivered = 0;
+    for (std::size_t n = 0; n < n_links; ++n) {
+      total_delivered += delivered_[n];
+      const double debt = debts_.debt(static_cast<LinkId>(n));
+      debt_gauges_[n]->set(debt);
+      debt_sketches_[n]->update(debt);
+    }
+    debt_linf_gauge_->set(debts_.linf());
+    debt_linf_sketch_->update(debts_.linf());
+    deliveries_sketch_->update(static_cast<double>(total_delivered));
+    // In-run time-series export: one whole-registry snapshot every
+    // cadence intervals, stamped with sim time only (stream_tick is a
+    // single branch when no stream sink is attached).
+    metrics_->stream_tick(k, end.ns());
+  }
+  for (const auto& obs : observers_) obs(k, arrivals_, delivered_);
+}
+
+// ---- accessors and facades --------------------------------------------------
+
+const phy::Medium& Network::medium() const {
+  RTMAC_REQUIRE(!sharded(), "medium(): sharded networks have per-cell media");
+  return *medium_;
+}
+
+mac::MacScheme& Network::scheme() {
+  RTMAC_REQUIRE(!sharded(), "scheme(): sharded networks have per-cell schemes");
+  return *scheme_;
+}
+
+const mac::MacScheme& Network::scheme() const {
+  RTMAC_REQUIRE(!sharded(), "scheme(): sharded networks have per-cell schemes");
+  return *scheme_;
+}
+
+const sim::Simulator& Network::simulator() const {
+  RTMAC_REQUIRE(!sharded(), "simulator(): sharded networks have per-cell engines");
+  return sim_;
+}
+
+std::size_t Network::cell_count() const { return shard_ != nullptr ? shard_->cells.size() : 1; }
+
+std::size_t Network::group_count() const {
+  return shard_ != nullptr ? shard_->plan.groups.size() : 1;
+}
+
+std::span<const LinkId> Network::cell_links(std::size_t cell) const {
+  if (shard_ == nullptr) {
+    RTMAC_REQUIRE(cell == 0);
+    return identity_links_;
+  }
+  return shard_->cells[cell]->links;
+}
+
+const mac::MacScheme& Network::cell_scheme(std::size_t cell) const {
+  if (shard_ == nullptr) {
+    RTMAC_REQUIRE(cell == 0);
+    return *scheme_;
+  }
+  return *shard_->cells[cell]->scheme;
+}
+
+std::uint64_t Network::coordinator_rounds() const {
+  return (shard_ != nullptr && shard_->coordinator != nullptr) ? shard_->coordinator->rounds()
+                                                               : 0;
+}
+
+TimePoint Network::now() const {
+  return shard_ != nullptr ? shard_->cells.front()->sim.now() : sim_.now();
+}
+
+std::uint64_t Network::events_executed() const {
+  if (shard_ == nullptr) return sim_.events_executed();
+  std::uint64_t total = 0;
+  for (const auto& cell : shard_->cells) total += cell->sim.events_executed();
+  return total;
+}
+
+std::uint64_t Network::event_reallocs() const {
+  if (shard_ == nullptr) return sim_.event_reallocs();
+  std::uint64_t total = 0;
+  for (const auto& cell : shard_->cells) total += cell->sim.event_reallocs();
+  return total;
+}
+
+phy::MediumCounters Network::medium_counters() const {
+  if (shard_ == nullptr) return medium_->counters();
+  phy::MediumCounters out;
+  for (const auto& cell : shard_->cells) {
+    const phy::MediumCounters& c = cell->medium->counters();
+    out.data_tx += c.data_tx;
+    out.empty_tx += c.empty_tx;
+    out.delivered += c.delivered;
+    out.channel_losses += c.channel_losses;
+    out.collisions += c.collisions;
+    out.busy_time += c.busy_time;
+    out.collided_time += c.collided_time;
+  }
+  return out;
+}
+
+const phy::LinkCounters& Network::link_counters(LinkId link) const {
+  if (shard_ == nullptr) return medium_->link_counters(link);
+  const Shard& sh = *shard_;
+  return sh.cells[sh.plan.cell_of[link]]->medium->link_counters(sh.local_of[link]);
+}
+
+Duration Network::global_sense_busy_time() const {
+  if (shard_ == nullptr) return medium_->sense_busy_time(phy::Medium::kAllNodes);
+  Duration total;
+  for (const auto& cell : shard_->cells) {
+    total += cell->medium->sense_busy_time(phy::Medium::kAllNodes);
+  }
+  return total;
+}
+
+Duration Network::node_sense_busy_time(LinkId node) const {
+  if (shard_ == nullptr) return medium_->sense_busy_time(node);
+  const Shard& sh = *shard_;
+  return sh.cells[sh.plan.cell_of[node]]->medium->sense_busy_time(sh.local_of[node]);
+}
+
+std::uint64_t Network::collision_pair_count(LinkId a, LinkId b) const {
+  if (shard_ == nullptr) return medium_->collision_pair_count(a, b);
+  const Shard& sh = *shard_;
+  if (sh.plan.cell_of[a] == sh.plan.cell_of[b]) {
+    return sh.cells[sh.plan.cell_of[a]]->medium->collision_pair_count(sh.local_of[a],
+                                                                      sh.local_of[b]);
+  }
+  return sh.cut->pair_count(a, b);
+}
+
+void Network::merge_cell_metrics_into(obs::MetricsRegistry& target) const {
+  if (shard_ == nullptr) return;
+  for (const auto& cell : shard_->cells) {
+    if (cell->registry != nullptr) target.merge_from(*cell->registry);
   }
 }
 

@@ -6,6 +6,18 @@
 // at the boundary the network collects on-time deliveries S(k), advances
 // the debt ledger (eq. 1), and records statistics. Undelivered packets are
 // dropped by the scheme (hard per-packet deadline = interval end).
+//
+// Execution engines (DESIGN §4i):
+//   * legacy (shards == 0, or a trivial partition): one Simulator + one
+//     Medium over the whole link set — the original single-domain path,
+//     byte-identical to every release before sharding existed;
+//   * sharded (shards >= 1 on a partitionable topology): the conflict graph
+//     is cut into cells (sim/shard_partitioner), each cell owns a full
+//     engine stack over its induced subgraph, and cells advance under the
+//     conservative window protocol of sim/sharded_simulator. Arrivals are
+//     sampled centrally in global link order and all RNG streams are keyed
+//     by global link ids, so results do not depend on the partition or on
+//     the worker count.
 #pragma once
 
 #include <functional>
@@ -34,6 +46,7 @@ class Network {
  public:
   /// Takes ownership of `config` (validated; aborts on inconsistent input).
   Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -46,7 +59,8 @@ class Network {
 
   /// Attaches a protocol tracer to the whole stack (medium + MAC layers).
   /// Not owned; pass nullptr to detach. Interval boundaries are recorded by
-  /// the network itself.
+  /// the network itself. Tracing is a single-engine feature: attaching a
+  /// non-null tracer to a sharded network aborts.
   void attach_tracer(sim::Tracer* tracer);
 
   /// Attaches a metrics registry to the whole stack (medium + MAC layers;
@@ -54,28 +68,85 @@ class Network {
   /// snapshots the debt vector and delivery counts into the registry at
   /// every interval boundary; derived end-of-run rates come from
   /// obs::collect_network_metrics. Zero overhead when detached (one null
-  /// check per interval).
+  /// check per interval). On the sharded path each cell writes its
+  /// medium/MAC instruments into a private registry (no cross-thread
+  /// sharing); merge_cell_metrics_into() folds them into an export target.
   void attach_metrics(obs::MetricsRegistry* registry);
 
   [[nodiscard]] const stats::LinkStatsCollector& stats() const { return stats_; }
+  /// Network-wide debt ledger, maintained on both engines (the sharded path
+  /// mirrors the per-cell trackers — per-link debt arithmetic is local, so
+  /// the mirror is exact).
   [[nodiscard]] const core::DebtTracker& debts() const { return debts_; }
-  [[nodiscard]] const phy::Medium& medium() const { return *medium_; }
-  [[nodiscard]] mac::MacScheme& scheme() { return *scheme_; }
-  [[nodiscard]] const mac::MacScheme& scheme() const { return *scheme_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
-  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
+
+  // ---- legacy-engine accessors (abort on the sharded path) -----------------
+  [[nodiscard]] const phy::Medium& medium() const;
+  [[nodiscard]] mac::MacScheme& scheme();
+  [[nodiscard]] const mac::MacScheme& scheme() const;
+  [[nodiscard]] const sim::Simulator& simulator() const;
+
+  // ---- sharding topology ---------------------------------------------------
+  /// True when this network runs the sharded engine.
+  [[nodiscard]] bool sharded() const { return shard_ != nullptr; }
+  /// Number of cells (1 on the legacy path).
+  [[nodiscard]] std::size_t cell_count() const;
+  /// Number of parallel groups (1 on the legacy path).
+  [[nodiscard]] std::size_t group_count() const;
+  /// Global link ids of one cell, ascending (legacy: all links).
+  [[nodiscard]] std::span<const LinkId> cell_links(std::size_t cell) const;
+  /// The MacScheme instance serving one cell (legacy: the single scheme).
+  [[nodiscard]] const mac::MacScheme& cell_scheme(std::size_t cell) const;
+  /// Coordinator barrier rounds so far (0 on the legacy path and on
+  /// cut-free plans, which skip the coordinator entirely).
+  [[nodiscard]] std::uint64_t coordinator_rounds() const;
+
+  // ---- engine/medium facades (valid on both paths) -------------------------
+  [[nodiscard]] TimePoint now() const;
+  [[nodiscard]] std::uint64_t events_executed() const;  ///< summed over cells
+  [[nodiscard]] std::uint64_t event_reallocs() const;   ///< summed over cells
+  /// Channel accounting summed over cells.
+  [[nodiscard]] phy::MediumCounters medium_counters() const;
+  /// Per-link accounting, addressed by GLOBAL link id.
+  [[nodiscard]] const phy::LinkCounters& link_counters(LinkId link) const;
+  /// Global-view busy time. Sharded: the per-cell global views summed —
+  /// concurrent activity in different cells double-counts relative to the
+  /// legacy union (a documented approximation; CSV outputs never read it).
+  [[nodiscard]] Duration global_sense_busy_time() const;
+  /// One node's carrier-sense busy time (GLOBAL id). Exact on both paths:
+  /// remote cut-edge activity is injected into the listening views.
+  [[nodiscard]] Duration node_sense_busy_time(LinkId node) const;
+  /// Pairwise collision ledger (GLOBAL ids). Cross-cell pairs come from the
+  /// cut resolver's ledger, intra-cell pairs from the owning Medium.
+  [[nodiscard]] std::uint64_t collision_pair_count(LinkId a, LinkId b) const;
+
+  /// Folds every cell's private metrics registry into `target` (counters
+  /// add, gauges last-write-win, histograms/sketches merge). No-op on the
+  /// legacy path. Call exactly once per run, at collect time.
+  void merge_cell_metrics_into(obs::MetricsRegistry& target) const;
 
   /// Total timely-throughput deficiency so far (Definition 1).
   [[nodiscard]] double total_deficiency() const;
 
  private:
+  struct Cell;
+  class CutState;
+  struct Shard;
+
+  void build_shard(std::size_t target_shards, const mac::SchemeFactory& scheme_factory);
+  void run_legacy_interval(IntervalIndex k, TimePoint start, TimePoint end);
+  void run_sharded_interval(IntervalIndex k, TimePoint start, TimePoint end);
+  void finish_interval(IntervalIndex k, TimePoint end);
+
   NetworkConfig config_;
-  sim::Simulator sim_;
+  sim::Simulator sim_;  ///< legacy engine (idle when sharded)
   std::unique_ptr<phy::Medium> medium_;
   core::DebtTracker debts_;
   stats::LinkStatsCollector stats_;
   Rng arrival_rng_;
   std::unique_ptr<mac::MacScheme> scheme_;
+  std::unique_ptr<Shard> shard_;  ///< non-null iff the sharded engine runs
+  std::vector<LinkId> identity_links_;  ///< cell_links() result on legacy
   std::vector<IntervalObserver> observers_;
   sim::Tracer* tracer_ = nullptr;
   IntervalIndex next_interval_ = 0;

@@ -29,6 +29,16 @@ bool NetworkConfig::validate(std::string* error) const {
   if (topology.has_value() && topology->num_links() != n) {
     return fail("interference topology size != number of links");
   }
+  if (sparse_topology != nullptr) {
+    if (topology.has_value()) return fail("topology and sparse_topology are mutually exclusive");
+    if (sparse_topology->num_links != n) return fail("sparse topology size != number of links");
+    if (shards == 0 && !auto_shard) {
+      return fail("sparse_topology requires the sharded engine (shards >= 1 or auto_shard)");
+    }
+  }
+  if ((shards > 0 || auto_shard) && channel_factory != nullptr) {
+    return fail("sharded execution requires the default Bernoulli channel");
+  }
   if (interval_length <= Duration{}) return fail("interval length must be positive");
   if (phy.data_airtime <= Duration{} || phy.backoff_slot <= Duration{}) {
     return fail("airtimes and slot width must be positive");
@@ -75,6 +85,10 @@ NetworkConfig NetworkConfig::clone() const {
   copy.channel_factory = channel_factory;
   if (joint_arrivals != nullptr) copy.joint_arrivals = joint_arrivals->clone();
   copy.topology = topology;
+  copy.sparse_topology = sparse_topology;  // immutable, shared
+  copy.shards = shards;
+  copy.auto_shard = auto_shard;
+  copy.shard_jobs = shard_jobs;
   return copy;
 }
 

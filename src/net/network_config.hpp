@@ -44,6 +44,21 @@ struct NetworkConfig {
   /// hidden-terminal and spatial-reuse experiments; its size must equal
   /// num_links().
   std::optional<phy::InterferenceGraph> topology;
+  /// Adjacency-list topology for city-scale runs where the dense n x n
+  /// InterferenceGraph is unaffordable. Requires `shards >= 1` (the sharded
+  /// engine builds small dense graphs per cell); mutually exclusive with
+  /// `topology`. Shared (immutable) across clones.
+  std::shared_ptr<const phy::SparseTopology> sparse_topology;
+  /// Sharded execution: 0 = legacy single-domain engine; S >= 1 partitions
+  /// the conflict graph into cells and runs them on up to S parallel groups
+  /// (deterministically — results are independent of S and of shard_jobs on
+  /// disconnected topologies). Requires the default Bernoulli channel.
+  std::size_t shards = 0;
+  /// When true and `shards == 0`, pick a shard count automatically
+  /// (hardware concurrency, capped by the number of cells).
+  bool auto_shard = false;
+  /// Worker threads driving shard groups; 0 = min(groups, hardware).
+  std::size_t shard_jobs = 0;
 
   [[nodiscard]] std::size_t num_links() const { return success_prob.size(); }
 

@@ -8,9 +8,12 @@
 namespace rtmac::obs {
 
 void collect_network_metrics(MetricsRegistry& registry, const net::Network& network) {
-  const auto& counters = network.medium().counters();
+  // All channel/engine reads go through the Network facades, which serve the
+  // legacy single-engine path directly and aggregate per-cell state (by
+  // global link id) on the sharded path.
+  const phy::MediumCounters counters = network.medium_counters();
   const auto& stats = network.stats();
-  const double sim_seconds = network.simulator().now().seconds_f();
+  const double sim_seconds = network.now().seconds_f();
 
   registry.counter("phy.tx_data").inc(counters.data_tx);
   registry.counter("phy.tx_empty").inc(counters.empty_tx);
@@ -20,11 +23,10 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
   // Occupancy must come from the global sense view (union of busy periods):
   // counters.busy_time sums per-transmission airtime, so overlapping
   // (colliding) transmissions double-count and the "fraction" exceeds 1.
+  // (Sharded runs sum per-cell views — see Network::global_sense_busy_time.)
   registry.gauge("phy.busy_fraction")
-      .set(sim_seconds > 0.0
-               ? network.medium().sense_busy_time(phy::Medium::kAllNodes).seconds_f() /
-                     sim_seconds
-               : 0.0);
+      .set(sim_seconds > 0.0 ? network.global_sense_busy_time().seconds_f() / sim_seconds
+                             : 0.0);
   // Summed airtime over sim time: > busy_fraction measures overlap, and the
   // empty-packet share of it is the DP priority-claim overhead.
   registry.gauge("phy.airtime_fraction")
@@ -34,7 +36,7 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
 
   const std::size_t n_links = network.config().num_links();
   for (LinkId n = 0; n < n_links; ++n) {
-    const auto& lc = network.medium().link_counters(n);
+    const auto& lc = network.link_counters(n);
     const std::uint64_t tx = lc.data_tx + lc.empty_tx;
     registry.gauge(link_metric("link.delivery_rate", n)).set(stats.delivery_ratio(n));
     registry.gauge(link_metric("link.collision_rate", n))
@@ -45,15 +47,16 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
     // link it can hear (itself included) was on the air. On a complete
     // topology every node's value equals the global phy.busy_fraction; under
     // partial sensing they diverge — the gap is what the hidden terminal
-    // cannot hear.
+    // cannot hear. Exact on both engines: cross-cell cut activity is
+    // injected into the listening views at window barriers.
     registry.gauge(node_metric("medium.busy_fraction", n))
-        .set(sim_seconds > 0.0
-                 ? network.medium().sense_busy_time(n).seconds_f() / sim_seconds
-                 : 0.0);
-    // Who this link actually collided with, from the Medium's pair ledger.
+        .set(sim_seconds > 0.0 ? network.node_sense_busy_time(n).seconds_f() / sim_seconds
+                               : 0.0);
+    // Who this link actually collided with: the owning Medium's pair ledger
+    // for intra-cell pairs, the cut resolver's ledger for cross-cell pairs.
     std::uint64_t partners = 0;
     for (LinkId other = 0; other < n_links; ++other) {
-      const std::uint64_t pairs = network.medium().collision_pair_count(n, other);
+      const std::uint64_t pairs = network.collision_pair_count(n, other);
       if (other != n && pairs > 0) ++partners;
       // Emit each unordered pair once (self-pairs cover same-link overlap).
       if (other >= n && pairs > 0) {
@@ -67,27 +70,42 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
   // DP-specific state, read straight from the batch kernel's SoA arrays
   // (DESIGN §4g): the current priority permutation and the last interval's
   // backoff counts, plus whether the batch path (vs the scalar reference
-  // path) served the run.
-  if (const auto* dp = dynamic_cast<const mac::DpScheme*>(&network.scheme())) {
-    registry.gauge("mac.dp.batch_path").set(dp->batch_path() ? 1.0 : 0.0);
+  // path) served the run. Sharded runs hold one DpScheme per cell; kernel
+  // indices are cell-local, so names are mapped through cell_links.
+  for (std::size_t ci = 0; ci < network.cell_count(); ++ci) {
+    const auto* dp = dynamic_cast<const mac::DpScheme*>(&network.cell_scheme(ci));
+    if (dp == nullptr) continue;
+    if (ci == 0) registry.gauge("mac.dp.batch_path").set(dp->batch_path() ? 1.0 : 0.0);
     const mac::DpBatchKernel& kernel = dp->kernel();
-    for (LinkId n = 0; n < n_links; ++n) {
-      registry.gauge(link_metric("mac.dp.priority", n))
-          .set(static_cast<double>(kernel.priority(n)));
-      registry.gauge(link_metric("mac.dp.backoff_slots", n))
-          .set(static_cast<double>(kernel.backoff_count(n)));
+    const std::span<const LinkId> links = network.cell_links(ci);
+    for (std::size_t j = 0; j < links.size(); ++j) {
+      registry.gauge(link_metric("mac.dp.priority", links[j]))
+          .set(static_cast<double>(kernel.priority(static_cast<LinkId>(j))));
+      registry.gauge(link_metric("mac.dp.backoff_slots", links[j]))
+          .set(static_cast<double>(kernel.backoff_count(static_cast<LinkId>(j))));
     }
+  }
+
+  // Per-cell medium/MAC instruments (busy-period histograms, access-delay
+  // sketches, ...) live in private registries on the sharded path; fold
+  // them in exactly once, here. No-op on the legacy path.
+  network.merge_cell_metrics_into(registry);
+
+  if (network.sharded()) {
+    registry.gauge("net.cells").set(static_cast<double>(network.cell_count()));
+    registry.gauge("net.groups").set(static_cast<double>(network.group_count()));
+    registry.counter("sim.coordinator_rounds").inc(network.coordinator_rounds());
   }
 
   registry.gauge("net.deficiency")
       .set(stats::total_deficiency(stats, network.config().requirements.q()));
   registry.gauge("net.intervals").set(static_cast<double>(stats.intervals()));
-  registry.counter("sim.events_executed").inc(network.simulator().events_executed());
+  registry.counter("sim.events_executed").inc(network.events_executed());
   registry.gauge("sim.virtual_seconds").set(sim_seconds);
   // Event-storage growth after the NetworkConfig-derived reserve; 0 proves
   // the engine ran the whole experiment without touching the allocator for
-  // its own bookkeeping.
-  registry.counter("engine.events.reallocs").inc(network.simulator().event_reallocs());
+  // its own bookkeeping (summed over cells on the sharded path).
+  registry.counter("engine.events.reallocs").inc(network.event_reallocs());
   // Contract-failure count (util/check.hpp). Almost always zero — a failure
   // aborts unless a test handler intervened — but exporting it means any run
   // that *did* survive a handled failure is visibly tainted in its metrics.

@@ -40,6 +40,21 @@ void Histogram::observe(double v) {
   sum_ += v;
 }
 
+void Histogram::merge(const Histogram& other) {
+  RTMAC_REQUIRE(bounds_ == other.bounds_, "Histogram::merge: bounds differ");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::min() const {
   return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
 }
@@ -147,6 +162,25 @@ QuantileSketch& MetricsRegistry::sketch(std::string_view name, const SketchOptio
   }
   RTMAC_REQUIRE(it->second.type == Type::kSketch, "metric re-registered as a different type");
   return *it->second.sketch;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+        counter(name).inc(entry.counter->value());
+        break;
+      case Type::kGauge:
+        gauge(name).set(entry.gauge->value());
+        break;
+      case Type::kHistogram:
+        histogram(name, entry.histogram->bounds()).merge(*entry.histogram);
+        break;
+      case Type::kSketch:
+        sketch(name, entry.sketch->options()).merge(*entry.sketch);
+        break;
+    }
+  }
 }
 
 namespace {

@@ -79,6 +79,12 @@ class Histogram {
   /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
   [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
 
+  /// Folds `other` into this histogram (bucket counts, sum, min/max).
+  /// Requires identical bounds — merging is only meaningful between
+  /// instruments created from the same instrumentation point (e.g. the
+  /// per-cell registries of a sharded run).
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -112,6 +118,14 @@ class MetricsRegistry {
   QuantileSketch& sketch(std::string_view name, const SketchOptions& opts = {});
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Folds every instrument of `other` into this registry, creating missing
+  /// instruments on the fly: counters add, gauges last-write-win (the
+  /// other's value is taken), histograms merge bucket-wise (same bounds
+  /// required), sketches merge as pure unions. Used to combine the per-cell
+  /// registries of a sharded run into one export; merging the same source
+  /// twice double-counts, so callers merge exactly once at collect time.
+  void merge_from(const MetricsRegistry& other);
 
   /// Starts streaming in-run snapshots: every `every`-th stream_tick()
   /// writes one full write_jsonl() snapshot (plus `context` and the tick's

@@ -22,11 +22,14 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
 
 namespace rtmac::phy {
+
+struct SparseTopology;
 
 /// Immutable, copyable value type. Self-relations are forced: a link always
 /// conflicts with itself (two overlapping transmissions on one link fail)
@@ -88,7 +91,17 @@ class InterferenceGraph {
   /// Both relations complete: byte-identical to the pre-topology Medium.
   [[nodiscard]] bool is_complete() const { return complete_conflicts_ && complete_sensing_; }
 
+  /// Dense subgraph induced by `links` (ascending global ids), with the
+  /// completeness flags force-cleared even if the cell happens to be a
+  /// clique: a shard cell has external interference by construction, so the
+  /// complete-graph fast paths (shared loss stream, batch DP, burst mode)
+  /// must stay off for behavior to match the unsharded run.
+  [[nodiscard]] InterferenceGraph induced(std::span<const LinkId> links) const;
+
  private:
+  friend InterferenceGraph induced_subgraph(const SparseTopology& topology,
+                                            std::span<const LinkId> links);
+
   InterferenceGraph(std::size_t n, std::vector<bool> conflict, std::vector<bool> sense);
 
   [[nodiscard]] std::size_t idx(LinkId a, LinkId b) const {
@@ -103,5 +116,32 @@ class InterferenceGraph {
   bool complete_conflicts_ = false;
   bool complete_sensing_ = false;
 };
+
+/// Adjacency-list interference topology for city-scale networks. The dense
+/// InterferenceGraph stores two n x n matrices, which is fine up to a few
+/// thousand links and hopeless at 10^5-10^6; sharded execution builds small
+/// dense subgraphs per cell from this sparse form instead. Self-relations
+/// are implicit (never listed).
+struct SparseTopology {
+  std::size_t num_links = 0;
+  /// conflict[a] = links whose overlapping transmissions destroy a's
+  /// (symmetric: b appears under a iff a appears under b; ascending).
+  std::vector<std::vector<LinkId>> conflict;
+  /// sense[n] = links whose activity link n's transmitter hears (directed;
+  /// ascending).
+  std::vector<std::vector<LinkId>> sense;
+};
+
+/// Geometric sparse builder with the same semantics as
+/// InterferenceGraph::unit_disk, but grid-bucketed so construction is
+/// expected O(n) for bounded-density placements instead of O(n^2).
+[[nodiscard]] SparseTopology sparse_unit_disk(
+    const std::vector<InterferenceGraph::LinkPlacement>& links, double interference_range,
+    double sense_range);
+
+/// Dense subgraph of a sparse topology induced by `links` (ascending global
+/// ids), completeness flags cleared — see InterferenceGraph::induced.
+[[nodiscard]] InterferenceGraph induced_subgraph(const SparseTopology& topology,
+                                                 std::span<const LinkId> links);
 
 }  // namespace rtmac::phy

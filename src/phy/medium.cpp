@@ -17,11 +17,22 @@ Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob,
     : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)),
              std::move(topology), seed} {}
 
+namespace {
+
+/// Stream id of link `global`'s private loss stream ("LOSS" + id). Partial
+/// topologies draw per-link so the sequence is independent of how
+/// transmissions on other links interleave — the property that makes
+/// sharded and single-engine runs bit-identical.
+std::uint64_t loss_stream_id(LinkId global) { return mix64(0x4c4f5353ULL, global); }
+
+}  // namespace
+
 Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
                std::uint64_t seed)
     : sim_{simulator},
       channel_{std::move(channel)},
       graph_{InterferenceGraph::complete(channel_ != nullptr ? channel_->num_links() : 1)},
+      seed_{seed},
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
   RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
   const std::size_t n = channel_->num_links();
@@ -38,6 +49,7 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
     : sim_{simulator},
       channel_{std::move(channel)},
       graph_{std::move(topology)},
+      seed_{seed},
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
   RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
   const std::size_t n = channel_->num_links();
@@ -48,6 +60,92 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
   views_.resize(n);
   marks_.assign(n + 1, 0);
   collision_pairs_.assign(n * n, 0);
+  if (!graph_.is_complete()) {
+    loss_rngs_.reserve(n);
+    for (LinkId link = 0; link < n; ++link) {
+      loss_rngs_.emplace_back(seed_, loss_stream_id(link));
+    }
+  }
+}
+
+void Medium::configure_shard(ShardMediumConfig config) {
+  RTMAC_REQUIRE(!complete_sensing_, "shard cells must use flag-cleared subgraphs");
+  RTMAC_REQUIRE(config.global_ids.size() == num_links_, "global id map size mismatch");
+  RTMAC_REQUIRE(config.conflict_cut.size() == num_links_ && config.exported.size() == num_links_,
+                "cut flag size mismatch");
+  shard_mode_ = true;
+  shard_ = std::move(config);
+  // Re-key the loss streams by global id: the draws a link sees must not
+  // depend on which cell it landed in.
+  loss_rngs_.clear();
+  for (LinkId link = 0; link < num_links_; ++link) {
+    loss_rngs_.emplace_back(seed_, loss_stream_id(shard_.global_ids[link]));
+  }
+  resolution_horizon_ = sim::Simulator::no_run_limit();
+}
+
+void Medium::register_remote_sense(LinkId speaker, std::vector<LinkId> nodes) {
+  RTMAC_REQUIRE(shard_mode_, "register_remote_sense outside shard mode");
+  remote_sense_[speaker] = std::move(nodes);
+}
+
+void Medium::set_resolution_horizon(TimePoint bound) {
+  RTMAC_ASSERT(shard_mode_, "set_resolution_horizon outside shard mode");
+  resolution_horizon_ = bound;
+  // The run limit is the earliest active cut-conflict completion past the
+  // bound; completions blocked last window stay blocked until their
+  // neighbors' clocks catch up. Starts are never blocked, so new cut
+  // transmissions tighten the limit on the fly (see start_transmission).
+  TimePoint limit = sim::Simulator::no_run_limit();
+  for (const ActiveTx& tx : active_) {
+    if (shard_.conflict_cut[tx.link] == 0) continue;
+    const TimePoint end = tx.start + tx.airtime;
+    if (end > bound && end < limit) limit = end;
+  }
+  sim_.set_run_limit(limit);
+}
+
+void Medium::drain_cut_outbox(std::vector<CutTxExport>& into) {
+  into.insert(into.end(), outbox_.begin(), outbox_.end());
+  outbox_.clear();
+}
+
+void Medium::inject_remote_activity(LinkId speaker, TimePoint start, TimePoint end) {
+  RTMAC_REQUIRE(shard_mode_, "inject_remote_activity outside shard mode");
+  const auto it = remote_sense_.find(speaker);
+  if (it == remote_sense_.end()) return;
+  const TimePoint now = sim_.now();
+  if (end <= now) return;  // fully stale: the busy period is already over
+  const std::vector<LinkId>* nodes = &it->second;
+  const TimePoint busy_at = start > now ? start : now;
+  sim_.schedule_at(busy_at, [this, nodes] { remote_mark(*nodes, /*to_busy=*/true); });
+  sim_.schedule_at(end, [this, nodes] { remote_mark(*nodes, /*to_busy=*/false); });
+}
+
+void Medium::remote_mark(const std::vector<LinkId>& nodes, bool to_busy) {
+  const TimePoint now = sim_.now();
+  for (LinkId node : nodes) {
+    SenseView& view = views_[node];
+    if (to_busy) {
+      ++view.active;
+      if (!view.notified_busy) {
+        view.notified_busy = true;
+        view.busy_since = now;
+        marks_[node] = 1;
+        any_marked_ = true;
+      }
+    } else {
+      RTMAC_ASSERT(view.active > 0, "unbalanced remote idle edge");
+      --view.active;
+      if (view.active == 0 && view.notified_busy) {
+        view.notified_busy = false;
+        view.busy_time += now - view.busy_since;
+        marks_[node] = 1;
+        any_marked_ = true;
+      }
+    }
+  }
+  dispatch_marked(to_busy, now);
 }
 
 void Medium::add_listener(MediumListener* listener, LinkId node) {
@@ -178,6 +276,19 @@ void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, 
 
   sim_.schedule_in(airtime, [this, tx_id] { finish_transmission(tx_id); });
 
+  if (shard_mode_) {
+    const TimePoint end = now + airtime;
+    if (shard_.exported[link] != 0) {
+      outbox_.push_back(CutTxExport{shard_.global_ids[link], now, end});
+    }
+    // A new cut-conflict transmission ending beyond the resolution bound
+    // must not complete this window; tighten the run limit if it is now
+    // the earliest blocked completion.
+    if (shard_.conflict_cut[link] != 0 && end > resolution_horizon_ && end < sim_.run_limit()) {
+      sim_.set_run_limit(end);
+    }
+  }
+
   if (tracer_ != nullptr) {
     tracer_->record(now, sim::TraceKind::kTxStart, link, airtime.ns(),
                     kind == PacketKind::kEmpty ? 1 : 0);
@@ -218,13 +329,25 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
   counters_.busy_time += tx.airtime;
   link_counters_[tx.link].airtime += tx.airtime;
 
+  // Cross-shard overlaps: by the time this completion executes, the
+  // coordinator guarantees every conflicting neighbor cell has advanced
+  // past it, so the resolver's answer is exact. Consulted even when a
+  // local overlap already collided the packet — the cross-shard pair
+  // ledger must count either way, exactly like the local pair ledger.
+  if (shard_mode_ && shard_.conflict_cut[tx.link] != 0 && shard_.resolver != nullptr) {
+    const bool remote_collision = shard_.resolver->resolve_cut_tx(
+        shard_.global_ids[tx.link], tx.start, tx.start + tx.airtime);
+    tx.collided = tx.collided || remote_collision;
+  }
+
   TxOutcome outcome;
   if (tx.collided) {
     outcome = TxOutcome::kCollision;
     ++counters_.collisions;
     ++link_counters_[tx.link].collisions;
     counters_.collided_time += tx.airtime;
-  } else if (tx.kind == PacketKind::kData && channel_->attempt_succeeds(tx.link, loss_rng_)) {
+  } else if (tx.kind == PacketKind::kData &&
+             channel_->attempt_succeeds(tx.link, loss_rng_for(tx.link))) {
     outcome = TxOutcome::kDelivered;
     ++counters_.delivered;
     ++link_counters_[tx.link].delivered;
@@ -307,7 +430,7 @@ TxOutcome Medium::burst_tx(LinkId link, TimePoint at, Duration airtime, PacketKi
   // outcome depends only on the channel — drawn from the same loss stream,
   // in the same order, as the per-event path would at the completion event.
   TxOutcome outcome;
-  if (kind == PacketKind::kData && channel_->attempt_succeeds(link, loss_rng_)) {
+  if (kind == PacketKind::kData && channel_->attempt_succeeds(link, loss_rng_for(link))) {
     outcome = TxOutcome::kDelivered;
     ++counters_.delivered;
     ++link_counters_[link].delivered;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
@@ -61,6 +62,45 @@ class MediumListener {
   virtual void on_medium_busy(TimePoint t) = 0;
   /// The observed sense view transitioned busy -> idle at virtual time `t`.
   virtual void on_medium_idle(TimePoint t) = 0;
+};
+
+/// One exported cut-link transmission occupying [start, end), reported in
+/// the link's GLOBAL id. Shard cells hand these to the coordinator at
+/// window barriers; the coordinator feeds them back into neighbor cells as
+/// remote sense activity and into the cross-shard collision ledger.
+struct CutTxExport {
+  LinkId link = 0;
+  TimePoint start;
+  TimePoint end;
+};
+
+/// Resolver for cross-shard conflicts, implemented by the sharded Network.
+/// The conservative coordinator guarantees that when a cut-link completion
+/// executes, every conflicting neighbor cell's clock has passed it, so all
+/// overlapping remote transmissions are already in the mailbox and the
+/// answer is exact.
+class CutResolver {
+ public:
+  virtual ~CutResolver() = default;
+  /// Did the transmission on `global_link` over [start, end) overlap any
+  /// remote transmission on a conflicting cut partner? Also accounts the
+  /// overlapping pairs into the cross-shard collision ledger.
+  [[nodiscard]] virtual bool resolve_cut_tx(LinkId global_link, TimePoint start,
+                                            TimePoint end) = 0;
+};
+
+/// Shard-mode wiring for a cell's Medium: the local->global id map (loss
+/// streams are re-keyed by global id so results do not depend on the
+/// partition), which local links have cross-cell conflict edges (their
+/// completions consult the resolver and bound the engine's run limit), and
+/// which local links' transmissions must be exported at barriers. Only the
+/// sharded Network and the coordinator may touch this machinery — enforced
+/// by the shard-isolation lint rule.
+struct ShardMediumConfig {
+  std::vector<LinkId> global_ids;          ///< local link -> global link
+  std::vector<std::uint8_t> conflict_cut;  ///< local link has a cut conflict edge
+  std::vector<std::uint8_t> exported;      ///< local link's txs go to the outbox
+  CutResolver* resolver = nullptr;         ///< borrowed; may be null when no cuts
 };
 
 /// Aggregate channel accounting, exposed for capacity/overhead analysis.
@@ -190,6 +230,36 @@ class Medium {
     return collision_pairs_[static_cast<std::size_t>(a) * num_links() + b];
   }
 
+  // ---- shard mode -----------------------------------------------------------
+  // A cell's Medium is a regular Medium over the induced subgraph, plus:
+  // exported cut-link transmissions (drained by the coordinator at window
+  // barriers), injected remote activity (phantom busy periods on the local
+  // sense views of cross-cell speakers), and a resolution horizon that
+  // converts the coordinator's conservative bound into a Simulator run
+  // limit. None of this exists on the legacy single-engine path.
+
+  /// Enters shard mode. Precondition: the topology's completeness flags are
+  /// cleared (cell subgraphs always are — see InterferenceGraph::induced).
+  void configure_shard(ShardMediumConfig config);
+
+  /// Declares that local `nodes` sense the remote global link `speaker`;
+  /// inject_remote_activity(speaker, ...) will drive their views.
+  void register_remote_sense(LinkId speaker, std::vector<LinkId> nodes);
+
+  /// Arms the window's resolution bound: completions of cut-conflict
+  /// transmissions ending after `bound` may not execute yet, so the engine
+  /// run limit is set to the earliest such end (or cleared). Called by the
+  /// coordinator at every window barrier.
+  void set_resolution_horizon(TimePoint bound);
+
+  /// Appends and clears the exported cut transmissions (start-time order).
+  void drain_cut_outbox(std::vector<CutTxExport>& into);
+
+  /// Schedules a phantom busy period [start, end) on the views of the local
+  /// nodes registered for `speaker`. Stale parts before now() are clipped;
+  /// a fully stale record is dropped. No-op for unregistered speakers.
+  void inject_remote_activity(LinkId speaker, TimePoint start, TimePoint end);
+
   /// Attaches a protocol tracer (not owned; null detaches). The medium is
   /// the natural distribution point: MAC components that already hold a
   /// Medium& read the tracer from here, so attaching once traces the whole
@@ -250,6 +320,17 @@ class Medium {
   [[nodiscard]] SenseView& view_of(LinkId node) {
     return node == kAllNodes ? global_view_ : views_[node];
   }
+  /// The loss stream for `link`. Complete graphs draw from one shared
+  /// stream in completion order (the paper's model, frozen by the golden
+  /// CSVs); partial topologies use per-link streams keyed by the link's
+  /// global id, so the draw sequence is independent of both event
+  /// interleaving across cells and of the partition itself.
+  [[nodiscard]] Rng& loss_rng_for(LinkId link) {
+    return loss_rngs_.empty() ? loss_rng_ : loss_rngs_[link];
+  }
+  /// Applies a phantom busy/idle edge to the given local views (remote
+  /// cut-edge activity; the global view and active_count_ stay untouched).
+  void remote_mark(const std::vector<LinkId>& nodes, bool to_busy);
   /// Marks views of `link`'s sensing nodes (plus the global view) that
   /// transition in the given direction, updating their busy accounting.
   void mark_transitions(LinkId link, bool to_busy, TimePoint now);
@@ -268,7 +349,9 @@ class Medium {
   /// view's transitions, which is exactly what a complete graph implies).
   bool complete_sensing_ = false;
   std::size_t num_links_ = 0;  ///< cached channel_->num_links()
-  Rng loss_rng_;
+  std::uint64_t seed_ = 0;     ///< root seed (loss streams re-key in shard mode)
+  Rng loss_rng_;               ///< shared stream (complete graphs only)
+  std::vector<Rng> loss_rngs_;  ///< per-link streams (partial topologies)
   std::vector<ActiveTx> active_;  // small: rarely more than a handful in flight
   std::size_t active_count_ = 0;
   std::vector<SenseView> views_;  ///< one per node (= per link)
@@ -290,6 +373,14 @@ class Medium {
   obs::QuantileSketch* busy_period_sketch_ = nullptr;
   obs::QuantileSketch* delivery_latency_sketch_ = nullptr;
   TimePoint interval_start_;  ///< anchor for delivery latency (note_interval_start)
+
+  // Shard mode (empty/default on the legacy path).
+  bool shard_mode_ = false;
+  ShardMediumConfig shard_;
+  TimePoint resolution_horizon_;
+  std::vector<CutTxExport> outbox_;
+  /// speaker global id -> local nodes whose views it drives.
+  std::unordered_map<LinkId, std::vector<LinkId>> remote_sense_;
 };
 
 }  // namespace rtmac::phy

@@ -1,0 +1,98 @@
+// Conservative parallel coordination of per-shard event engines.
+//
+// Each shard cell owns a full engine stack (Simulator + Medium + MACs) over
+// an induced subgraph of the topology; the only couplings left are the
+// explicit cut edges from the ShardPlan. The coordinator advances all cells
+// to a common horizon (the interval end) in rounds, Chandy–Misra style:
+//
+//   1. Barrier (serial, deterministic cell order): every cell drains its
+//      outbox of finished/started cut-link transmissions into the shared
+//      mailbox; fresh records are handed to the other cells (remote-sense
+//      injection) and to the cross-shard collision ledger.
+//   2. Each cell i gets a resolution bound R_i = min(horizon, min clock of
+//      its cut-neighbor cells). A cut-link completion at time t can be
+//      resolved exactly once every conflicting neighbor's clock has passed
+//      t — all overlapping remote transmissions are then in the mailbox.
+//   3. Parallel phase: groups of cells run concurrently, each cell's
+//      Simulator bounded by a run limit = the earliest unresolvable
+//      cut completion (end > R_i); the clock stops there.
+//
+// Progress: the cell with the minimum clock c_min has R_i >= c_min, so its
+// earliest blocking completion lies strictly beyond c_min and its clock
+// strictly advances — no deadlock, and the round count per interval is
+// bounded by the number of cut-link transmissions (the lookahead between
+// barriers is at least one cross-shard airtime).
+//
+// Determinism: per-cell execution is single-threaded and schedule-free; the
+// barrier runs serially in canonical cell order; remote records are
+// injected in drain order. The result is byte-identical for any worker
+// count and any grouping of cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
+
+namespace rtmac::sim {
+
+/// One cut-link transmission exported at a window barrier.
+struct CutTxRecord {
+  LinkId link = 0;          ///< global link id
+  std::uint32_t cell = 0;   ///< originating cell
+  TimePoint start;
+  TimePoint end;
+};
+
+/// A shard cell as the coordinator sees it. Implemented by net::Network's
+/// per-cell glue; the coordinator never touches a Medium or EventQueue
+/// directly.
+class ShardCell {
+ public:
+  virtual ~ShardCell() = default;
+  /// The cell's engine clock.
+  [[nodiscard]] virtual TimePoint clock() const = 0;
+  /// Barrier phase: appends cut-link transmissions recorded since the last
+  /// drain (in start-time order) and forgets them locally.
+  virtual void drain_outbox(std::vector<CutTxRecord>& into) = 0;
+  /// Barrier phase: offers a fresh remote record; the cell injects it into
+  /// its sense views if any of its links listens to `record.link`.
+  virtual void deliver_remote(const CutTxRecord& record) = 0;
+  /// Barrier phase: arms the next window with resolution bound `bound`.
+  virtual void begin_window(TimePoint bound) = 0;
+  /// Parallel phase: runs the engine toward `horizon` (stopping early at
+  /// the armed run limit).
+  virtual void run_window(TimePoint horizon) = 0;
+};
+
+/// Advances a set of shard cells to successive horizons.
+class ShardCoordinator {
+ public:
+  /// `cut_neighbors[i]` = cells sharing at least one cut conflict edge with
+  /// cell i (these bound cell i's resolution window). `groups[g]` = cell
+  /// indices run by worker g in the parallel phase. `pool` may be null for
+  /// serial execution; it is borrowed, not owned.
+  ShardCoordinator(std::vector<ShardCell*> cells,
+                   std::vector<std::vector<std::uint32_t>> cut_neighbors,
+                   std::vector<std::vector<std::uint32_t>> groups, ThreadPool* pool);
+
+  /// Runs rounds until every cell's clock reaches `horizon`.
+  void advance_to(TimePoint horizon);
+
+  /// Barrier rounds executed so far (an observability counter; one round
+  /// per interval on cut-free plans).
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  std::vector<ShardCell*> cells_;
+  std::vector<std::vector<std::uint32_t>> cut_neighbors_;
+  std::vector<std::vector<std::uint32_t>> groups_;
+  ThreadPool* pool_;
+  std::uint64_t rounds_ = 0;
+  std::vector<CutTxRecord> fresh_;        // barrier scratch
+  std::vector<TimePoint> clock_snapshot_;  // barrier scratch
+};
+
+}  // namespace rtmac::sim

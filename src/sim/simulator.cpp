@@ -14,10 +14,13 @@ void Simulator::run() {
 void Simulator::run_until(TimePoint horizon) {
   RTMAC_REQUIRE(horizon >= now_, "horizon is in the past");
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon) {
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= horizon &&
+         queue_.next_time() < run_limit_) {
     dispatch(queue_.pop());
   }
-  if (!stopped_ && now_ < horizon) now_ = horizon;
+  if (stopped_) return;
+  const TimePoint resume = horizon < run_limit_ ? horizon : run_limit_;
+  if (now_ < resume) now_ = resume;
 }
 
 }  // namespace rtmac::sim

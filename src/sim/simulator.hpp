@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "sim/event_queue.hpp"
@@ -61,7 +62,24 @@ class Simulator {
   void run();
 
   /// Runs events with time <= horizon, then sets the clock to the horizon.
+  /// When a run limit is armed (sharded execution), only events strictly
+  /// before the limit execute and the clock stops at min(horizon, limit).
   void run_until(TimePoint horizon);
+
+  /// Sentinel meaning "no run limit armed".
+  [[nodiscard]] static constexpr TimePoint no_run_limit() {
+    return TimePoint::from_ns(std::numeric_limits<std::int64_t>::max());
+  }
+
+  /// Arms a conservative execution bound for run_until(): events at
+  /// time >= `limit` stay queued and the clock never passes the limit.
+  /// Used by the shard coordinator to block cross-shard completions whose
+  /// resolution window has not been reached yet. May be re-armed (tightened
+  /// or relaxed) from inside event callbacks; run_until re-reads it every
+  /// iteration. Does not affect run().
+  void set_run_limit(TimePoint limit) { run_limit_ = limit; }
+  void clear_run_limit() { run_limit_ = no_run_limit(); }
+  [[nodiscard]] TimePoint run_limit() const { return run_limit_; }
 
   /// Requests termination of a run in progress (callable from callbacks).
   void stop() { stopped_ = true; }
@@ -88,6 +106,7 @@ class Simulator {
 
   EventQueue queue_;
   TimePoint now_ = TimePoint::origin();
+  TimePoint run_limit_ = no_run_limit();
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
 };

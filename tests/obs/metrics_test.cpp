@@ -248,5 +248,117 @@ TEST(ObservabilityTest, BusyFractionStaysAFractionUnderCollisions) {
   EXPECT_GT(airtime, busy);
 }
 
+// ---- merge (the sharded-run aggregation path) -------------------------------
+
+TEST(HistogramMergeTest, FoldsCountsSumAndExtremes) {
+  Histogram a{{1.0, 2.0, 4.0}};
+  Histogram b{{1.0, 2.0, 4.0}};
+  for (const double v : {0.5, 1.5, 3.0}) a.observe(v);
+  for (const double v : {1.8, 100.0}) b.observe(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.sum(), 106.8);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  ASSERT_EQ(a.bucket_counts().size(), 4u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);  // 0.5
+  EXPECT_EQ(a.bucket_counts()[1], 2u);  // 1.5, 1.8
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // 3.0
+  EXPECT_EQ(a.bucket_counts()[3], 1u);  // 100 -> +inf
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(HistogramMergeTest, EmptyOperandsAreIdentity) {
+  Histogram a{{1.0, 2.0}};
+  Histogram empty{{1.0, 2.0}};
+  a.observe(1.5);
+  a.merge(empty);  // empty right operand: no change
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+
+  Histogram c{{1.0, 2.0}};
+  c.merge(a);  // empty left operand: adopts a's stats exactly
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_DOUBLE_EQ(c.min(), 1.5);
+  EXPECT_DOUBLE_EQ(c.max(), 1.5);
+  EXPECT_DOUBLE_EQ(c.sum(), 1.5);
+}
+
+TEST(RegistryMergeTest, CountersAddGaugesTakeTheirsHistogramsFold) {
+  MetricsRegistry into;
+  MetricsRegistry from;
+  into.counter("c").inc(2);
+  from.counter("c").inc(40);
+  from.counter("only_theirs").inc(7);
+  into.gauge("g").set(1.0);
+  from.gauge("g").set(9.0);
+  into.histogram("h", {1.0, 2.0}).observe(0.5);
+  from.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  into.merge_from(from);
+  EXPECT_EQ(into.counter("c").value(), 42u);
+  EXPECT_EQ(into.counter("only_theirs").value(), 7u);  // created on the fly
+  EXPECT_DOUBLE_EQ(into.gauge("g").value(), 9.0);      // last write wins
+  EXPECT_EQ(into.histogram("h", {1.0, 2.0}).count(), 2u);
+  // The source registry is read-only under merge.
+  EXPECT_EQ(from.counter("c").value(), 40u);
+}
+
+TEST(RegistryMergeTest, SketchUnionIsDeterministicAndOrderInsensitiveOnExactSketches) {
+  // Exact-mode sketches (few samples) merge as true unions, so folding the
+  // same per-cell registries in any order must give identical quantiles —
+  // the property the sharded metrics aggregation relies on.
+  const auto fill = [](MetricsRegistry& reg, int lo, int hi) {
+    QuantileSketch& s = reg.sketch("lat");
+    for (int v = lo; v < hi; ++v) s.update(static_cast<double>(v));
+  };
+  MetricsRegistry cell0;
+  MetricsRegistry cell1;
+  fill(cell0, 0, 50);
+  fill(cell1, 50, 100);
+
+  MetricsRegistry ab;
+  ab.merge_from(cell0);
+  ab.merge_from(cell1);
+  MetricsRegistry ba;
+  ba.merge_from(cell1);
+  ba.merge_from(cell0);
+
+  QuantileSketch& sab = ab.sketch("lat");
+  QuantileSketch& sba = ba.sketch("lat");
+  EXPECT_EQ(sab.count(), 100u);
+  EXPECT_EQ(sba.count(), 100u);
+  EXPECT_DOUBLE_EQ(sab.sum(), sba.sum());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(sab.quantile(q), sba.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(sab.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sab.max(), 99.0);
+}
+
+TEST(RegistryMergeTest, MergingPerCellRegistriesMatchesTheFlatRegistry) {
+  // Simulate the sharded collect path: three cells each record into private
+  // registries; merging them must equal one registry fed the same stream.
+  MetricsRegistry flat;
+  MetricsRegistry cells[3];
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      const double v = c * 20 + i;
+      cells[c].counter("n").inc();
+      cells[c].histogram("h", {8.0, 32.0}).observe(v);
+      flat.counter("n").inc();
+      flat.histogram("h", {8.0, 32.0}).observe(v);
+    }
+  }
+  MetricsRegistry merged;
+  for (const auto& cell : cells) merged.merge_from(cell);
+  EXPECT_EQ(merged.counter("n").value(), flat.counter("n").value());
+  EXPECT_EQ(merged.histogram("h", {8.0, 32.0}).bucket_counts(),
+            flat.histogram("h", {8.0, 32.0}).bucket_counts());
+  EXPECT_DOUBLE_EQ(merged.histogram("h", {8.0, 32.0}).sum(),
+                   flat.histogram("h", {8.0, 32.0}).sum());
+}
+
 }  // namespace
 }  // namespace rtmac::obs

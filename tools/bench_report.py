@@ -25,7 +25,16 @@ must fail CI, not produce a hollow trajectory point).
 
 --baseline accepts either raw google-benchmark JSON or an already-distilled
 rtmac.bench document (e.g. the committed BENCH_N.json of the previous PR),
-detected by its "schema" field.
+detected by its "schema" field. When --baseline is omitted, the tool
+auto-picks the highest-numbered committed BENCH_N.json in the current
+directory (skipping the file named by -o, so regenerating a trajectory
+point never uses itself as its own baseline); --no-baseline disables the
+comparison entirely.
+
+--extra FILE (repeatable) embeds additional JSON documents — e.g. the
+city-scale sharded-engine numbers written by bench/city_scale to
+bench_out/city_scale.json — under the output's "extra" map, keyed by the
+document's "schema" field (file stem as fallback).
 
 Output schema (rtmac.bench v1):
 
@@ -148,6 +157,26 @@ def load_benchmarks(raw):
     return distill(raw)
 
 
+def latest_committed_baseline(directory=Path("."), exclude=None):
+    """Highest-numbered BENCH_<N>.json in `directory`, or None.
+
+    `exclude` (a Path) is skipped so an invocation writing BENCH_8.json
+    never picks its own output as the baseline.
+    """
+    best = None
+    best_n = -1
+    for path in directory.glob("BENCH_*.json"):
+        stem = path.stem[len("BENCH_"):]
+        if not stem.isdigit():
+            continue
+        if exclude is not None and path.resolve() == Path(exclude).resolve():
+            continue
+        if int(stem) > best_n:
+            best_n = int(stem)
+            best = path
+    return best
+
+
 def speedups(current, baseline):
     out = {}
     for name, bench in sorted(current.items()):
@@ -168,7 +197,17 @@ def main(argv=None):
     parser.add_argument("--baseline", type=Path, default=None,
                         help="pre-change benchmarks: raw google-benchmark "
                              "JSON or a distilled BENCH_N.json; embedded for "
-                             "before/after comparison")
+                             "before/after comparison (default: the latest "
+                             "committed BENCH_N.json in the current "
+                             "directory, if any)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the baseline comparison even when a "
+                             "committed BENCH_N.json exists")
+    parser.add_argument("--extra", type=Path, action="append", default=[],
+                        help="embed this JSON document under the output's "
+                             "'extra' map (repeatable); e.g. the "
+                             "bench_out/city_scale.json written by "
+                             "bench/city_scale")
     parser.add_argument("--gate-zero-alloc", action="store_true",
                         help="fail (exit 1) unless every *Allocs* benchmark "
                              "reports all allocation counters == 0")
@@ -188,11 +227,22 @@ def main(argv=None):
         context = raw.get("context", {})
         doc["context"] = {k: context[k] for k in _CONTEXT_KEYS if k in context}
         doc["benchmarks"] = benchmarks
-        if args.baseline is not None:
-            base_raw = json.loads(args.baseline.read_text())
+        baseline_path = args.baseline
+        if baseline_path is None and not args.no_baseline:
+            baseline_path = latest_committed_baseline(exclude=args.output)
+            if baseline_path is not None:
+                print(f"bench_report: baseline auto-picked: {baseline_path}")
+        if baseline_path is not None and not args.no_baseline:
+            base_raw = json.loads(baseline_path.read_text())
             base = load_benchmarks(base_raw)
             doc["baseline"] = base
             doc["speedup_vs_baseline"] = speedups(benchmarks, base)
+        for extra_path in args.extra:
+            extra = json.loads(extra_path.read_text())
+            if not isinstance(extra, dict):
+                raise ReportError(f"{extra_path}: --extra expects a JSON object")
+            key = extra.get("schema") or extra_path.stem
+            doc.setdefault("extra", {})[str(key)] = extra
     except (ReportError, OSError, json.JSONDecodeError) as e:
         print(f"bench_report: malformed input: {e}", file=sys.stderr)
         return 2

@@ -35,6 +35,14 @@ cannot express:
                       fill caller-owned spans out, so the steady state stays
                       allocation-free (BM_DbdpIntervalAllocs == 0 is
                       CI-gated).
+  shard-isolation     No shard-mode Medium plumbing (configure_shard,
+                      register_remote_sense, inject_remote_activity,
+                      drain_cut_outbox, set_resolution_horizon) outside the
+                      Medium itself, the shard coordinator, and the Network
+                      glue in src/net/network.cpp. Cross-shard state flows
+                      through the coordinator's deterministic mailboxes only;
+                      a stray call from scheme/bench code would bypass the
+                      window barriers and break run-to-run determinism.
   header-self-contained
                       Every header under src/ must compile on its own
                       (g++ -fsyntax-only), so include order never matters.
@@ -71,6 +79,7 @@ RULE_SCOPES = {
     "raw-assert": ("src",),
     "std-function": ("src/sim", "src/phy", "src/mac"),
     "interval-interface-alloc": ("src/mac", "src/net"),
+    "shard-isolation": ("src", "bench", "tests", "examples"),
 }
 
 # Files (or directories, trailing "/") exempt from a rule. Keep this list
@@ -84,6 +93,15 @@ ALLOWLISTS = {
         # quarantined to profile.jsonl / profile gauges, never sim-domain data.
         "src/expfw/runner.cpp",
         "src/expfw/observe.cpp",
+    ),
+    "shard-isolation": (
+        # The Medium owns the shard-mode API; the coordinator and the
+        # Network's cell glue are the only sanctioned callers.
+        "src/phy/medium.hpp",
+        "src/phy/medium.cpp",
+        "src/sim/sharded_simulator.hpp",
+        "src/sim/sharded_simulator.cpp",
+        "src/net/network.cpp",
     ),
 }
 
@@ -111,6 +129,10 @@ FLOAT_EQ_LITERAL_RE = re.compile(
 )
 
 INTERVAL_IFACE_RE = re.compile(r"\b(?:begin|end)_interval\s*\(")
+
+SHARD_ISOLATION_RE = re.compile(
+    r"\b(?:configure_shard|register_remote_sense|inject_remote_activity"
+    r"|drain_cut_outbox|set_resolution_horizon)\s*\(")
 
 ALLOC_CONTAINER_RE = re.compile(
     r"\bstd\s*::\s*(?:vector|deque|list|forward_list|map|set|multimap"
@@ -252,6 +274,14 @@ def check_interval_interface(path, text):
     return out
 
 
+def check_shard_isolation(path, text):
+    return _scan_regex(
+        path, text, "shard-isolation", SHARD_ISOLATION_RE,
+        "shard-mode Medium API outside the Medium/coordinator/Network glue "
+        "(cross-shard state must flow through the coordinator's "
+        "deterministic mailboxes)")
+
+
 def check_unordered_iteration(path, text):
     out = []
     names = set()
@@ -281,6 +311,7 @@ TEXT_RULES = {
     "raw-assert": check_raw_assert,
     "std-function": check_std_function,
     "interval-interface-alloc": check_interval_interface,
+    "shard-isolation": check_shard_isolation,
 }
 
 

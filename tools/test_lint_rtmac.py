@@ -261,6 +261,50 @@ class TreeScanAndAllowlist(unittest.TestCase):
         self.assertEqual([x.rule for x in v], ["wall-clock"])
         self.assertIn("obs/sketch.cpp", str(v[0]))
 
+    def test_shard_api_outside_allowlist_fails(self):
+        # Scheme/bench code must not reach into the shard-mode Medium API:
+        # cross-shard state flows only through the coordinator's mailboxes.
+        root = self.make_tree()
+        (root / "src" / "mac").mkdir()
+        (root / "src" / "mac" / "rogue.cpp").write_text(
+            "medium.inject_remote_activity(rec);\n"
+            "medium.drain_cut_outbox(out);\n")
+        v = lint_rtmac.scan_tree(root)
+        self.assertEqual([x.rule for x in v],
+                         ["shard-isolation", "shard-isolation"])
+        self.assertIn("mac/rogue.cpp", str(v[0]))
+
+    def test_shard_api_in_medium_and_network_glue_passes(self):
+        root = self.make_tree()
+        (root / "src" / "phy").mkdir()
+        (root / "src" / "net").mkdir()
+        (root / "src" / "sim").mkdir()
+        shard_calls = ("m.configure_shard(cfg);\n"
+                       "m.register_remote_sense(speaker, nodes);\n"
+                       "m.set_resolution_horizon(end);\n"
+                       "m.drain_cut_outbox(out);\n"
+                       "m.inject_remote_activity(rec);\n")
+        (root / "src" / "phy" / "medium.cpp").write_text(shard_calls)
+        (root / "src" / "net" / "network.cpp").write_text(shard_calls)
+        (root / "src" / "sim" / "sharded_simulator.cpp").write_text(
+            shard_calls)
+        self.assertEqual(lint_rtmac.scan_tree(root), [])
+
+    def test_shard_isolation_checker_direct(self):
+        v = violations_in(lint_rtmac.check_shard_isolation,
+                          "medium_->set_resolution_horizon(end);\n")
+        self.assertEqual([x.rule for x in v], ["shard-isolation"])
+        # Plain horizon-flavored identifiers and comments are fine.
+        v = violations_in(
+            lint_rtmac.check_shard_isolation,
+            "double horizon = end;  // set_resolution_horizon is banned\n")
+        self.assertEqual(v, [])
+        # Suppression works like every other rule.
+        v = violations_in(
+            lint_rtmac.check_shard_isolation,
+            "m.drain_cut_outbox(out);  // lint-ok: shard-isolation test rig\n")
+        self.assertEqual(v, [])
+
     def test_obs_stream_nondet_rng_fails(self):
         # Same guarantee, RNG flavor: compaction coins must come from the
         # seeded util Rng, never from rand()/random_device.
