@@ -6,8 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
-#include <mutex>
-#include <optional>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -22,6 +21,7 @@
 #include "stats/deficiency.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rtmac::expfw {
@@ -35,6 +35,100 @@ std::vector<double> replication_column(const std::vector<std::vector<double>>& p
   for (const auto& sample : point_samples) xs.push_back(sample[m]);
   return xs;
 }
+
+/// Serializes calls to the user's config builder. Config builders are user
+/// lambdas with no thread-safety contract beyond order-independence, so
+/// every pool task builds under one lock (building is trivial next to a
+/// run). Holding the callable as a GUARDED_BY member makes the discipline
+/// compile-time checkable, which a bare local mutex never was.
+class SerializedConfigAt {
+ public:
+  explicit SerializedConfigAt(const ConfigAt& fn) : fn_{fn} {}
+
+  net::NetworkConfig operator()(double x) RTMAC_EXCLUDES(mutex_) {
+    const util::LockGuard lock{mutex_};
+    return fn_(x);
+  }
+
+ private:
+  util::Mutex mutex_;
+  const ConfigAt& fn_ RTMAC_GUARDED_BY(mutex_);
+};
+
+/// Completion bookkeeping behind one mutex: per-point done counters (CSV row
+/// flushing + the heartbeat's grid-point count) and the wall-clock progress
+/// aggregates. The mutex also orders each task's sample writes (sequenced
+/// before its task_finished call) before any CSV row that reads them.
+class ProgressBoard {
+ public:
+  ProgressBoard(const std::vector<SweepResult>& results, std::size_t grid_size,
+                std::size_t tasks_per_point, std::size_t tasks, IntervalIndex intervals,
+                bool progress, CsvWriter* csv, std::ofstream* csv_file)
+      : results_{results},
+        tasks_per_point_{tasks_per_point},
+        tasks_{tasks},
+        grid_size_{grid_size},
+        intervals_{intervals},
+        progress_{progress},
+        csv_{csv},
+        csv_file_{csv_file},
+        sweep_start_{std::chrono::steady_clock::now()},
+        point_done_(grid_size, 0) {}
+
+  /// Called by each pool task after it stored its sample (and profile).
+  void task_finished(std::size_t point, std::uint64_t events) RTMAC_EXCLUDES(mutex_) {
+    const util::LockGuard lock{mutex_};
+    ++point_done_[point];
+    if (point_done_[point] == tasks_per_point_) ++points_done_;
+    if (csv_ != nullptr) {
+      // Incremental CSV: flush grid-point rows in ascending grid order as
+      // soon as every task for the next point has finished.
+      while (next_flush_ < grid_size_ && point_done_[next_flush_] == tasks_per_point_) {
+        write_sweep_csv_row(*csv_, results_, next_flush_);
+        csv_file_->flush();
+        ++next_flush_;
+      }
+    }
+    if (progress_) {
+      ++tasks_done_;
+      events_done_ += events;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start_)
+              .count();
+      const double inv = elapsed > 0.0 ? 1.0 / elapsed : 0.0;
+      const double eta = static_cast<double>(tasks_ - tasks_done_) * elapsed /
+                         static_cast<double>(tasks_done_);
+      // Heartbeat only: wall-clock rates on stderr, overwritten in place;
+      // never written to any deterministic output.
+      std::fprintf(stderr,
+                   "\rsweep: %zu/%zu tasks, %zu/%zu points, %.3g events/s, "
+                   "%.3g intervals/s, eta %.1fs   ",
+                   tasks_done_, tasks_, points_done_, grid_size_,
+                   static_cast<double>(events_done_) * inv,
+                   static_cast<double>(tasks_done_) * static_cast<double>(intervals_) * inv,
+                   eta);
+      std::fflush(stderr);
+    }
+  }
+
+ private:
+  const std::vector<SweepResult>& results_;
+  const std::size_t tasks_per_point_;
+  const std::size_t tasks_;
+  const std::size_t grid_size_;
+  const IntervalIndex intervals_;
+  const bool progress_;
+  CsvWriter* const csv_ RTMAC_PT_GUARDED_BY(mutex_);        ///< null = no CSV
+  std::ofstream* const csv_file_ RTMAC_PT_GUARDED_BY(mutex_);
+  const std::chrono::steady_clock::time_point sweep_start_;
+
+  util::Mutex mutex_;
+  std::vector<std::size_t> point_done_ RTMAC_GUARDED_BY(mutex_);
+  std::size_t next_flush_ RTMAC_GUARDED_BY(mutex_) = 0;
+  std::size_t points_done_ RTMAC_GUARDED_BY(mutex_) = 0;
+  std::size_t tasks_done_ RTMAC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t events_done_ RTMAC_GUARDED_BY(mutex_) = 0;
+};
 
 }  // namespace
 
@@ -127,9 +221,7 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
   const std::size_t tasks = schemes.size() * grid.size() * opts.reps;
   const std::size_t requested = opts.jobs == 0 ? ThreadPool::hardware_threads() : opts.jobs;
   ThreadPool pool{std::min(requested, tasks)};
-  // Config builders are user lambdas with no thread-safety contract beyond
-  // order-independence; serialize them (building is trivial next to a run).
-  std::mutex config_mutex;
+  SerializedConfigAt serialized_config_at{config_at};
 
   // Per-task observability output, serialized JSONL held per task slot so
   // the concatenated files come out in deterministic (scheme, point, rep)
@@ -151,19 +243,22 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
   // Shares write_sweep_csv's column/row formatting, so the bytes match the
   // buffered writer exactly.
   const std::size_t tasks_per_point = schemes.size() * opts.reps;
-  std::optional<std::ofstream> csv_file;
-  std::optional<CsvWriter> csv;
+  // unique_ptr rather than optional: the late-bound stream/writer pair is
+  // all-or-nothing, and pointers keep flow-sensitive optional-access
+  // analyzers (bugprone-unchecked-optional-access) out of the picture.
+  std::unique_ptr<std::ofstream> csv_file;
+  std::unique_ptr<CsvWriter> csv;
   if (with_csv) {
     if (const auto parent = std::filesystem::path{opts.csv_path}.parent_path();
         !parent.empty()) {
       std::error_code ec;
       std::filesystem::create_directories(parent, ec);
     }
-    csv_file.emplace(opts.csv_path);
+    csv_file = std::make_unique<std::ofstream>(opts.csv_path);
     if (!*csv_file) {
       throw std::runtime_error{"run_sweeps: cannot write csv to " + opts.csv_path};
     }
-    csv.emplace(*csv_file);
+    csv = std::make_unique<CsvWriter>(*csv_file);
     if (opts.reps > 1) {
       csv->comment("reps=" + std::to_string(opts.reps) +
                    "; ci95 = 1.96*sd/sqrt(reps) (normal approximation)");
@@ -172,17 +267,8 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
     csv_file->flush();
   }
 
-  // Completion bookkeeping behind one mutex: per-point done counters (CSV
-  // row flushing + the heartbeat's grid-point count) and the wall-clock
-  // progress aggregates. The mutex also orders each task's sample writes
-  // before any CSV row that reads them.
-  std::mutex completion_mutex;
-  std::vector<std::size_t> point_done(with_csv || opts.progress ? grid.size() : 0, 0);
-  std::size_t next_flush = 0;
-  std::size_t points_done = 0;
-  std::size_t tasks_done = 0;
-  std::uint64_t events_done = 0;
-  const auto sweep_start = std::chrono::steady_clock::now();
+  ProgressBoard board{results,      grid.size(), tasks_per_point, tasks,
+                      intervals,    opts.progress, csv.get(),     csv_file.get()};
 
   std::vector<std::future<void>> futures;
   futures.reserve(tasks);
@@ -191,11 +277,7 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
       for (std::size_t rep = 0; rep < opts.reps; ++rep) {
         const std::size_t task_index = (s * grid.size() + i) * opts.reps + rep;
         futures.push_back(pool.submit([&, s, i, rep, task_index] {
-          net::NetworkConfig config;
-          {
-            const std::lock_guard lock{config_mutex};
-            config = config_at(grid[i]);
-          }
+          net::NetworkConfig config = serialized_config_at(grid[i]);
           config.seed = sweep_seed(config.seed, schemes[s].name, i, rep);
           // Engine-selection overrides: purely an execution knob (results
           // are partition-independent), so applying it after config_at is
@@ -272,40 +354,7 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           }
 
           if (with_csv || opts.progress) {
-            const std::lock_guard lock{completion_mutex};
-            ++point_done[i];
-            if (point_done[i] == tasks_per_point) ++points_done;
-            if (with_csv) {
-              while (next_flush < grid.size() &&
-                     point_done[next_flush] == tasks_per_point) {
-                write_sweep_csv_row(*csv, results, next_flush);
-                csv_file->flush();
-                ++next_flush;
-              }
-            }
-            if (opts.progress) {
-              ++tasks_done;
-              events_done += network.simulator().events_executed();
-              const double elapsed =
-                  std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                sweep_start)
-                      .count();
-              const double inv = elapsed > 0.0 ? 1.0 / elapsed : 0.0;
-              const double eta =
-                  static_cast<double>(tasks - tasks_done) * elapsed /
-                  static_cast<double>(tasks_done);
-              // Heartbeat only: wall-clock rates on stderr, overwritten in
-              // place; never written to any deterministic output.
-              std::fprintf(stderr,
-                           "\rsweep: %zu/%zu tasks, %zu/%zu points, %.3g events/s, "
-                           "%.3g intervals/s, eta %.1fs   ",
-                           tasks_done, tasks, points_done, grid.size(),
-                           static_cast<double>(events_done) * inv,
-                           static_cast<double>(tasks_done) *
-                               static_cast<double>(intervals) * inv,
-                           eta);
-              std::fflush(stderr);
-            }
+            board.task_finished(i, network.simulator().events_executed());
           }
         }));
       }

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/shard_barrier.hpp"
 #include "sim/shard_partitioner.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "stats/deficiency.hpp"
@@ -51,14 +52,15 @@ class Network::CutState final : public phy::CutResolver {
   /// Barrier phase (serial): remember one exported cut transmission.
   /// Records of sense-only speakers (no cut conflict edge) are not needed
   /// for resolution and are dropped here.
-  void add_record(const sim::CutTxRecord& r) {
+  void add_record(const sim::CutTxRecord& r) RTMAC_REQUIRES(sim::shard_barrier) {
     const std::uint32_t slot = slot_of_[r.link];
     if (slot != kNoSlot) records_[slot].push_back(r);
   }
 
   /// Interval boundary (serial): the gap rule guarantees no transmission
-  /// crosses it, so all records are dead.
-  void clear_records() {
+  /// crosses it, so all records are dead. Serial like the barrier phase, so
+  /// it borrows the same phantom capability.
+  void clear_records() RTMAC_REQUIRES(sim::shard_barrier) {
     for (auto& v : records_) v.clear();
   }
 
@@ -141,14 +143,23 @@ struct Network::Cell final : public sim::ShardCell {
         arrivals(links.size(), 0),
         delivered(links.size(), 0) {}
 
-  // sim::ShardCell:
+  // sim::ShardCell. The thread-safety analysis does not inherit attributes
+  // from the base-class declarations, so the phase annotations are repeated
+  // here — without them the bodies could not call the Medium's
+  // barrier-phase-only entry points.
   [[nodiscard]] TimePoint clock() const override { return sim.now(); }
-  void drain_outbox(std::vector<sim::CutTxRecord>& into) override;
-  void deliver_remote(const sim::CutTxRecord& record) override {
+  void drain_outbox(std::vector<sim::CutTxRecord>& into) override
+      RTMAC_REQUIRES(sim::shard_barrier);
+  void deliver_remote(const sim::CutTxRecord& record) override
+      RTMAC_REQUIRES(sim::shard_barrier) {
     medium->inject_remote_activity(record.link, record.start, record.end);
   }
-  void begin_window(TimePoint bound) override { medium->set_resolution_horizon(bound); }
-  void run_window(TimePoint horizon) override { sim.run_until(horizon); }
+  void begin_window(TimePoint bound) override RTMAC_REQUIRES(sim::shard_barrier) {
+    medium->set_resolution_horizon(bound);
+  }
+  void run_window(TimePoint horizon) override RTMAC_EXCLUDES(sim::shard_barrier) {
+    sim.run_until(horizon);
+  }
 };
 
 // ---- Shard ------------------------------------------------------------------
@@ -164,7 +175,8 @@ struct Network::Shard {
   std::unique_ptr<sim::ShardCoordinator> coordinator;  ///< null = cut-free fast path
 };
 
-void Network::Cell::drain_outbox(std::vector<sim::CutTxRecord>& into) {
+void Network::Cell::drain_outbox(std::vector<sim::CutTxRecord>& into)
+    RTMAC_REQUIRES(sim::shard_barrier) {
   outbox_scratch.clear();
   medium->drain_cut_outbox(outbox_scratch);
   for (const phy::CutTxExport& e : outbox_scratch) {
@@ -249,7 +261,10 @@ void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& s
   if (config_.sparse_topology != nullptr) {
     conflict = config_.sparse_topology->conflict;
     sense = config_.sparse_topology->sense;
-  } else {
+  } else if (config_.topology.has_value()) {
+    // The has_value() guard is local on purpose: the caller checks it too,
+    // but flow-sensitive analyzers (bugprone-unchecked-optional-access) only
+    // see in-function guards.
     const phy::InterferenceGraph& g = *config_.topology;
     conflict.resize(n);
     sense.resize(n);
@@ -260,6 +275,8 @@ void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& s
         if (g.senses(a, b)) sense[a].push_back(b);
       }
     }
+  } else {
+    RTMAC_UNREACHABLE("build_shard requires a topology");
   }
   sim::ShardPlan plan = sim::partition_topology(conflict, sense, target_shards);
   if (plan.trivial()) return;  // caller falls back to the legacy engine
@@ -516,7 +533,11 @@ void Network::run_sharded_interval(IntervalIndex k, TimePoint start, TimePoint e
       cell->scheme->end_interval(cell->delivered);
       cell->debts.on_interval_end(cell->delivered);
     }
-    sh.cut->clear_records();
+    {
+      // Interval boundary is serial — same discipline as the window barrier.
+      const util::PhantomLock barrier{sim::shard_barrier};
+      sh.cut->clear_records();
+    }
   } else {
     // Cut-free fast path: cells are fully independent, so the whole interval
     // (begin / run / end / debts) folds into one task per group.

@@ -1,5 +1,6 @@
 #include "obs/flight_recorder.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 
@@ -11,9 +12,10 @@ namespace rtmac::obs {
 namespace {
 
 /// The armed recorder. util/check's dump hook is a plain function pointer,
-/// so the instance travels through this (single-threaded failure path; the
-/// hook itself is already serialized by check_detail::fail).
-FlightRecorder* g_armed = nullptr;
+/// so the instance travels through this. Atomic because arming happens on
+/// the main thread while the failure path (dump_hook) can fire on any pool
+/// worker; the hook body itself is already serialized by check_detail::fail.
+std::atomic<FlightRecorder*> g_armed{nullptr};
 
 }  // namespace
 
@@ -23,23 +25,29 @@ FlightRecorder::FlightRecorder(std::string dump_path, std::size_t ring_capacity)
 FlightRecorder::~FlightRecorder() { disarm(); }
 
 void FlightRecorder::arm() {
-  RTMAC_REQUIRE(g_armed == nullptr || g_armed == this,
+  FlightRecorder* const current = g_armed.load(std::memory_order_acquire);
+  RTMAC_REQUIRE(current == nullptr || current == this,
                 "another FlightRecorder is already armed");
-  g_armed = this;
+  g_armed.store(this, std::memory_order_release);
   set_check_dump_hook(&FlightRecorder::dump_hook);
 }
 
 void FlightRecorder::disarm() {
-  if (g_armed != this) return;
-  g_armed = nullptr;
+  FlightRecorder* expected = this;
+  if (!g_armed.compare_exchange_strong(expected, nullptr, std::memory_order_acq_rel)) {
+    return;
+  }
   set_check_dump_hook(nullptr);
 }
 
-bool FlightRecorder::armed() const { return g_armed == this; }
+bool FlightRecorder::armed() const {
+  return g_armed.load(std::memory_order_acquire) == this;
+}
 
 void FlightRecorder::dump_hook(const char* kind, const char* expr, const char* file,
                                int line, const std::string& message) {
-  if (g_armed != nullptr) g_armed->dump(kind, expr, file, line, message);
+  FlightRecorder* const armed = g_armed.load(std::memory_order_acquire);
+  if (armed != nullptr) armed->dump(kind, expr, file, line, message);
 }
 
 bool FlightRecorder::dump(const char* kind, const char* expr, const char* file, int line,

@@ -18,6 +18,14 @@
 //
 // One recorder may be armed at a time (the hook is process-wide); the
 // destructor disarms, so scope-bound usage cannot leak the hook.
+//
+// Threading: arm()/disarm() run on the owning thread; the dump hook can
+// fire on any pool worker (a contract failure inside a sweep task), so the
+// armed-recorder global is an atomic pointer. The ring itself is
+// single-writer by construction — it is attached to exactly one engine,
+// and each engine is advanced by exactly one thread at a time (see
+// DESIGN.md §5c); dump() reads it only on the failing thread, after the
+// failure has stopped that engine's event loop.
 #pragma once
 
 #include <string>

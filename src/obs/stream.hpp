@@ -7,6 +7,12 @@
 // profile.jsonl), so a streamed file is byte-identical across --jobs when
 // the per-task blocks are concatenated in deterministic task order — the
 // same contract metrics.jsonl already meets.
+//
+// Threading: a sink is single-owner — each sweep task writes to its own
+// StringStreamSink, and the FileStreamSink concatenation happens after the
+// pool has joined. Nothing here is locked, and nothing may be shared across
+// concurrently running tasks; the sweep engine's per-task-slot block scheme
+// (see expfw/runner.cpp) is what keeps output deterministic.
 #pragma once
 
 #include <fstream>

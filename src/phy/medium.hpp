@@ -25,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "phy/channel_model.hpp"
 #include "phy/interference.hpp"
+#include "sim/shard_barrier.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/inplace_function.hpp"
@@ -237,6 +238,12 @@ class Medium {
   // sense views of cross-cell speakers), and a resolution horizon that
   // converts the coordinator's conservative bound into a Simulator run
   // limit. None of this exists on the legacy single-engine path.
+  //
+  // The per-window entry points REQUIRE the sim::shard_barrier phantom
+  // capability: they mutate cross-shard state and are only sound inside the
+  // coordinator's serial barrier phase. configure_shard/register_remote_sense
+  // run at construction time, before any parallel phase exists, and are
+  // deliberately unannotated.
 
   /// Enters shard mode. Precondition: the topology's completeness flags are
   /// cleared (cell subgraphs always are — see InterferenceGraph::induced).
@@ -250,15 +257,17 @@ class Medium {
   /// transmissions ending after `bound` may not execute yet, so the engine
   /// run limit is set to the earliest such end (or cleared). Called by the
   /// coordinator at every window barrier.
-  void set_resolution_horizon(TimePoint bound);
+  void set_resolution_horizon(TimePoint bound) RTMAC_REQUIRES(sim::shard_barrier);
 
   /// Appends and clears the exported cut transmissions (start-time order).
-  void drain_cut_outbox(std::vector<CutTxExport>& into);
+  void drain_cut_outbox(std::vector<CutTxExport>& into)
+      RTMAC_REQUIRES(sim::shard_barrier);
 
   /// Schedules a phantom busy period [start, end) on the views of the local
   /// nodes registered for `speaker`. Stale parts before now() are clipped;
   /// a fully stale record is dropped. No-op for unregistered speakers.
-  void inject_remote_activity(LinkId speaker, TimePoint start, TimePoint end);
+  void inject_remote_activity(LinkId speaker, TimePoint start, TimePoint end)
+      RTMAC_REQUIRES(sim::shard_barrier);
 
   /// Attaches a protocol tracer (not owned; null detaches). The medium is
   /// the natural distribution point: MAC components that already hold a

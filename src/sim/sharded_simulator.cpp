@@ -17,36 +17,45 @@ ShardCoordinator::ShardCoordinator(std::vector<ShardCell*> cells,
       pool_{pool} {
   RTMAC_REQUIRE(!cells_.empty(), "coordinator needs at least one cell");
   RTMAC_REQUIRE(cut_neighbors_.size() == cells_.size(), "cut_neighbors size mismatch");
+  const util::PhantomLock barrier{shard_barrier};
   clock_snapshot_.resize(cells_.size());
 }
 
 void ShardCoordinator::advance_to(TimePoint horizon) {
   for (;;) {
-    // Snapshot clocks once per round; R_i below uses the snapshot so the
-    // round is independent of execution order inside the parallel phase.
-    bool done = true;
-    for (std::size_t c = 0; c < cells_.size(); ++c) {
-      clock_snapshot_[c] = cells_[c]->clock();
-      if (clock_snapshot_[c] < horizon) done = false;
-    }
-    if (done) break;
+    {
+      // Serial barrier phase. The PhantomLock grants the shard_barrier
+      // capability to this scope (coordinating thread only), which is what
+      // entitles it to call the cells' barrier-phase methods and touch the
+      // guarded scratch vectors.
+      const util::PhantomLock barrier{shard_barrier};
 
-    // Serial barrier: drain outboxes in canonical cell order, then deliver
-    // each fresh record to every other cell (the receiving cell filters for
-    // relevance). Serial + ordered == deterministic mailbox contents.
-    fresh_.clear();
-    for (auto* cell : cells_) cell->drain_outbox(fresh_);
-    for (const CutTxRecord& record : fresh_) {
-      for (std::uint32_t c = 0; c < cells_.size(); ++c) {
-        if (c != record.cell) cells_[c]->deliver_remote(record);
+      // Snapshot clocks once per round; R_i below uses the snapshot so the
+      // round is independent of execution order inside the parallel phase.
+      bool done = true;
+      for (std::size_t c = 0; c < cells_.size(); ++c) {
+        clock_snapshot_[c] = cells_[c]->clock();
+        if (clock_snapshot_[c] < horizon) done = false;
       }
-    }
-    for (std::size_t c = 0; c < cells_.size(); ++c) {
-      TimePoint bound = horizon;
-      for (std::uint32_t nb : cut_neighbors_[c]) {
-        if (clock_snapshot_[nb] < bound) bound = clock_snapshot_[nb];
+      if (done) break;
+
+      // Drain outboxes in canonical cell order, then deliver each fresh
+      // record to every other cell (the receiving cell filters for
+      // relevance). Serial + ordered == deterministic mailbox contents.
+      fresh_.clear();
+      for (auto* cell : cells_) cell->drain_outbox(fresh_);
+      for (const CutTxRecord& record : fresh_) {
+        for (std::uint32_t c = 0; c < cells_.size(); ++c) {
+          if (c != record.cell) cells_[c]->deliver_remote(record);
+        }
       }
-      cells_[c]->begin_window(bound);
+      for (std::size_t c = 0; c < cells_.size(); ++c) {
+        TimePoint bound = horizon;
+        for (std::uint32_t nb : cut_neighbors_[c]) {
+          if (clock_snapshot_[nb] < bound) bound = clock_snapshot_[nb];
+        }
+        cells_[c]->begin_window(bound);
+      }
     }
 
     // Parallel phase: each group advances its cells toward the horizon.
@@ -73,7 +82,10 @@ void ShardCoordinator::advance_to(TimePoint horizon) {
 
     // Safety net: the conservative bound guarantees the minimum clock
     // strictly advances each round; a stall means a lookahead bug, and
-    // looping forever would be far harder to debug than this abort.
+    // looping forever would be far harder to debug than this abort. The
+    // parallel phase is over, so re-entering the barrier phase to read the
+    // snapshot is legitimate.
+    const util::PhantomLock barrier{shard_barrier};
     bool advanced = false;
     for (std::size_t c = 0; c < cells_.size(); ++c) {
       if (cells_[c]->clock() > clock_snapshot_[c]) advanced = true;

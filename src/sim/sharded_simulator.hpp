@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "sim/shard_barrier.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time.hpp"
 
@@ -49,22 +50,31 @@ struct CutTxRecord {
 /// A shard cell as the coordinator sees it. Implemented by net::Network's
 /// per-cell glue; the coordinator never touches a Medium or EventQueue
 /// directly.
+///
+/// Phase discipline is compile-time checked via the `shard_barrier` phantom
+/// capability: barrier-phase methods REQUIRE it (only the coordinator's
+/// serial section holds it), the parallel-phase method EXCLUDES it.
+/// Overrides must repeat the annotations — the analysis does not inherit
+/// attributes through virtual dispatch declarations in derived classes.
 class ShardCell {
  public:
   virtual ~ShardCell() = default;
-  /// The cell's engine clock.
+  /// The cell's engine clock. Safe in either phase (each cell is advanced by
+  /// exactly one thread, and the coordinator reads it only at barriers).
   [[nodiscard]] virtual TimePoint clock() const = 0;
   /// Barrier phase: appends cut-link transmissions recorded since the last
   /// drain (in start-time order) and forgets them locally.
-  virtual void drain_outbox(std::vector<CutTxRecord>& into) = 0;
+  virtual void drain_outbox(std::vector<CutTxRecord>& into)
+      RTMAC_REQUIRES(shard_barrier) = 0;
   /// Barrier phase: offers a fresh remote record; the cell injects it into
   /// its sense views if any of its links listens to `record.link`.
-  virtual void deliver_remote(const CutTxRecord& record) = 0;
+  virtual void deliver_remote(const CutTxRecord& record)
+      RTMAC_REQUIRES(shard_barrier) = 0;
   /// Barrier phase: arms the next window with resolution bound `bound`.
-  virtual void begin_window(TimePoint bound) = 0;
+  virtual void begin_window(TimePoint bound) RTMAC_REQUIRES(shard_barrier) = 0;
   /// Parallel phase: runs the engine toward `horizon` (stopping early at
   /// the armed run limit).
-  virtual void run_window(TimePoint horizon) = 0;
+  virtual void run_window(TimePoint horizon) RTMAC_EXCLUDES(shard_barrier) = 0;
 };
 
 /// Advances a set of shard cells to successive horizons.
@@ -91,8 +101,10 @@ class ShardCoordinator {
   std::vector<std::vector<std::uint32_t>> groups_;
   ThreadPool* pool_;
   std::uint64_t rounds_ = 0;
-  std::vector<CutTxRecord> fresh_;        // barrier scratch
-  std::vector<TimePoint> clock_snapshot_;  // barrier scratch
+  // Barrier scratch: touched only inside the coordinator's PhantomLock'd
+  // serial sections, never by parallel-phase tasks.
+  std::vector<CutTxRecord> fresh_ RTMAC_GUARDED_BY(shard_barrier);
+  std::vector<TimePoint> clock_snapshot_ RTMAC_GUARDED_BY(shard_barrier);
 };
 
 }  // namespace rtmac::sim

@@ -8,6 +8,10 @@ namespace rtmac {
 
 namespace {
 
+// Process-wide failure state. Contracts can trip on any thread (sweep tasks,
+// shard workers), so all three are atomics rather than GUARDED_BY a mutex:
+// the failure path must never block, and the counter is monotonic — exactly
+// the shape lock-free access is right for (see DESIGN.md §5c).
 std::atomic<std::uint64_t> g_failures{0};
 std::atomic<CheckFailureHandler> g_handler{nullptr};
 std::atomic<CheckDumpHook> g_dump_hook{nullptr};

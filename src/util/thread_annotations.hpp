@@ -1,0 +1,138 @@
+#pragma once
+
+// Clang Thread Safety Analysis annotations (a.k.a. the Capability system).
+//
+// Under clang these expand to the `thread_safety` attribute family checked by
+// `-Wthread-safety`; under every other compiler they expand to nothing (gcc
+// warns on unknown attributes, which our -Werror lanes would promote).
+//
+// Conventions (see DESIGN.md §5c):
+//  * Data members shared across threads carry RTMAC_GUARDED_BY(mutex).
+//  * Public entry points that take the lock internally carry
+//    RTMAC_EXCLUDES(mutex) so the analysis rejects re-entrant callers.
+//  * Private helpers that assume the lock is held carry RTMAC_REQUIRES(mutex).
+//  * Phase disciplines that are not backed by a runtime lock (the sharded
+//    coordinator's window barrier) are modelled with a PhantomCapability.
+//
+// The analysis does not propagate held capabilities into lambda bodies, so
+// code using these primitives must not wrap guarded accesses in lambdas (no
+// predicate-form condition_variable waits); CondVar below only exposes the
+// non-predicate wait() to make the safe shape the only shape.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define RTMAC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RTMAC_THREAD_ANNOTATION_(x)
+#endif
+
+#define RTMAC_CAPABILITY(x) RTMAC_THREAD_ANNOTATION_(capability(x))
+#define RTMAC_SCOPED_CAPABILITY RTMAC_THREAD_ANNOTATION_(scoped_lockable)
+#define RTMAC_GUARDED_BY(x) RTMAC_THREAD_ANNOTATION_(guarded_by(x))
+#define RTMAC_PT_GUARDED_BY(x) RTMAC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define RTMAC_REQUIRES(...) \
+  RTMAC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RTMAC_ACQUIRE(...) \
+  RTMAC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RTMAC_RELEASE(...) \
+  RTMAC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RTMAC_TRY_ACQUIRE(...) \
+  RTMAC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define RTMAC_EXCLUDES(...) RTMAC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define RTMAC_ACQUIRED_BEFORE(...) \
+  RTMAC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define RTMAC_ACQUIRED_AFTER(...) \
+  RTMAC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define RTMAC_RETURN_CAPABILITY(x) RTMAC_THREAD_ANNOTATION_(lock_returned(x))
+#define RTMAC_NO_THREAD_SAFETY_ANALYSIS \
+  RTMAC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rtmac::util {
+
+class LockGuard;
+class CondVar;
+
+// std::mutex wrapper that the thread-safety analysis can see as a capability.
+class RTMAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RTMAC_ACQUIRE() { raw_.lock(); }
+  void unlock() RTMAC_RELEASE() { raw_.unlock(); }
+  bool try_lock() RTMAC_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class LockGuard;
+  std::mutex raw_;
+};
+
+// Scoped lock for util::Mutex. Relockable (lock()/unlock()) so hot loops can
+// drop the lock around work without leaving the annotated scope; the analysis
+// tracks the capability through those calls.
+class RTMAC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) RTMAC_ACQUIRE(mutex)
+      : lock_(mutex.raw_) {}
+  ~LockGuard() RTMAC_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+  void lock() RTMAC_ACQUIRE() { lock_.lock(); }
+  void unlock() RTMAC_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable usable with LockGuard. Only the non-predicate wait() is
+// exposed: the predicate form takes a lambda, and the analysis does not carry
+// held capabilities into lambda bodies, so guarded reads inside the predicate
+// would warn. Callers write the standard explicit while-loop instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(LockGuard& guard) { raw_.wait(guard.lock_); }
+  void notify_one() { raw_.notify_one(); }
+  void notify_all() { raw_.notify_all(); }
+
+ private:
+  std::condition_variable raw_;
+};
+
+// Zero-runtime-cost capability for modelling phase disciplines that have no
+// runtime lock object — e.g. "only during the coordinator's window barrier".
+// Acquire/release are no-ops; the value is purely in the compile-time
+// REQUIRES/GUARDED_BY checking against functions annotated with it.
+class RTMAC_CAPABILITY("role") PhantomCapability {
+ public:
+  constexpr PhantomCapability() = default;
+  PhantomCapability(const PhantomCapability&) = delete;
+  PhantomCapability& operator=(const PhantomCapability&) = delete;
+
+  void acquire() RTMAC_ACQUIRE() {}
+  void release() RTMAC_RELEASE() {}
+};
+
+// Scoped holder for a PhantomCapability. Constructing one asserts, to the
+// analysis, that the current code region is inside the named phase.
+class RTMAC_SCOPED_CAPABILITY PhantomLock {
+ public:
+  explicit PhantomLock(PhantomCapability& phase) RTMAC_ACQUIRE(phase) {
+    static_cast<void>(phase);
+  }
+  ~PhantomLock() RTMAC_RELEASE() {}
+
+  PhantomLock(const PhantomLock&) = delete;
+  PhantomLock& operator=(const PhantomLock&) = delete;
+};
+
+}  // namespace rtmac::util

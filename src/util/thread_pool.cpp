@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard lock{mutex_};
+    const util::LockGuard lock{mutex_};
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -31,7 +31,7 @@ std::size_t ThreadPool::hardware_threads() {
 
 void ThreadPool::enqueue(Task task) {
   {
-    const std::lock_guard lock{mutex_};
+    const util::LockGuard lock{mutex_};
     if (stopping_) {
       throw std::runtime_error{"ThreadPool: submit on a stopping pool"};
     }
@@ -41,23 +41,25 @@ void ThreadPool::enqueue(Task task) {
 }
 
 void ThreadPool::worker_loop() {
+  // Explicit while-loop rather than the predicate form of wait(): the
+  // thread-safety analysis cannot see held capabilities inside a predicate
+  // lambda, so the guarded reads of stopping_/queue_ live in this scope.
+  util::LockGuard lock{mutex_};
   for (;;) {
-    Task task;
-    {
-      std::unique_lock lock{mutex_};
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
+    while (!stopping_ && queue_.empty()) work_available_.wait(lock);
+    if (queue_.empty()) return;  // stopping_ and drained
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
     task();
+    lock.lock();
   }
 }
 
 bool ThreadPool::run_one() {
   Task task;
   {
-    const std::lock_guard lock{mutex_};
+    const util::LockGuard lock{mutex_};
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();

@@ -12,14 +12,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rtmac {
 
@@ -63,20 +63,20 @@ class ThreadPool {
   }
 
   /// Runs queued tasks on the calling thread until `ready()` returns true.
-  void wait_until(const std::function<bool()>& ready);
+  void wait_until(const std::function<bool()>& ready) RTMAC_EXCLUDES(mutex_);
 
  private:
   using Task = std::function<void()>;
 
-  void enqueue(Task task);
-  void worker_loop();
+  void enqueue(Task task) RTMAC_EXCLUDES(mutex_);
+  void worker_loop() RTMAC_EXCLUDES(mutex_);
   /// Pops one task if available; returns false when the queue is empty.
-  bool run_one();
+  bool run_one() RTMAC_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar work_available_;
+  std::deque<Task> queue_ RTMAC_GUARDED_BY(mutex_);
+  bool stopping_ RTMAC_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

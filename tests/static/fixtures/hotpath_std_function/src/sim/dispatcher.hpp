@@ -1,0 +1,11 @@
+#pragma once
+
+#include <functional>
+
+namespace rtmac::sim {
+
+struct Dispatcher {
+  std::function<void()> callback;
+};
+
+}  // namespace rtmac::sim

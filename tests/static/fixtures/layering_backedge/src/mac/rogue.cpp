@@ -1,0 +1,1 @@
+#include "net/network.hpp"

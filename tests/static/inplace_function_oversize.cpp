@@ -1,0 +1,16 @@
+// Negative-compile case: an InplaceFunction capture larger than the inline
+// capacity. Unlike std::function (which would silently heap-allocate in the
+// event hot path), this is a static_assert — and unlike the thread-safety
+// cases this one fires under gcc too, so it runs in every lane.
+#include <array>
+
+#include "util/inplace_function.hpp"
+
+int main() {
+  std::array<char, 256> big{};
+  rtmac::util::InplaceFunction<void(), 64> fn{[big] {
+    static_cast<void>(big);
+  }};  // BAD: 256-byte capture into 64 bytes of inline storage
+  fn();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Positive control for the negative-compile suite: correct use of every
+// primitive the negative cases abuse, compiled with the exact same flags
+// and asserted to SUCCEED. If this fails, the flags are broken and the
+// negative cases are passing for the wrong reason.
+#include <array>
+
+#include "sim/shard_barrier.hpp"
+#include "util/inplace_function.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() RTMAC_EXCLUDES(mutex_) {
+    const rtmac::util::LockGuard lock{mutex_};
+    ++count_;
+  }
+
+  [[nodiscard]] int value() RTMAC_EXCLUDES(mutex_) {
+    const rtmac::util::LockGuard lock{mutex_};
+    return count_;
+  }
+
+ private:
+  rtmac::util::Mutex mutex_;
+  int count_ RTMAC_GUARDED_BY(mutex_) = 0;
+};
+
+int g_mailbox RTMAC_GUARDED_BY(rtmac::sim::shard_barrier) = 0;
+
+void deliver() RTMAC_REQUIRES(rtmac::sim::shard_barrier) { ++g_mailbox; }
+
+void barrier_phase() {
+  const rtmac::util::PhantomLock barrier{rtmac::sim::shard_barrier};
+  deliver();
+}
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  barrier_phase();
+  std::array<char, 16> small{};
+  rtmac::util::InplaceFunction<void(), 64> fn{[small] {
+    static_cast<void>(small);
+  }};
+  fn();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// Negative-compile case: acquiring a mutex the caller already holds — the
+// simplest self-deadlock. Must trip clang -Wthread-safety ("that is already
+// held").
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+rtmac::util::Mutex g_mutex;
+
+void double_lock() {
+  g_mutex.lock();
+  g_mutex.lock();  // BAD: re-acquiring a held mutex deadlocks std::mutex
+  g_mutex.unlock();
+  g_mutex.unlock();
+}
+
+}  // namespace
+
+int main() {
+  double_lock();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative-compile case: calling a RTMAC_EXCLUDES(mutex_) function while
+// that mutex is held — the self-deadlock shape the annotation exists to
+// forbid. Must trip clang -Wthread-safety ("while mutex ... is held").
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Widget {
+ public:
+  void reload() RTMAC_EXCLUDES(mutex_) {
+    const rtmac::util::LockGuard lock{mutex_};
+    ++generation_;
+  }
+
+  void reload_while_locked() {
+    const rtmac::util::LockGuard lock{mutex_};
+    reload();  // BAD: reload() would re-acquire mutex_
+  }
+
+ private:
+  rtmac::util::Mutex mutex_;
+  int generation_ RTMAC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget widget;
+  widget.reload_while_locked();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Negative-compile case: writing a GUARDED_BY member without holding its
+// mutex. Must trip clang -Wthread-safety ("requires holding mutex"); ctest
+// asserts the diagnostic text, so a silently clean compile fails the test.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_unlocked() { ++count_; }  // BAD: mutex_ not held
+
+ private:
+  rtmac::util::Mutex mutex_;
+  int count_ RTMAC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment_unlocked();
+  return 0;
+}

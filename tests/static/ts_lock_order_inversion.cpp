@@ -1,0 +1,37 @@
+// Negative-compile case: taking two mutexes against their declared
+// RTMAC_ACQUIRED_AFTER order — the classic ABBA deadlock, caught before it
+// can ever hang a run. Ordering is checked under -Wthread-safety-beta
+// (added for this case only); must trip "must be acquired before".
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Ordered {
+ public:
+  void in_order() {
+    first_.lock();
+    second_.lock();
+    second_.unlock();
+    first_.unlock();
+  }
+
+  void inverted() {
+    second_.lock();
+    first_.lock();  // BAD: first_ is declared acquired-before second_
+    first_.unlock();
+    second_.unlock();
+  }
+
+ private:
+  rtmac::util::Mutex first_;
+  rtmac::util::Mutex second_ RTMAC_ACQUIRED_AFTER(first_);
+};
+
+}  // namespace
+
+int main() {
+  Ordered ordered;
+  ordered.in_order();
+  ordered.inverted();
+  return 0;
+}

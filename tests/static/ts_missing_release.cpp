@@ -1,0 +1,25 @@
+// Negative-compile case: a function returns with a mutex still locked.
+// Must trip clang -Wthread-safety ("still held at the end of function").
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Leaky {
+ public:
+  void lock_and_forget() {
+    mutex_.lock();
+    ++count_;
+  }  // BAD: no unlock on the way out
+
+ private:
+  rtmac::util::Mutex mutex_;
+  int count_ RTMAC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Leaky leaky;
+  leaky.lock_and_forget();
+  return 0;
+}

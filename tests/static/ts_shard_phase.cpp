@@ -1,0 +1,22 @@
+// Negative-compile case: calling a barrier-phase-only function from code
+// that does not hold the sim::shard_barrier phantom capability — exactly
+// what a stray cross-shard access from the parallel phase would look like.
+// Must trip clang -Wthread-safety ("requires holding role").
+#include "sim/shard_barrier.hpp"
+
+namespace {
+
+int g_mailbox RTMAC_GUARDED_BY(rtmac::sim::shard_barrier) = 0;
+
+void deliver() RTMAC_REQUIRES(rtmac::sim::shard_barrier) { ++g_mailbox; }
+
+void parallel_phase_task() {
+  deliver();  // BAD: only the coordinator's serial barrier section may call
+}
+
+}  // namespace
+
+int main() {
+  parallel_phase_task();
+  return 0;
+}

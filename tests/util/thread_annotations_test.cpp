@@ -1,0 +1,99 @@
+// Runtime behavior of the annotated locking primitives. The interesting
+// property — that misuse fails to compile — lives in tests/static/; these
+// tests pin down that the wrappers actually lock, wake, and relock.
+#include "util/thread_annotations.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rtmac::util {
+namespace {
+
+TEST(MutexTest, TryLockReflectsOwnership) {
+  // try_lock results branch explicitly (not through gtest macros) so the
+  // thread-safety analysis can follow which paths hold the capability.
+  Mutex mu;
+  const bool first = mu.try_lock();
+  ASSERT_TRUE(first);
+  if (!first) return;
+  bool other_acquired = true;
+  std::thread other{[&mu, &other_acquired] {
+    const bool got = mu.try_lock();
+    if (got) mu.unlock();
+    other_acquired = got;
+  }};
+  other.join();
+  EXPECT_FALSE(other_acquired);
+  mu.unlock();
+  const bool again = mu.try_lock();
+  EXPECT_TRUE(again);
+  if (again) mu.unlock();
+}
+
+TEST(LockGuardTest, GuardsACounterAcrossThreads) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        const LockGuard lock{mu};
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const LockGuard lock{mu};
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(LockGuardTest, RelockRoundTrip) {
+  Mutex mu;
+  LockGuard lock{mu};
+  lock.unlock();
+  const bool released = mu.try_lock();  // really released
+  EXPECT_TRUE(released);
+  if (released) mu.unlock();
+  lock.lock();  // destructor then releases the re-acquired lock
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter{[&] {
+    LockGuard lock{mu};
+    while (!ready) cv.wait(lock);
+    observed = 1;
+  }};
+  {
+    const LockGuard lock{mu};
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(PhantomCapabilityTest, LockIsZeroCostAndScoped) {
+  // Purely a compile-time construct: acquiring is a no-op, the scoped form
+  // nests, and the object carries no state.
+  static PhantomCapability phase;
+  {
+    const PhantomLock outer{phase};
+  }
+  {
+    const PhantomLock again{phase};
+  }
+  static_assert(sizeof(PhantomLock) == 1, "PhantomLock must carry no state");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rtmac::util

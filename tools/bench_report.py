@@ -146,10 +146,34 @@ def gate_zero_alloc(benchmarks):
     return violations
 
 
+# rtmac.bench document versions this tool can read. Bump alongside the
+# writer (emit_report) whenever the document shape changes.
+KNOWN_BENCH_VERSIONS = (1,)
+
+
 def load_benchmarks(raw):
     """Benchmark map from raw google-benchmark JSON or a distilled
-    rtmac.bench document (committed BENCH_N.json), detected by schema."""
-    if isinstance(raw, dict) and raw.get("schema") == "rtmac.bench":
+    rtmac.bench document (committed BENCH_N.json), detected by schema.
+
+    Unknown rtmac.bench versions (and unrecognized schema strings) are
+    refused with a clear error: silently mis-reading a future document
+    shape would corrupt every regression comparison downstream."""
+    if isinstance(raw, dict) and "schema" in raw:
+        # Anything carrying a schema tag must identify itself exactly; raw
+        # google-benchmark output has no "schema" key and falls through.
+        schema = raw.get("schema")
+        if schema != "rtmac.bench":
+            raise ReportError(
+                f"unknown schema {schema!r} (this tool reads 'rtmac.bench' "
+                "documents and raw google-benchmark JSON)")
+        version = raw.get("version")
+        if version not in KNOWN_BENCH_VERSIONS:
+            known = ", ".join(str(v) for v in KNOWN_BENCH_VERSIONS)
+            raise ReportError(
+                f"rtmac.bench document has version {version!r} but this "
+                f"tool only knows version(s) {known} — update "
+                "tools/bench_report.py (KNOWN_BENCH_VERSIONS) alongside "
+                "the schema change")
         benchmarks = raw.get("benchmarks")
         if not isinstance(benchmarks, dict) or not benchmarks:
             raise ReportError("rtmac.bench document without a benchmark map")

@@ -43,6 +43,13 @@ cannot express:
                       through the coordinator's deterministic mailboxes only;
                       a stray call from scheme/bench code would bypass the
                       window barriers and break run-to-run determinism.
+  layering            The include graph over src/ must respect the layer DAG
+                      declared in LAYERS (util at the bottom, expfw at the
+                      top): a file may include only its own directory or a
+                      strictly lower layer, and headers must be acyclic.
+                      Intentional back-edges are declared in LAYER_EXCEPTIONS
+                      with a rationale string; everything else is a
+                      violation. See DESIGN.md §5c for the diagram.
   header-self-contained
                       Every header under src/ must compile on its own
                       (g++ -fsyntax-only), so include order never matters.
@@ -66,7 +73,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
-from pathlib import Path
+from pathlib import Path, PurePosixPath
 
 SOURCE_GLOBS = ("*.cpp", "*.hpp")
 
@@ -82,27 +89,68 @@ RULE_SCOPES = {
     "shard-isolation": ("src", "bench", "tests", "examples"),
 }
 
-# Files (or directories, trailing "/") exempt from a rule. Keep this list
-# tiny and justified.
+# Files (or directories, trailing "/") exempt from a rule, each carrying the
+# rationale that justifies the exemption — same shape as LAYER_EXCEPTIONS
+# below, so every hole in every rule is declared and explained in one idiom.
+# Keep these lists tiny.
 ALLOWLISTS = {
     "wall-clock": (
-        # util/ owns the time abstraction; anything wall-clock-shaped that
-        # ever lands there is at least behind the library's own API.
-        "src/util/",
-        # The engine profiler measures wall time by design; its output is
-        # quarantined to profile.jsonl / profile gauges, never sim-domain data.
-        "src/expfw/runner.cpp",
-        "src/expfw/observe.cpp",
+        ("src/util/",
+         "util/ owns the time abstraction; anything wall-clock-shaped that "
+         "ever lands there is at least behind the library's own API"),
+        ("src/expfw/runner.cpp",
+         "the engine profiler measures wall time by design; its output is "
+         "quarantined to profile.jsonl / profile gauges, never sim-domain "
+         "data"),
+        ("src/expfw/observe.cpp",
+         "same quarantined wall-clock profiler surface as expfw/runner.cpp"),
     ),
     "shard-isolation": (
-        # The Medium owns the shard-mode API; the coordinator and the
-        # Network's cell glue are the only sanctioned callers.
-        "src/phy/medium.hpp",
-        "src/phy/medium.cpp",
-        "src/sim/sharded_simulator.hpp",
-        "src/sim/sharded_simulator.cpp",
-        "src/net/network.cpp",
+        ("src/phy/medium.hpp",
+         "the Medium owns the shard-mode API it is forbidding elsewhere"),
+        ("src/phy/medium.cpp",
+         "the Medium owns the shard-mode API it is forbidding elsewhere"),
+        ("src/sim/sharded_simulator.hpp",
+         "the shard coordinator is a sanctioned caller (barrier phase only)"),
+        ("src/sim/sharded_simulator.cpp",
+         "the shard coordinator is a sanctioned caller (barrier phase only)"),
+        ("src/net/network.cpp",
+         "the Network's per-cell glue is the sanctioned bridge between the "
+         "coordinator and each cell's Medium"),
     ),
+}
+
+# ---- layering -----------------------------------------------------------
+# The layer DAG over src/ (higher numbers may include strictly lower ones,
+# plus their own directory). Derived from the architecture DESIGN.md §2
+# describes and diagrammed in §5c; sim and traffic share a layer because
+# neither depends on the other.
+LAYERS = {
+    "util": 0,
+    "core": 1,
+    "sim": 2,
+    "traffic": 2,
+    "stats": 3,
+    "obs": 4,
+    "phy": 5,
+    "mac": 6,
+    "net": 7,
+    "analysis": 8,
+    "expfw": 9,
+}
+
+# Declared back-edges: (includer path, target directory) -> rationale.
+# Every entry must explain why the edge cannot point downward; an edge not
+# listed here (and not suppressed inline) is a violation.
+LAYER_EXCEPTIONS = {
+    ("src/obs/collect.cpp", "mac"):
+        "one-way .cpp-only bridge: collect_network_metrics() snapshots "
+        "MAC-scheme gauges into the registry; the header forward-declares "
+        "and no mac/ code ever includes obs/collect",
+    ("src/obs/collect.cpp", "net"):
+        "one-way .cpp-only bridge: collect_network_metrics() reads "
+        "net::Network counters; the header forward-declares net::Network "
+        "so the dependency never escapes this translation unit",
 }
 
 SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
@@ -303,6 +351,137 @@ def check_unordered_iteration(path, text):
     return out
 
 
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def _logical_lines(text):
+    """Yields (first_line_number, line) with backslash continuations folded,
+    so a preprocessor directive split across physical lines is seen whole."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        start = i
+        buf = lines[i]
+        while buf.rstrip().endswith("\\") and i + 1 < len(lines):
+            buf = buf.rstrip()[:-1] + lines[i + 1]
+            i += 1
+        yield start + 1, buf
+        i += 1
+
+
+def _quoted_includes(path, text):
+    """All quoted includes of a file as (line_number, line, target) where
+    target is the include path string (src-relative by repo convention)."""
+    out = []
+    for lineno, line in _logical_lines(text):
+        m = INCLUDE_RE.match(_code_part(line))
+        if m is not None:
+            out.append((lineno, line, m.group(1)))
+    return out
+
+
+def check_layering(root):
+    """Include-graph rule over src/: no back-edges in the LAYERS DAG (other
+    than the declared LAYER_EXCEPTIONS) and no cycles among headers."""
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    out = []
+    header_includes = {}  # src-relative posix path -> [(line, target)]
+    for glob in SOURCE_GLOBS:
+        for path in sorted(src.rglob(glob)):
+            rel = path.relative_to(root)
+            rel_src = path.relative_to(src)
+            if len(rel_src.parts) < 2:
+                continue  # a file directly in src/ belongs to no layer
+            here = rel_src.parts[0]
+            here_layer = LAYERS.get(here)
+            includes = _quoted_includes(rel, path.read_text())
+            if here_layer is None:
+                out.append(Violation(
+                    rel, 1, "layering",
+                    f"directory src/{here}/ has no declared layer "
+                    "(add it to LAYERS in tools/lint_rtmac.py)"))
+                continue
+            if path.suffix == ".hpp":
+                header_includes[rel_src.as_posix()] = includes
+            for lineno, line, target in includes:
+                tparts = PurePosixPath(target).parts
+                if len(tparts) < 2:
+                    continue  # same-directory shorthand, no cross-layer edge
+                tdir = tparts[0]
+                tlayer = LAYERS.get(tdir)
+                if tdir == here:
+                    continue
+                if _suppressed(line, "layering"):
+                    continue
+                if tlayer is None:
+                    out.append(Violation(
+                        rel, lineno, "layering",
+                        f'include of "{target}" targets a directory with no '
+                        f"declared layer (add src/{tdir}/ to LAYERS in "
+                        "tools/lint_rtmac.py)"))
+                elif tlayer >= here_layer and (
+                        rel.as_posix(), tdir) not in LAYER_EXCEPTIONS:
+                    out.append(Violation(
+                        rel, lineno, "layering",
+                        f'include of "{target}" is a layer back-edge: '
+                        f"src/{here}/ (layer {here_layer}) may only depend "
+                        f"on layers below it, and src/{tdir}/ is layer "
+                        f"{tlayer} (declare a LAYER_EXCEPTION with a "
+                        "rationale if this edge is intentional)"))
+    out.extend(_header_cycles(root, header_includes))
+    return out
+
+
+def _header_cycles(root, header_includes):
+    """DFS over the header include graph; reports each cycle once, anchored
+    at its lexicographically smallest member. Cycles are forbidden outright —
+    there is no exception mechanism, because a cycle cannot be layered."""
+    out = []
+    reported = set()
+    # Resolve each header's includes to known headers (same-dir shorthand
+    # resolves relative to the includer's directory).
+    graph = {}
+    for header, includes in header_includes.items():
+        edges = []
+        for lineno, _line, target in includes:
+            if "/" not in target:
+                target = (PurePosixPath(header).parent / target).as_posix()
+            if target in header_includes:
+                edges.append((lineno, target))
+        graph[header] = edges
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = dict.fromkeys(graph, WHITE)
+
+    def visit(node, stack):
+        color[node] = GREY
+        stack.append(node)
+        for lineno, target in graph[node]:
+            if color[target] == GREY:
+                cycle = stack[stack.index(target):] + [target]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    anchor = min(cycle[:-1])
+                    out.append(Violation(
+                        Path("src") / node, lineno, "layering",
+                        "header include cycle: " +
+                        " -> ".join(cycle) +
+                        f" (break the cycle at {anchor}, e.g. with a "
+                        "forward declaration)"))
+            elif color[target] == WHITE:
+                visit(target, stack)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            visit(node, [])
+    return out
+
+
 TEXT_RULES = {
     "wall-clock": check_wall_clock,
     "nondet-rng": check_nondet_rng,
@@ -320,8 +499,8 @@ def scan_tree(root):
     for rule, scopes in RULE_SCOPES.items():
         checker = TEXT_RULES[rule]
         allow = ALLOWLISTS.get(rule, ())
-        allow_files = {root / p for p in allow if not p.endswith("/")}
-        allow_dirs = tuple(root / p for p in allow if p.endswith("/"))
+        allow_files = {root / p for p, _rationale in allow if not p.endswith("/")}
+        allow_dirs = tuple(root / p for p, _rationale in allow if p.endswith("/"))
         for scope in scopes:
             base = root / scope
             if not base.is_dir():
@@ -333,6 +512,7 @@ def scan_tree(root):
                         continue
                     violations.extend(
                         checker(path.relative_to(root), path.read_text()))
+    violations.extend(check_layering(root))
     return violations
 
 
@@ -401,10 +581,18 @@ def main(argv=None):
     if not args.no_headers:
         violations.extend(check_headers(root, args.jobs))
 
+    # Stable order whatever filesystem enumeration produced, so CI diffs of
+    # lint output are deterministic.
+    violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
     for v in violations:
         print(v)
     if violations:
-        print(f"lint_rtmac: {len(violations)} violation(s)", file=sys.stderr)
+        counts = {}
+        for v in violations:
+            counts[v.rule] = counts.get(v.rule, 0) + 1
+        summary = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+        print(f"lint_rtmac: {len(violations)} violation(s) [{summary}]",
+              file=sys.stderr)
         return 1
     print("lint_rtmac: clean")
     return 0

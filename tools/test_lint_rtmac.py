@@ -2,6 +2,8 @@
 """Unit tests for tools/lint_rtmac.py: each rule must catch a seeded
 violation, honor lint-ok suppressions, and respect its allowlist."""
 
+import contextlib
+import io
 import shutil
 import sys
 import tempfile
@@ -339,6 +341,138 @@ class HeaderSelfContainedRule(unittest.TestCase):
             "#pragma once\n#include <string>\n"
             "inline std::string label() { return {}; }\n")
         self.assertEqual(lint_rtmac.check_headers(root), [])
+
+
+class LayeringRule(unittest.TestCase):
+    def make_tree(self, *dirs):
+        root = Path(tempfile.mkdtemp(prefix="lint_rtmac_layer_"))
+        self.addCleanup(shutil.rmtree, root)
+        for d in dirs:
+            (root / "src" / d).mkdir(parents=True)
+        return root
+
+    def test_back_edge_fails(self):
+        root = self.make_tree("mac")
+        (root / "src" / "mac" / "rogue.cpp").write_text(
+            '#include "net/network.hpp"\n')
+        v = lint_rtmac.check_layering(root)
+        self.assertEqual([x.rule for x in v], ["layering"])
+        self.assertIn("back-edge", v[0].message)
+        self.assertIn("mac/rogue.cpp", str(v[0]))
+
+    def test_downward_and_same_dir_includes_pass(self):
+        root = self.make_tree("net", "mac")
+        (root / "src" / "net" / "network.cpp").write_text(
+            '#include "mac/scheme.hpp"\n#include "util/time.hpp"\n'
+            '#include "net/topology.hpp"\n#include <vector>\n')
+        (root / "src" / "mac" / "scheme.hpp").write_text(
+            '#pragma once\n#include "local_helper.hpp"\n')
+        self.assertEqual(lint_rtmac.check_layering(root), [])
+
+    def test_declared_exception_passes_but_does_not_leak(self):
+        # The obs/collect.cpp -> net edge is declared in LAYER_EXCEPTIONS;
+        # the same edge from any other file must still be a violation.
+        root = self.make_tree("obs")
+        (root / "src" / "obs" / "collect.cpp").write_text(
+            '#include "net/network.hpp"\n#include "mac/dp_link_mac.hpp"\n')
+        (root / "src" / "obs" / "other.cpp").write_text(
+            '#include "net/network.hpp"\n')
+        v = lint_rtmac.check_layering(root)
+        self.assertEqual([x.rule for x in v], ["layering"])
+        self.assertIn("obs/other.cpp", str(v[0]))
+
+    def test_header_cycle_fails(self):
+        root = self.make_tree("sim")
+        (root / "src" / "sim" / "a.hpp").write_text(
+            '#pragma once\n#include "sim/b.hpp"\n')
+        (root / "src" / "sim" / "b.hpp").write_text(
+            '#pragma once\n#include "sim/a.hpp"\n')
+        v = lint_rtmac.check_layering(root)
+        self.assertEqual([x.rule for x in v], ["layering"])
+        self.assertIn("cycle", v[0].message)
+        self.assertIn("sim/a.hpp", v[0].message)
+        self.assertIn("sim/b.hpp", v[0].message)
+
+    def test_multiline_include_is_seen_whole(self):
+        # A directive split with a backslash continuation is still one
+        # logical line; the back-edge must be caught at its first line.
+        root = self.make_tree("mac")
+        (root / "src" / "mac" / "glue.cpp").write_text(
+            '#include \\\n    "net/network.hpp"\nint x;\n')
+        v = lint_rtmac.check_layering(root)
+        self.assertEqual([(x.rule, x.line) for x in v], [("layering", 1)])
+
+    def test_unknown_directory_fails(self):
+        root = self.make_tree("widgets")
+        (root / "src" / "widgets" / "w.cpp").write_text("int x;\n")
+        v = lint_rtmac.check_layering(root)
+        self.assertEqual([x.rule for x in v], ["layering"])
+        self.assertIn("no declared layer", v[0].message)
+
+    def test_unknown_include_target_fails(self):
+        root = self.make_tree("mac")
+        (root / "src" / "mac" / "m.cpp").write_text(
+            '#include "widgets/w.hpp"\n')
+        v = lint_rtmac.check_layering(root)
+        self.assertEqual([x.rule for x in v], ["layering"])
+        self.assertIn("no declared layer", v[0].message)
+
+    def test_suppression(self):
+        root = self.make_tree("mac")
+        (root / "src" / "mac" / "glue.cpp").write_text(
+            '#include "net/network.hpp"  // lint-ok: layering migration\n')
+        self.assertEqual(lint_rtmac.check_layering(root), [])
+
+    def test_real_tree_has_no_undeclared_back_edges(self):
+        repo = Path(lint_rtmac.__file__).resolve().parent.parent
+        self.assertEqual(lint_rtmac.check_layering(repo), [])
+
+
+class OutputOrderingAndSummary(unittest.TestCase):
+    def make_tree(self):
+        root = Path(tempfile.mkdtemp(prefix="lint_rtmac_order_"))
+        self.addCleanup(shutil.rmtree, root)
+        (root / "src" / "core").mkdir(parents=True)
+        (root / "src" / "mac").mkdir(parents=True)
+        return root
+
+    def run_main(self, root):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            rc = lint_rtmac.main(["--root", str(root), "--no-headers"])
+        return rc, out.getvalue(), err.getvalue()
+
+    def test_violations_sorted_by_path_line_rule(self):
+        # scan_tree visits rule-by-rule (wall-clock before nondet-rng), so
+        # unsorted output would list mac/z.cpp first; the printed order must
+        # be (path, line, rule) regardless.
+        root = self.make_tree()
+        (root / "src" / "mac" / "z.cpp").write_text(
+            "auto t = std::chrono::steady_clock::now();\n")
+        (root / "src" / "core" / "a.cpp").write_text(
+            "int r = rand() % 6;\n")
+        rc, out, _err = self.run_main(root)
+        self.assertEqual(rc, 1)
+        lines = out.strip().splitlines()
+        self.assertEqual(len(lines), 2)
+        self.assertIn("core/a.cpp", lines[0])
+        self.assertIn("mac/z.cpp", lines[1])
+
+    def test_summary_line_counts_per_rule(self):
+        root = self.make_tree()
+        (root / "src" / "mac" / "z.cpp").write_text(
+            "auto t = std::chrono::steady_clock::now();\n"
+            "int r = rand() % 6;\n")
+        rc, _out, err = self.run_main(root)
+        self.assertEqual(rc, 1)
+        self.assertIn("2 violation(s) [nondet-rng=1, wall-clock=1]", err)
+
+    def test_clean_tree_reports_clean(self):
+        root = self.make_tree()
+        (root / "src" / "core" / "ok.cpp").write_text("int x = 0;\n")
+        rc, out, _err = self.run_main(root)
+        self.assertEqual(rc, 0)
+        self.assertIn("clean", out)
 
 
 if __name__ == "__main__":
