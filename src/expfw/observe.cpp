@@ -75,7 +75,7 @@ bool RunObserver::finish() {
     obs::collect_network_metrics(registry_, network);
     // Wall-clock profile of the observed span (attach -> finish). Gauges,
     // like everything else in the registry, so one parser handles the file.
-    const auto events = network.simulator().events_executed();
+    const auto events = network.events_executed();
     registry_.gauge("profile.wall_seconds").set(wall_seconds);
     registry_.gauge("profile.events_per_sec")
         .set(wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0);

@@ -20,6 +20,7 @@
 #include "sim/trace.hpp"
 #include "stats/deficiency.hpp"
 #include "util/math.hpp"
+#include "util/resource.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
@@ -99,14 +100,16 @@ class ProgressBoard {
       const double eta = static_cast<double>(tasks_ - tasks_done_) * elapsed /
                          static_cast<double>(tasks_done_);
       // Heartbeat only: wall-clock rates on stderr, overwritten in place;
-      // never written to any deterministic output.
+      // never written to any deterministic output (that is also why peak
+      // RSS lives here and NOT in the metrics registry — it is a property
+      // of the whole process, not of any one run).
       std::fprintf(stderr,
                    "\rsweep: %zu/%zu tasks, %zu/%zu points, %.3g events/s, "
-                   "%.3g intervals/s, eta %.1fs   ",
+                   "%.3g intervals/s, rss %ld KB, eta %.1fs   ",
                    tasks_done_, tasks_, points_done_, grid_size_,
                    static_cast<double>(events_done_) * inv,
                    static_cast<double>(tasks_done_) * static_cast<double>(intervals_) * inv,
-                   eta);
+                   util::peak_rss_kb(), eta);
       std::fflush(stderr);
     }
   }
@@ -333,7 +336,7 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           if (with_metrics) {
             network.attach_metrics(nullptr);
             obs::collect_network_metrics(registry, network);
-            const TaskProfile profile{network.simulator().events_executed(), wall_seconds};
+            const TaskProfile profile{network.events_executed(), wall_seconds};
             results[s].profiles[i][rep] = profile;
 
             std::ostringstream block;
@@ -354,7 +357,7 @@ std::vector<SweepResult> run_sweeps(const std::vector<SchemeSpec>& schemes,
           }
 
           if (with_csv || opts.progress) {
-            board.task_finished(i, network.simulator().events_executed());
+            board.task_finished(i, network.events_executed());
           }
         }));
       }

@@ -138,6 +138,30 @@ phy::SparseTopology city_unit_disk_topology(std::size_t num_cells, std::size_t l
   return phy::sparse_unit_disk(links, kRange, kRange);
 }
 
+phy::SparseTopology chain_cells_topology(std::size_t num_cells, std::size_t cell_size) {
+  RTMAC_REQUIRE(num_cells >= 1 && cell_size >= 1);
+  phy::SparseTopology topo;
+  topo.num_links = num_cells * cell_size;
+  topo.conflict.resize(topo.num_links);
+  topo.sense.resize(topo.num_links);
+  for (std::size_t a = 0; a < topo.num_links; ++a) {
+    for (std::size_t b = 0; b < topo.num_links; ++b) {
+      if (a == b || a / cell_size != b / cell_size) continue;
+      topo.conflict[a].push_back(static_cast<LinkId>(b));
+      topo.sense[a].push_back(static_cast<LinkId>(b));
+    }
+  }
+  // Hidden-terminal boundary pairs: conflict-only, never sensed, and added
+  // in ascending order relative to the intra-cell neighbors above.
+  for (std::size_t c = 0; c + 1 < num_cells; ++c) {
+    const auto last = static_cast<LinkId>(c * cell_size + cell_size - 1);
+    const auto first = static_cast<LinkId>((c + 1) * cell_size);
+    topo.conflict[last].push_back(first);
+    topo.conflict[first].insert(topo.conflict[first].begin(), last);
+  }
+  return topo;
+}
+
 net::NetworkConfig with_topology(net::NetworkConfig cfg, phy::InterferenceGraph topology) {
   RTMAC_REQUIRE(topology.num_links() == cfg.num_links());
   cfg.topology = std::move(topology);

@@ -110,6 +110,16 @@ inline constexpr double kPaperR = 10.0;
                                                           std::size_t links_per_cell,
                                                           std::uint64_t seed);
 
+/// Chain of hidden-terminal-coupled cells: `num_cells` cells of `cell_size`
+/// links, complete (conflict AND sense) within each cell; the LAST link of
+/// cell i additionally conflicts with — but cannot sense — the FIRST link
+/// of cell i+1. Every cut edge is conflict-only, so the partitioner keeps
+/// one cell per clique and the coordinator must arbitrate each boundary
+/// pair; this is the canonical topology for measuring adaptive-lookahead
+/// round savings (results are bit-identical with the feature on or off).
+[[nodiscard]] phy::SparseTopology chain_cells_topology(std::size_t num_cells,
+                                                       std::size_t cell_size);
+
 /// Returns `cfg` with the interference topology replaced. The graph's size
 /// must match cfg.num_links().
 [[nodiscard]] net::NetworkConfig with_topology(net::NetworkConfig cfg,

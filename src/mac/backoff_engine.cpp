@@ -87,7 +87,13 @@ void BackoffEngine::arm_expiry(TimePoint resume_at) {
   resume_time_ = resume_at;
   count_at_resume_ = count_;
   const TimePoint expiry_at = resume_at + count_ * slot_;
-  expiry_event_ = sim_.schedule_at(expiry_at, [this] { fire_expiry(); });
+  // Resuming from a freeze finds the expiry event parked at the far-future
+  // sentinel (see on_medium_busy): move it rather than allocate a new one.
+  // reschedule() takes a fresh FIFO sequence number, so same-timestamp
+  // ordering is exactly what a cancel + fresh schedule_at would produce.
+  if (!sim_.reschedule(expiry_event_, expiry_at)) {
+    expiry_event_ = sim_.schedule_at(expiry_at, [this] { fire_expiry(); });
+  }
 }
 
 void BackoffEngine::fire_expiry() {
@@ -115,8 +121,14 @@ void BackoffEngine::on_medium_busy(TimePoint t) {
     // both stations counted down to zero in the same slot and will collide).
     return;
   }
-  if (expiry_event_.valid()) sim_.cancel(expiry_event_);
-  expiry_event_ = {};
+  // Park the expiry event at the far-future sentinel instead of cancelling
+  // it: freeze/resume is the hottest churn in contention-heavy cells, and a
+  // cancel + re-push per edge costs a tombstone (skimmed or compacted
+  // later), a slot recycle, and a rebuilt callback, where two in-place
+  // reschedules cost one O(log n) sift each. The parked event can never
+  // fire (run horizons are finite) and keeps next_event_time() exact: a
+  // frozen engine contributes no activity bound, same as a cancelled one.
+  sim_.reschedule(expiry_event_, sim::Simulator::no_run_limit());
   count_ = count_after;
   frozen_ = true;
   frozen_since_ = t;

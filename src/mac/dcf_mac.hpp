@@ -15,6 +15,7 @@
 
 #include "mac/backoff_engine.hpp"
 #include "mac/link_mac.hpp"
+#include "mac/shared_backoff_clock.hpp"
 #include "util/rng.hpp"
 
 namespace rtmac::mac {
@@ -23,6 +24,9 @@ namespace rtmac::mac {
 struct DcfParams {
   int cw_min = 16;
   int cw_max = 1024;
+  /// Forces the per-link BackoffEngine path even on complete-sensing
+  /// topologies (equivalence tests; the batch path must be bit-identical).
+  bool force_scalar_path = false;
 };
 
 /// Per-link DCF state machine. `id` indexes the Medium (cell-local under
@@ -66,17 +70,60 @@ class DcfLinkMac {
 };
 
 /// MacScheme gluing N DCF links together.
+///
+/// Two layouts behind one interface:
+///   * BATCH (complete-sensing domains, the default there): flat SoA per-link
+///     state (window, buffer, RNG stream) plus ONE SharedBackoffClock for the
+///     whole domain, replacing N BackoffEngines. Busy/idle edges cost one
+///     listener visit instead of N, and the domain holds one pending expiry
+///     event instead of N. Draw-for-draw identical to the scalar path (same
+///     per-link RNG streams consumed in the same order).
+///   * SCALAR (partial sensing, or force_scalar_path): per-link DcfLinkMac
+///     machines in ONE contiguous arena block (placement-constructed,
+///     destroyed by the scheme) instead of N heap objects: at 10^5+ links the
+///     pointer-chasing and per-object malloc overhead of a unique_ptr layout
+///     dominated construction and polluted the interval hot loop's cache
+///     footprint.
 class DcfScheme final : public MacScheme {
  public:
   DcfScheme(const SchemeContext& ctx, DcfParams params, std::string name);
+  ~DcfScheme() override;
 
   void begin_interval(IntervalIndex k, std::span<const int> arrivals,
                       TimePoint interval_end) override;
   void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::size_t pending_events_per_link() const override {
+    return clock_ != nullptr ? 1 : 6;
+  }
+
+  /// True when this instance runs the shared-clock batch path.
+  [[nodiscard]] bool batch_path() const { return clock_ != nullptr; }
 
  private:
-  std::vector<std::unique_ptr<DcfLinkMac>> links_;
+  void contend(LinkId n);
+  void on_backoff_expired(LinkId n);
+  void on_tx_done(LinkId n, phy::TxOutcome outcome);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  DcfParams params_;
+  Duration data_airtime_;
+
+  // Scalar layout.
+  DcfLinkMac* links_ = nullptr;  ///< contiguous block of num_links_ machines
+  std::size_t num_links_ = 0;
+  std::unique_ptr<util::Arena> own_arena_;  ///< fallback when ctx.arena is null
+
+  // Batch layout (SoA, indexed by local link id).
+  std::unique_ptr<SharedBackoffClock> clock_;
+  std::vector<Rng> rng_;
+  std::vector<int> cw_;
+  std::vector<int> buffer_;
+  std::vector<int> delivered_;
+  TimePoint interval_end_;
+
   std::string name_;
 };
 

@@ -191,6 +191,10 @@ class DpScheme final : public MacScheme {
   /// True when this scheme runs the shared-clock batch path.
   [[nodiscard]] bool batch_path() const { return batch_; }
 
+  [[nodiscard]] std::size_t pending_events_per_link() const override {
+    return batch_ ? 1 : 6;
+  }
+
  private:
   void on_slot_won(LinkId n);
 

@@ -25,6 +25,7 @@
 #include "core/influence.hpp"
 #include "mac/backoff_engine.hpp"
 #include "mac/link_mac.hpp"
+#include "mac/shared_backoff_clock.hpp"
 #include "util/rng.hpp"
 
 namespace rtmac::mac {
@@ -43,6 +44,9 @@ struct FcsmaParams {
   std::vector<int> window_sizes = {128, 96, 64, 48, 32};
   /// Width of one section in weight units: section = floor(w / width).
   double section_width = 1.0;
+  /// Forces the per-link BackoffEngine path even on complete-sensing
+  /// topologies (equivalence tests; the batch path must be bit-identical).
+  bool force_scalar_path = false;
 };
 
 /// Per-link FCSMA state machine (contend, transmit one packet, redraw).
@@ -90,7 +94,12 @@ class FcsmaLinkMac {
   BackoffEngine backoff_;
 };
 
-/// MacScheme gluing N FCSMA links together.
+/// MacScheme gluing N FCSMA links together. On complete-sensing domains the
+/// default is the batch layout — SoA per-link state plus one
+/// SharedBackoffClock for the whole domain — which is draw-for-draw
+/// identical to the per-link machines (same RNG streams, same order);
+/// partial-sensing topologies and force_scalar_path keep the scalar
+/// machines.
 class FcsmaScheme final : public MacScheme {
  public:
   FcsmaScheme(const SchemeContext& ctx, FcsmaParams params, std::string name);
@@ -99,10 +108,37 @@ class FcsmaScheme final : public MacScheme {
                       TimePoint interval_end) override;
   void end_interval(std::span<int> delivered) override;
   [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::size_t pending_events_per_link() const override {
+    return clock_ != nullptr ? 1 : 6;
+  }
+
+  /// True when this instance runs the shared-clock batch path.
+  [[nodiscard]] bool batch_path() const { return clock_ != nullptr; }
 
  private:
+  void contend(LinkId n);
+  void on_backoff_expired(LinkId n);
+  void on_tx_done(LinkId n, phy::TxOutcome outcome);
+
   FcsmaParams params_;  // must precede links_: links reference it
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  const core::DebtTracker& debts_;
+  const ProbabilityVector& p_;
+  Duration data_airtime_;
+
+  // Scalar layout.
   std::vector<std::unique_ptr<FcsmaLinkMac>> links_;
+
+  // Batch layout (SoA, indexed by local link id).
+  std::unique_ptr<SharedBackoffClock> clock_;
+  std::vector<Rng> rng_;
+  std::vector<int> window_;
+  std::vector<int> buffer_;
+  std::vector<int> delivered_;
+  TimePoint interval_end_;
+
   std::string name_;
 };
 

@@ -19,6 +19,7 @@
 #include "phy/medium.hpp"
 #include "phy/phy_params.hpp"
 #include "sim/simulator.hpp"
+#include "util/arena.hpp"
 
 namespace rtmac::mac {
 
@@ -50,6 +51,21 @@ class MacScheme {
   /// the centralized genie needs global knowledge and must override to
   /// false. The sharded Network refuses non-shardable schemes up front.
   [[nodiscard]] virtual bool shardable() const { return true; }
+
+  /// Bytes of long-lived per-link state this scheme holds (heap or arena),
+  /// feeding the mem.mac gauge. Schemes with meaningful per-link footprints
+  /// override; the default 0 keeps small fixed-size schemes honest enough.
+  [[nodiscard]] virtual std::size_t memory_bytes() const { return 0; }
+
+  /// Peak simultaneously-pending simulator events per link this scheme can
+  /// hold — expiry timers plus in-flight completions — feeding the per-cell
+  /// event reserve under sharding. Batch shared-clock layouts hold ONE
+  /// domain expiry event for the whole cell plus at most one completion per
+  /// link and override to 1; the conservative default covers per-link
+  /// engines with parked expiries. The reserve is a pre-size, not a cap:
+  /// an underestimate costs reallocations (engine.events.reallocs gauges
+  /// it), never correctness.
+  [[nodiscard]] virtual std::size_t pending_events_per_link() const { return 6; }
 };
 
 /// Everything a scheme implementation may depend on, owned by the Network.
@@ -73,6 +89,9 @@ struct SchemeContext {
   // partition.
   std::span<const LinkId> link_ids{};      ///< local -> global map; empty = identity
   std::size_t global_num_links = 0;        ///< network-wide N; 0 = num_links
+  /// Optional arena for cold per-link scheme state (shared across cells by
+  /// the sharded Network). Null = scheme allocates from the heap as before.
+  util::Arena* arena = nullptr;
 
   /// Global id of local link n.
   [[nodiscard]] LinkId global_id(LinkId n) const {

@@ -1,0 +1,254 @@
+#include "mac/shared_backoff_clock.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rtmac::mac {
+
+SharedBackoffClock::SharedBackoffClock(sim::Simulator& simulator, phy::Medium& medium,
+                                       Duration slot, std::size_t num_links,
+                                       ExpiryHandler on_expire)
+    : sim_{simulator},
+      medium_{medium},
+      slot_{slot},
+      num_links_{num_links},
+      on_expire_{std::move(on_expire)} {
+  RTMAC_REQUIRE(slot.ns() > 0);
+  heap_.reserve(num_links);
+  medium_.add_listener(this);  // global view: the domain has complete sensing
+}
+
+void SharedBackoffClock::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    return a.seq > b.seq;
+  });
+}
+
+SharedBackoffClock::Entry SharedBackoffClock::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), [](const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    return a.seq > b.seq;
+  });
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+void SharedBackoffClock::begin_interval(TimePoint now) {
+  RTMAC_ASSERT(!in_interval_ && heap_.empty(), "begin_interval with countdowns armed");
+  in_interval_ = true;
+  arming_ = true;
+  elapsed_at_resume_ = 0;
+  if (medium_.sense_busy(phy::Medium::kAllNodes)) {
+    // Defensive: the Network's gap-rule invariant keeps interval starts
+    // idle, but mirror BackoffEngine::start anyway (arms freeze until the
+    // next idle transition; the clock has not run yet).
+    frozen_ = true;
+    elapsed_frozen_ = 0;
+    freeze_time_ = now;
+  } else {
+    frozen_ = false;
+    resume_time_ = now;
+  }
+}
+
+void SharedBackoffClock::arm(LinkId n, int count) {
+  RTMAC_ASSERT(count >= 0);
+  RTMAC_ASSERT(in_interval_, "arm outside an interval");
+  // All arms happen at resume instants or during a busy period — the CSMA
+  // schemes arm from begin_interval and from transmission outcomes only, and
+  // every completion instant that leaves the medium idle becomes the resume
+  // instant. This keeps deadline arithmetic exact (no partial slots at arm).
+  RTMAC_ASSERT(frozen_ || sim_.now() == resume_time_, "arm off the resume instant");
+  if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+    tracer->record(sim_.now(), sim::TraceKind::kBackoffArmed, sim::kNoLink, count);
+  }
+  // The scalar engine checks carrier-sense, not our freeze flag: a link
+  // arming at the LAST completion of a busy period senses idle (the Medium
+  // runs outcome callbacks before the idle notification) and schedules its
+  // expiry event immediately — giving it a sequence number BEFORE the frozen
+  // engines are resumed. `live` records that class for resequence().
+  const bool live = !medium_.sense_busy(phy::Medium::kAllNodes);
+  heap_push(Entry{elapsed_now() + count, next_seq_++, n, busy_epoch_, live, sim_.now()});
+  if (!frozen_ && !arming_) {
+    // Mid-interval arm on an idle medium: keep the single domain event on
+    // the earliest deadline. (Unreachable for DCF/FCSMA, which only re-arm
+    // from completion callbacks, but cheap to keep correct.)
+    if (heap_.front().seq == next_seq_ - 1) arm_event();
+  }
+}
+
+void SharedBackoffClock::finish_arming() {
+  arming_ = false;
+  if (!frozen_ && !heap_.empty()) arm_event();
+}
+
+void SharedBackoffClock::stop() {
+  if (expiry_event_.valid()) sim_.cancel(expiry_event_);
+  expiry_event_ = sim::EventId{};
+  if (in_interval_ && frozen_) account_freezes(sim_.now());
+  frozen_ = false;
+  in_interval_ = false;
+  heap_.clear();
+}
+
+int SharedBackoffClock::elapsed_slots() const {
+  if (!in_interval_) return 0;
+  if (frozen_) return static_cast<int>(elapsed_frozen_);
+  return static_cast<int>(elapsed_at_resume_ +
+                          (sim_.now() - resume_time_).floor_div(slot_));
+}
+
+void SharedBackoffClock::arm_event() {
+  const Entry& m = heap_.front();
+  event_wall_ = resume_time_ + static_cast<int>(m.deadline - elapsed_at_resume_) * slot_;
+  // Resuming from a freeze finds the event parked at the far-future sentinel
+  // (see on_medium_busy): move it rather than allocate a new one. The fresh
+  // FIFO sequence number matches what a cancel + schedule_at would produce.
+  if (!sim_.reschedule(expiry_event_, event_wall_)) {
+    expiry_event_ = sim_.schedule_at(event_wall_, [this] { fire(); });
+  }
+}
+
+void SharedBackoffClock::fire() {
+  expiry_event_ = sim::EventId{};
+  RTMAC_ASSERT(!heap_.empty(), "spurious domain expiry");
+  const Entry top = heap_pop();
+  RTMAC_ASSERT(top.deadline ==
+                   (frozen_ ? elapsed_frozen_
+                            : elapsed_at_resume_ +
+                                  (sim_.now() - resume_time_).floor_div(slot_)),
+               "expiry off the shared clock");
+  if (!heap_.empty() && heap_.front().deadline == top.deadline) {
+    // Another countdown is due at this same instant — a collision in the
+    // making. Its event must sit IN the simulator queue before the handler
+    // runs: the scalar engines keep same-instant events pending (their
+    // count_after <= 0 rule skips the freeze), and the Medium's burst fast
+    // path reads the queue (no_event_before) to decide whether it may
+    // resolve a transmission synchronously. Hiding the tie inside this heap
+    // would let it conclude the coast is clear.
+    event_wall_ = sim_.now();
+    expiry_event_ = sim_.schedule_at(event_wall_, [this] { fire(); });
+  }
+  if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+    tracer->record(sim_.now(), sim::TraceKind::kBackoffExpired, sim::kNoLink);
+  }
+  on_expire_(top.link);
+  // If the handler started a transmission, our own on_medium_busy froze the
+  // clock synchronously (and honours a pending same-instant tie); only an
+  // idle clock re-arms toward the next deadline here.
+  if (in_interval_ && !frozen_ && !expiry_event_.valid() && !heap_.empty()) arm_event();
+}
+
+void SharedBackoffClock::on_medium_busy(TimePoint t) {
+  if (!in_interval_ || frozen_) return;
+  const auto k = (t - resume_time_).floor_div(slot_);
+  // Transmissions start at expiry instants, which sit a whole number of
+  // slots past the shared resume — the 802.11 partial-slot discard the
+  // scalar engines apply here never has anything to discard.
+  RTMAC_ASSERT(resume_time_ + static_cast<int>(k) * slot_ == t,
+               "busy edge off the shared slot grid");
+  frozen_ = true;
+  elapsed_frozen_ = elapsed_at_resume_ + k;
+  freeze_time_ = t;
+  ++busy_epoch_;
+  // Park the domain event at the far-future sentinel — but ONLY when it is
+  // strictly in the future. An event due at this very instant is a countdown
+  // that reached zero in the same slot as the transmission now starting; the
+  // scalar engines let it fire into the collision, and so do we.
+  if (expiry_event_.valid() && event_wall_ > t) {
+    sim_.reschedule(expiry_event_, sim::Simulator::no_run_limit());
+  }
+  if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+    // Per-engine emulation in link order (the order the scalar engines
+    // registered as listeners). Countdowns due at this instant are skipped,
+    // exactly as the scalar count_after <= 0 rule skips the freeze.
+    trace_scratch_.clear();
+    for (const Entry& e : heap_) {
+      if (e.deadline > elapsed_frozen_) {
+        trace_scratch_.push_back({e.link, static_cast<int>(e.deadline - elapsed_frozen_)});
+      }
+    }
+    std::sort(trace_scratch_.begin(), trace_scratch_.end());
+    for (const auto& [link, remaining] : trace_scratch_) {
+      tracer->record(t, sim::TraceKind::kBackoffFrozen, sim::kNoLink, remaining);
+    }
+  }
+}
+
+void SharedBackoffClock::on_medium_idle(TimePoint t) {
+  if (!in_interval_ || !frozen_) return;
+  frozen_ = false;
+  account_freezes(t);
+  if (sim::Tracer* tracer = medium_.tracer(); tracer != nullptr) {
+    // Every frozen countdown resumes, in link order; a link that armed live
+    // at this instant (the last completion's outcome callback) never froze.
+    trace_scratch_.clear();
+    for (const Entry& e : heap_) {
+      if (e.live && e.arm_epoch == busy_epoch_) continue;
+      trace_scratch_.push_back({e.link, static_cast<int>(e.deadline - elapsed_frozen_)});
+    }
+    std::sort(trace_scratch_.begin(), trace_scratch_.end());
+    for (const auto& [link, remaining] : trace_scratch_) {
+      tracer->record(t, sim::TraceKind::kBackoffResumed, sim::kNoLink, remaining);
+    }
+  }
+  resequence();
+  elapsed_at_resume_ = elapsed_frozen_;
+  resume_time_ = t;
+  if (!heap_.empty()) arm_event();
+}
+
+void SharedBackoffClock::resequence() {
+  // Replay the scalar engines' event-queue sequence numbers at a resume:
+  // links that armed live at this instant already hold their events (issued
+  // in the outcome callbacks, in arm order), then the idle sweep reschedules
+  // every frozen engine in listener = link order. Ties between expiries are
+  // result-affecting — complete domains draw channel losses from one shared
+  // stream in completion order — so this order is exact, not cosmetic.
+  const std::uint64_t ep = busy_epoch_;
+  std::sort(heap_.begin(), heap_.end(), [ep](const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    const bool la = a.live && a.arm_epoch == ep;
+    const bool lb = b.live && b.arm_epoch == ep;
+    if (la != lb) return la;
+    if (la) return a.seq < b.seq;
+    return a.link < b.link;
+  });
+  // An array sorted by (deadline, seq) is a valid min-heap; assigning fresh
+  // ascending seqs in sorted order preserves exactly that.
+  for (Entry& e : heap_) e.seq = next_seq_++;
+}
+
+void SharedBackoffClock::account_freezes(TimePoint resume_at) {
+  // Handles are cached across events and re-resolved only when the Medium's
+  // registry changes (parity with BackoffEngine::account_freeze; the scalar
+  // DCF/FCSMA engines carry no trace label, so they all share one counter).
+  if (obs::MetricsRegistry* m = medium_.metrics(); m != metrics_seen_) {
+    metrics_seen_ = m;
+    if (m == nullptr) {
+      freeze_hist_ = nullptr;
+      freeze_ns_ = nullptr;
+    } else {
+      freeze_hist_ = &m->histogram("mac.backoff_freeze_us", obs::log_bounds(1.0, 65536.0, 2.0));
+      freeze_ns_ = &m->counter("mac.freeze_ns");
+    }
+  }
+  if (freeze_hist_ == nullptr) return;
+  for (const Entry& e : heap_) {
+    if (e.live && e.arm_epoch == busy_epoch_) continue;  // armed idle; never froze
+    // A countdown armed DURING the busy period (a non-final completion's
+    // outcome callback) has been frozen since its arm instant, not since the
+    // busy edge; the scalar engine accounts the same span.
+    const TimePoint since = e.arm_time > freeze_time_ ? e.arm_time : freeze_time_;
+    const Duration frozen_for = resume_at - since;
+    freeze_hist_->observe(frozen_for.us_f());
+    freeze_ns_->inc(static_cast<std::uint64_t>(frozen_for.ns()));
+  }
+}
+
+}  // namespace rtmac::mac

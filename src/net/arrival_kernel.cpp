@@ -1,0 +1,129 @@
+#include "net/arrival_kernel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtmac::net {
+
+ArrivalKernel::Row ArrivalKernel::classify(const traffic::ArrivalProcess& process,
+                                           Kind& kind) {
+  Row row;
+  if (const auto* b = dynamic_cast<const traffic::BernoulliArrivals*>(&process)) {
+    kind = Kind::kBernoulli;
+    row.x = b->mean();  // mean() returns lambda verbatim
+    return row;
+  }
+  if (const auto* u = dynamic_cast<const traffic::UniformBurstyArrivals*>(&process)) {
+    kind = Kind::kUniformBursty;
+    row.x = u->alpha();
+    row.a = u->lo();
+    row.b = u->hi();
+    return row;
+  }
+  if (const auto* c = dynamic_cast<const traffic::ConstantArrivals*>(&process)) {
+    kind = Kind::kConstant;
+    row.a = c->max_arrivals();  // max == count for a point mass
+    return row;
+  }
+  if (const auto* g = dynamic_cast<const traffic::GeneralDiscreteArrivals*>(&process)) {
+    // The cdf bits are copied verbatim from the process (same doubles, same
+    // upper_bound semantics), so the inverse-cdf draw below is bit-equal to
+    // the scalar sample().
+    kind = Kind::kGeneral;
+    const std::vector<double>& cdf = g->cdf();
+    row.a = static_cast<std::int32_t>(cdf_pool_.size());
+    row.b = static_cast<std::int32_t>(cdf.size());
+    cdf_pool_.insert(cdf_pool_.end(), cdf.begin(), cdf.end());
+    return row;
+  }
+  // Unknown subclass: its draw pattern is its own business — delegate.
+  kind = Kind::kVirtual;
+  row.a = static_cast<std::int32_t>(fallback_.size());
+  fallback_.push_back(&process);
+  return row;
+}
+
+void ArrivalKernel::build(
+    std::span<const std::unique_ptr<traffic::ArrivalProcess>> processes,
+    util::Arena& arena) {
+  RTMAC_REQUIRE(num_links_ == 0, "kernel is built exactly once");
+  num_links_ = processes.size();
+  uniform_ = false;
+  kinds_ = arena.make_span<Kind>(num_links_);
+  rows_ = arena.make_span<Row>(num_links_);
+  for (std::size_t n = 0; n < num_links_; ++n) {
+    RTMAC_REQUIRE(processes[n] != nullptr, "null arrival process");
+    rows_[n] = classify(*processes[n], kinds_[n]);
+  }
+}
+
+void ArrivalKernel::build_uniform(const traffic::ArrivalProcess& proto,
+                                  std::size_t num_links, util::Arena&) {
+  RTMAC_REQUIRE(num_links_ == 0, "kernel is built exactly once");
+  RTMAC_REQUIRE(num_links > 0, "uniform kernel needs at least one link");
+  num_links_ = num_links;
+  uniform_ = true;
+  uniform_row_ = classify(proto, uniform_kind_);
+}
+
+int ArrivalKernel::sample_row(Kind kind, const Row& row, Rng& rng) const {
+  switch (kind) {
+    case Kind::kBernoulli:
+      return rng.bernoulli(row.x) ? 1 : 0;
+    case Kind::kUniformBursty:
+      if (!rng.bernoulli(row.x)) return 0;
+      return static_cast<int>(rng.uniform_int(row.a, row.b));
+    case Kind::kConstant:
+      return static_cast<int>(row.a);
+    case Kind::kGeneral: {
+      const double* first = cdf_pool_.data() + row.a;
+      const double* last = first + row.b;
+      const double u = rng.next_double();
+      const double* it = std::upper_bound(first, last, u);
+      const auto idx = static_cast<std::ptrdiff_t>(it - first);
+      return static_cast<int>(
+          std::min<std::ptrdiff_t>(idx, static_cast<std::ptrdiff_t>(row.b) - 1));
+    }
+    case Kind::kVirtual:
+      return fallback_[static_cast<std::size_t>(row.a)]->sample(rng);
+  }
+  RTMAC_UNREACHABLE("bad arrival kernel row kind");
+}
+
+void ArrivalKernel::sample_into(Rng& rng, std::span<int> out) const {
+  RTMAC_REQUIRE(out.size() == num_links_, "output span size mismatch");
+  if (uniform_) {
+    // One row broadcast over the network; hoist the common cases so the
+    // per-link work is a branch and one or two inlined draws.
+    switch (uniform_kind_) {
+      case Kind::kBernoulli: {
+        const double lambda = uniform_row_.x;
+        for (std::size_t n = 0; n < num_links_; ++n) {
+          out[n] = rng.bernoulli(lambda) ? 1 : 0;
+        }
+        return;
+      }
+      case Kind::kConstant: {
+        std::fill(out.begin(), out.end(), static_cast<int>(uniform_row_.a));
+        return;
+      }
+      default:
+        for (std::size_t n = 0; n < num_links_; ++n) {
+          out[n] = sample_row(uniform_kind_, uniform_row_, rng);
+        }
+        return;
+    }
+  }
+  for (std::size_t n = 0; n < num_links_; ++n) {
+    out[n] = sample_row(kinds_[n], rows_[n], rng);
+  }
+}
+
+std::size_t ArrivalKernel::memory_bytes() const {
+  return kinds_.size_bytes() + rows_.size_bytes() +
+         cdf_pool_.capacity() * sizeof(double) +
+         fallback_.capacity() * sizeof(const traffic::ArrivalProcess*);
+}
+
+}  // namespace rtmac::net

@@ -1,0 +1,85 @@
+// Table-driven batch sampling of the central per-interval arrival loop.
+//
+// The legacy loop does one virtual sample() call per link per interval —
+// at 10^6 links that is a million indirect calls through a million
+// heap-scattered ArrivalProcess objects before any protocol work starts.
+// The kernel flattens the processes into SoA rows (a 1-byte kind tag plus a
+// 16-byte parameter record, arena-backed) at construction and samples the
+// whole network with one tight switch-per-row loop.
+//
+// RNG contract (load-bearing): for every link, the kernel issues exactly
+// the draw sequence the scalar sample() would — same methods, same
+// argument bits, same order, consuming the shared arrival stream in global
+// link order. Golden figure CSVs and the shards x jobs determinism diffs
+// depend on this; arrival_kernel_test locks it with per-draw equality
+// across seeds, rates, and link counts. Processes the kernel does not
+// recognize fall back to the virtual call, preserving the sequence by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "traffic/arrival_process.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::net {
+
+class ArrivalKernel {
+ public:
+  ArrivalKernel() = default;
+
+  /// Flattens one process per link (the NetworkConfig::arrivals layout).
+  /// Row storage comes from `arena`; `processes` must outlive the kernel
+  /// (unrecognized subclasses keep a borrowed pointer for the fallback).
+  void build(std::span<const std::unique_ptr<traffic::ArrivalProcess>> processes,
+             util::Arena& arena);
+
+  /// One shared process spec for all `num_links` links (uniform networks):
+  /// a single row, broadcast — no per-link storage at all.
+  void build_uniform(const traffic::ArrivalProcess& proto, std::size_t num_links,
+                     util::Arena& arena);
+
+  [[nodiscard]] bool empty() const { return num_links_ == 0; }
+  [[nodiscard]] std::size_t num_links() const { return num_links_; }
+
+  /// Samples every link's arrival count into `out` (size num_links()),
+  /// consuming `rng` exactly as the scalar per-link sample() loop would.
+  void sample_into(Rng& rng, std::span<int> out) const;
+
+  /// Bytes of arena/heap storage behind the flattened tables (the `mem.*`
+  /// attribution for the arrival subsystem).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kBernoulli,      ///< row.x = lambda
+    kUniformBursty,  ///< row.x = alpha, row.a = lo, row.b = hi
+    kConstant,       ///< row.a = count; consumes no draws
+    kGeneral,        ///< cdf_pool_[row.a .. row.a + row.b); inverse-cdf draw
+    kVirtual,        ///< fallback_[row.a]->sample(rng)
+  };
+  struct Row {
+    double x = 0.0;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+  };
+  static_assert(sizeof(Row) == 16, "Row is the SoA unit; keep it dense");
+
+  Row classify(const traffic::ArrivalProcess& process, Kind& kind);
+  [[nodiscard]] int sample_row(Kind kind, const Row& row, Rng& rng) const;
+
+  std::size_t num_links_ = 0;
+  bool uniform_ = false;
+  Kind uniform_kind_ = Kind::kConstant;
+  Row uniform_row_;
+  std::span<Kind> kinds_;  ///< arena-backed, one per link (empty if uniform)
+  std::span<Row> rows_;    ///< arena-backed, parallel to kinds_
+  std::vector<double> cdf_pool_;  ///< concatenated general-discrete cdfs
+  std::vector<const traffic::ArrivalProcess*> fallback_;  ///< borrowed
+};
+
+}  // namespace rtmac::net

@@ -157,6 +157,13 @@ struct Network::Cell final : public sim::ShardCell {
   void begin_window(TimePoint bound) override RTMAC_REQUIRES(sim::shard_barrier) {
     medium->set_resolution_horizon(bound);
   }
+  /// Adaptive-lookahead probe: nothing observable happens in this cell
+  /// before its next pending event, so neighbors may run up to that instant
+  /// (see sim/sharded_simulator.hpp for the exactness argument). An idle
+  /// cell reports no_run_limit() and stops throttling its neighbors.
+  [[nodiscard]] TimePoint next_activity_bound() override RTMAC_REQUIRES(sim::shard_barrier) {
+    return sim.next_event_time();
+  }
   void run_window(TimePoint horizon) override RTMAC_EXCLUDES(sim::shard_barrier) {
     sim.run_until(horizon);
   }
@@ -201,6 +208,16 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
     std::fprintf(stderr, "rtmac: invalid NetworkConfig: %s\n", error.c_str());
     std::abort();
   }
+  // Central arrival sampling is table-driven on every non-joint run; the
+  // kernel reproduces the scalar per-link draw sequence exactly (see
+  // net/arrival_kernel.hpp).
+  if (config_.joint_arrivals == nullptr) {
+    if (!config_.arrivals.empty()) {
+      arrival_kernel_.build(config_.arrivals, arena_);
+    } else {
+      arrival_kernel_.build_uniform(*config_.uniform_arrivals, config_.num_links(), arena_);
+    }
+  }
   const std::size_t target =
       config_.shards > 0
           ? config_.shards
@@ -230,24 +247,25 @@ Network::Network(NetworkConfig config, const mac::SchemeFactory& scheme_factory)
     RTMAC_REQUIRE(channel != nullptr && channel->num_links() == config_.num_links(), "channel model size must match the network");
     if (config_.topology.has_value()) {
       medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), *config_.topology,
-                                              config_.seed);
+                                              config_.seed, &arena_);
     } else {
-      medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), config_.seed);
+      medium_ = std::make_unique<phy::Medium>(sim_, std::move(channel), config_.seed, &arena_);
     }
   } else if (config_.topology.has_value()) {
     medium_ = std::make_unique<phy::Medium>(sim_, config_.success_prob, *config_.topology,
-                                            config_.seed);
+                                            config_.seed, &arena_);
   } else {
-    medium_ = std::make_unique<phy::Medium>(sim_, config_.success_prob, config_.seed);
+    medium_ = std::make_unique<phy::Medium>(sim_, config_.success_prob, config_.seed, &arena_);
   }
-  const mac::SchemeContext ctx{sim_,
-                               *medium_,
-                               config_.phy,
-                               config_.interval_length,
-                               config_.num_links(),
-                               config_.success_prob,
-                               debts_,
-                               config_.seed};
+  mac::SchemeContext ctx{sim_,
+                         *medium_,
+                         config_.phy,
+                         config_.interval_length,
+                         config_.num_links(),
+                         config_.success_prob,
+                         debts_,
+                         config_.seed};
+  ctx.arena = &arena_;
   scheme_ = scheme_factory(ctx);
   RTMAC_REQUIRE(scheme_ != nullptr);
 }
@@ -256,29 +274,35 @@ Network::~Network() = default;
 
 void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& scheme_factory) {
   const std::size_t n = config_.num_links();
-  sim::AdjacencyLists conflict;
-  sim::AdjacencyLists sense;
+  // Partition from the sparse lists in place — a 10^6-link topology's
+  // adjacency is hundreds of MB, so no deep copy on this path.
+  sim::AdjacencyLists conflict_storage;
+  sim::AdjacencyLists sense_storage;
+  const sim::AdjacencyLists* conflict = nullptr;
+  const sim::AdjacencyLists* sense = nullptr;
   if (config_.sparse_topology != nullptr) {
-    conflict = config_.sparse_topology->conflict;
-    sense = config_.sparse_topology->sense;
+    conflict = &config_.sparse_topology->conflict;
+    sense = &config_.sparse_topology->sense;
   } else if (config_.topology.has_value()) {
     // The has_value() guard is local on purpose: the caller checks it too,
     // but flow-sensitive analyzers (bugprone-unchecked-optional-access) only
     // see in-function guards.
     const phy::InterferenceGraph& g = *config_.topology;
-    conflict.resize(n);
-    sense.resize(n);
+    conflict_storage.resize(n);
+    sense_storage.resize(n);
     for (LinkId a = 0; a < n; ++a) {
       for (LinkId b = 0; b < n; ++b) {
         if (a == b) continue;
-        if (g.conflicts(a, b)) conflict[a].push_back(b);
-        if (g.senses(a, b)) sense[a].push_back(b);
+        if (g.conflicts(a, b)) conflict_storage[a].push_back(b);
+        if (g.senses(a, b)) sense_storage[a].push_back(b);
       }
     }
+    conflict = &conflict_storage;
+    sense = &sense_storage;
   } else {
     RTMAC_UNREACHABLE("build_shard requires a topology");
   }
-  sim::ShardPlan plan = sim::partition_topology(conflict, sense, target_shards);
+  sim::ShardPlan plan = sim::partition_topology(*conflict, *sense, target_shards);
   if (plan.trivial()) return;  // caller falls back to the legacy engine
 
   shard_ = std::make_unique<Shard>();
@@ -311,8 +335,6 @@ void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& s
   }
 
   const RateVector q = config_.requirements.q();
-  const auto tpi = static_cast<std::size_t>(
-      config_.phy.transmissions_per_interval(config_.interval_length));
   sh.cells.reserve(num_cells);
   for (std::size_t ci = 0; ci < num_cells; ++ci) {
     const std::vector<LinkId>& links = sh.plan.cells[ci];
@@ -327,12 +349,26 @@ void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& s
     auto cell = std::make_unique<Cell>(*this, static_cast<std::uint32_t>(ci), links,
                                        std::move(q_slice), std::move(p_slice));
 
+    // A cut-free cell (no cut conflicts, no exported speakers, no remote
+    // listeners) interacts with nothing outside itself, so its subgraph may
+    // keep honestly-computed completeness flags: a clique cell then runs
+    // the O(1) complete-sensing fast paths — the per-event win that makes
+    // dense-cell city topologies scale (DESIGN §4j).
+    bool cut_free = remote[ci].empty();
+    for (const LinkId g : links) {
+      if (has_cut_conflict[g] != 0 || is_cut_speaker[g] != 0) {
+        cut_free = false;
+        break;
+      }
+    }
+    const auto flags = cut_free ? phy::InterferenceGraph::SubgraphFlags::kKeepCompleteness
+                                : phy::InterferenceGraph::SubgraphFlags::kClearCompleteness;
     phy::InterferenceGraph cell_graph =
         config_.sparse_topology != nullptr
-            ? phy::induced_subgraph(*config_.sparse_topology, cell->links)
-            : config_.topology->induced(cell->links);
+            ? phy::induced_subgraph(*config_.sparse_topology, cell->links, flags)
+            : config_.topology->induced(cell->links, flags);
     cell->medium = std::make_unique<phy::Medium>(cell->sim, cell->success_prob,
-                                                 std::move(cell_graph), config_.seed);
+                                                 std::move(cell_graph), config_.seed, &arena_);
 
     phy::ShardMediumConfig smc;
     smc.global_ids = cell->links;
@@ -356,24 +392,33 @@ void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& s
       cell->medium->register_remote_sense(speaker, std::move(nodes));
       ++num_speakers;
     }
-    // Local transmission budget plus two events (busy + idle edge) per
-    // remote injection per interval.
-    cell->sim.reserve_events(links.size() * (tpi + 2) + 16 + 2 * num_speakers * tpi);
-
-    const mac::SchemeContext ctx{cell->sim,
-                                 *cell->medium,
-                                 config_.phy,
-                                 config_.interval_length,
-                                 links.size(),
-                                 cell->success_prob,
-                                 cell->debts,
-                                 config_.seed,
-                                 std::span<const LinkId>{cell->links},
-                                 n};
+    mac::SchemeContext ctx{cell->sim,
+                           *cell->medium,
+                           config_.phy,
+                           config_.interval_length,
+                           links.size(),
+                           cell->success_prob,
+                           cell->debts,
+                           config_.seed,
+                           std::span<const LinkId>{cell->links},
+                           n};
+    ctx.arena = &arena_;
     cell->scheme = scheme_factory(ctx);
     RTMAC_REQUIRE(cell->scheme != nullptr);
     RTMAC_REQUIRE(cell->scheme->shardable(),
                   "scheme requires global knowledge and cannot run on shard cells");
+    // The reserve covers the PEAK number of simultaneously pending events,
+    // not the per-interval total: the scheme declares its per-link timer
+    // bound (batch shared-clock schemes keep ONE domain expiry event plus at
+    // most one in-flight completion per link; scalar engines add parked
+    // per-link expiries), and each remote speaker holds at most two edges
+    // (busy + idle) per in-flight injection. Sized AFTER scheme construction
+    // so the bound can depend on the layout the scheme chose; at 10^5+ cells
+    // the pool is the dominant per-cell footprint, so a tight bound is worth
+    // real memory at the million-link scale.
+    // engine.events.reallocs == 0 in the bench gate proves the bound holds.
+    cell->sim.reserve_events(links.size() * cell->scheme->pending_events_per_link() + 16 +
+                             4 * num_speakers);
     sh.cells.push_back(std::move(cell));
   }
   sh.cell_ptrs.reserve(num_cells);
@@ -404,7 +449,8 @@ void Network::build_shard(std::size_t target_shards, const mac::SchemeFactory& s
       v.erase(std::unique(v.begin(), v.end()), v.end());
     }
     sh.coordinator = std::make_unique<sim::ShardCoordinator>(
-        sh.cell_ptrs, std::move(cut_neighbors), sh.plan.groups, sh.pool.get());
+        sh.cell_ptrs, std::move(cut_neighbors), sh.plan.groups, sh.pool.get(),
+        config_.adaptive_lookahead);
   }
 }
 
@@ -476,13 +522,12 @@ void Network::run(IntervalIndex intervals) {
     const TimePoint end = start + config_.interval_length;
 
     // Arrivals are sampled centrally in global link order on BOTH engines,
-    // so the sampled sequence is independent of the partition.
+    // so the sampled sequence is independent of the partition. The kernel
+    // consumes the stream exactly as the per-link virtual loop would.
     if (config_.joint_arrivals != nullptr) {
       config_.joint_arrivals->sample_into(arrival_rng_, arrivals);
     } else {
-      for (std::size_t n = 0; n < n_links; ++n) {
-        arrivals[n] = config_.arrivals[n]->sample(arrival_rng_);
-      }
+      arrival_kernel_.sample_into(arrival_rng_, arrivals.first(n_links));
     }
 
     if (shard_ != nullptr) {
@@ -716,6 +761,25 @@ void Network::merge_cell_metrics_into(obs::MetricsRegistry& target) const {
   for (const auto& cell : shard_->cells) {
     if (cell->registry != nullptr) target.merge_from(*cell->registry);
   }
+}
+
+Network::MemoryBreakdown Network::memory_breakdown() const {
+  MemoryBreakdown mb;
+  mb.arena_reserved = arena_.bytes_reserved();
+  mb.arena_used = arena_.bytes_used();
+  mb.arrivals = arrival_kernel_.memory_bytes();
+  if (shard_ == nullptr) {
+    mb.sim_events = sim_.event_memory_bytes();
+    if (medium_ != nullptr) mb.phy = medium_->memory_bytes();
+    if (scheme_ != nullptr) mb.mac = scheme_->memory_bytes();
+    return mb;
+  }
+  for (const auto& cell : shard_->cells) {
+    mb.sim_events += cell->sim.event_memory_bytes();
+    mb.phy += cell->medium->memory_bytes();
+    mb.mac += cell->scheme->memory_bytes();
+  }
+  return mb;
 }
 
 double Network::total_deficiency() const {

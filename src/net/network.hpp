@@ -27,10 +27,12 @@
 
 #include "core/debt.hpp"
 #include "mac/link_mac.hpp"
+#include "net/arrival_kernel.hpp"
 #include "net/network_config.hpp"
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
 #include "stats/link_stats.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace rtmac::net {
@@ -125,6 +127,20 @@ class Network {
   /// legacy path. Call exactly once per run, at collect time.
   void merge_cell_metrics_into(obs::MetricsRegistry& target) const;
 
+  /// Per-subsystem byte accounting of the network's long-lived state
+  /// (DESIGN §4j). `arena_*` cover the shared arena backing the SoA blocks;
+  /// the per-subsystem figures attribute who asked for the bytes (arena
+  /// spans count under their subsystem, not double-counted as arena).
+  struct MemoryBreakdown {
+    std::size_t arena_reserved = 0;  ///< bytes the arena holds from malloc
+    std::size_t arena_used = 0;      ///< bytes handed out to subsystems
+    std::size_t arrivals = 0;        ///< arrival kernel tables
+    std::size_t sim_events = 0;      ///< event-queue slot pools + heaps
+    std::size_t phy = 0;             ///< per-link medium state, all cells
+    std::size_t mac = 0;             ///< per-link scheme state, all cells
+  };
+  [[nodiscard]] MemoryBreakdown memory_breakdown() const;
+
   /// Total timely-throughput deficiency so far (Definition 1).
   [[nodiscard]] double total_deficiency() const;
 
@@ -139,11 +155,16 @@ class Network {
   void finish_interval(IntervalIndex k, TimePoint end);
 
   NetworkConfig config_;
+  /// Backs every cell's cold per-link SoA blocks and the arrival kernel
+  /// tables; declared before the consumers so it outlives them (members
+  /// destroy in reverse order).
+  util::Arena arena_;
   sim::Simulator sim_;  ///< legacy engine (idle when sharded)
   std::unique_ptr<phy::Medium> medium_;
   core::DebtTracker debts_;
   stats::LinkStatsCollector stats_;
   Rng arrival_rng_;
+  ArrivalKernel arrival_kernel_;  ///< central arrival sampling (non-joint runs)
   std::unique_ptr<mac::MacScheme> scheme_;
   std::unique_ptr<Shard> shard_;  ///< non-null iff the sharded engine runs
   std::vector<LinkId> identity_links_;  ///< cell_links() result on legacy

@@ -20,8 +20,18 @@ bool NetworkConfig::validate(std::string* error) const {
         return fail("declared lambda does not match joint arrival process mean");
       }
     }
-  } else if (arrivals.size() != n) {
-    return fail("arrivals size != number of links");
+  } else if (!arrivals.empty()) {
+    // Per-link processes win over the uniform shortcut when both are set
+    // (covers configs built symmetric and then specialized per link).
+    if (arrivals.size() != n) return fail("arrivals size != number of links");
+  } else if (uniform_arrivals != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(uniform_arrivals->mean() - requirements.lambda[i]) > 1e-9) {
+        return fail("declared lambda does not match uniform arrival process mean");
+      }
+    }
+  } else {
+    return fail("no arrival specification (arrivals, uniform_arrivals, or joint_arrivals)");
   }
   if (requirements.lambda.size() != n || requirements.rho.size() != n) {
     return fail("requirements size != number of links");
@@ -50,7 +60,7 @@ bool NetworkConfig::validate(std::string* error) const {
     if (success_prob[i] <= 0.0 || success_prob[i] > 1.0) {
       return fail("success probabilities must lie in (0, 1]");
     }
-    if (joint_arrivals == nullptr) {
+    if (joint_arrivals == nullptr && !arrivals.empty()) {
       if (arrivals[i] == nullptr) return fail("null arrival process");
       if (std::abs(arrivals[i]->mean() - requirements.lambda[i]) > 1e-9) {
         return fail("declared lambda does not match arrival process mean");
@@ -80,6 +90,7 @@ NetworkConfig NetworkConfig::clone() const {
   copy.success_prob = success_prob;
   copy.arrivals.reserve(arrivals.size());
   for (const auto& a : arrivals) copy.arrivals.push_back(a->clone());
+  if (uniform_arrivals != nullptr) copy.uniform_arrivals = uniform_arrivals->clone();
   copy.requirements = requirements;
   copy.seed = seed;
   copy.channel_factory = channel_factory;
@@ -89,6 +100,7 @@ NetworkConfig NetworkConfig::clone() const {
   copy.shards = shards;
   copy.auto_shard = auto_shard;
   copy.shard_jobs = shard_jobs;
+  copy.adaptive_lookahead = adaptive_lookahead;
   return copy;
 }
 
@@ -100,8 +112,9 @@ NetworkConfig symmetric_network(std::size_t num_links, Duration interval_length,
   cfg.interval_length = interval_length;
   cfg.phy = phy;
   cfg.success_prob.assign(num_links, p);
-  cfg.arrivals.reserve(num_links);
-  for (std::size_t i = 0; i < num_links; ++i) cfg.arrivals.push_back(arrivals.clone());
+  // One shared spec, not num_links clones: the arrival kernel broadcasts a
+  // single row, and a 10^6-link config stays a 10^6-double config.
+  cfg.uniform_arrivals = arrivals.clone();
   cfg.requirements = core::Requirements::symmetric(num_links, arrivals.mean(), rho);
   cfg.seed = seed;
   return cfg;

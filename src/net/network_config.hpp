@@ -25,6 +25,13 @@ struct NetworkConfig {
   phy::PhyParams phy;                        ///< airtimes and slot width
   ProbabilityVector success_prob;            ///< p_n per link (policy-visible)
   std::vector<std::unique_ptr<traffic::ArrivalProcess>> arrivals;  ///< A_n per link
+  /// Uniform-network shortcut: one shared arrival spec for all links. When
+  /// set (and `arrivals` is empty) the Network samples every link from this
+  /// process via a single broadcast kernel row instead of materializing
+  /// num_links() clones — at 10^6 links that is the difference between one
+  /// object and ~50 MB of identical ones. Draw-for-draw equivalent to the
+  /// per-link layout; symmetric_network() now produces this form.
+  std::unique_ptr<traffic::ArrivalProcess> uniform_arrivals;
   core::Requirements requirements;           ///< lambda_n and rho_n
   std::uint64_t seed = 1;                    ///< root seed for the whole run
   /// Optional loss-process override (e.g. a GilbertElliottChannel for the
@@ -59,6 +66,12 @@ struct NetworkConfig {
   bool auto_shard = false;
   /// Worker threads driving shard groups; 0 = min(groups, hardware).
   std::size_t shard_jobs = 0;
+  /// Adaptive coordinator lookahead: cut windows extend to each neighbor
+  /// cell's next pending event instead of its bare clock, skipping barrier
+  /// rounds for cells that provably cannot interact yet. Results are
+  /// bit-identical either way (see sharded_simulator.hpp); the toggle
+  /// exists for A/B round-count measurement and as a bisection aid.
+  bool adaptive_lookahead = true;
 
   [[nodiscard]] std::size_t num_links() const { return success_prob.size(); }
 

@@ -97,6 +97,23 @@ void collect_network_metrics(MetricsRegistry& registry, const net::Network& netw
     registry.counter("sim.coordinator_rounds").inc(network.coordinator_rounds());
   }
 
+  // Per-subsystem byte accounting (DESIGN §4j): mem.arena_* describe the
+  // shared arena itself; the per-subsystem gauges attribute the bytes to
+  // whoever asked for them (arena spans count under their subsystem).
+  // Process-wide peak RSS is deliberately NOT exported here — it depends on
+  // what else the process did and would break byte-identical metrics files
+  // across --jobs counts; it belongs to the bench reports and the sweep
+  // progress heartbeat (util::peak_rss_kb()).
+  {
+    const net::Network::MemoryBreakdown mem = network.memory_breakdown();
+    registry.gauge("mem.arena_reserved_bytes").set(static_cast<double>(mem.arena_reserved));
+    registry.gauge("mem.arena_used_bytes").set(static_cast<double>(mem.arena_used));
+    registry.gauge("mem.arrivals_bytes").set(static_cast<double>(mem.arrivals));
+    registry.gauge("mem.sim_events_bytes").set(static_cast<double>(mem.sim_events));
+    registry.gauge("mem.phy_bytes").set(static_cast<double>(mem.phy));
+    registry.gauge("mem.mac_bytes").set(static_cast<double>(mem.mac));
+  }
+
   registry.gauge("net.deficiency")
       .set(stats::total_deficiency(stats, network.config().requirements.q()));
   registry.gauge("net.intervals").set(static_cast<double>(stats.intervals()));

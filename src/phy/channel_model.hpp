@@ -40,6 +40,10 @@ class StaticChannel final : public ChannelModel {
   [[nodiscard]] bool attempt_succeeds(LinkId link, Rng& rng) override;
   [[nodiscard]] double mean_success(LinkId link) const override { return p_[link]; }
   [[nodiscard]] std::size_t num_links() const override { return p_.size(); }
+  /// Direct view of the per-link probabilities. The Medium caches this at
+  /// construction so the per-completion loss draw inlines to the identical
+  /// rng.bernoulli(p_[link]) without the virtual dispatch.
+  [[nodiscard]] const ProbabilityVector& probs() const { return p_; }
 
  private:
   ProbabilityVector p_;

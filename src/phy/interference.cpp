@@ -98,7 +98,8 @@ InterferenceGraph InterferenceGraph::unit_disk(const std::vector<LinkPlacement>&
   return InterferenceGraph{n, std::move(conflict), std::move(sense)};
 }
 
-InterferenceGraph InterferenceGraph::induced(std::span<const LinkId> links) const {
+InterferenceGraph InterferenceGraph::induced(std::span<const LinkId> links,
+                                             SubgraphFlags flags) const {
   const std::size_t k = links.size();
   RTMAC_REQUIRE(k >= 1, "induced subgraph needs at least one link");
   std::vector<bool> conflict(k * k, false);
@@ -111,8 +112,10 @@ InterferenceGraph InterferenceGraph::induced(std::span<const LinkId> links) cons
     }
   }
   InterferenceGraph g{k, std::move(conflict), std::move(sense)};
-  g.complete_conflicts_ = false;
-  g.complete_sensing_ = false;
+  if (flags == SubgraphFlags::kClearCompleteness) {
+    g.complete_conflicts_ = false;
+    g.complete_sensing_ = false;
+  }
   return g;
 }
 
@@ -188,7 +191,8 @@ SparseTopology sparse_unit_disk(const std::vector<InterferenceGraph::LinkPlaceme
 }
 
 InterferenceGraph induced_subgraph(const SparseTopology& topology,
-                                   std::span<const LinkId> links) {
+                                   std::span<const LinkId> links,
+                                   InterferenceGraph::SubgraphFlags flags) {
   const std::size_t k = links.size();
   RTMAC_REQUIRE(k >= 1, "induced subgraph needs at least one link");
   const auto local_of = [&](LinkId global) -> std::size_t {
@@ -211,8 +215,10 @@ InterferenceGraph induced_subgraph(const SparseTopology& topology,
     }
   }
   InterferenceGraph g{k, std::move(conflict), std::move(sense)};
-  g.complete_conflicts_ = false;
-  g.complete_sensing_ = false;
+  if (flags == InterferenceGraph::SubgraphFlags::kClearCompleteness) {
+    g.complete_conflicts_ = false;
+    g.complete_sensing_ = false;
+  }
   return g;
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -91,16 +92,28 @@ class InterferenceGraph {
   /// Both relations complete: byte-identical to the pre-topology Medium.
   [[nodiscard]] bool is_complete() const { return complete_conflicts_ && complete_sensing_; }
 
-  /// Dense subgraph induced by `links` (ascending global ids), with the
-  /// completeness flags force-cleared even if the cell happens to be a
-  /// clique: a shard cell has external interference by construction, so the
-  /// complete-graph fast paths (shared loss stream, batch DP, burst mode)
-  /// must stay off for behavior to match the unsharded run.
-  [[nodiscard]] InterferenceGraph induced(std::span<const LinkId> links) const;
+  /// Completeness-flag policy for induced subgraphs. A shard cell with ANY
+  /// cut relation has external interference, so the complete-graph fast
+  /// paths (shared loss stream, batch DP, burst mode, single-view sensing)
+  /// must stay off for behavior to match the unsharded run — that is
+  /// kClearCompleteness, the safe default. A CUT-FREE cell whose subgraph
+  /// is a clique genuinely satisfies the complete-graph contract (its links
+  /// interact with nothing outside, and the shard machinery re-keys the
+  /// loss streams by global id either way), so kKeepCompleteness lets the
+  /// honestly-computed flags stand and unlocks the O(1) single-view fast
+  /// paths for dense-cell city topologies.
+  enum class SubgraphFlags : std::uint8_t { kClearCompleteness, kKeepCompleteness };
+
+  /// Dense subgraph induced by `links` (ascending global ids); completeness
+  /// flags per `flags` (see SubgraphFlags).
+  [[nodiscard]] InterferenceGraph induced(
+      std::span<const LinkId> links,
+      SubgraphFlags flags = SubgraphFlags::kClearCompleteness) const;
 
  private:
   friend InterferenceGraph induced_subgraph(const SparseTopology& topology,
-                                            std::span<const LinkId> links);
+                                            std::span<const LinkId> links,
+                                            SubgraphFlags flags);
 
   InterferenceGraph(std::size_t n, std::vector<bool> conflict, std::vector<bool> sense);
 
@@ -140,8 +153,11 @@ struct SparseTopology {
     double sense_range);
 
 /// Dense subgraph of a sparse topology induced by `links` (ascending global
-/// ids), completeness flags cleared — see InterferenceGraph::induced.
-[[nodiscard]] InterferenceGraph induced_subgraph(const SparseTopology& topology,
-                                                 std::span<const LinkId> links);
+/// ids); completeness flags per `flags` — see
+/// InterferenceGraph::SubgraphFlags.
+[[nodiscard]] InterferenceGraph induced_subgraph(
+    const SparseTopology& topology, std::span<const LinkId> links,
+    InterferenceGraph::SubgraphFlags flags =
+        InterferenceGraph::SubgraphFlags::kClearCompleteness);
 
 }  // namespace rtmac::phy

@@ -9,13 +9,14 @@
 
 namespace rtmac::phy {
 
-Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed)
-    : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)), seed} {}
+Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed,
+               util::Arena* arena)
+    : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)), seed, arena} {}
 
 Medium::Medium(sim::Simulator& simulator, ProbabilityVector success_prob,
-               InterferenceGraph topology, std::uint64_t seed)
+               InterferenceGraph topology, std::uint64_t seed, util::Arena* arena)
     : Medium{simulator, std::make_unique<StaticChannel>(std::move(success_prob)),
-             std::move(topology), seed} {}
+             std::move(topology), seed, arena} {}
 
 namespace {
 
@@ -28,24 +29,21 @@ std::uint64_t loss_stream_id(LinkId global) { return mix64(0x4c4f5353ULL, global
 }  // namespace
 
 Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
-               std::uint64_t seed)
+               std::uint64_t seed, util::Arena* arena)
     : sim_{simulator},
       channel_{std::move(channel)},
       graph_{InterferenceGraph::complete(channel_ != nullptr ? channel_->num_links() : 1)},
       seed_{seed},
       loss_rng_{seed, /*stream_id=*/0x4d454449554dULL /* "MEDIUM" */} {
   RTMAC_REQUIRE(channel_ != nullptr && channel_->num_links() > 0);
-  const std::size_t n = channel_->num_links();
   complete_sensing_ = graph_.complete_sensing();
-  num_links_ = n;
-  link_counters_.resize(n);
-  views_.resize(n);
-  marks_.assign(n + 1, 0);
-  collision_pairs_.assign(n * n, 0);
+  num_links_ = channel_->num_links();
+  arena_ = arena;
+  init_link_state();
 }
 
 Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
-               InterferenceGraph topology, std::uint64_t seed)
+               InterferenceGraph topology, std::uint64_t seed, util::Arena* arena)
     : sim_{simulator},
       channel_{std::move(channel)},
       graph_{std::move(topology)},
@@ -56,10 +54,8 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
   RTMAC_ASSERT(graph_.num_links() == n, "interference graph size must match the channel");
   complete_sensing_ = graph_.complete_sensing();
   num_links_ = n;
-  link_counters_.resize(n);
-  views_.resize(n);
-  marks_.assign(n + 1, 0);
-  collision_pairs_.assign(n * n, 0);
+  arena_ = arena;
+  init_link_state();
   if (!graph_.is_complete()) {
     loss_rngs_.reserve(n);
     for (LinkId link = 0; link < n; ++link) {
@@ -68,8 +64,70 @@ Medium::Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
   }
 }
 
+void Medium::init_link_state() {
+  if (arena_ == nullptr) {
+    // Legacy/test construction: no shared arena, bring a private one.
+    own_arena_ = std::make_unique<util::Arena>();
+    arena_ = own_arena_.get();
+  }
+  static_probs_ = [this]() -> const double* {
+    auto* static_channel = dynamic_cast<StaticChannel*>(channel_.get());
+    return static_channel != nullptr ? static_channel->probs().data() : nullptr;
+  }();
+  const std::size_t n = num_links_;
+  link_counters_ = arena_->make_span<LinkCounters>(n);
+  views_ = arena_->make_span<SenseView>(n);
+  marks_ = arena_->make_span<std::uint8_t>(n + 1);
+  if (graph_.complete_conflicts()) {
+    // Every pair can collide; the dense matrix is exactly the CSR payload
+    // without the offsets. Complete graphs are the paper's small cells, so
+    // n^2 here is cheap.
+    pair_dense_ = arena_->make_span<std::uint64_t>(n * n);
+    return;
+  }
+  // CSR over the conflict adjacency ({a} + conflicts(a) per row, ascending —
+  // the diagonal is forced true, so self collisions always have a cell).
+  std::size_t entries = 0;
+  for (LinkId a = 0; a < n; ++a) {
+    for (LinkId b = 0; b < n; ++b) entries += graph_.conflicts(a, b) ? 1 : 0;
+  }
+  pair_row_ = arena_->make_span<std::uint32_t>(n + 1);
+  pair_col_ = arena_->make_span<LinkId>(entries);
+  pair_count_ = arena_->make_span<std::uint64_t>(entries);
+  std::uint32_t at = 0;
+  for (LinkId a = 0; a < n; ++a) {
+    pair_row_[a] = at;
+    for (LinkId b = 0; b < n; ++b) {
+      if (graph_.conflicts(a, b)) pair_col_[at++] = b;
+    }
+  }
+  pair_row_[n] = at;
+}
+
+std::size_t Medium::memory_bytes() const {
+  return link_counters_.size_bytes() + views_.size_bytes() + marks_.size_bytes() +
+         pair_dense_.size_bytes() + pair_row_.size_bytes() + pair_col_.size_bytes() +
+         pair_count_.size_bytes() + loss_rngs_.capacity() * sizeof(Rng) +
+         active_.capacity() * sizeof(ActiveTx) + listeners_.capacity() * sizeof(ListenerEntry) +
+         outbox_.capacity() * sizeof(CutTxExport) +
+         shard_.global_ids.capacity() * sizeof(LinkId) + shard_.conflict_cut.capacity() +
+         shard_.exported.capacity();
+}
+
 void Medium::configure_shard(ShardMediumConfig config) {
-  RTMAC_REQUIRE(!complete_sensing_, "shard cells must use flag-cleared subgraphs");
+  // A cell keeping its completeness flags must be cut-free: complete
+  // sensing collapses everything onto the single global view, which is only
+  // equivalent to the unsharded run when no external interference exists.
+  if (complete_sensing_) {
+    bool cut_free = true;
+    for (std::size_t i = 0; i < config.conflict_cut.size(); ++i) {
+      if (config.conflict_cut[i] != 0 || config.exported[i] != 0) {
+        cut_free = false;
+        break;
+      }
+    }
+    RTMAC_REQUIRE(cut_free, "complete sensing in shard mode requires a cut-free cell");
+  }
   RTMAC_REQUIRE(config.global_ids.size() == num_links_, "global id map size mismatch");
   RTMAC_REQUIRE(config.conflict_cut.size() == num_links_ && config.exported.size() == num_links_,
                 "cut flag size mismatch");
@@ -86,6 +144,9 @@ void Medium::configure_shard(ShardMediumConfig config) {
 
 void Medium::register_remote_sense(LinkId speaker, std::vector<LinkId> nodes) {
   RTMAC_REQUIRE(shard_mode_, "register_remote_sense outside shard mode");
+  // remote_mark drives per-node views, which the complete-sensing fast path
+  // never reads — a cell that keeps its flags must have no remote speakers.
+  RTMAC_REQUIRE(!complete_sensing_, "remote sense injection needs per-node views");
   remote_sense_[speaker] = std::move(nodes);
 }
 
@@ -254,11 +315,7 @@ void Medium::start_transmission(LinkId link, Duration airtime, PacketKind kind, 
     if (tx.start + tx.airtime > now && graph_.conflicts(link, tx.link)) {
       tx.collided = true;
       collided = true;
-      const std::size_t n = num_links();
-      ++collision_pairs_[static_cast<std::size_t>(link) * n + tx.link];
-      if (tx.link != link) {
-        ++collision_pairs_[static_cast<std::size_t>(tx.link) * n + link];
-      }
+      count_collision_pair(link, tx.link);
     }
   }
 
@@ -346,8 +403,7 @@ void Medium::finish_transmission(std::uint64_t tx_id) {
     ++counters_.collisions;
     ++link_counters_[tx.link].collisions;
     counters_.collided_time += tx.airtime;
-  } else if (tx.kind == PacketKind::kData &&
-             channel_->attempt_succeeds(tx.link, loss_rng_for(tx.link))) {
+  } else if (tx.kind == PacketKind::kData && attempt_succeeds(tx.link)) {
     outcome = TxOutcome::kDelivered;
     ++counters_.delivered;
     ++link_counters_[tx.link].delivered;
@@ -430,7 +486,7 @@ TxOutcome Medium::burst_tx(LinkId link, TimePoint at, Duration airtime, PacketKi
   // outcome depends only on the channel — drawn from the same loss stream,
   // in the same order, as the per-event path would at the completion event.
   TxOutcome outcome;
-  if (kind == PacketKind::kData && channel_->attempt_succeeds(link, loss_rng_for(link))) {
+  if (kind == PacketKind::kData && attempt_succeeds(link)) {
     outcome = TxOutcome::kDelivered;
     ++counters_.delivered;
     ++link_counters_[link].delivered;

@@ -17,8 +17,12 @@
 // ending at t does not collide with one starting at t, on any topology.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -28,6 +32,8 @@
 #include "sim/shard_barrier.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "util/arena.hpp"
+#include "util/check.hpp"
 #include "util/inplace_function.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -141,15 +147,21 @@ class Medium {
 
   /// `success_prob[n]` is the paper's p_n for link n (i.i.d. Bernoulli loss).
   /// Without an explicit topology the graph is complete (the paper's model).
-  Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed);
+  /// `arena`, when given, backs the cold per-link state (counters, views,
+  /// collision ledger) — the sharded Network shares one arena across all
+  /// cell media; when null the Medium brings its own (borrowed, not owned,
+  /// must outlive the Medium).
+  Medium(sim::Simulator& simulator, ProbabilityVector success_prob, std::uint64_t seed,
+         util::Arena* arena = nullptr);
   Medium(sim::Simulator& simulator, ProbabilityVector success_prob, InterferenceGraph topology,
-         std::uint64_t seed);
+         std::uint64_t seed, util::Arena* arena = nullptr);
 
   /// Custom loss process (e.g. GilbertElliottChannel). The model also
   /// provides the long-run p_n reported by success_prob().
-  Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel, std::uint64_t seed);
+  Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel, std::uint64_t seed,
+         util::Arena* arena = nullptr);
   Medium(sim::Simulator& simulator, std::unique_ptr<ChannelModel> channel,
-         InterferenceGraph topology, std::uint64_t seed);
+         InterferenceGraph topology, std::uint64_t seed, util::Arena* arena = nullptr);
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
@@ -227,9 +239,23 @@ class Medium {
 
   /// Number of pairwise collision events between links a and b (each
   /// conflicting overlap of one transmission pair counts once, symmetric).
+  /// Dense n x n storage only when every pair conflicts (the paper's small
+  /// complete graphs); partial topologies use a CSR ledger over the conflict
+  /// adjacency — non-conflicting pairs can never collide, so their count is
+  /// identically zero and needs no cell.
   [[nodiscard]] std::uint64_t collision_pair_count(LinkId a, LinkId b) const {
-    return collision_pairs_[static_cast<std::size_t>(a) * num_links() + b];
+    if (!pair_dense_.empty()) {
+      return pair_dense_[static_cast<std::size_t>(a) * num_links() + b];
+    }
+    const std::uint64_t* cell = pair_cell(a, b);
+    return cell != nullptr ? *cell : 0;
   }
+
+  /// Bytes of per-link cold state this Medium holds (counters, sense views,
+  /// collision ledger, loss streams, listener table) — feeds the mem.phy
+  /// gauge. Arena-backed spans are counted here, not double-counted by the
+  /// arena owner.
+  [[nodiscard]] std::size_t memory_bytes() const;
 
   // ---- shard mode -----------------------------------------------------------
   // A cell's Medium is a regular Medium over the induced subgraph, plus:
@@ -246,7 +272,12 @@ class Medium {
   // deliberately unannotated.
 
   /// Enters shard mode. Precondition: the topology's completeness flags are
-  /// cleared (cell subgraphs always are — see InterferenceGraph::induced).
+  /// cleared (the safe default for cell subgraphs — see
+  /// InterferenceGraph::SubgraphFlags), EXCEPT for a cut-free cell (no cut
+  /// conflicts, no exports, and never a register_remote_sense target): such
+  /// a cell interacts with nothing outside itself, so a clique cell may keep
+  /// complete sensing and its O(1) fast paths. Loss streams are re-keyed by
+  /// global id either way, so results stay partition-independent.
   void configure_shard(ShardMediumConfig config);
 
   /// Declares that local `nodes` sense the remote global link `speaker`;
@@ -337,6 +368,43 @@ class Medium {
   [[nodiscard]] Rng& loss_rng_for(LinkId link) {
     return loss_rngs_.empty() ? loss_rng_ : loss_rngs_[link];
   }
+  /// One clean-attempt loss draw for `link`. For the common StaticChannel
+  /// the virtual dispatch is bypassed: the draw inlines to the identical
+  /// rng.bernoulli(p) call the model would make, consuming the same stream
+  /// state — same bits, less call overhead on the per-completion hot path.
+  [[nodiscard]] bool attempt_succeeds(LinkId link) {
+    return static_probs_ != nullptr ? loss_rng_for(link).bernoulli(static_probs_[link])
+                                    : channel_->attempt_succeeds(link, loss_rng_for(link));
+  }
+  /// Allocates the pair ledger (dense or CSR per the conflict relation) and
+  /// the per-link SoA blocks from the arena.
+  void init_link_state();
+  /// CSR cell for the (a, b) pair; null when a and b never conflict.
+  [[nodiscard]] const std::uint64_t* pair_cell(LinkId a, LinkId b) const {
+    const std::uint32_t lo = pair_row_[a];
+    const std::uint32_t hi = pair_row_[a + 1];
+    const LinkId* first = pair_col_.data() + lo;
+    const LinkId* last = pair_col_.data() + hi;
+    const LinkId* it = std::lower_bound(first, last, b);
+    if (it == last || *it != b) return nullptr;
+    return pair_count_.data() + (it - pair_col_.data());
+  }
+  [[nodiscard]] std::uint64_t* pair_cell(LinkId a, LinkId b) {
+    return const_cast<std::uint64_t*>(std::as_const(*this).pair_cell(a, b));
+  }
+  /// Counts one pairwise collision event between a and b (symmetric; the
+  /// self pair a == b counts once).
+  void count_collision_pair(LinkId a, LinkId b) {
+    if (!pair_dense_.empty()) {
+      ++pair_dense_[static_cast<std::size_t>(a) * num_links_ + b];
+      if (a != b) ++pair_dense_[static_cast<std::size_t>(b) * num_links_ + a];
+      return;
+    }
+    std::uint64_t* ab = pair_cell(a, b);
+    RTMAC_ASSERT(ab != nullptr, "collision between non-conflicting links");
+    ++*ab;
+    if (a != b) ++*pair_cell(b, a);
+  }
   /// Applies a phantom busy/idle edge to the given local views (remote
   /// cut-edge activity; the global view and active_count_ stay untouched).
   void remote_mark(const std::vector<LinkId>& nodes, bool to_busy);
@@ -359,21 +427,32 @@ class Medium {
   bool complete_sensing_ = false;
   std::size_t num_links_ = 0;  ///< cached channel_->num_links()
   std::uint64_t seed_ = 0;     ///< root seed (loss streams re-key in shard mode)
+  /// Non-null iff the channel is a StaticChannel: borrowed view of its p_n
+  /// vector, enabling the devirtualized loss draw in attempt_succeeds().
+  const double* static_probs_ = nullptr;
   Rng loss_rng_;               ///< shared stream (complete graphs only)
   std::vector<Rng> loss_rngs_;  ///< per-link streams (partial topologies)
   std::vector<ActiveTx> active_;  // small: rarely more than a handful in flight
   std::size_t active_count_ = 0;
-  std::vector<SenseView> views_;  ///< one per node (= per link)
+  /// Cold per-link SoA blocks live in `arena_` (caller-shared, or the
+  /// fallback `own_arena_` on the legacy path), sized once at construction.
+  util::Arena* arena_ = nullptr;
+  std::unique_ptr<util::Arena> own_arena_;
+  std::span<SenseView> views_;  ///< one per node (= per link)
   SenseView global_view_;         ///< the kAllNodes view; feeds busy-period hist
-  std::vector<std::uint8_t> marks_;  ///< per-view transition scratch; [n_] = global
+  std::span<std::uint8_t> marks_;  ///< per-view transition scratch; [n_] = global
   bool any_marked_ = false;
   bool dispatching_listeners_ = false;  ///< re-entrancy guard (always enforced)
   bool burst_active_ = false;           ///< inside a begin_burst/end_burst pair
   std::uint64_t next_tx_id_ = 1;
   std::vector<ListenerEntry> listeners_;
   MediumCounters counters_;
-  std::vector<LinkCounters> link_counters_;
-  std::vector<std::uint64_t> collision_pairs_;  ///< n x n pairwise collision events
+  std::span<LinkCounters> link_counters_;  ///< arena-backed, one per link
+  // Pairwise collision ledger: exactly one of the two forms is populated.
+  std::span<std::uint64_t> pair_dense_;  ///< n x n (complete conflicts only)
+  std::span<std::uint32_t> pair_row_;    ///< CSR row offsets, size n + 1
+  std::span<LinkId> pair_col_;           ///< CSR columns: {a} + conflicts(a), sorted
+  std::span<std::uint64_t> pair_count_;  ///< CSR values, parallel to pair_col_
   sim::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   // Cached instrument handles, null when detached. Quantile sketches, not

@@ -18,8 +18,7 @@ void EventQueue::skim_tombstones_slow() {
   while (!heap_.empty()) {
     const HeapItem& top = heap_.front();
     if (pool_[top.slot].gen == top.gen) return;  // live
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    remove_top();
     --tombstones_;
   }
 }
@@ -30,6 +29,9 @@ void EventQueue::compact() {
   };
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
   std::make_heap(heap_.begin(), heap_.end(), Later{});
+  // make_heap moved records without maintaining positions; one pass fixes
+  // them all (every survivor is live, so record_pos always writes).
+  for (std::size_t i = 0; i < heap_.size(); ++i) record_pos(heap_[i], i);
   tombstones_ = 0;
 }
 

@@ -68,6 +68,14 @@ class EventQueue {
   /// event was still pending. O(1) except when it trips heap compaction.
   bool cancel(EventId id);
 
+  /// Moves a pending event to a new time, taking a FRESH sequence number —
+  /// ordering-equivalent to cancel() followed by push() of the same
+  /// callback at `at`, but with no tombstone, no slot churn, and no
+  /// callback move: one O(log n) sift in place. The handle stays valid
+  /// (the slot's generation does not change). Returns false on stale
+  /// handles (event already fired or cancelled) — no effect then.
+  bool reschedule(EventId id, TimePoint at);
+
   /// True iff the handle refers to an event that has not yet fired nor been
   /// cancelled. O(1).
   [[nodiscard]] bool is_pending(EventId id) const { return slot_matches(id); }
@@ -104,15 +112,25 @@ class EventQueue {
   /// skim or compaction. Exposed for tests of the compaction policy.
   [[nodiscard]] std::size_t tombstones() const { return tombstones_; }
 
+  /// Bytes owned by the slot pool and binary heap (capacity, not size).
+  /// Callback storage is inline in the slots, so this is the queue's whole
+  /// footprint; the obs layer aggregates it into the `mem.sim` gauge.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return pool_.capacity() * sizeof(Slot) + heap_.capacity() * sizeof(HeapItem);
+  }
+
  private:
   /// One pool slot. `gen` is odd while the slot holds a live event and even
   /// while free; it increments on every transition, so handles from earlier
   /// occupancies can never match. `next_free` threads the free list while
-  /// the slot is unoccupied.
+  /// the slot is unoccupied. `heap_pos` tracks the live event's current
+  /// index in `heap_` (maintained by the sift operations) so reschedule()
+  /// can find its record in O(1); it is meaningless while the slot is free.
   struct Slot {
     Callback callback;
     std::uint32_t gen = 0;
     std::uint32_t next_free = kNilSlot;
+    std::uint32_t heap_pos = 0;
   };
 
   /// Lightweight heap record; callbacks stay in the pool so sift operations
@@ -164,6 +182,25 @@ class EventQueue {
   void skim_tombstones_slow();
   /// Removes every tombstone and re-heapifies; O(heap size).
   void compact();
+  /// Records that `it` now lives at heap index `i`. Tombstones are skipped:
+  /// their slot may since have been reused by a live event whose position
+  /// must not be clobbered.
+  void record_pos(const HeapItem& it, std::size_t i) {
+    Slot& s = pool_[it.slot];
+    if (s.gen == it.gen) s.heap_pos = static_cast<std::uint32_t>(i);
+  }
+  /// Manual sift operations (instead of std::push_heap/pop_heap) so every
+  /// record move also updates its slot's heap_pos. The comparator orders by
+  /// (time, seq) — a TOTAL order — so pop order never depends on heap
+  /// layout, only on the records' keys.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Replaces the top record with the last one and restores the heap.
+  void remove_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
   /// Grows `v` by one element, counting the reallocation if capacity is
   /// exhausted.
   template <typename T>
@@ -182,9 +219,54 @@ inline EventId EventQueue::push(TimePoint at, Callback cb) {
   const std::uint32_t slot = allocate_slot();
   pool_[slot].callback = std::move(cb);
   push_counted(heap_, HeapItem{at, next_seq_++, slot, pool_[slot].gen});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  sift_up(heap_.size() - 1);
   ++live_;
   return EventId{slot, pool_[slot].gen};
+}
+
+inline bool EventQueue::reschedule(EventId id, TimePoint at) {
+  if (!slot_matches(id)) return false;
+  const std::uint32_t pos = pool_[id.slot_].heap_pos;
+  RTMAC_ASSERT(pos < heap_.size() && heap_[pos].slot == id.slot_ &&
+                   heap_[pos].gen == id.gen_,
+               "heap position out of sync");
+  heap_[pos].time = at;
+  heap_[pos].seq = next_seq_++;
+  if (pos > 0 && Later{}(heap_[(pos - 1) / 2], heap_[pos])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+  return true;
+}
+
+inline void EventQueue::sift_up(std::size_t i) {
+  const HeapItem item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Later{}(heap_[parent], item)) break;
+    heap_[i] = heap_[parent];
+    record_pos(heap_[i], i);
+    i = parent;
+  }
+  heap_[i] = item;
+  record_pos(item, i);
+}
+
+inline void EventQueue::sift_down(std::size_t i) {
+  const HeapItem item = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Later{}(heap_[child], heap_[child + 1])) ++child;
+    if (!Later{}(item, heap_[child])) break;
+    heap_[i] = heap_[child];
+    record_pos(heap_[i], i);
+    i = child;
+  }
+  heap_[i] = item;
+  record_pos(item, i);
 }
 
 inline bool EventQueue::cancel(EventId id) {
@@ -209,10 +291,9 @@ inline EventQueue::Popped EventQueue::pop() {
   skim_tombstones();
   RTMAC_REQUIRE(!heap_.empty(), "pop() on empty queue");
   const HeapItem top = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
   Popped out{top.time, std::move(pool_[top.slot].callback)};
   release_slot(top.slot);
+  remove_top();
   --live_;
   return out;
 }

@@ -10,15 +10,17 @@ namespace rtmac::sim {
 ShardCoordinator::ShardCoordinator(std::vector<ShardCell*> cells,
                                    std::vector<std::vector<std::uint32_t>> cut_neighbors,
                                    std::vector<std::vector<std::uint32_t>> groups,
-                                   ThreadPool* pool)
+                                   ThreadPool* pool, bool adaptive_lookahead)
     : cells_{std::move(cells)},
       cut_neighbors_{std::move(cut_neighbors)},
       groups_{std::move(groups)},
-      pool_{pool} {
+      pool_{pool},
+      adaptive_{adaptive_lookahead} {
   RTMAC_REQUIRE(!cells_.empty(), "coordinator needs at least one cell");
   RTMAC_REQUIRE(cut_neighbors_.size() == cells_.size(), "cut_neighbors size mismatch");
   const util::PhantomLock barrier{shard_barrier};
   clock_snapshot_.resize(cells_.size());
+  bound_snapshot_.resize(cells_.size());
 }
 
 void ShardCoordinator::advance_to(TimePoint horizon) {
@@ -49,10 +51,20 @@ void ShardCoordinator::advance_to(TimePoint horizon) {
           if (c != record.cell) cells_[c]->deliver_remote(record);
         }
       }
+      // Activity bounds are probed AFTER the deliveries above: injections
+      // schedule events, and a bound that ignored them could overshoot a
+      // neighbor's reaction to fresh remote activity. With adaptive
+      // lookahead off this degrades to the classic clock-based window.
+      for (std::size_t c = 0; c < cells_.size(); ++c) {
+        bound_snapshot_[c] =
+            adaptive_ ? cells_[c]->next_activity_bound() : clock_snapshot_[c];
+        RTMAC_ASSERT(bound_snapshot_[c] >= clock_snapshot_[c],
+                     "activity bound trails the cell clock");
+      }
       for (std::size_t c = 0; c < cells_.size(); ++c) {
         TimePoint bound = horizon;
         for (std::uint32_t nb : cut_neighbors_[c]) {
-          if (clock_snapshot_[nb] < bound) bound = clock_snapshot_[nb];
+          if (bound_snapshot_[nb] < bound) bound = bound_snapshot_[nb];
         }
         cells_[c]->begin_window(bound);
       }

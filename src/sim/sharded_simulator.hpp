@@ -9,19 +9,33 @@
 //      outbox of finished/started cut-link transmissions into the shared
 //      mailbox; fresh records are handed to the other cells (remote-sense
 //      injection) and to the cross-shard collision ledger.
-//   2. Each cell i gets a resolution bound R_i = min(horizon, min clock of
-//      its cut-neighbor cells). A cut-link completion at time t can be
-//      resolved exactly once every conflicting neighbor's clock has passed
-//      t — all overlapping remote transmissions are then in the mailbox.
+//   2. Each cell i gets a resolution bound R_i = min(horizon, min activity
+//      bound of its cut-neighbor cells). A cut-link completion at time t
+//      can be resolved exactly once no conflicting neighbor can still start
+//      a transmission at a time < t — all overlapping remote transmissions
+//      are then in the mailbox.
 //   3. Parallel phase: groups of cells run concurrently, each cell's
 //      Simulator bounded by a run limit = the earliest unresolvable
 //      cut completion (end > R_i); the clock stops there.
 //
-// Progress: the cell with the minimum clock c_min has R_i >= c_min, so its
-// earliest blocking completion lies strictly beyond c_min and its clock
-// strictly advances — no deadlock, and the round count per interval is
-// bounded by the number of cut-link transmissions (the lookahead between
-// barriers is at least one cross-shard airtime).
+// A neighbor's activity bound is at least its clock; with adaptive
+// lookahead (the default) it is the neighbor's next pending event time.
+// That is exact, not heuristic: transmissions start only inside event
+// callbacks at the engine's current clock, so a neighbor whose next event
+// is at time b cannot start a transmission before b, and every start
+// before its clock was already exported (exports happen at start) and
+// delivered at this barrier. A completion at t <= R_i therefore has every
+// overlapping remote transmission in the mailbox — same invariant as the
+// clock-based bound, reached in fewer rounds. An idle neighbor (empty
+// queue) yields bound = +inf: it provably cannot interact this interval,
+// so it stops throttling everyone else entirely.
+//
+// Progress: activity bounds never trail the clocks, so each round makes at
+// least the progress of the clock-based scheme — the cell with the minimum
+// clock c_min has R_i >= c_min, its earliest blocking completion lies
+// strictly beyond c_min, and its clock strictly advances. No deadlock, and
+// the adaptive round count is bounded above by the fixed-window round
+// count (each barrier reaches at least as far).
 //
 // Determinism: per-cell execution is single-threaded and schedule-free; the
 // barrier runs serially in canonical cell order; remote records are
@@ -70,6 +84,16 @@ class ShardCell {
   /// its sense views if any of its links listens to `record.link`.
   virtual void deliver_remote(const CutTxRecord& record)
       RTMAC_REQUIRES(shard_barrier) = 0;
+  /// Barrier phase: earliest instant at which this cell could still start
+  /// a new transmission. Must never trail clock(); the conservative default
+  /// is the clock itself (the fixed-window scheme). Engine-backed cells
+  /// return their next pending event time — transmissions start only inside
+  /// event callbacks, so neighbors may extend their resolution windows up
+  /// to this bound (adaptive lookahead). Called after remote deliveries so
+  /// freshly injected events are visible.
+  [[nodiscard]] virtual TimePoint next_activity_bound() RTMAC_REQUIRES(shard_barrier) {
+    return clock();
+  }
   /// Barrier phase: arms the next window with resolution bound `bound`.
   virtual void begin_window(TimePoint bound) RTMAC_REQUIRES(shard_barrier) = 0;
   /// Parallel phase: runs the engine toward `horizon` (stopping early at
@@ -83,10 +107,13 @@ class ShardCoordinator {
   /// `cut_neighbors[i]` = cells sharing at least one cut conflict edge with
   /// cell i (these bound cell i's resolution window). `groups[g]` = cell
   /// indices run by worker g in the parallel phase. `pool` may be null for
-  /// serial execution; it is borrowed, not owned.
+  /// serial execution; it is borrowed, not owned. `adaptive_lookahead`
+  /// selects next_activity_bound() (default) over bare clocks when
+  /// computing the per-round resolution bounds.
   ShardCoordinator(std::vector<ShardCell*> cells,
                    std::vector<std::vector<std::uint32_t>> cut_neighbors,
-                   std::vector<std::vector<std::uint32_t>> groups, ThreadPool* pool);
+                   std::vector<std::vector<std::uint32_t>> groups, ThreadPool* pool,
+                   bool adaptive_lookahead = true);
 
   /// Runs rounds until every cell's clock reaches `horizon`.
   void advance_to(TimePoint horizon);
@@ -100,11 +127,13 @@ class ShardCoordinator {
   std::vector<std::vector<std::uint32_t>> cut_neighbors_;
   std::vector<std::vector<std::uint32_t>> groups_;
   ThreadPool* pool_;
+  bool adaptive_;
   std::uint64_t rounds_ = 0;
   // Barrier scratch: touched only inside the coordinator's PhantomLock'd
   // serial sections, never by parallel-phase tasks.
   std::vector<CutTxRecord> fresh_ RTMAC_GUARDED_BY(shard_barrier);
   std::vector<TimePoint> clock_snapshot_ RTMAC_GUARDED_BY(shard_barrier);
+  std::vector<TimePoint> bound_snapshot_ RTMAC_GUARDED_BY(shard_barrier);
 };
 
 }  // namespace rtmac::sim

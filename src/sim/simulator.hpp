@@ -50,11 +50,28 @@ class Simulator {
   /// Cancels a pending event; no effect on fired/cancelled handles.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// Moves a pending event to `at`, ordering-equivalent to cancel() +
+  /// schedule_at() of the same callback (fresh FIFO tie-break) but without
+  /// the slot churn. The handle stays valid. Returns false on stale handles.
+  bool reschedule(EventId id, TimePoint at) {
+    RTMAC_REQUIRE(at >= now_, "cannot reschedule into the past");
+    return queue_.reschedule(id, at);
+  }
+
   /// True when no pending event fires strictly before `t`. Used by debug
   /// invariant checks (e.g. the Medium burst fast path); non-const because
   /// inspecting the queue front skims cancelled events.
   [[nodiscard]] bool no_event_before(TimePoint t) {
     return queue_.empty() || queue_.next_time() >= t;
+  }
+
+  /// Time of the earliest pending event, or no_run_limit() when the queue
+  /// is empty. Non-const for the same reason as no_event_before(). This is
+  /// the shard coordinator's adaptive-lookahead probe: events only execute
+  /// at or after this instant, so nothing observable — in particular no
+  /// transmission start — can happen in this engine before it.
+  [[nodiscard]] TimePoint next_event_time() {
+    return queue_.empty() ? no_run_limit() : queue_.next_time();
   }
   [[nodiscard]] bool is_pending(EventId id) const { return queue_.is_pending(id); }
 
@@ -95,6 +112,10 @@ class Simulator {
   /// working set stayed under the reserve_events() hint. Exported by the
   /// obs layer as `engine.events.reallocs`.
   [[nodiscard]] std::uint64_t event_reallocs() const { return queue_.reallocs(); }
+
+  /// Bytes owned by the event queue's pool and heap; see
+  /// EventQueue::memory_bytes().
+  [[nodiscard]] std::size_t event_memory_bytes() const { return queue_.memory_bytes(); }
 
  private:
   void dispatch(EventQueue::Popped popped) {

@@ -67,6 +67,8 @@ class UniformBurstyArrivals final : public ArrivalProcess {
   [[nodiscard]] std::vector<double> pmf() const override;
   [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
   [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] int lo() const { return lo_; }
+  [[nodiscard]] int hi() const { return hi_; }
 
  private:
   double alpha_;
@@ -100,6 +102,10 @@ class GeneralDiscreteArrivals final : public ArrivalProcess {
   [[nodiscard]] int max_arrivals() const override { return static_cast<int>(pmf_.size()) - 1; }
   [[nodiscard]] std::vector<double> pmf() const override { return pmf_; }
   [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override;
+  /// The sampling cdf exactly as sample() consults it. The batched arrival
+  /// kernel copies these bits verbatim so its inverse-cdf lookup agrees
+  /// with the scalar path down to the last ulp.
+  [[nodiscard]] const std::vector<double>& cdf() const { return cdf_; }
 
  private:
   std::vector<double> pmf_;

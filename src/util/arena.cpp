@@ -1,0 +1,52 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace rtmac::util {
+
+namespace {
+// First unsized chunk; also the floor for growth chunks. 64 KiB keeps tiny
+// arenas (unit tests, small benches) cheap while amortizing large ones.
+constexpr std::size_t kMinChunkBytes = 64 * 1024;
+}  // namespace
+
+Arena::Arena(std::size_t reserve_bytes) {
+  if (reserve_bytes > 0) grow(reserve_bytes);
+}
+
+Arena::Chunk& Arena::grow(std::size_t min_bytes) {
+  // Geometric growth off the *reserved* total so a mis-estimated reserve
+  // converges in O(log n) chunks instead of thousands of small ones.
+  const std::size_t size = std::max({min_bytes, kMinChunkBytes, reserved_ / 2});
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  reserved_ += size;
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  RTMAC_REQUIRE(align != 0 && (align & (align - 1)) == 0, "alignment must be a power of two");
+  RTMAC_REQUIRE(align <= alignof(std::max_align_t),
+                "over-aligned types need their own allocation path");
+  if (bytes == 0) bytes = 1;  // distinct non-null result, keeps accounting simple
+  Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
+  std::size_t offset = 0;
+  if (chunk != nullptr) {
+    offset = (chunk->offset + align - 1) & ~(align - 1);
+    if (offset + bytes > chunk->size) chunk = nullptr;
+  }
+  if (chunk == nullptr) {
+    // operator new chunks are max_align_t-aligned, so a fresh chunk needs
+    // no padding for any alignment this arena accepts.
+    chunk = &grow(bytes);
+    offset = 0;
+  }
+  void* result = chunk->data.get() + offset;
+  chunk->offset = offset + bytes;
+  used_ += bytes;
+  return result;
+}
+
+}  // namespace rtmac::util

@@ -1,0 +1,12 @@
+// Process resource introspection shared by benches and the sweep runner.
+#pragma once
+
+namespace rtmac::util {
+
+/// Peak resident set size of this process in kilobytes, or 0 when the
+/// platform offers no getrusage. Monotone over the process lifetime, so the
+/// city bench samples it after each phase and the sweep heartbeat reports a
+/// running high-water mark rather than an instantaneous figure.
+[[nodiscard]] long peak_rss_kb();
+
+}  // namespace rtmac::util

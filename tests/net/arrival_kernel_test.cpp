@@ -1,0 +1,159 @@
+// RNG-stream contract tests for the batched fast paths.
+//
+// The arrival kernel and the Medium's cached StaticChannel loss draw both
+// replace virtual per-object calls with table-driven loops — and both are
+// only correct if they consume the SHARED RNG stream bit-for-bit as the
+// scalar code they replace: same methods, same argument bits, same order.
+// Golden figure CSVs and the shards x jobs determinism diffs rest on that
+// contract, so these tests lock it as a property over seeds, rates, and
+// link counts: two Rngs cloned from the same state must emerge from the
+// batch path and the scalar path in identical states, having produced
+// identical values.
+#include "net/arrival_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "phy/channel_model.hpp"
+#include "traffic/arrival_process.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
+
+namespace rtmac::net {
+namespace {
+
+/// An ArrivalProcess subclass the kernel has never heard of: classify()
+/// must route it through the virtual fallback, preserving the stream by
+/// construction. Draws twice per sample so a kernel that substituted a
+/// one-draw approximation would desynchronize every link after it.
+class TwoDrawProcess final : public traffic::ArrivalProcess {
+ public:
+  [[nodiscard]] int sample(Rng& rng) const override {
+    const int first = rng.bernoulli(0.5) ? 1 : 0;
+    return first + static_cast<int>(rng.uniform_int(0, 2));
+  }
+  [[nodiscard]] double mean() const override { return 1.5; }
+  [[nodiscard]] int max_arrivals() const override { return 3; }
+  [[nodiscard]] std::vector<double> pmf() const override {
+    return {1.0 / 6, 2.0 / 6, 2.0 / 6, 1.0 / 6};
+  }
+  [[nodiscard]] std::unique_ptr<ArrivalProcess> clone() const override {
+    return std::make_unique<TwoDrawProcess>();
+  }
+};
+
+/// A mixed per-link process table covering every kernel row kind.
+std::vector<std::unique_ptr<traffic::ArrivalProcess>> mixed_processes(std::size_t n,
+                                                                      double rate) {
+  std::vector<std::unique_ptr<traffic::ArrivalProcess>> procs;
+  procs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 5) {
+      case 0:
+        procs.push_back(std::make_unique<traffic::BernoulliArrivals>(rate));
+        break;
+      case 1:
+        procs.push_back(std::make_unique<traffic::UniformBurstyArrivals>(rate, 1, 6));
+        break;
+      case 2:
+        procs.push_back(std::make_unique<traffic::ConstantArrivals>(2));
+        break;
+      case 3:
+        procs.push_back(std::make_unique<traffic::GeneralDiscreteArrivals>(
+            std::vector<double>{1.0 - rate, rate / 2, rate / 2}));
+        break;
+      default:
+        procs.push_back(std::make_unique<TwoDrawProcess>());
+        break;
+    }
+  }
+  return procs;
+}
+
+/// Drives `kernel` and the scalar loop from identically-seeded Rngs and
+/// requires per-draw equality for `intervals` rounds.
+void expect_stream_equality(
+    const ArrivalKernel& kernel,
+    std::span<const std::unique_ptr<traffic::ArrivalProcess>> procs, std::uint64_t seed,
+    int intervals) {
+  Rng batch_rng{seed, /*stream_id=*/0xA221ULL};
+  Rng scalar_rng{seed, /*stream_id=*/0xA221ULL};
+  std::vector<int> batch(procs.size());
+  for (int k = 0; k < intervals; ++k) {
+    kernel.sample_into(batch_rng, batch);
+    for (std::size_t n = 0; n < procs.size(); ++n) {
+      const int expected = procs[n]->sample(scalar_rng);
+      ASSERT_EQ(batch[n], expected)
+          << "draw diverged at interval " << k << ", link " << n;
+    }
+  }
+  // The streams must also LAND in the same state: equal values with unequal
+  // consumption would desynchronize everything sampled after the arrivals.
+  EXPECT_EQ(batch_rng.uniform_int(0, 1 << 30), scalar_rng.uniform_int(0, 1 << 30));
+}
+
+TEST(ArrivalKernelTest, MixedTableMatchesScalarAcrossSeedsRatesAndSizes) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 90210ULL}) {
+    for (const double rate : {0.1, 0.55, 0.95}) {
+      for (const std::size_t links : {1ULL, 7ULL, 64ULL, 1000ULL}) {
+        util::Arena arena;
+        const auto procs = mixed_processes(links, rate);
+        ArrivalKernel kernel;
+        kernel.build(procs, arena);
+        ASSERT_EQ(kernel.num_links(), links);
+        expect_stream_equality(kernel, procs, seed, /*intervals=*/50);
+      }
+    }
+  }
+}
+
+TEST(ArrivalKernelTest, UniformBroadcastMatchesScalar) {
+  for (const double alpha : {0.2, 0.55, 0.9}) {
+    util::Arena arena;
+    const traffic::UniformBurstyArrivals proto{alpha, 1, 6};
+    constexpr std::size_t kLinks = 333;
+    ArrivalKernel kernel;
+    kernel.build_uniform(proto, kLinks, arena);
+    // The scalar reference: kLinks clones sampled in link order.
+    std::vector<std::unique_ptr<traffic::ArrivalProcess>> procs;
+    for (std::size_t i = 0; i < kLinks; ++i) procs.push_back(proto.clone());
+    expect_stream_equality(kernel, procs, /*seed=*/7, /*intervals=*/100);
+  }
+}
+
+TEST(ArrivalKernelTest, UniformRowTakesNoPerLinkStorage) {
+  util::Arena arena;
+  const traffic::BernoulliArrivals proto{0.8};
+  ArrivalKernel kernel;
+  kernel.build_uniform(proto, 1000000, arena);
+  // One broadcast row regardless of the link count: the 10^6-link network
+  // must not pay 16 MB of tables for a uniform workload.
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_LT(kernel.memory_bytes(), 1024u);
+}
+
+TEST(StaticChannelFastPathTest, CachedBernoulliDrawMatchesVirtualCall) {
+  // The Medium caches StaticChannel::probs() and inlines the per-completion
+  // loss draw to rng.bernoulli(p[link]), skipping the virtual dispatch. The
+  // two must consume the shared loss stream identically for any p and order
+  // of links — this is the whole contract the cache rests on.
+  for (const std::uint64_t seed : {3ULL, 1889ULL}) {
+    ProbabilityVector p;
+    for (int i = 0; i < 64; ++i) p.push_back(0.05 + 0.9 * (i / 63.0));
+    phy::StaticChannel channel{p};
+    Rng virt_rng{seed, /*stream_id=*/0xC0DEULL};
+    Rng fast_rng{seed, /*stream_id=*/0xC0DEULL};
+    Rng order_rng{seed, /*stream_id=*/0x0EDEULL};
+    for (int draw = 0; draw < 5000; ++draw) {
+      const auto link = static_cast<LinkId>(order_rng.uniform_int(0, 63));
+      const bool virt = channel.attempt_succeeds(link, virt_rng);
+      const bool fast = fast_rng.bernoulli(channel.probs()[link]);
+      ASSERT_EQ(virt, fast) << "loss stream diverged at draw " << draw;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtmac::net

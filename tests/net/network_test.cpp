@@ -54,8 +54,9 @@ TEST(NetworkConfigTest, CloneIsDeepAndEquivalent) {
   const auto copy = cfg.clone();
   EXPECT_EQ(copy.success_prob, cfg.success_prob);
   EXPECT_EQ(copy.seed, cfg.seed);
-  EXPECT_NE(copy.arrivals[0].get(), cfg.arrivals[0].get());
-  EXPECT_EQ(copy.arrivals[0]->pmf(), cfg.arrivals[0]->pmf());
+  ASSERT_NE(copy.uniform_arrivals, nullptr);  // symmetric builder emits the uniform form
+  EXPECT_NE(copy.uniform_arrivals.get(), cfg.uniform_arrivals.get());
+  EXPECT_EQ(copy.uniform_arrivals->pmf(), cfg.uniform_arrivals->pmf());
   EXPECT_TRUE(copy.validate());
 }
 

@@ -110,7 +110,15 @@ RunRecord run_network(NetworkConfig config, const mac::SchemeFactory& factory,
         "net.cells",           "net.groups",
         "sim.coordinator_rounds", "sim.events_executed",
         "engine.events.reallocs", "phy.busy_fraction",
-        "phy.busy_period_us"};
+        "phy.busy_period_us",
+        // Arena layout (and hence byte accounting) legitimately differs
+        // between the legacy and per-cell engines, and the DP batch path is
+        // an engine-shape property: clique cells keep complete sensing and
+        // take it even when the legacy global view cannot. The freeze
+        // diagnostics follow the path (scalar records exact per-link freeze
+        // spans; the batch kernel broadcasts the domain-wide span).
+        "mem.", "mac.dp.batch_path",
+        "mac.freeze_ns", "mac.backoff_freeze_us"};
     const auto is_shape = [&line](const char* name) {
       return line.find(name) != std::string::npos;
     };

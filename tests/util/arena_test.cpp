@@ -1,0 +1,101 @@
+// Unit tests for the bump-pointer Arena backing the SoA network state.
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace rtmac::util {
+namespace {
+
+TEST(ArenaTest, MakeSpanValueInitializes) {
+  Arena arena;
+  const auto ints = arena.make_span<int>(1000);
+  ASSERT_EQ(ints.size(), 1000u);
+  for (const int v : ints) EXPECT_EQ(v, 0);
+  const auto doubles = arena.make_span<double>(64);
+  for (const double v : doubles) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ArenaTest, SpansAreDisjointAndWritable) {
+  Arena arena;
+  auto a = arena.make_span<std::uint32_t>(257);
+  auto b = arena.make_span<std::uint32_t>(513);
+  std::iota(a.begin(), a.end(), 0u);
+  std::iota(b.begin(), b.end(), 1000000u);
+  // Writes through one span must not alias the other.
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], i);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 1000000u + i);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  // Interleave odd sizes with the strongest alignment the arena supports
+  // (it caps at alignof(std::max_align_t) by contract); every pointer must
+  // satisfy the requested alignment regardless of what preceded it.
+  constexpr std::size_t kMaxAlign = alignof(std::max_align_t);
+  for (int i = 0; i < 50; ++i) {
+    void* odd = arena.allocate(3, 1);
+    ASSERT_NE(odd, nullptr);
+    std::memset(odd, 0xAB, 3);
+    void* aligned = arena.allocate(64, kMaxAlign);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned) % kMaxAlign, 0u);
+  }
+}
+
+TEST(ArenaTest, AccountsBytesUsed) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  (void)arena.make_span<std::uint64_t>(100);
+  EXPECT_EQ(arena.bytes_used(), 800u);
+  (void)arena.allocate(10, 1);
+  EXPECT_EQ(arena.bytes_used(), 810u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, WellEstimatedReserveTakesOneChunk) {
+  Arena arena{1 << 16};
+  const std::size_t reserved_before = arena.bytes_reserved();
+  for (int i = 0; i < 64; ++i) (void)arena.make_span<std::uint64_t>(100);
+  // Everything fit the pre-sized first chunk: no growth.
+  EXPECT_EQ(arena.bytes_reserved(), reserved_before);
+}
+
+TEST(ArenaTest, GrowsPastTheFirstChunk) {
+  Arena arena{64};
+  std::vector<std::span<std::uint8_t>> spans;
+  for (int i = 0; i < 100; ++i) {
+    spans.push_back(arena.make_span<std::uint8_t>(1000));
+    std::memset(spans.back().data(), i, spans.back().size());
+  }
+  // Growth must not invalidate earlier slices (chunks are stable, never
+  // reallocated — the SoA columns hold raw pointers into them).
+  for (int i = 0; i < 100; ++i) {
+    for (const std::uint8_t v : spans[static_cast<std::size_t>(i)]) {
+      ASSERT_EQ(v, static_cast<std::uint8_t>(i));
+    }
+  }
+  EXPECT_EQ(arena.bytes_used(), 100000u);
+}
+
+TEST(ArenaTest, OversizedSingleRequestIsServed) {
+  Arena arena{16};
+  const auto big = arena.make_span<std::uint64_t>(1 << 16);
+  ASSERT_EQ(big.size(), static_cast<std::size_t>(1 << 16));
+  big[0] = 1;
+  big[big.size() - 1] = 2;
+  EXPECT_EQ(big[0], 1u);
+  EXPECT_EQ(big[big.size() - 1], 2u);
+}
+
+TEST(ArenaTest, ZeroCountSpanIsEmpty) {
+  Arena arena;
+  EXPECT_TRUE(arena.make_span<int>(0).empty());
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace rtmac::util

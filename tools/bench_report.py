@@ -23,6 +23,14 @@ or dropping them cannot silently disable it. Malformed or empty input exits 2. A
 parses but carries error_occurred entries also exits 2 (a crashed benchmark
 must fail CI, not produce a hollow trajectory point).
 
+With --gate-rss-kb N, the embedded rtmac.city_scale extra (see --extra)
+must report million_peak_rss_kb <= N, or the tool exits 1. The gate
+refuses to pass vacuously: a missing city_scale extra or a missing RSS
+field is itself a violation. CI points N at the smoke run's scaled
+ceiling; the full 10^6-link ceiling lives in bench/city_scale.cpp
+(kMillionLinkRssCeilingKb) and the committed BENCH_N.json records the
+measured value either way.
+
 --baseline accepts either raw google-benchmark JSON or an already-distilled
 rtmac.bench document (e.g. the committed BENCH_N.json of the previous PR),
 detected by its "schema" field. When --baseline is omitted, the tool
@@ -146,6 +154,26 @@ def gate_zero_alloc(benchmarks):
     return violations
 
 
+def gate_rss(extras, limit_kb):
+    """Violations for the peak-RSS gate against the city_scale extra.
+
+    Reads million_peak_rss_kb from the embedded rtmac.city_scale document.
+    Absence is a violation, not a pass: the gate exists to catch the
+    regression where per-link heap state silently returns, and a missing
+    measurement is indistinguishable from one nobody ran."""
+    doc = extras.get("rtmac.city_scale")
+    if not isinstance(doc, dict):
+        return ["--gate-rss-kb needs the rtmac.city_scale extra "
+                "(pass --extra bench_out/city_scale.json)"]
+    rss = doc.get("million_peak_rss_kb")
+    if not isinstance(rss, (int, float)):
+        return ["rtmac.city_scale extra has no million_peak_rss_kb field"]
+    if rss > limit_kb:
+        return [f"million-link phase peak RSS {rss:g} KB exceeds the "
+                f"{limit_kb:g} KB ceiling"]
+    return []
+
+
 # rtmac.bench document versions this tool can read. Bump alongside the
 # writer (emit_report) whenever the document shape changes.
 KNOWN_BENCH_VERSIONS = (1,)
@@ -235,6 +263,11 @@ def main(argv=None):
     parser.add_argument("--gate-zero-alloc", action="store_true",
                         help="fail (exit 1) unless every *Allocs* benchmark "
                              "reports all allocation counters == 0")
+    parser.add_argument("--gate-rss-kb", type=float, default=None,
+                        metavar="KB",
+                        help="fail (exit 1) unless the embedded "
+                             "rtmac.city_scale extra reports "
+                             "million_peak_rss_kb <= KB")
     args = parser.parse_args(argv)
 
     try:
@@ -282,6 +315,14 @@ def main(argv=None):
         if violations:
             return 1
         print("bench_report: zero-alloc gate passed")
+    if args.gate_rss_kb is not None:
+        violations = gate_rss(doc.get("extra", {}), args.gate_rss_kb)
+        for v in violations:
+            print(f"bench_report: GATE FAILED: {v}", file=sys.stderr)
+        if violations:
+            return 1
+        print(f"bench_report: peak-RSS gate passed "
+              f"(ceiling {args.gate_rss_kb:g} KB)")
     return 0
 
 
